@@ -1,0 +1,463 @@
+package repro
+
+// Benchmarks, one per table and figure of the paper's evaluation section
+// (plus ablations for the design decisions called out in DESIGN.md).
+// Each benchmark measures the operation that the corresponding figure
+// times; cmd/mrslbench regenerates the figures' actual data series at
+// quick or paper scale.
+//
+//	Table I  -> BenchmarkTable1Catalog
+//	Fig 4(a) -> BenchmarkFig4aLearningByTrainSize
+//	Fig 4(b) -> BenchmarkFig4bLearningBySupport
+//	Fig 4(c) -> BenchmarkFig4cModelSize
+//	Table II -> BenchmarkTable2Voting
+//	Fig 5    -> BenchmarkFig5AccuracyByTrainSize
+//	Fig 6    -> BenchmarkFig6AccuracyBySupport
+//	Fig 7    -> BenchmarkFig7Render
+//	Fig 8    -> BenchmarkFig8NetworkProperties
+//	Fig 9    -> BenchmarkFig9SingleInference
+//	Fig 10   -> BenchmarkFig10GibbsAccuracy
+//	Fig 11   -> BenchmarkFig11TupleAtATime / BenchmarkFig11TupleDAG
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/gibbs"
+	"repro/internal/itemset"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+// benchEnv caches expensive fixtures (instances, datasets, models) across
+// benchmark iterations and sub-benchmarks.
+type benchEnv struct {
+	inst  *bn.Instance
+	train *relation.Relation
+	model *core.Model
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*benchEnv{}
+)
+
+// getEnv returns a cached environment for (network, trainSize, support).
+func getEnv(b *testing.B, network string, trainSize int, support float64) *benchEnv {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%g", network, trainSize, support)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if e, ok := benchCache[key]; ok {
+		return e
+	}
+	rng := rand.New(rand.NewSource(42))
+	top, err := bn.ByID(network)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, trainSize)
+	model, err := core.Learn(train, core.Config{SupportThreshold: support})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &benchEnv{inst: inst, train: train, model: model}
+	benchCache[key] = e
+	return e
+}
+
+// benchWorkload builds incomplete tuples from fresh samples.
+func benchWorkload(e *benchEnv, seed int64, n, missing int) []relation.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	nAttrs := e.inst.Top.NumAttrs()
+	if missing >= nAttrs {
+		missing = nAttrs - 1
+	}
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		tu := e.inst.Sample(rng)
+		k := missing
+		if k <= 0 {
+			k = 1 + rng.Intn(nAttrs-1)
+		}
+		for _, a := range rng.Perm(nAttrs)[:k] {
+			tu[a] = relation.Missing
+		}
+		out[i] = tu
+	}
+	return out
+}
+
+// BenchmarkTable1Catalog measures catalog construction and validation
+// (Table I).
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, top := range bn.Catalog() {
+			if err := top.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4aLearningByTrainSize measures MRSL learning time as training
+// size grows, at the paper's Fig 4(a) support of 0.02.
+func BenchmarkFig4aLearningByTrainSize(b *testing.B) {
+	for _, size := range []int{1000, 5000, 20000} {
+		e := getEnv(b, "BN9", size, 0.02) // fixture reuse for the dataset
+		b.Run(fmt.Sprintf("train=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Learn(e.train, core.Config{SupportThreshold: 0.02}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4bLearningBySupport measures learning time across support
+// thresholds (Fig 4(b)).
+func BenchmarkFig4bLearningBySupport(b *testing.B) {
+	e := getEnv(b, "BN10", 10000, 0.02)
+	for _, sup := range []float64{0.001, 0.01, 0.1} {
+		b.Run(fmt.Sprintf("support=%g", sup), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Learn(e.train, core.Config{SupportThreshold: sup}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4cModelSize reports the resulting model size per support
+// threshold as a benchmark metric (Fig 4(c)).
+func BenchmarkFig4cModelSize(b *testing.B) {
+	e := getEnv(b, "BN10", 10000, 0.02)
+	for _, sup := range []float64{0.001, 0.01, 0.1} {
+		b.Run(fmt.Sprintf("support=%g", sup), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				m, err := core.Learn(e.train, core.Config{SupportThreshold: sup})
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = m.Size()
+			}
+			b.ReportMetric(float64(size), "meta-rules")
+		})
+	}
+}
+
+// BenchmarkTable2Voting measures single-attribute inference per voting
+// method (Table II's four columns).
+func BenchmarkTable2Voting(b *testing.B) {
+	e := getEnv(b, "BN9", 20000, 0.001)
+	workload := benchWorkload(e, 7, 256, 1)
+	for _, method := range vote.Methods() {
+		b.Run(method.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tu := workload[i%len(workload)]
+				attr := tu.MissingAttrs()[0]
+				if _, err := vote.Infer(e.model, tu, attr, method); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5AccuracyByTrainSize measures the accuracy-evaluation loop at
+// two training sizes (Fig 5's x-axis).
+func BenchmarkFig5AccuracyByTrainSize(b *testing.B) {
+	for _, size := range []int{2000, 20000} {
+		e := getEnv(b, "BN8", size, 0.001)
+		workload := benchWorkload(e, 8, 64, 1)
+		method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+		b.Run(fmt.Sprintf("train=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tu := workload[i%len(workload)]
+				attr := tu.MissingAttrs()[0]
+				pred, err := vote.Infer(e.model, tu, attr, method)
+				if err != nil {
+					b.Fatal(err)
+				}
+				truth, err := e.inst.ConditionalSingle(tu, attr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = pred
+				_ = truth
+			}
+		})
+	}
+}
+
+// BenchmarkFig6AccuracyBySupport measures voted inference against models
+// learned at different supports (Fig 6's x-axis).
+func BenchmarkFig6AccuracyBySupport(b *testing.B) {
+	for _, sup := range []float64{0.001, 0.05} {
+		e := getEnv(b, "BN9", 20000, sup)
+		workload := benchWorkload(e, 9, 64, 1)
+		method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+		b.Run(fmt.Sprintf("support=%g", sup), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tu := workload[i%len(workload)]
+				attr := tu.MissingAttrs()[0]
+				if _, err := vote.Infer(e.model, tu, attr, method); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Render measures topology rendering (Fig 7).
+func BenchmarkFig7Render(b *testing.B) {
+	cat := bn.Catalog()
+	for i := 0; i < b.N; i++ {
+		for _, top := range cat {
+			_ = top.Render()
+		}
+	}
+}
+
+// BenchmarkFig8NetworkProperties runs best-averaged inference on networks
+// from each property family (Fig 8(a)-(c)).
+func BenchmarkFig8NetworkProperties(b *testing.B) {
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	for _, network := range []string{"BN18", "BN9", "BN14"} { // depth/attrs/card families
+		e := getEnv(b, network, 10000, 0.005)
+		workload := benchWorkload(e, 10, 64, 1)
+		b.Run(network, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tu := workload[i%len(workload)]
+				attr := tu.MissingAttrs()[0]
+				if _, err := vote.Infer(e.model, tu, attr, method); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9SingleInference measures per-tuple single-attribute
+// inference latency against models of different sizes (Fig 9).
+func BenchmarkFig9SingleInference(b *testing.B) {
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	for _, cfg := range []struct {
+		network string
+		support float64
+	}{
+		{"BN8", 0.01},   // small model
+		{"BN10", 0.005}, // mid model
+		{"BN12", 0.002}, // large model
+	} {
+		e := getEnv(b, cfg.network, 20000, cfg.support)
+		workload := benchWorkload(e, 11, 128, 1)
+		b.Run(fmt.Sprintf("%s/model=%d", cfg.network, e.model.Size()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tu := workload[i%len(workload)]
+				attr := tu.MissingAttrs()[0]
+				if _, err := vote.Infer(e.model, tu, attr, method); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10GibbsAccuracy measures multi-attribute Gibbs inference for
+// one tuple at the paper's sample budgets (Fig 10's x-axis), per missing
+// count.
+func BenchmarkFig10GibbsAccuracy(b *testing.B) {
+	e := getEnv(b, "BN8", 10000, 0.005)
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	for _, missing := range []int{2, 3} {
+		for _, samples := range []int{500, 2000} {
+			workload := benchWorkload(e, int64(missing*100+samples), 32, missing)
+			b.Run(fmt.Sprintf("missing=%d/N=%d", missing, samples), func(b *testing.B) {
+				s, err := gibbs.New(e.model, gibbs.Config{
+					Samples: samples, BurnIn: 100, Method: method, Seed: 17,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.InferTuple(workload[i%len(workload)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Fig 11: workload sampling cost with and without the tuple-DAG
+// optimization. Both benchmarks run the same 64-tuple workload at N=200.
+
+func fig11Setup(b *testing.B) (*benchEnv, []relation.Tuple) {
+	e := getEnv(b, "BN9", 10000, 0.005)
+	return e, benchWorkload(e, 12, 64, 0)
+}
+
+func BenchmarkFig11TupleAtATime(b *testing.B) {
+	e, workload := fig11Setup(b)
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	var points int
+	for i := 0; i < b.N; i++ {
+		s, err := gibbs.New(e.model, gibbs.Config{Samples: 200, BurnIn: 50, Method: method, Seed: 19})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.TupleAtATime(workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = res.PointsSampled
+	}
+	b.ReportMetric(float64(points), "points/workload")
+}
+
+func BenchmarkFig11TupleDAG(b *testing.B) {
+	e, workload := fig11Setup(b)
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	var points int
+	for i := 0; i < b.N; i++ {
+		s, err := gibbs.New(e.model, gibbs.Config{Samples: 200, BurnIn: 50, Method: method, Seed: 19})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.TupleDAGRun(workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = res.PointsSampled
+	}
+	b.ReportMetric(float64(points), "points/workload")
+}
+
+// BenchmarkAblationMaxItemsets ablates the paper's maxItemsets=1000 cutoff
+// (Section III): learning time with a tight cutoff vs effectively none.
+func BenchmarkAblationMaxItemsets(b *testing.B) {
+	e := getEnv(b, "BN12", 10000, 0.002) // high-cardinality net: many itemsets
+	for _, cutoff := range []int{100, itemset.DefaultMaxItemsets, 1 << 20} {
+		b.Run(fmt.Sprintf("maxItemsets=%d", cutoff), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				m, err := core.Learn(e.train, core.Config{
+					SupportThreshold: 0.002,
+					MaxItemsets:      cutoff,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = m.Size()
+			}
+			b.ReportMetric(float64(size), "meta-rules")
+		})
+	}
+}
+
+// BenchmarkAblationIndependentProduct compares the cost of joint Gibbs
+// inference against the independence-assuming product estimator
+// (Section V's motivating comparison).
+func BenchmarkAblationIndependentProduct(b *testing.B) {
+	e := getEnv(b, "BN13", 10000, 0.005)
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	workload := benchWorkload(e, 13, 32, 2)
+	b.Run("product", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.IndependentProduct(e.model, workload[i%len(workload)], method); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gibbs", func(b *testing.B) {
+		s, err := gibbs.New(e.model, gibbs.Config{Samples: 500, BurnIn: 50, Method: method, Seed: 23})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.InferTuple(workload[i%len(workload)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelWorkers measures the parallel workload runner
+// at several worker counts (identical results by construction; only time
+// varies).
+func BenchmarkAblationParallelWorkers(b *testing.B) {
+	e := getEnv(b, "BN9", 10000, 0.005)
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	workload := benchWorkload(e, 14, 64, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := gibbs.New(e.model, gibbs.Config{
+					Samples: 150, BurnIn: 30, Method: method, Seed: 29,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.ParallelTupleAtATime(workload, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQuickExperimentRunners exercises the experiment package's
+// runners end to end at tiny scale, so regressions in the harness itself
+// surface in benchmarks.
+func BenchmarkQuickExperimentRunners(b *testing.B) {
+	opt := experiment.Quick()
+	opt.TrainSize = 1000
+	opt.TrainSizes = []int{500}
+	opt.Supports = []float64{0.01}
+	opt.TestCount = 30
+	opt.GibbsSamples = 60
+	opt.GibbsSampleCounts = []int{60}
+	opt.WorkloadSizes = []int{20}
+	nets := []string{"BN8"}
+	b.Run("fig4a", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiment.RunFig4a(opt, nets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("table2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiment.RunTable2(opt, nets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fig11", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiment.RunFig11(opt, nets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

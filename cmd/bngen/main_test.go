@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("BN8", "", 10, 0, 0.1, 1, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRender(t *testing.T) {
+	if err := run("BN8", "", 10, 0, 0.1, 1, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("BN99", "", 10, 0, 0.1, 1, "", false, true); err == nil {
+		t.Error("unknown network should fail")
+	}
+}
+
+func TestRunSampleToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data.csv")
+	if err := run("BN8", "", 50, 2, 0.5, 1, out, false, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 51 {
+		t.Fatalf("lines = %d, want 51", len(lines))
+	}
+	if !strings.Contains(string(data), "?") {
+		t.Error("no missing values injected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("BN8", "", 0, 0, 0.1, 1, "", false, false); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if err := run("BN8", "", 10, 9, 0.1, 1, "", false, false); err == nil {
+		t.Error("missing >= attrs should fail")
+	}
+	if err := run("BN99", "", 10, 0, 0.1, 1, "", false, false); err == nil {
+		t.Error("unknown network should fail")
+	}
+}
+
+func TestRunCustomTopology(t *testing.T) {
+	topo := filepath.Join(t.TempDir(), "topo.txt")
+	src := "network tiny depth 2\nnode a card 2\nnode b card 2 parents a\n"
+	if err := os.WriteFile(topo, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "data.csv")
+	if err := run("", topo, 20, 0, 0.1, 1, out, false, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "a,b\n") {
+		t.Errorf("header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	if err := run("", filepath.Join(t.TempDir(), "nope.txt"), 10, 0, 0.1, 1, "", false, false); err == nil {
+		t.Error("missing topology file should fail")
+	}
+}

@@ -1,0 +1,160 @@
+// Command mrslbench regenerates the tables and figures of "Deriving
+// Probabilistic Databases with Inference Ensembles" (ICDE 2011) from the
+// reproduction's experimental framework.
+//
+// Usage:
+//
+//	mrslbench -exp table1|fig4a|fig4b|fig4c|table2|fig5|fig6|fig7|
+//	               fig8a|fig8b|fig8c|fig9|fig10|fig11|
+//	               ablation-indep|ablation-schemes|ablation-parallel|all
+//	          [-scale quick|paper] [-seed N] [-networks BN8,BN9]
+//	          [-csv] [-quiet] [-list]
+//
+// The quick scale (default) finishes in seconds to minutes and preserves
+// each figure's qualitative shape; the paper scale uses the published
+// parameters (100k training tuples, 3 instances x 3 splits) and can run
+// for hours, as the original experiments did. -csv emits plot-ready CSV;
+// -list prints the experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// allExperiments lists every runnable experiment id in presentation order.
+var allExperiments = []string{
+	"table1", "fig7", "fig4a", "fig4b", "fig4c", "table2",
+	"fig5", "fig6", "fig8a", "fig8b", "fig8c", "fig9", "fig10",
+	"fig11", "ablation-indep", "ablation-schemes", "ablation-parallel",
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1, fig4a..fig11, ablation-indep, all)")
+		scale    = flag.String("scale", "quick", "parameter scale: quick or paper")
+		seed     = flag.Int64("seed", 0, "override experiment seed (0 keeps the scale's default)")
+		networks = flag.String("networks", "", "comma-separated network ids overriding each experiment's default set")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+		asCSV    = flag.Bool("csv", false, "emit results as CSV instead of aligned tables")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range allExperiments {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var opt experiment.Options
+	switch *scale {
+	case "quick":
+		opt = experiment.Quick()
+	case "paper":
+		opt = experiment.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "mrslbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+	var nets []string
+	if *networks != "" {
+		nets = strings.Split(*networks, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = allExperiments
+	}
+	for _, id := range ids {
+		if err := runFormat(id, opt, nets, *asCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "mrslbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runFormat executes one experiment and prints it as a table or CSV.
+func runFormat(id string, opt experiment.Options, nets []string, asCSV bool) error {
+	tab, err := resolve(id, opt, nets)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return tab.WriteCSV(os.Stdout)
+	}
+	fmt.Println(tab.Render())
+	return nil
+}
+
+// run executes one experiment and prints the aligned table (test hook).
+func run(id string, opt experiment.Options, nets []string) error {
+	return runFormat(id, opt, nets, false)
+}
+
+func resolve(id string, opt experiment.Options, nets []string) (*experiment.Table, error) {
+	var (
+		tab *experiment.Table
+		err error
+	)
+	switch id {
+	case "table1":
+		tab = experiment.RunTable1()
+	case "fig7":
+		tab, err = experiment.RunFig7(nets)
+	case "fig4a":
+		_, tab, err = experiment.RunFig4a(opt, nets)
+	case "fig4b":
+		_, tab, err = experiment.RunFig4b(opt, nets)
+	case "fig4c":
+		_, tab, err = experiment.RunFig4c(opt, nets)
+	case "table2":
+		_, tab, err = experiment.RunTable2(opt, nets)
+	case "fig5":
+		_, tab, err = experiment.RunFig5(opt, nets)
+	case "fig6":
+		_, tab, err = experiment.RunFig6(opt, nets)
+	case "fig8a":
+		_, tab, err = experiment.RunFig8(opt, pick(nets, []string{"BN18", "BN19", "BN20"}), "depth")
+	case "fig8b":
+		_, tab, err = experiment.RunFig8(opt, pick(nets, []string{"BN8", "BN9", "BN17", "BN18"}), "attrs")
+	case "fig8c":
+		_, tab, err = experiment.RunFig8(opt, pick(nets, []string{"BN13", "BN14", "BN15", "BN16"}), "card")
+	case "fig9":
+		_, tab, err = experiment.RunFig9(opt, nets, nil)
+	case "fig10":
+		_, tab, err = experiment.RunFig10(opt, nets, 0)
+	case "fig11":
+		_, tab, err = experiment.RunFig11(opt, nets)
+	case "ablation-indep":
+		_, tab, err = experiment.RunAblationIndependent(opt, nets)
+	case "ablation-schemes":
+		_, tab, err = experiment.RunAblationSchemes(opt, nets)
+	case "ablation-parallel":
+		_, tab, err = experiment.RunAblationParallel(opt, nets, nil)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// pick returns override if non-empty, else def.
+func pick(override, def []string) []string {
+	if len(override) > 0 {
+		return override
+	}
+	return def
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// tinyOpt shrinks every knob so each runner finishes in well under a
+// second.
+func tinyOpt() experiment.Options {
+	o := experiment.Quick()
+	o.TrainSize = 600
+	o.TrainSizes = []int{300}
+	o.Supports = []float64{0.02}
+	o.TestCount = 20
+	o.GibbsSamples = 40
+	o.GibbsSampleCounts = []int{40}
+	o.GibbsBurnIn = 10
+	o.WorkloadSizes = []int{15}
+	return o
+}
+
+func TestRunEveryExperiment(t *testing.T) {
+	nets := []string{"BN8"}
+	ids := []string{"table1", "fig7", "fig4a", "fig4b", "fig4c", "table2",
+		"fig5", "fig6", "fig9", "fig10", "fig11", "ablation-indep",
+		"ablation-schemes", "ablation-parallel"}
+	for _, id := range ids {
+		if err := run(id, tinyOpt(), nets); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	// The fig8 variants pin their own default network lists.
+	for _, id := range []string{"fig8a", "fig8b", "fig8c"} {
+		if err := run(id, tinyOpt(), []string{"BN8", "BN9"}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", tinyOpt(), nil); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestPick(t *testing.T) {
+	if got := pick(nil, []string{"a"}); len(got) != 1 || got[0] != "a" {
+		t.Errorf("pick default = %v", got)
+	}
+	if got := pick([]string{"x"}, []string{"a"}); len(got) != 1 || got[0] != "x" {
+		t.Errorf("pick override = %v", got)
+	}
+}
+
+func TestAllExperimentsResolvable(t *testing.T) {
+	// Every listed id must be known to resolve (errors other than
+	// "unknown experiment" are fine at zero scale; unknown ids are not).
+	for _, id := range allExperiments {
+		_, err := resolve(id, experiment.Options{}, nil)
+		if err != nil && err.Error() == `unknown experiment "`+id+`"` {
+			t.Errorf("%s listed but not resolvable", id)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+const inferCSV = `age,inc
+20,50K
+20,50K
+20,50K
+30,100K
+30,100K
+30,100K
+?,50K
+30,?
+?,?
+`
+
+func setup(t *testing.T) (modelPath, dataPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(dataPath, []byte(inferCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := repro.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.Learn(rel, repro.LearnOptions{SupportThreshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	return modelPath, dataPath
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, name := range []string{"all-averaged", "all-weighted", "best-averaged", "best-weighted"} {
+		if _, err := parseMethod(name); err != nil {
+			t.Errorf("parseMethod(%q): %v", name, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Error("bogus method should fail")
+	}
+}
+
+func TestRunInferEndToEnd(t *testing.T) {
+	model, data := setup(t)
+	if err := run(model, data, 300, 30, "best-averaged", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Top-K capping works too.
+	if err := run(model, data, 300, 30, "all-averaged", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInferErrors(t *testing.T) {
+	model, data := setup(t)
+	if err := run(model, data, 100, 10, "bogus", 0, 1); err == nil {
+		t.Error("bad method should fail")
+	}
+	if err := run(filepath.Join(t.TempDir(), "no.json"), data, 100, 10, "best-averaged", 0, 1); err == nil {
+		t.Error("missing model should fail")
+	}
+	if err := run(model, filepath.Join(t.TempDir(), "no.csv"), 100, 10, "best-averaged", 0, 1); err == nil {
+		t.Error("missing data should fail")
+	}
+	// Schema mismatch: a CSV with a different column count.
+	other := filepath.Join(t.TempDir(), "other.csv")
+	if err := os.WriteFile(other, []byte("x\n1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(model, other, 100, 10, "best-averaged", 0, 1); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}

@@ -1,0 +1,81 @@
+// Command mrsllearn learns an MRSL model from the complete tuples of a CSV
+// relation and writes it as JSON.
+//
+// Usage:
+//
+//	mrsllearn -in data.csv -out model.json [-support 0.01] [-max-itemsets 1000]
+//
+// The CSV's first row names the attributes; "?" cells mark missing values.
+// Incomplete rows are ignored during learning (they are what the model is
+// later used to complete).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/relation"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input CSV relation (required)")
+		out         = flag.String("out", "", "output model JSON (default stdout)")
+		support     = flag.Float64("support", 0.01, "support threshold theta")
+		maxItemsets = flag.Int("max-itemsets", 1000, "Apriori per-round itemset cutoff")
+		maxBody     = flag.Int("max-body", 0, "max meta-rule body size (0 = unbounded)")
+		stats       = flag.Bool("stats", false, "print a data profile and model summary to stderr")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "mrsllearn: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *support, *maxItemsets, *maxBody, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "mrsllearn: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, support float64, maxItemsets, maxBody int, stats bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := repro.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprint(os.Stderr, relation.ComputeProfile(rel).Render(rel.Schema))
+	}
+	model, err := repro.Learn(rel, repro.LearnOptions{
+		SupportThreshold: support,
+		MaxItemsets:      maxItemsets,
+		MaxBodySize:      maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		w, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if err := model.Save(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "learned %d meta-rules from %d complete tuples in %s\n",
+		model.Size(), model.Stats.TrainingSize, model.Stats.BuildTime)
+	if stats {
+		fmt.Fprint(os.Stderr, model.Describe())
+	}
+	return nil
+}

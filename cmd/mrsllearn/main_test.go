@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+const learnCSV = `age,inc
+20,50K
+20,50K
+30,100K
+30,100K
+40,100K
+40,?
+`
+
+func TestRunLearn(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "data.csv")
+	out := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(in, []byte(learnCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, 0.05, 1000, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := repro.LoadModel(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() == 0 {
+		t.Error("empty model")
+	}
+	// Only the 5 complete rows train the model.
+	if m.Stats.TrainingSize != 5 {
+		t.Errorf("training size = %d, want 5", m.Stats.TrainingSize)
+	}
+}
+
+func TestRunLearnErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(filepath.Join(dir, "missing.csv"), "", 0.05, 1000, 0, false); err == nil {
+		t.Error("missing input should fail")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", 0.05, 1000, 0, false); err == nil {
+		t.Error("ragged CSV should fail")
+	}
+	ok := filepath.Join(dir, "ok.csv")
+	if err := os.WriteFile(ok, []byte(learnCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ok, "", 0, 1000, 0, false); err == nil {
+		t.Error("support 0 should fail")
+	}
+}
+
+func TestRunLearnMaxBody(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "data.csv")
+	out := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(in, []byte(learnCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, 0.05, 1000, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"max_body_size": 1`) {
+		// Field name check keeps the persisted config stable.
+		if !strings.Contains(string(data), "MaxBodySize") {
+			t.Log("model json:", string(data)[:200])
+		}
+	}
+}

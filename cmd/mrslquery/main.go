@@ -1,0 +1,174 @@
+// Command mrslquery answers queries over an incomplete CSV relation using
+// a learned MRSL model, with lazy query-targeted inference: probability
+// values are derived only for the tuples a query leaves undecided
+// (the paper's Section VIII future work).
+//
+// Usage:
+//
+//	mrslquery -model model.json -in data.csv -where age=30,inc=100K [-op count]
+//	mrslquery -model model.json -in data.csv -groupby age
+//	mrslquery -model model.json -in data.csv -where inc=100K -op topk -k 5
+//
+// Supported operations: count (expected count, default), topk (most
+// probable matching completions), groupby (expected histogram; uses
+// -groupby instead of -where).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/pdb"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model JSON from mrsllearn (required)")
+		in        = flag.String("in", "", "input CSV relation (required)")
+		where     = flag.String("where", "", "conjunctive conditions attr=value,attr=value")
+		groupBy   = flag.String("groupby", "", "attribute for a group-by expected histogram")
+		op        = flag.String("op", "count", "operation: count, topk, groupby")
+		k         = flag.Int("k", 10, "result size for -op topk")
+		samples   = flag.Int("samples", 1000, "Gibbs samples per open tuple")
+		burnin    = flag.Int("burnin", 100, "Gibbs burn-in sweeps")
+		seed      = flag.Int64("seed", 1, "sampler seed")
+	)
+	flag.Parse()
+	if *modelPath == "" || *in == "" {
+		fmt.Fprintln(os.Stderr, "mrslquery: -model and -in are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *modelPath, *in, *where, *groupBy, *op, *k, *samples, *burnin, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "mrslquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burnin int, seed int64) error {
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	model, err := repro.LoadModel(mf)
+	if err != nil {
+		return err
+	}
+	df, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	rel, err := repro.ReadCSV(df)
+	if err != nil {
+		return err
+	}
+	if rel.Schema.NumAttrs() != model.Schema.NumAttrs() {
+		return fmt.Errorf("data has %d attributes, model has %d",
+			rel.Schema.NumAttrs(), model.Schema.NumAttrs())
+	}
+
+	gibbs := repro.GibbsOptions{
+		Samples: samples, BurnIn: burnin, Seed: seed, Method: repro.BestAveraged(),
+	}
+
+	switch op {
+	case "count":
+		q, err := parseWhere(model.Schema, where)
+		if err != nil {
+			return err
+		}
+		db, err := repro.NewLazyDB(model, rel, gibbs)
+		if err != nil {
+			return err
+		}
+		count, err := db.ExpectedCount(q)
+		if err != nil {
+			return err
+		}
+		st := db.Stats()
+		fmt.Fprintf(w, "expected count: %.2f of %d tuples\n", count, rel.Len())
+		fmt.Fprintf(w, "lazy stats: %d refuted, %d entailed, %d CPD lookups, %d Gibbs runs\n",
+			st.Refuted, st.Entailed, st.SingleLookups, st.GibbsRuns)
+		return nil
+	case "topk":
+		q, err := parseWhere(model.Schema, where)
+		if err != nil {
+			return err
+		}
+		db, err := repro.Derive(model, rel, repro.DeriveOptions{
+			Gibbs: gibbs, Method: repro.BestAveraged(),
+		})
+		if err != nil {
+			return err
+		}
+		rows := db.TopKRows(q.Predicate(), k)
+		fmt.Fprintf(w, "top %d matching completions:\n", len(rows))
+		for _, row := range rows {
+			src := "certain"
+			if row.Block >= 0 {
+				src = fmt.Sprintf("block %d", row.Block)
+			}
+			fmt.Fprintf(w, "  %.4f  %s  (%s)\n", row.Prob, row.Tuple.Format(model.Schema), src)
+		}
+		return nil
+	case "groupby":
+		if groupBy == "" {
+			return fmt.Errorf("-op groupby requires -groupby")
+		}
+		attr := model.Schema.AttrIndex(groupBy)
+		if attr < 0 {
+			return fmt.Errorf("unknown attribute %q", groupBy)
+		}
+		db, err := repro.Derive(model, rel, repro.DeriveOptions{
+			Gibbs: gibbs, Method: repro.BestAveraged(),
+		})
+		if err != nil {
+			return err
+		}
+		stats, err := db.GroupCount(attr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "expected histogram of %s:\n", groupBy)
+		for _, g := range stats {
+			fmt.Fprintf(w, "  %-10s %.2f (±%.2f)\n",
+				model.Schema.Attrs[attr].Domain[g.Value], g.Expected, math.Sqrt(g.Variance))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown operation %q", op)
+	}
+}
+
+// parseWhere converts "attr=value,attr=value" into a validated query.
+func parseWhere(s *repro.Schema, where string) (pdb.ConjQuery, error) {
+	if where == "" {
+		return nil, fmt.Errorf("-where is required for this operation")
+	}
+	var q pdb.ConjQuery
+	for _, part := range strings.Split(where, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad condition %q (want attr=value)", part)
+		}
+		attr := s.AttrIndex(kv[0])
+		if attr < 0 {
+			return nil, fmt.Errorf("unknown attribute %q", kv[0])
+		}
+		val, err := s.ValueCode(attr, kv[1])
+		if err != nil {
+			return nil, err
+		}
+		q = append(q, pdb.Cond{Attr: attr, Value: val})
+	}
+	if err := q.Validate(s); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/relation"
+)
+
+const queryCSV = `age,inc
+20,50K
+20,50K
+20,50K
+30,100K
+30,100K
+30,100K
+40,100K
+40,100K
+?,50K
+30,?
+?,?
+`
+
+func setup(t *testing.T) (modelPath, dataPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(dataPath, []byte(queryCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := repro.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.Learn(rel, repro.LearnOptions{SupportThreshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	return modelPath, dataPath
+}
+
+func TestParseWhere(t *testing.T) {
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "age", Domain: []string{"20", "30"}},
+		{Name: "inc", Domain: []string{"50K", "100K"}},
+	})
+	q, err := parseWhere(s, "age=30,inc=100K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 || q[0].Attr != 0 || q[0].Value != 1 || q[1].Attr != 1 || q[1].Value != 1 {
+		t.Errorf("parsed query = %+v", q)
+	}
+	bad := []string{"", "age", "bogus=1", "age=99", "age=30,age=20"}
+	for _, s2 := range bad {
+		if _, err := parseWhere(s, s2); err == nil {
+			t.Errorf("where %q should fail", s2)
+		}
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	model, data := setup(t)
+	if err := run(os.Stdout, model, data, "inc=100K", "", "count", 10, 200, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	model, data := setup(t)
+	if err := run(os.Stdout, model, data, "age=30", "", "topk", 3, 200, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGroupBy(t *testing.T) {
+	model, data := setup(t)
+	if err := run(os.Stdout, model, data, "", "age", "groupby", 10, 200, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, model, data, "", "", "groupby", 10, 200, 20, 1); err == nil {
+		t.Error("groupby without -groupby should fail")
+	}
+	if err := run(os.Stdout, model, data, "", "bogus", "groupby", 10, 200, 20, 1); err == nil {
+		t.Error("unknown groupby attribute should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	model, data := setup(t)
+	if err := run(os.Stdout, model, data, "inc=100K", "", "explode", 10, 200, 20, 1); err == nil {
+		t.Error("unknown op should fail")
+	}
+	if err := run(os.Stdout, model, data, "", "", "count", 10, 200, 20, 1); err == nil {
+		t.Error("count without -where should fail")
+	}
+	if err := run(os.Stdout, filepath.Join(t.TempDir(), "no.json"), data, "inc=100K", "", "count", 10, 200, 20, 1); err == nil {
+		t.Error("missing model should fail")
+	}
+	if err := run(os.Stdout, model, filepath.Join(t.TempDir(), "no.csv"), "inc=100K", "", "count", 10, 200, 20, 1); err == nil {
+		t.Error("missing data should fail")
+	}
+}

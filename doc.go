@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "Deriving
+// Probabilistic Databases with Inference Ensembles" (Stoyanovich, Davidson,
+// Milo, Tannen; ICDE 2011).
+//
+// Given a single relation with missing attribute values, the library learns
+// a Meta-Rule Semi-Lattice (MRSL) ensemble from the complete tuples, infers
+// a probability distribution over the missing values of every incomplete
+// tuple — by ensemble voting for one missing attribute, by ordered Gibbs
+// sampling for several — and assembles the results into a
+// disjoint-independent probabilistic database that can be queried under
+// possible-worlds semantics.
+//
+// The root package is a facade over the internal packages:
+//
+//	model, err := repro.Learn(rel, repro.LearnOptions{SupportThreshold: 0.01})
+//	d, err := repro.InferSingle(model, tuple, attr, repro.BestAveraged())
+//	j, err := repro.InferJoint(model, tuple, repro.GibbsOptions{Samples: 2000})
+//	db, err := repro.Derive(model, rel, repro.DeriveOptions{})
+//
+// The cmd/ directory ships four tools (mrslbench regenerates every table
+// and figure of the paper; mrsllearn, mrslinfer, and bngen operate on CSV
+// data), and examples/ contains runnable walkthroughs, starting with the
+// paper's own matchmaking relation in examples/quickstart.
+package repro

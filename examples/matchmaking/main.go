@@ -1,0 +1,154 @@
+// The matchmaking example scales the paper's motivating scenario up: a
+// synthetic profile relation (age, education, income, net worth) with
+// correlated attributes is generated, a slice of values goes missing, an
+// MRSL model is learned from the complete part, the incomplete relation is
+// turned into a disjoint-independent probabilistic database with Derive,
+// and the database is queried under possible-worlds semantics — e.g. "what
+// is the expected number of profiles with income 100K and net worth 500K?".
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+	"repro/internal/pdb"
+)
+
+// profile generation parameters: age and education drive income, income
+// drives net worth — the correlations the paper's introduction observes.
+var (
+	ages = []string{"20", "30", "40"}
+	edus = []string{"HS", "BS", "MS"}
+	incs = []string{"50K", "100K"}
+	nws  = []string{"100K", "500K"}
+)
+
+func sampleProfile(rng *rand.Rand) []int {
+	age := rng.Intn(3)
+	edu := rng.Intn(3)
+	// P(inc=100K) grows with age and education.
+	pInc := 0.15 + 0.2*float64(age) + 0.15*float64(edu)
+	inc := 0
+	if rng.Float64() < pInc {
+		inc = 1
+	}
+	// P(nw=500K) grows with income and age.
+	pNw := 0.2 + 0.4*float64(inc) + 0.1*float64(age)
+	nw := 0
+	if rng.Float64() < pNw {
+		nw = 1
+	}
+	return []int{age, edu, inc, nw}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example; factored out of main so tests can call it.
+func run() error {
+	rng := rand.New(rand.NewSource(2011))
+	schema, err := repro.NewSchema([]repro.Attribute{
+		{Name: "age", Domain: ages},
+		{Name: "edu", Domain: edus},
+		{Name: "inc", Domain: incs},
+		{Name: "nw", Domain: nws},
+	})
+	if err != nil {
+		return err
+	}
+
+	// 5000 profiles; 15% lose one or two attribute values.
+	rel := repro.NewRelation(schema)
+	for i := 0; i < 5000; i++ {
+		vals := sampleProfile(rng)
+		tu := make(repro.Tuple, 4)
+		copy(tu, vals)
+		if rng.Float64() < 0.15 {
+			k := 1 + rng.Intn(2)
+			for _, a := range rng.Perm(4)[:k] {
+				tu[a] = repro.Missing
+			}
+		}
+		if err := rel.Append(tu); err != nil {
+			return err
+		}
+	}
+	rc, ri := rel.Split()
+	fmt.Printf("relation: %d profiles (%d complete, %d incomplete)\n",
+		rel.Len(), rc.Len(), ri.Len())
+
+	// Learn the MRSL model from the complete part.
+	model, err := repro.Learn(rel, repro.LearnOptions{SupportThreshold: 0.005})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %d meta-rules, built in %s\n", model.Size(), model.Stats.BuildTime)
+
+	// Derive the probabilistic database.
+	db, err := repro.Derive(model, rel, repro.DeriveOptions{
+		Method: repro.BestAveraged(),
+		Gibbs: repro.GibbsOptions{
+			Samples: 1000, BurnIn: 100, Seed: 7, Method: repro.BestAveraged(),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	worlds := "more than 2^63"
+	if n := db.NumWorlds(); n >= 0 {
+		worlds = fmt.Sprintf("%d", n)
+	}
+	fmt.Printf("derived database: %d certain tuples, %d blocks, %s possible worlds\n",
+		len(db.Certain), len(db.Blocks), worlds)
+
+	// Show one block in the style of the Fig. 1 call-out.
+	for _, b := range db.Blocks {
+		if b.Base.NumMissing() == 2 {
+			fmt.Printf("\nexample block for %s:\n", b.Base.Format(schema))
+			for _, alt := range b.Alts {
+				fmt.Printf("  %s  prob %.3f\n", alt.Tuple.Format(schema), alt.Prob)
+			}
+			break
+		}
+	}
+
+	// Query the probabilistic database.
+	inc := schema.AttrIndex("inc")
+	nw := schema.AttrIndex("nw")
+	rich := pdb.And(pdb.Eq(inc, 1), pdb.Eq(nw, 1))
+
+	exp := db.ExpectedCount(rich)
+	variance := db.CountVariance(rich)
+	fmt.Printf("\nQ1: expected # profiles with inc=100K and nw=500K = %.1f (stddev %.2f)\n",
+		exp, math.Sqrt(variance))
+
+	mc := db.MonteCarloCount(rich, rng, 2000)
+	fmt.Printf("Q1 (Monte Carlo over 2000 worlds): %.1f\n", mc)
+
+	age := schema.AttrIndex("age")
+	youngRich := pdb.And(pdb.Eq(age, 0), rich)
+	fmt.Printf("Q2: P(at least one 20-year-old with inc=100K, nw=500K among uncertain) = %.3f\n",
+		blockOnlyAnyProb(db, youngRich))
+
+	// Most probable world: the deterministic completion a cleaning system
+	// would commit to.
+	w := db.MostProbableWorld()
+	fmt.Printf("Q3: most probable world has probability %.3g\n", w.Prob)
+	return nil
+}
+
+// blockOnlyAnyProb evaluates AnyProb over the uncertain blocks only, to
+// show a non-trivial probability (certain matches force 1).
+func blockOnlyAnyProb(db *repro.Database, pred pdb.Predicate) float64 {
+	q := 1.0
+	for _, b := range db.Blocks {
+		q *= 1 - b.Prob(pred)
+	}
+	return 1 - q
+}

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end; it must complete without error.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

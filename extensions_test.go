@@ -1,0 +1,125 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestNewLazyDBFacade(t *testing.T) {
+	m, rel := matchmakingModel(t)
+	db, err := NewLazyDB(m, rel, GibbsOptions{Samples: 200, BurnIn: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := rel.Schema.AttrIndex("inc")
+	count, err := db.ExpectedCount(ConjQuery{{Attr: inc, Value: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count <= 0 || count > float64(rel.Len()) {
+		t.Errorf("expected count = %v out of range", count)
+	}
+	st := db.Stats()
+	if st.Refuted+st.Entailed == 0 {
+		t.Error("lazy evaluation decided nothing from known values")
+	}
+}
+
+func TestDiagnoseFacade(t *testing.T) {
+	m, _ := matchmakingModel(t)
+	tu := Tuple{Missing, Missing, 0, 1}
+	d, err := Diagnose(m, tu, GibbsOptions{Samples: 100, BurnIn: 20, Seed: 2}, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RHat <= 0 {
+		t.Errorf("R-hat = %v", d.RHat)
+	}
+	if d.Chains != 4 || d.SamplesPerChain != 200 {
+		t.Errorf("shape = %dx%d", d.Chains, d.SamplesPerChain)
+	}
+}
+
+func TestAutoTuneGibbsFacade(t *testing.T) {
+	m, _ := matchmakingModel(t)
+	tu := Tuple{Missing, 0, Missing, 1}
+	burnIn, samples, diag, err := AutoTuneGibbs(m, tu, GibbsOptions{Seed: 3}, 1.1, 16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burnIn <= 0 || samples < 16 || samples > 512 || diag == nil {
+		t.Errorf("autotune = %d, %d, %v", burnIn, samples, diag)
+	}
+}
+
+func TestJoinFacade(t *testing.T) {
+	keys := []string{"k0", "k1"}
+	left := NewRelation(relation.MustSchema([]Attribute{
+		{Name: "v", Domain: []string{"a", "b"}},
+		{Name: "fk", Domain: keys},
+	}))
+	right := NewRelation(relation.MustSchema([]Attribute{
+		{Name: "pk", Domain: keys},
+		{Name: "w", Domain: []string{"x", "y"}},
+	}))
+	if err := left.Append(Tuple{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Append(Tuple{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Join(left, right, JoinSpec{LeftKey: 1, RightKey: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.NumAttrs() != 2 || out.Len() != 1 {
+		t.Errorf("joined = %v rows over %v", out.Len(), out.Schema.SortedAttrNames())
+	}
+}
+
+func TestDiscretizeTableFacade(t *testing.T) {
+	raw := RawTable{
+		Names: []string{"temp"},
+		Rows:  [][]string{{"1.5"}, {"2.5"}, {"8.0"}, {"9.5"}},
+	}
+	rel, err := DiscretizeTable(raw, 2, EqualWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema.Attrs[0].Card() != 2 {
+		t.Errorf("buckets = %d", rel.Schema.Attrs[0].Card())
+	}
+	if rel.Tuples[0][0] != 0 || rel.Tuples[3][0] != 1 {
+		t.Errorf("codes = %v, %v", rel.Tuples[0][0], rel.Tuples[3][0])
+	}
+}
+
+// TestLazyMatchesEagerOnMatchmaking: the lazy expected count agrees with
+// eager Derive + ExpectedCount.
+func TestLazyMatchesEagerOnMatchmaking(t *testing.T) {
+	m, rel := matchmakingModel(t)
+	inc := rel.Schema.AttrIndex("inc")
+	q := ConjQuery{{Attr: inc, Value: 1}}
+
+	lazyDB, err := NewLazyDB(m, rel, GibbsOptions{Samples: 2000, BurnIn: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazyCount, err := lazyDB.ExpectedCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eager, err := Derive(m, rel, DeriveOptions{
+		Gibbs: GibbsOptions{Samples: 2000, BurnIn: 100, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerCount := eager.ExpectedCount(q.Predicate())
+	if math.Abs(lazyCount-eagerCount) > 1.0 {
+		t.Errorf("lazy %v vs eager %v", lazyCount, eagerCount)
+	}
+}

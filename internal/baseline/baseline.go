@@ -1,0 +1,87 @@
+// Package baseline implements the comparison points used in the paper's
+// evaluation and discussion: the independence-assuming product estimator
+// that Section V argues against, a random-guess floor for top-1 accuracy,
+// and the exact-Bayesian-network oracle that upper-bounds achievable
+// accuracy.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+// IndependentProduct estimates the joint distribution over the missing
+// attributes of t as the product of independently inferred per-attribute
+// CPDs: P(a1, a2 | e) ≈ P(a1 | e) × P(a2 | e). The paper (Section V) warns
+// this "would rely on independence assumptions that are not warranted";
+// it is the baseline against which Gibbs-based joint inference is judged.
+func IndependentProduct(m *core.Model, t relation.Tuple, method vote.Method) (*dist.Joint, error) {
+	missing := t.MissingAttrs()
+	if len(missing) == 0 {
+		return nil, fmt.Errorf("baseline: tuple %v has no missing attributes", t)
+	}
+	marginals, err := vote.InferAll(m, t, method)
+	if err != nil {
+		return nil, err
+	}
+	cards := make([]int, len(missing))
+	for i, a := range missing {
+		cards[i] = m.Schema.Attrs[a].Card()
+	}
+	j, err := dist.NewJoint(missing, cards)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int, len(missing))
+	for idx := range j.P {
+		j.ValuesInto(idx, vals)
+		p := 1.0
+		for k, a := range missing {
+			p *= marginals[a][vals[k]]
+		}
+		j.P[idx] = p
+	}
+	j.Normalize()
+	return j, nil
+}
+
+// RandomGuessTop1 returns the probability of guessing the most probable
+// combination by chance: one over the size of the Cartesian product of the
+// missing attributes' domains. The paper cites this floor when interpreting
+// top-1 accuracy (e.g. "40% correct top-1 guesses, as compared to 3% for
+// random guessing").
+func RandomGuessTop1(s *relation.Schema, t relation.Tuple) (float64, error) {
+	n := 1
+	missing := t.MissingAttrs()
+	if len(missing) == 0 {
+		return 0, fmt.Errorf("baseline: tuple %v has no missing attributes", t)
+	}
+	for _, a := range missing {
+		n *= s.Attrs[a].Card()
+	}
+	return 1 / float64(n), nil
+}
+
+// Oracle wraps the generating Bayesian network as an inference method: it
+// answers with the exact conditional distribution. No learned model can
+// beat it in expectation; experiments use it to normalize accuracy.
+type Oracle struct {
+	Inst *bn.Instance
+}
+
+// InferSingle returns the exact conditional distribution of attr given t's
+// evidence (marginalizing any other missing attributes).
+func (o *Oracle) InferSingle(t relation.Tuple, attr int) (dist.Dist, error) {
+	return o.Inst.ConditionalSingle(t, attr)
+}
+
+// InferJoint returns the exact joint conditional over all of t's missing
+// attributes.
+func (o *Oracle) InferJoint(t relation.Tuple) (*dist.Joint, error) {
+	return o.Inst.Conditional(t)
+}

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+func bestAveraged() vote.Method {
+	return vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+}
+
+func learned(t *testing.T, id string, n int, seed int64) (*core.Model, *bn.Instance, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	top, err := bn.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, n)
+	m, err := core.Learn(train, core.Config{SupportThreshold: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, inst, rng
+}
+
+func TestIndependentProductValidDistribution(t *testing.T) {
+	m, inst, rng := learned(t, "BN8", 5000, 41)
+	for trial := 0; trial < 20; trial++ {
+		tu := inst.Sample(rng)
+		tu[0] = relation.Missing
+		tu[2] = relation.Missing
+		j, err := IndependentProduct(m, tu, bestAveraged())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !j.P.IsNormalized(1e-9) || !j.P.IsPositive() {
+			t.Errorf("invalid product estimate: %v", j.P)
+		}
+		if len(j.Attrs) != 2 {
+			t.Errorf("estimate covers %v", j.Attrs)
+		}
+	}
+	complete := relation.Tuple{0, 0, 0, 0}
+	if _, err := IndependentProduct(m, complete, bestAveraged()); err == nil {
+		t.Error("complete tuple should fail")
+	}
+}
+
+// TestProductMarginalsMatchSingles: marginalizing the product estimate
+// recovers the per-attribute voting estimates exactly.
+func TestProductMarginalsMatchSingles(t *testing.T) {
+	m, inst, rng := learned(t, "BN8", 5000, 42)
+	tu := inst.Sample(rng)
+	tu[1] = relation.Missing
+	tu[3] = relation.Missing
+	j, err := IndependentProduct(m, tu, bestAveraged())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int{1, 3} {
+		want, err := vote.Infer(m, tu, a, bestAveraged())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := j.Marginal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("attr %d marginal[%d] = %v, want %v", a, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGibbsBeatsProductOnCorrelatedAttrs: on a chain network whose adjacent
+// attributes are strongly dependent, joint Gibbs inference should be at
+// least as accurate as the independence-assuming product (the motivating
+// claim of Section V).
+func TestGibbsBeatsProductOnCorrelatedAttrs(t *testing.T) {
+	m, inst, rng := learned(t, "BN13", 20000, 43)
+	sampler, err := gibbs.New(m, gibbs.Config{
+		Samples: 3000, BurnIn: 100, Method: bestAveraged(), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var klProd, klGibbs float64
+	const trials = 15
+	for i := 0; i < trials; i++ {
+		tu := inst.Sample(rng)
+		// Hide two adjacent attributes (strong chain correlation).
+		a := rng.Intn(5)
+		tu[a] = relation.Missing
+		tu[a+1] = relation.Missing
+		truth, err := inst.Conditional(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := IndependentProduct(m, tu, bestAveraged())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := sampler.InferTuple(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, err := dist.KLJoint(truth, prod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kg, err := dist.KLJoint(truth, gj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		klProd += kp
+		klGibbs += kg
+	}
+	klProd /= trials
+	klGibbs /= trials
+	t.Logf("avg KL: product=%v gibbs=%v", klProd, klGibbs)
+	if klGibbs > klProd+0.05 {
+		t.Errorf("Gibbs (%v) clearly worse than independent product (%v)", klGibbs, klProd)
+	}
+}
+
+func TestRandomGuessTop1(t *testing.T) {
+	s := relation.MatchmakingSchema()
+	m := relation.Missing
+	tu := relation.Tuple{m, m, 0, 0} // age (3) x edu (3)
+	p, err := RandomGuessTop1(s, tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.0/9) > 1e-12 {
+		t.Errorf("random guess = %v, want 1/9", p)
+	}
+	if _, err := RandomGuessTop1(s, relation.Tuple{0, 0, 0, 0}); err == nil {
+		t.Error("complete tuple should fail")
+	}
+}
+
+func TestOracleMatchesInstance(t *testing.T) {
+	_, inst, rng := learned(t, "BN8", 500, 44)
+	o := &Oracle{Inst: inst}
+	tu := inst.Sample(rng)
+	tu[0] = relation.Missing
+	single, err := o.InferSingle(tu, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inst.ConditionalSingle(tu, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if single[i] != want[i] {
+			t.Errorf("oracle differs from instance at %d", i)
+		}
+	}
+	tu[1] = relation.Missing
+	joint, err := o.InferJoint(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joint.Attrs) != 2 {
+		t.Errorf("oracle joint over %v", joint.Attrs)
+	}
+}

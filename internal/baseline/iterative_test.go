@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestIterativeImputerValidation(t *testing.T) {
+	ii := &IterativeImputer{}
+	rel := relation.NewRelation(relation.MatchmakingSchema())
+	if _, err := ii.Impute(rel); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestIterativeImputerCompletesEverything(t *testing.T) {
+	m, inst, rng := learned(t, "BN9", 8000, 91)
+	rel := relation.NewRelation(inst.Top.Schema())
+	truth := make([]relation.Tuple, 0, 100)
+	for i := 0; i < 100; i++ {
+		tu := inst.Sample(rng)
+		truth = append(truth, tu.Clone())
+		k := rng.Intn(3) // 0..2 holes
+		for _, a := range rng.Perm(6)[:k] {
+			tu[a] = relation.Missing
+		}
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ii := &IterativeImputer{Model: m, Method: bestAveraged()}
+	res, err := ii.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != rel.Len() {
+		t.Fatalf("tuples = %d, want %d", len(res.Tuples), rel.Len())
+	}
+	var holes, correct int
+	for i, tu := range res.Tuples {
+		if !tu.IsComplete() {
+			t.Fatalf("tuple %d still incomplete: %v", i, tu)
+		}
+		// Complete inputs are untouched.
+		if rel.Tuples[i].IsComplete() && !tu.Equal(rel.Tuples[i]) {
+			t.Fatalf("complete tuple %d was modified", i)
+		}
+		for a, v := range rel.Tuples[i] {
+			if v != relation.Missing {
+				continue
+			}
+			holes++
+			if tu[a] == truth[i][a] {
+				correct++
+			}
+		}
+	}
+	if holes == 0 {
+		t.Fatal("fixture produced no holes")
+	}
+	// Binary attributes: random guessing gets ~50%; require clearly better.
+	if acc := float64(correct) / float64(holes); acc < 0.6 {
+		t.Errorf("imputation accuracy %.2f over %d holes; want > 0.6", acc, holes)
+	}
+	if res.Rounds < 1 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestIterativeImputerConverges(t *testing.T) {
+	m, inst, rng := learned(t, "BN8", 5000, 92)
+	rel := relation.NewRelation(inst.Top.Schema())
+	for i := 0; i < 30; i++ {
+		tu := inst.Sample(rng)
+		tu[rng.Intn(4)] = relation.Missing
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ii := &IterativeImputer{Model: m, Method: bestAveraged(), MaxRounds: 20}
+	res, err := ii.Impute(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("no fixpoint within %d rounds", res.Rounds)
+	}
+	// Final distributions exist for every hole.
+	for i, tu := range rel.Tuples {
+		for _, a := range tu.MissingAttrs() {
+			d, ok := res.FinalDists[i][a]
+			if !ok {
+				t.Fatalf("no final CPD for tuple %d attr %d", i, a)
+			}
+			if !d.IsNormalized(1e-9) {
+				t.Errorf("final CPD not normalized")
+			}
+		}
+	}
+}
+
+// TestIterativeRefinementHelps: on a chain network where adjacent holes
+// inform each other, refinement rounds must not hurt accuracy relative to
+// the round-0 initialization.
+func TestIterativeRefinementNotWorse(t *testing.T) {
+	m, inst, rng := learned(t, "BN13", 10000, 93)
+	rel := relation.NewRelation(inst.Top.Schema())
+	truth := make([]relation.Tuple, 0, 200)
+	for i := 0; i < 200; i++ {
+		tu := inst.Sample(rng)
+		truth = append(truth, tu.Clone())
+		a := rng.Intn(5)
+		tu[a] = relation.Missing
+		tu[a+1] = relation.Missing
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	score := func(rounds int) float64 {
+		ii := &IterativeImputer{Model: m, Method: bestAveraged(), MaxRounds: rounds}
+		res, err := ii.Impute(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var holes, correct int
+		for i := range res.Tuples {
+			for a, v := range rel.Tuples[i] {
+				if v != relation.Missing {
+					continue
+				}
+				holes++
+				if res.Tuples[i][a] == truth[i][a] {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(holes)
+	}
+	one := score(1)
+	many := score(10)
+	if many < one-0.05 {
+		t.Errorf("refinement hurt accuracy: %v -> %v", one, many)
+	}
+}

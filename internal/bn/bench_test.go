@@ -1,0 +1,77 @@
+package bn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func benchInstance(b *testing.B, id string) (*Instance, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(8))
+	top, err := ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := Instantiate(top, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst, rng
+}
+
+// BenchmarkForwardSample measures the dataset generator's per-tuple cost.
+func BenchmarkForwardSample(b *testing.B) {
+	for _, id := range []string{"BN8", "BN18", "BN7"} {
+		inst, rng := benchInstance(b, id)
+		tu := relation.NewTuple(inst.Top.NumAttrs())
+		b.Run(id, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				inst.SampleInto(rng, tu)
+			}
+		})
+	}
+}
+
+// BenchmarkExactConditional measures the ground-truth oracle per query,
+// after the one-time joint-table build.
+func BenchmarkExactConditional(b *testing.B) {
+	for _, cfg := range []struct {
+		id      string
+		missing int
+	}{
+		{"BN8", 2},
+		{"BN18", 3},
+		{"BN7", 2}, // 518k-entry joint
+	} {
+		inst, rng := benchInstance(b, cfg.id)
+		inst.Joint() // exclude the one-time table build from the loop
+		tu := inst.Sample(rng)
+		for _, a := range rng.Perm(inst.Top.NumAttrs())[:cfg.missing] {
+			tu[a] = relation.Missing
+		}
+		b.Run(fmt.Sprintf("%s/missing=%d", cfg.id, cfg.missing), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Conditional(tu); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJointBuild measures the one-time exact joint construction.
+func BenchmarkJointBuild(b *testing.B) {
+	for _, id := range []string{"BN8", "BN18", "BN12"} {
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inst, _ := benchInstance(b, id)
+				_ = inst.Joint()
+			}
+		})
+	}
+}

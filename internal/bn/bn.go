@@ -1,0 +1,440 @@
+// Package bn implements the Bayesian-network substrate of the paper's
+// experimental framework (Section VI-A): network topologies over discrete
+// variables, random instantiation of conditional probability tables,
+// forward sampling to generate datasets, and exact joint/conditional
+// inference used as the ground-truth oracle when measuring the accuracy of
+// MRSL predictions.
+package bn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+)
+
+// Node is one random variable of a network topology.
+type Node struct {
+	// Name is the variable name (also the attribute name in sampled data).
+	Name string
+	// Card is the number of values in the variable's discrete domain.
+	Card int
+	// Parents are indices of the node's parents within the topology.
+	Parents []int
+}
+
+// Topology is the structure of a Bayesian network: a DAG of discrete
+// variables. It carries no probabilities; see Instance.
+type Topology struct {
+	// ID is a short identifier such as "BN8".
+	ID string
+	// Nodes lists the variables. Parent indices refer into this slice.
+	Nodes []Node
+	// DepthLabel is the "depth" reported in the paper's Table I. The paper
+	// counts the number of nodes on the longest directed path, except that a
+	// network with no edges has depth 0.
+	DepthLabel int
+}
+
+// Validate checks that the topology is a well-formed DAG with positive
+// cardinalities and in-range, duplicate-free parent lists.
+func (t *Topology) Validate() error {
+	n := len(t.Nodes)
+	if n == 0 {
+		return fmt.Errorf("bn: topology %s has no nodes", t.ID)
+	}
+	for i, nd := range t.Nodes {
+		if nd.Card < 2 {
+			return fmt.Errorf("bn: node %s has cardinality %d (< 2)", nd.Name, nd.Card)
+		}
+		seen := make(map[int]bool)
+		for _, p := range nd.Parents {
+			if p < 0 || p >= n {
+				return fmt.Errorf("bn: node %s has out-of-range parent %d", nd.Name, p)
+			}
+			if p == i {
+				return fmt.Errorf("bn: node %s is its own parent", nd.Name)
+			}
+			if seen[p] {
+				return fmt.Errorf("bn: node %s has duplicate parent %d", nd.Name, p)
+			}
+			seen[p] = true
+		}
+	}
+	if _, err := t.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a topological ordering of node indices (parents before
+// children) or an error if the graph has a cycle.
+func (t *Topology) TopoOrder() ([]int, error) {
+	n := len(t.Nodes)
+	indeg := make([]int, n)
+	children := make([][]int, n)
+	for i, nd := range t.Nodes {
+		indeg[i] = len(nd.Parents)
+		for _, p := range nd.Parents {
+			children[p] = append(children[p], i)
+		}
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, c := range children[v] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("bn: topology %s contains a cycle", t.ID)
+	}
+	return order, nil
+}
+
+// NumAttrs returns the number of variables.
+func (t *Topology) NumAttrs() int { return len(t.Nodes) }
+
+// AvgCard returns the mean cardinality (the "avg card" column of Table I).
+func (t *Topology) AvgCard() float64 {
+	s := 0
+	for _, nd := range t.Nodes {
+		s += nd.Card
+	}
+	return float64(s) / float64(len(t.Nodes))
+}
+
+// DomainSize returns the product of all cardinalities (Table I "dom. size").
+func (t *Topology) DomainSize() int {
+	p := 1
+	for _, nd := range t.Nodes {
+		p *= nd.Card
+	}
+	return p
+}
+
+// LongestPathNodes returns the number of nodes on the longest directed path,
+// or 0 if the network has no edges (the paper's depth convention).
+func (t *Topology) LongestPathNodes() int {
+	order, err := t.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	depth := make([]int, len(t.Nodes)) // nodes on longest path ending here
+	hasEdge := false
+	best := 0
+	for _, v := range order {
+		depth[v] = 1
+		for _, p := range t.Nodes[v].Parents {
+			hasEdge = true
+			if depth[p]+1 > depth[v] {
+				depth[v] = depth[p] + 1
+			}
+		}
+		if depth[v] > best {
+			best = depth[v]
+		}
+	}
+	if !hasEdge {
+		return 0
+	}
+	return best
+}
+
+// Schema converts the topology's variables into a relation schema whose
+// domain labels are "v0", "v1", ....
+func (t *Topology) Schema() *relation.Schema {
+	attrs := make([]relation.Attribute, len(t.Nodes))
+	for i, nd := range t.Nodes {
+		dom := make([]string, nd.Card)
+		for v := range dom {
+			dom[v] = fmt.Sprintf("v%d", v)
+		}
+		attrs[i] = relation.Attribute{Name: nd.Name, Domain: dom}
+	}
+	return relation.MustSchema(attrs)
+}
+
+// CPT is the conditional probability table of one node: one categorical
+// distribution per configuration of the node's parents. Parent
+// configurations are indexed in mixed radix with the last parent varying
+// fastest, matching dist.Joint.
+type CPT struct {
+	// ParentCards are the cardinalities of the node's parents, in parent
+	// list order.
+	ParentCards []int
+	// Rows holds one distribution per parent configuration.
+	Rows []dist.Dist
+}
+
+// RowIndex maps parent values (aligned with the node's parent list) to the
+// CPT row index.
+func (c *CPT) RowIndex(parentVals []int) int {
+	idx := 0
+	for i, v := range parentVals {
+		idx = idx*c.ParentCards[i] + v
+	}
+	return idx
+}
+
+// Instance is a fully parameterized Bayesian network: a topology plus one
+// CPT per node. Instances are produced by Instantiate and used both to
+// sample datasets and to compute exact ground-truth conditionals.
+type Instance struct {
+	Top  *Topology
+	CPTs []CPT
+
+	order []int // topological order, cached
+
+	jointOnce bool
+	joint     []float64 // full joint table, built lazily by Joint()
+	strides   []int     // mixed-radix strides for the joint table
+}
+
+// Instantiate draws random CPTs for every node of the topology, using rng.
+// Each CPT row is sampled from a symmetric Dirichlet(alpha) distribution;
+// alpha < 1 yields peaked (informative) rows, alpha = 1 is uniform over the
+// simplex. The paper "randomly select[s] probability distributions for each
+// random variable in accordance with the topology"; we use alpha = 0.5 by
+// default (see InstantiateAlpha) so that sampled networks have learnable
+// structure rather than near-uniform noise.
+func Instantiate(t *Topology, rng *rand.Rand) (*Instance, error) {
+	return InstantiateAlpha(t, rng, 0.5)
+}
+
+// InstantiateAlpha is Instantiate with an explicit Dirichlet concentration.
+func InstantiateAlpha(t *Topology, rng *rand.Rand, alpha float64) (*Instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("bn: alpha must be positive, got %v", alpha)
+	}
+	order, err := t.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Top: t, CPTs: make([]CPT, len(t.Nodes)), order: order}
+	for i, nd := range t.Nodes {
+		pc := make([]int, len(nd.Parents))
+		rows := 1
+		for j, p := range nd.Parents {
+			pc[j] = t.Nodes[p].Card
+			rows *= pc[j]
+		}
+		c := CPT{ParentCards: pc, Rows: make([]dist.Dist, rows)}
+		for r := range c.Rows {
+			c.Rows[r] = dirichlet(rng, nd.Card, alpha)
+		}
+		inst.CPTs[i] = c
+	}
+	return inst, nil
+}
+
+// dirichlet draws a length-n sample from a symmetric Dirichlet(alpha) by
+// normalizing Gamma(alpha, 1) variates.
+func dirichlet(rng *rand.Rand, n int, alpha float64) dist.Dist {
+	d := dist.Zeros(n)
+	for i := range d {
+		d[i] = gamma(rng, alpha)
+	}
+	return d.Normalize().Smooth(dist.SmoothFloor)
+}
+
+// gamma draws from Gamma(shape, 1) using the Marsaglia-Tsang method, with
+// the standard boost for shape < 1.
+func gamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// Sample draws one complete tuple by forward sampling (ancestral order).
+func (in *Instance) Sample(rng *rand.Rand) relation.Tuple {
+	t := relation.NewTuple(len(in.Top.Nodes))
+	in.SampleInto(rng, t)
+	return t
+}
+
+// SampleInto forward-samples into an existing tuple, avoiding allocation.
+func (in *Instance) SampleInto(rng *rand.Rand, t relation.Tuple) {
+	for _, v := range in.order {
+		nd := in.Top.Nodes[v]
+		c := &in.CPTs[v]
+		row := 0
+		for j, p := range nd.Parents {
+			row = row*c.ParentCards[j] + t[p]
+		}
+		t[v] = c.Rows[row].Sample(rng.Float64())
+	}
+}
+
+// SampleRelation draws n complete tuples into a fresh relation over the
+// topology's schema.
+func (in *Instance) SampleRelation(rng *rand.Rand, n int) *relation.Relation {
+	r := relation.NewRelation(in.Top.Schema())
+	r.Tuples = make([]relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		r.Tuples[i] = in.Sample(rng)
+	}
+	return r
+}
+
+// Joint returns the full joint probability table over all variables,
+// computing and caching it on first use. Entry order follows mixed-radix
+// indexing with the last variable varying fastest. Table sizes in the
+// benchmark catalog stay at or below 518,400 entries (BN7), so exact
+// enumeration is cheap enough to serve as the accuracy oracle.
+func (in *Instance) Joint() []float64 {
+	if in.jointOnce {
+		return in.joint
+	}
+	n := len(in.Top.Nodes)
+	in.strides = make([]int, n)
+	size := 1
+	for i := n - 1; i >= 0; i-- {
+		in.strides[i] = size
+		size *= in.Top.Nodes[i].Card
+	}
+	joint := make([]float64, size)
+	vals := make([]int, n)
+	for idx := 0; idx < size; idx++ {
+		rem := idx
+		for i := 0; i < n; i++ {
+			vals[i] = rem / in.strides[i]
+			rem %= in.strides[i]
+		}
+		p := 1.0
+		for v := range in.Top.Nodes {
+			nd := in.Top.Nodes[v]
+			c := &in.CPTs[v]
+			row := 0
+			for j, par := range nd.Parents {
+				row = row*c.ParentCards[j] + vals[par]
+			}
+			p *= c.Rows[row][vals[v]]
+		}
+		joint[idx] = p
+	}
+	in.joint = joint
+	in.jointOnce = true
+	return in.joint
+}
+
+// Conditional computes the exact conditional distribution over the missing
+// attributes of t, given t's known values, by marginalizing the full joint.
+// This is the ground truth against which MRSL predictions are scored.
+func (in *Instance) Conditional(t relation.Tuple) (*dist.Joint, error) {
+	missing := t.MissingAttrs()
+	if len(missing) == 0 {
+		return nil, fmt.Errorf("bn: tuple %v has no missing attributes", t)
+	}
+	cards := make([]int, len(missing))
+	for i, a := range missing {
+		cards[i] = in.Top.Nodes[a].Card
+	}
+	out, err := dist.NewJoint(missing, cards)
+	if err != nil {
+		return nil, err
+	}
+	joint := in.Joint()
+
+	// Iterate only over assignments consistent with the evidence by
+	// enumerating the missing attributes' combinations.
+	base := 0
+	for i, v := range t {
+		if v != relation.Missing {
+			base += v * in.strides[i]
+		}
+	}
+	mvals := make([]int, len(missing))
+	var total float64
+	for mi := 0; mi < out.Size(); mi++ {
+		out.ValuesInto(mi, mvals)
+		idx := base
+		for j, a := range missing {
+			idx += mvals[j] * in.strides[a]
+		}
+		p := joint[idx]
+		out.P[mi] = p
+		total += p
+	}
+	if total <= 0 {
+		// Evidence has zero probability under the network (can happen only
+		// through smoothing edge cases); fall back to uniform.
+		out.P.Normalize()
+		return out, nil
+	}
+	for i := range out.P {
+		out.P[i] /= total
+	}
+	return out, nil
+}
+
+// ConditionalSingle is Conditional specialized to exactly one missing
+// attribute; it returns the marginal as a plain Dist.
+func (in *Instance) ConditionalSingle(t relation.Tuple, attr int) (dist.Dist, error) {
+	if t[attr] != relation.Missing {
+		return nil, fmt.Errorf("bn: attribute %d is not missing in %v", attr, t)
+	}
+	// Hide any other missing attributes by marginalizing them too, then
+	// extracting the marginal of attr.
+	j, err := in.Conditional(t)
+	if err != nil {
+		return nil, err
+	}
+	return j.Marginal(attr)
+}
+
+// Edges returns the directed edge list (parent, child) in a stable order.
+func (t *Topology) Edges() [][2]int {
+	var edges [][2]int
+	for c, nd := range t.Nodes {
+		for _, p := range nd.Parents {
+			edges = append(edges, [2]int{p, c})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}

@@ -1,0 +1,445 @@
+package bn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []*Topology{
+		{ID: "empty"},
+		{ID: "card", Nodes: []Node{{Name: "a", Card: 1}}},
+		{ID: "range", Nodes: []Node{{Name: "a", Card: 2, Parents: []int{5}}}},
+		{ID: "self", Nodes: []Node{{Name: "a", Card: 2, Parents: []int{0}}}},
+		{ID: "dup", Nodes: []Node{
+			{Name: "a", Card: 2},
+			{Name: "b", Card: 2, Parents: []int{0, 0}},
+		}},
+		{ID: "cycle", Nodes: []Node{
+			{Name: "a", Card: 2, Parents: []int{1}},
+			{Name: "b", Card: 2, Parents: []int{0}},
+		}},
+	}
+	for _, top := range bad {
+		if err := top.Validate(); err == nil {
+			t.Errorf("topology %s should fail validation", top.ID)
+		}
+	}
+	good := Line("ok", []int{2, 3})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+}
+
+func TestTopoOrderRespectsParents(t *testing.T) {
+	top := Layered("t", []int{2, 2, 2, 2, 2, 2}, 3)
+	order, err := top.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	for c, nd := range top.Nodes {
+		for _, p := range nd.Parents {
+			if pos[p] >= pos[c] {
+				t.Errorf("parent %d ordered after child %d", p, c)
+			}
+		}
+	}
+}
+
+// TestTableIMatchesPaper checks every row of the reconstructed catalog
+// against the published Table I. AvgCard is allowed rounding slack for the
+// two rows (BN2, BN7) where no exact integer cardinality vector exists.
+func TestTableIMatchesPaper(t *testing.T) {
+	want := []struct {
+		id      string
+		attrs   int
+		avgCard float64
+		dom     int
+		depth   int
+	}{
+		{"BN1", 4, 4, 300, 2},
+		{"BN2", 5, 4.4, 1400, 3},
+		{"BN3", 5, 5.2, 2400, 3},
+		{"BN4", 5, 5.2, 2400, 0},
+		{"BN5", 5, 5.2, 2400, 2},
+		{"BN6", 10, 2, 1024, 4},
+		{"BN7", 10, 4, 518400, 4},
+		{"BN8", 4, 2, 16, 2},
+		{"BN9", 6, 2, 64, 2},
+		{"BN10", 6, 4, 4096, 2},
+		{"BN11", 6, 6, 46656, 2},
+		{"BN12", 6, 8, 262144, 2},
+		{"BN13", 6, 2, 64, 6},
+		{"BN14", 6, 4, 4096, 6},
+		{"BN15", 6, 6, 46656, 6},
+		{"BN16", 6, 8, 262144, 6},
+		{"BN17", 8, 2, 256, 2},
+		{"BN18", 10, 2, 1024, 2},
+		{"BN19", 10, 2, 1024, 3},
+		{"BN20", 10, 2, 1024, 5},
+	}
+	rows := TableI()
+	if len(rows) != len(want) {
+		t.Fatalf("catalog has %d networks, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Network != w.id {
+			t.Errorf("row %d: id %s, want %s", i, r.Network, w.id)
+		}
+		if r.NumAttrs != w.attrs {
+			t.Errorf("%s: attrs %d, want %d", w.id, r.NumAttrs, w.attrs)
+		}
+		if r.DomSize != w.dom {
+			t.Errorf("%s: dom %d, want %d", w.id, r.DomSize, w.dom)
+		}
+		if r.DepthLabel != w.depth {
+			t.Errorf("%s: depth %d, want %d", w.id, r.DepthLabel, w.depth)
+		}
+		if math.Abs(r.AvgCard-w.avgCard) > 0.25 {
+			t.Errorf("%s: avg card %.2f, want %.2f +- 0.25", w.id, r.AvgCard, w.avgCard)
+		}
+	}
+}
+
+// TestCatalogDepthConvention: for every catalog network with edges, the
+// stored depth label equals the number of nodes on its longest directed
+// path; the independent network is labeled 0.
+func TestCatalogDepthConvention(t *testing.T) {
+	for _, top := range Catalog() {
+		if err := top.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", top.ID, err)
+		}
+		if got := top.LongestPathNodes(); got != top.DepthLabel {
+			t.Errorf("%s: longest path %d nodes, label %d", top.ID, got, top.DepthLabel)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	top, err := ByID("BN8")
+	if err != nil || top.ID != "BN8" {
+		t.Errorf("ByID(BN8) = %v, %v", top, err)
+	}
+	if _, err := ByID("BN99"); err == nil {
+		t.Error("ByID(BN99) should fail")
+	}
+}
+
+func TestInstantiateProducesValidCPTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, top := range Catalog()[:8] {
+		inst, err := Instantiate(top, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", top.ID, err)
+		}
+		for v, cpt := range inst.CPTs {
+			wantRows := 1
+			for _, pc := range cpt.ParentCards {
+				wantRows *= pc
+			}
+			if len(cpt.Rows) != wantRows {
+				t.Errorf("%s node %d: %d rows, want %d", top.ID, v, len(cpt.Rows), wantRows)
+			}
+			for r, row := range cpt.Rows {
+				if len(row) != top.Nodes[v].Card {
+					t.Errorf("%s node %d row %d: len %d", top.ID, v, r, len(row))
+				}
+				if !row.IsNormalized(1e-9) || !row.IsPositive() {
+					t.Errorf("%s node %d row %d invalid: %v", top.ID, v, r, row)
+				}
+			}
+		}
+	}
+}
+
+func TestInstantiateRejectsBadAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := InstantiateAlpha(Line("x", []int{2, 2}), rng, 0); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+}
+
+func TestJointSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, id := range []string{"BN1", "BN4", "BN8", "BN13"} {
+		top, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Instantiate(top, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joint := inst.Joint()
+		var s float64
+		for _, p := range joint {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("%s: joint sums to %v", id, s)
+		}
+	}
+}
+
+// TestForwardSamplingMatchesJoint: empirical frequencies from forward
+// sampling converge to the exact joint probabilities.
+func TestForwardSamplingMatchesJoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	top, err := ByID("BN8") // 4 binary attrs, dom 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := inst.Joint()
+	const n = 400000
+	counts := make([]float64, len(joint))
+	tu := relation.NewTuple(top.NumAttrs())
+	for i := 0; i < n; i++ {
+		inst.SampleInto(rng, tu)
+		idx := 0
+		for _, v := range tu {
+			idx = idx*2 + v
+		}
+		counts[idx]++
+	}
+	for i := range counts {
+		got := counts[i] / n
+		if math.Abs(got-joint[i]) > 0.01 {
+			t.Errorf("outcome %d: empirical %v vs exact %v", i, got, joint[i])
+		}
+	}
+}
+
+// TestConditionalAgainstHandComputation verifies exact conditional inference
+// on a two-node chain a -> b with hand-authored CPTs.
+func TestConditionalAgainstHandComputation(t *testing.T) {
+	top := Line("chain", []int{2, 2})
+	inst := &Instance{Top: top, CPTs: make([]CPT, 2)}
+	inst.CPTs[0] = CPT{Rows: []dist.Dist{{0.3, 0.7}}}
+	inst.CPTs[1] = CPT{
+		ParentCards: []int{2},
+		Rows: []dist.Dist{
+			{0.9, 0.1}, // b | a=0
+			{0.2, 0.8}, // b | a=1
+		},
+	}
+	var err error
+	inst.order, err = top.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// P(a | b=0) = [0.3*0.9, 0.7*0.2] / 0.41 = [27/41, 14/41]
+	tu := relation.Tuple{relation.Missing, 0}
+	cond, err := inst.Conditional(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond.P[0]-27.0/41.0) > 1e-9 || math.Abs(cond.P[1]-14.0/41.0) > 1e-9 {
+		t.Errorf("P(a|b=0) = %v, want [27/41 14/41]", cond.P)
+	}
+
+	// P(b | a=1) = [0.2, 0.8] straight from the CPT.
+	tu2 := relation.Tuple{1, relation.Missing}
+	cond2, err := inst.Conditional(tu2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond2.P[0]-0.2) > 1e-9 || math.Abs(cond2.P[1]-0.8) > 1e-9 {
+		t.Errorf("P(b|a=1) = %v, want [0.2 0.8]", cond2.P)
+	}
+
+	// Joint conditional with no evidence = full joint.
+	tu3 := relation.Tuple{relation.Missing, relation.Missing}
+	cond3, err := inst.Conditional(tu3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.27, 0.03, 0.14, 0.56}
+	for i := range want {
+		if math.Abs(cond3.P[i]-want[i]) > 1e-9 {
+			t.Errorf("joint[%d] = %v, want %v", i, cond3.P[i], want[i])
+		}
+	}
+}
+
+func TestConditionalErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	top, _ := ByID("BN8")
+	inst, err := Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete := relation.Tuple{0, 0, 0, 0}
+	if _, err := inst.Conditional(complete); err == nil {
+		t.Error("conditional of complete tuple should fail")
+	}
+	if _, err := inst.ConditionalSingle(complete, 0); err == nil {
+		t.Error("ConditionalSingle on non-missing attr should fail")
+	}
+}
+
+// TestConditionalSingleMarginalizesOtherMissing: with two missing
+// attributes, ConditionalSingle must return the marginal of the requested
+// one under the joint conditional.
+func TestConditionalSingleMarginalizesOtherMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	top, _ := ByID("BN8")
+	inst, err := Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.Tuple{relation.Missing, relation.Missing, 0, 1}
+	joint, err := inst.Conditional(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMarg, err := joint.Marginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.ConditionalSingle(tu, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-wantMarg[i]) > 1e-9 {
+			t.Errorf("marginal[%d] = %v, want %v", i, got[i], wantMarg[i])
+		}
+	}
+}
+
+// TestConditionalsumsToOne across random evidence patterns and networks.
+func TestConditionalSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, id := range []string{"BN1", "BN8", "BN13", "BN19"} {
+		top, _ := ByID(id)
+		inst, err := Instantiate(top, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			tu := inst.Sample(rng)
+			// Hide 1..n-1 random attributes.
+			k := 1 + rng.Intn(top.NumAttrs()-1)
+			for _, a := range rng.Perm(top.NumAttrs())[:k] {
+				tu[a] = relation.Missing
+			}
+			cond, err := inst.Conditional(tu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cond.P.IsNormalized(1e-9) {
+				t.Errorf("%s: conditional not normalized (sum=%v)", id, cond.P.Sum())
+			}
+		}
+	}
+}
+
+func TestSampleRelationShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	top, _ := ByID("BN9")
+	inst, err := Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := inst.SampleRelation(rng, 50)
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", r.Len())
+	}
+	for _, tu := range r.Tuples {
+		if !tu.IsComplete() {
+			t.Fatal("sampled tuple incomplete")
+		}
+	}
+	if r.Schema.NumAttrs() != 6 {
+		t.Errorf("schema attrs = %d, want 6", r.Schema.NumAttrs())
+	}
+}
+
+func TestSchemaLabels(t *testing.T) {
+	top := Line("x", []int{2, 3})
+	s := top.Schema()
+	if s.Attrs[1].Card() != 3 {
+		t.Errorf("card = %d, want 3", s.Attrs[1].Card())
+	}
+	if s.Attrs[1].Domain[2] != "v2" {
+		t.Errorf("label = %q, want v2", s.Attrs[1].Domain[2])
+	}
+}
+
+func TestEdges(t *testing.T) {
+	top := Crown("c", uniformCards(4, 2))
+	edges := top.Edges()
+	want := [][2]int{{0, 2}, {1, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestRenderMentionsEveryNode(t *testing.T) {
+	top, _ := ByID("BN19")
+	out := top.Render()
+	for _, nd := range top.Nodes {
+		if !containsStr(out, nd.Name) {
+			t.Errorf("render missing node %s:\n%s", nd.Name, out)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexStr(s, sub) >= 0)
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestGammaMoments sanity-checks the Gamma sampler's mean for a few shapes.
+func TestGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, shape := range []float64{0.5, 1, 2.5} {
+		var sum float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			sum += gamma(rng, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Errorf("gamma(%v) mean = %v, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestDirichletIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		d := dirichlet(rng, 5, 0.5)
+		if !d.IsNormalized(1e-9) || !d.IsPositive() {
+			t.Fatalf("dirichlet sample invalid: %v", d)
+		}
+	}
+}

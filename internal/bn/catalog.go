@@ -1,0 +1,222 @@
+package bn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file encodes the 20 benchmark networks of the paper's Table I.
+// The paper publishes only summary statistics (number of attributes,
+// average cardinality, domain size, depth) plus small drawings in Fig. 7
+// (crown-shaped and line-shaped families). We reconstruct concrete
+// topologies whose statistics match the published table:
+//
+//   - cardinality vectors are chosen so that their product equals the
+//     published domain size and their mean is within rounding distance of
+//     the published average (see DESIGN.md for the two rows, BN2 and BN7,
+//     where no exact integer vector exists);
+//   - "depth" is stored verbatim as DepthLabel; generator families follow
+//     the convention depth = number of nodes on the longest directed path
+//     (0 when the network has no edges).
+
+// Independent returns a topology with n variables and no edges
+// (DepthLabel 0, used for BN4).
+func Independent(id string, cards []int) *Topology {
+	t := &Topology{ID: id, DepthLabel: 0}
+	for i, c := range cards {
+		t.Nodes = append(t.Nodes, Node{Name: nodeName(i), Card: c})
+	}
+	return t
+}
+
+// Crown returns the crown-shaped (zigzag bipartite) topology of Fig. 7:
+// ceil(n/2) top variables, floor(n/2) bottom variables, with bottom i
+// having parents top i and top i+1 (when present). Longest directed path:
+// two nodes, hence DepthLabel 2. Used for BN8-BN12, BN17, BN18.
+func Crown(id string, cards []int) *Topology {
+	n := len(cards)
+	tops := (n + 1) / 2
+	t := &Topology{ID: id, DepthLabel: 2}
+	for i, c := range cards {
+		t.Nodes = append(t.Nodes, Node{Name: nodeName(i), Card: c})
+	}
+	for b := 0; b < n-tops; b++ {
+		child := tops + b
+		t.Nodes[child].Parents = append(t.Nodes[child].Parents, b)
+		if b+1 < tops {
+			t.Nodes[child].Parents = append(t.Nodes[child].Parents, b+1)
+		}
+	}
+	return t
+}
+
+// Line returns the chain topology a0 -> a1 -> ... -> a{n-1} of Fig. 7,
+// with DepthLabel n (the paper labels a 6-node chain depth 6). Used for
+// BN13-BN16.
+func Line(id string, cards []int) *Topology {
+	t := &Topology{ID: id, DepthLabel: len(cards)}
+	for i, c := range cards {
+		nd := Node{Name: nodeName(i), Card: c}
+		if i > 0 {
+			nd.Parents = []int{i - 1}
+		}
+		t.Nodes = append(t.Nodes, nd)
+	}
+	return t
+}
+
+// Layered returns a DAG whose n variables are distributed over layers as
+// evenly as possible; each non-root variable has one or two parents in the
+// previous layer, cycling through that layer so every parent is used.
+// DepthLabel = layers. Used for BN19 (3 layers), BN20 (5 layers), and the
+// mixed networks BN1-BN3, BN5-BN7.
+func Layered(id string, cards []int, layers int) *Topology {
+	n := len(cards)
+	if layers < 1 {
+		layers = 1
+	}
+	if layers > n {
+		layers = n
+	}
+	t := &Topology{ID: id, DepthLabel: layers}
+	for i, c := range cards {
+		t.Nodes = append(t.Nodes, Node{Name: nodeName(i), Card: c})
+	}
+	// Partition node indices into layers, sizes as even as possible with
+	// earlier layers taking the remainder.
+	sizes := make([]int, layers)
+	for i := range sizes {
+		sizes[i] = n / layers
+	}
+	for i := 0; i < n%layers; i++ {
+		sizes[i]++
+	}
+	start := 0
+	var prev []int
+	for _, sz := range sizes {
+		cur := make([]int, sz)
+		for i := range cur {
+			cur[i] = start + i
+		}
+		for i, v := range cur {
+			if len(prev) == 0 {
+				continue
+			}
+			p1 := prev[i%len(prev)]
+			t.Nodes[v].Parents = append(t.Nodes[v].Parents, p1)
+			if len(prev) > 1 {
+				p2 := prev[(i+1)%len(prev)]
+				if p2 != p1 {
+					t.Nodes[v].Parents = append(t.Nodes[v].Parents, p2)
+				}
+			}
+		}
+		prev = cur
+		start += sz
+	}
+	return t
+}
+
+func nodeName(i int) string { return fmt.Sprintf("a%d", i) }
+
+func uniformCards(n, card int) []int {
+	cs := make([]int, n)
+	for i := range cs {
+		cs[i] = card
+	}
+	return cs
+}
+
+// Catalog returns the 20 benchmark topologies BN1..BN20 of Table I, keyed
+// 1..20 in the returned slice (index 0 holds BN1).
+func Catalog() []*Topology {
+	return []*Topology{
+		// BN1: 4 attrs, avg card ~4, dom 300 (3*4*5*5), depth 2.
+		Layered("BN1", []int{3, 4, 5, 5}, 2),
+		// BN2: 5 attrs, avg card ~4.4 (4.6 exact: 2*4*5*5*7=1400), depth 3.
+		Layered("BN2", []int{2, 4, 5, 5, 7}, 3),
+		// BN3: 5 attrs, avg card 5.2 (2*5*5*6*8=2400), depth 3.
+		Layered("BN3", []int{2, 5, 5, 6, 8}, 3),
+		// BN4: as BN3 but fully independent, depth 0.
+		Independent("BN4", []int{2, 5, 5, 6, 8}),
+		// BN5: as BN3 but two layers, depth 2.
+		Layered("BN5", []int{2, 5, 5, 6, 8}, 2),
+		// BN6: 10 binary attrs, dom 1024, depth 4.
+		Layered("BN6", uniformCards(10, 2), 4),
+		// BN7: 10 attrs, avg card ~4 (3.8 exact: 3^4 * 4^4 * 5^2 = 518400), depth 4.
+		Layered("BN7", []int{3, 3, 3, 3, 4, 4, 4, 4, 5, 5}, 4),
+		// BN8-BN12: crown-shaped.
+		Crown("BN8", uniformCards(4, 2)),  // dom 16
+		Crown("BN9", uniformCards(6, 2)),  // dom 64
+		Crown("BN10", uniformCards(6, 4)), // dom 4096
+		Crown("BN11", uniformCards(6, 6)), // dom 46656
+		Crown("BN12", uniformCards(6, 8)), // dom 262144
+		// BN13-BN16: line-shaped, 6 attrs, rising cardinality.
+		Line("BN13", uniformCards(6, 2)),
+		Line("BN14", uniformCards(6, 4)),
+		Line("BN15", uniformCards(6, 6)),
+		Line("BN16", uniformCards(6, 8)),
+		// BN17, BN18: larger crowns.
+		Crown("BN17", uniformCards(8, 2)),  // dom 256
+		Crown("BN18", uniformCards(10, 2)), // dom 1024
+		// BN19, BN20: 10 binary attrs at increasing depth.
+		Layered("BN19", uniformCards(10, 2), 3),
+		Layered("BN20", uniformCards(10, 2), 5),
+	}
+}
+
+// ByID returns the catalog topology with the given ID (e.g. "BN8").
+func ByID(id string) (*Topology, error) {
+	for _, t := range Catalog() {
+		if t.ID == id {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("bn: no catalog network %q", id)
+}
+
+// TableIRow summarizes a topology in the format of the paper's Table I.
+type TableIRow struct {
+	Network    string
+	NumAttrs   int
+	AvgCard    float64
+	DomSize    int
+	DepthLabel int
+}
+
+// TableI returns the catalog summarized as Table I rows.
+func TableI() []TableIRow {
+	cat := Catalog()
+	rows := make([]TableIRow, len(cat))
+	for i, t := range cat {
+		rows[i] = TableIRow{
+			Network:    t.ID,
+			NumAttrs:   t.NumAttrs(),
+			AvgCard:    t.AvgCard(),
+			DomSize:    t.DomainSize(),
+			DepthLabel: t.DepthLabel,
+		}
+	}
+	return rows
+}
+
+// Render draws the topology as indented ASCII text, listing each node with
+// its cardinality and parents. It is the reproduction's stand-in for the
+// network drawings of Fig. 7.
+func (t *Topology) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d attrs, avg card %.1f, dom %d, depth %d\n",
+		t.ID, t.NumAttrs(), t.AvgCard(), t.DomainSize(), t.DepthLabel)
+	for _, nd := range t.Nodes {
+		if len(nd.Parents) == 0 {
+			fmt.Fprintf(&b, "  %s(card=%d)\n", nd.Name, nd.Card)
+			continue
+		}
+		names := make([]string, len(nd.Parents))
+		for j, p := range nd.Parents {
+			names[j] = t.Nodes[p].Name
+		}
+		fmt.Fprintf(&b, "  %s(card=%d) <- %s\n", nd.Name, nd.Card, strings.Join(names, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package bn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The paper's experimental framework "takes as input a description of the
+// topology of a Bayesian network, specifying the number and names of
+// random variables, along with a domain of values, and with a set of
+// parents" (Section VI-A). This file implements that input format as a
+// small line-oriented DSL, so custom topologies can be fed to bngen and
+// the experiment runners without recompiling:
+//
+//	# lines starting with '#' are comments
+//	network mynet depth 3
+//	node a card 3
+//	node b card 2 parents a
+//	node c card 4 parents a b
+//
+// Node order is declaration order; parents must be declared before their
+// children (which also guarantees acyclicity).
+
+// ParseTopology reads a topology description.
+func ParseTopology(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	top := &Topology{}
+	index := make(map[string]int)
+	lineNo := 0
+	seenNetwork := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "network":
+			if seenNetwork {
+				return nil, fmt.Errorf("bn: line %d: duplicate network directive", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("bn: line %d: network needs a name", lineNo)
+			}
+			seenNetwork = true
+			top.ID = fields[1]
+			rest := fields[2:]
+			for len(rest) > 0 {
+				if len(rest) < 2 {
+					return nil, fmt.Errorf("bn: line %d: dangling network option %q", lineNo, rest[0])
+				}
+				switch rest[0] {
+				case "depth":
+					d, err := strconv.Atoi(rest[1])
+					if err != nil || d < 0 {
+						return nil, fmt.Errorf("bn: line %d: bad depth %q", lineNo, rest[1])
+					}
+					top.DepthLabel = d
+				default:
+					return nil, fmt.Errorf("bn: line %d: unknown network option %q", lineNo, rest[0])
+				}
+				rest = rest[2:]
+			}
+		case "node":
+			nd, err := parseNode(fields, index, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			index[nd.Name] = len(top.Nodes)
+			top.Nodes = append(top.Nodes, nd)
+		default:
+			return nil, fmt.Errorf("bn: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bn: reading topology: %w", err)
+	}
+	if !seenNetwork {
+		return nil, fmt.Errorf("bn: missing network directive")
+	}
+	if len(top.Nodes) == 0 {
+		return nil, fmt.Errorf("bn: network %s declares no nodes", top.ID)
+	}
+	if top.DepthLabel == 0 {
+		top.DepthLabel = top.LongestPathNodes()
+	}
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	return top, nil
+}
+
+func parseNode(fields []string, index map[string]int, lineNo int) (Node, error) {
+	// node <name> card <k> [parents p1 p2 ...]
+	if len(fields) < 4 || fields[2] != "card" {
+		return Node{}, fmt.Errorf("bn: line %d: expected 'node <name> card <k> [parents ...]'", lineNo)
+	}
+	name := fields[1]
+	if _, dup := index[name]; dup {
+		return Node{}, fmt.Errorf("bn: line %d: duplicate node %q", lineNo, name)
+	}
+	card, err := strconv.Atoi(fields[3])
+	if err != nil || card < 2 {
+		return Node{}, fmt.Errorf("bn: line %d: bad cardinality %q", lineNo, fields[3])
+	}
+	nd := Node{Name: name, Card: card}
+	rest := fields[4:]
+	if len(rest) > 0 {
+		if rest[0] != "parents" {
+			return Node{}, fmt.Errorf("bn: line %d: unexpected token %q", lineNo, rest[0])
+		}
+		if len(rest) == 1 {
+			return Node{}, fmt.Errorf("bn: line %d: parents list is empty", lineNo)
+		}
+		for _, p := range rest[1:] {
+			pi, ok := index[p]
+			if !ok {
+				return Node{}, fmt.Errorf("bn: line %d: parent %q not declared before %q", lineNo, p, name)
+			}
+			nd.Parents = append(nd.Parents, pi)
+		}
+	}
+	return nd, nil
+}
+
+// WriteTopology renders a topology in the DSL accepted by ParseTopology.
+func WriteTopology(w io.Writer, t *Topology) error {
+	if _, err := fmt.Fprintf(w, "network %s depth %d\n", t.ID, t.DepthLabel); err != nil {
+		return err
+	}
+	for _, nd := range t.Nodes {
+		line := fmt.Sprintf("node %s card %d", nd.Name, nd.Card)
+		if len(nd.Parents) > 0 {
+			names := make([]string, len(nd.Parents))
+			for i, p := range nd.Parents {
+				names[i] = t.Nodes[p].Name
+			}
+			line += " parents " + strings.Join(names, " ")
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package bn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyBasic(t *testing.T) {
+	src := `
+# a three-node chain
+network demo depth 3
+node a card 3
+node b card 2 parents a
+node c card 4 parents a b
+`
+	top, err := ParseTopology(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.ID != "demo" || top.DepthLabel != 3 {
+		t.Errorf("header = %s depth %d", top.ID, top.DepthLabel)
+	}
+	if len(top.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(top.Nodes))
+	}
+	if top.Nodes[2].Card != 4 {
+		t.Errorf("c card = %d", top.Nodes[2].Card)
+	}
+	if len(top.Nodes[2].Parents) != 2 || top.Nodes[2].Parents[0] != 0 || top.Nodes[2].Parents[1] != 1 {
+		t.Errorf("c parents = %v", top.Nodes[2].Parents)
+	}
+}
+
+func TestParseTopologyDefaultsDepth(t *testing.T) {
+	src := "network d\nnode a card 2\nnode b card 2 parents a\n"
+	top, err := ParseTopology(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.DepthLabel != 2 {
+		t.Errorf("inferred depth = %d, want 2", top.DepthLabel)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing network":  "node a card 2\n",
+		"no nodes":         "network x\n",
+		"dup network":      "network x\nnetwork y\nnode a card 2\n",
+		"bad directive":    "network x\nfoo\n",
+		"bad card":         "network x\nnode a card 1\n",
+		"card not number":  "network x\nnode a card two\n",
+		"dup node":         "network x\nnode a card 2\nnode a card 2\n",
+		"forward parent":   "network x\nnode a card 2 parents b\nnode b card 2\n",
+		"empty parents":    "network x\nnode a card 2\nnode b card 2 parents\n",
+		"node syntax":      "network x\nnode a 2\n",
+		"unexpected token": "network x\nnode a card 2 children b\n",
+		"dangling option":  "network x depth\nnode a card 2\n",
+		"bad option":       "network x speed 9\nnode a card 2\n",
+		"bad depth":        "network x depth -1\nnode a card 2\n",
+		"network unnamed":  "network\nnode a card 2\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseTopology(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestTopologyRoundTripCatalog: every catalog network survives
+// write-then-parse with identical structure.
+func TestTopologyRoundTripCatalog(t *testing.T) {
+	for _, top := range Catalog() {
+		var buf bytes.Buffer
+		if err := WriteTopology(&buf, top); err != nil {
+			t.Fatalf("%s: %v", top.ID, err)
+		}
+		back, err := ParseTopology(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", top.ID, err)
+		}
+		if back.ID != top.ID || back.DepthLabel != top.DepthLabel {
+			t.Errorf("%s: header changed: %s depth %d", top.ID, back.ID, back.DepthLabel)
+		}
+		if len(back.Nodes) != len(top.Nodes) {
+			t.Fatalf("%s: node count changed", top.ID)
+		}
+		for i := range top.Nodes {
+			a, b := top.Nodes[i], back.Nodes[i]
+			if a.Name != b.Name || a.Card != b.Card || len(a.Parents) != len(b.Parents) {
+				t.Errorf("%s node %d differs: %+v vs %+v", top.ID, i, a, b)
+				continue
+			}
+			for j := range a.Parents {
+				if a.Parents[j] != b.Parents[j] {
+					t.Errorf("%s node %d parents differ", top.ID, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParsedTopologyIsUsable: a parsed custom topology instantiates and
+// samples.
+func TestParsedTopologyIsUsable(t *testing.T) {
+	src := `network custom
+node season card 4
+node temp card 3 parents season
+node sales card 2 parents season temp
+`
+	top, err := ParseTopology(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	inst, err := Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := inst.SampleRelation(rng, 100)
+	if rel.Len() != 100 {
+		t.Errorf("sampled %d tuples", rel.Len())
+	}
+	if rel.Schema.AttrIndex("sales") != 2 {
+		t.Errorf("schema lost node names: %v", rel.Schema.SortedAttrNames())
+	}
+}

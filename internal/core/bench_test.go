@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bn"
+	"repro/internal/relation"
+)
+
+func benchModel(b *testing.B, id string, trainSize int, support float64) (*Model, *bn.Instance, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	top, err := bn.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, trainSize)
+	m, err := Learn(train, Config{SupportThreshold: support})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, inst, rng
+}
+
+// BenchmarkLearn measures Algorithm 1 end to end on a mid-size dataset.
+func BenchmarkLearn(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	top, err := bn.ByID("BN9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Learn(train, Config{SupportThreshold: 0.005}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchAll measures the subset-enumeration matcher with all
+// voters on full-evidence tuples (the Gibbs hot path before caching).
+func BenchmarkMatchAll(b *testing.B) {
+	m, inst, rng := benchModel(b, "BN9", 10000, 0.005)
+	tuples := make([]relation.Tuple, 64)
+	for i := range tuples {
+		tu := inst.Sample(rng)
+		tu[i%6] = relation.Missing
+		tuples[i] = tu
+	}
+	l := m.Lattices[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Match(tuples[i%len(tuples)], AllVoters)
+	}
+}
+
+// BenchmarkMatchBest adds the most-specific filtering pass.
+func BenchmarkMatchBest(b *testing.B) {
+	m, inst, rng := benchModel(b, "BN9", 10000, 0.005)
+	tuples := make([]relation.Tuple, 64)
+	for i := range tuples {
+		tu := inst.Sample(rng)
+		tu[i%6] = relation.Missing
+		tuples[i] = tu
+	}
+	l := m.Lattices[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Match(tuples[i%len(tuples)], BestVoters)
+	}
+}
+
+// BenchmarkSaveLoad measures model persistence round-trips.
+func BenchmarkSaveLoad(b *testing.B) {
+	m, _, _ := benchModel(b, "BN8", 5000, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package core implements the paper's primary contribution: the Meta-Rule
+// Semi-Lattice (MRSL) inference ensemble. An MRSL organizes all meta-rules
+// with a common head attribute into a partial order under meta-rule
+// subsumption (Definitions 2.7-2.9); the MRSL model holds one semi-lattice
+// per attribute and is learned from the complete portion of a relation with
+// Algorithm 1 (mine frequent itemsets, derive association rules, group them
+// into meta-rules, order by subsumption).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/itemset"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// MRSL is the meta-rule semi-lattice of a single head attribute
+// (Definition 2.8): all meta-rules predicting that attribute, ordered by
+// subsumption. Rules[0] is always the top-level meta-rule with empty body
+// (the marginal P(a)), which subsumes every other meta-rule.
+type MRSL struct {
+	// Attr is the head attribute index within the schema.
+	Attr int
+	// Card is the head attribute's cardinality.
+	Card int
+	// Rules holds the meta-rules sorted by (body size, body key).
+	Rules []*rules.MetaRule
+
+	// covers[i] lists indices of the immediate subsumers (Hasse-diagram
+	// parents) of Rules[i]; computed by ComputeSubsumption.
+	covers [][]int
+	// byBody maps a body assignment key to the rule index.
+	byBody map[string]int
+}
+
+// newMRSL indexes a sorted meta-rule list into a semi-lattice.
+func newMRSL(attr, card int, metas []*rules.MetaRule) (*MRSL, error) {
+	sort.Slice(metas, func(i, j int) bool {
+		if metas[i].BodySize != metas[j].BodySize {
+			return metas[i].BodySize < metas[j].BodySize
+		}
+		return metas[i].Body.Key() < metas[j].Body.Key()
+	})
+	l := &MRSL{
+		Attr:   attr,
+		Card:   card,
+		Rules:  metas,
+		byBody: make(map[string]int, len(metas)),
+	}
+	for i, m := range metas {
+		k := m.Body.Key()
+		if _, dup := l.byBody[k]; dup {
+			return nil, fmt.Errorf("core: duplicate meta-rule body %v for attribute %d", m.Body, attr)
+		}
+		l.byBody[k] = i
+	}
+	if len(metas) == 0 || metas[0].BodySize != 0 {
+		return nil, fmt.Errorf("core: attribute %d lattice lacks a top-level meta-rule", attr)
+	}
+	l.computeSubsumption()
+	return l, nil
+}
+
+// computeSubsumption builds the Hasse diagram of the subsumption order:
+// covers[i] holds the most specific rules that strictly subsume Rules[i].
+// It corresponds to Algorithm 1's ComputeSubsumption step.
+func (l *MRSL) computeSubsumption() {
+	l.covers = make([][]int, len(l.Rules))
+	for i, m := range l.Rules {
+		if m.BodySize == 0 {
+			continue
+		}
+		subsumers := l.properSubsetRules(m.Body)
+		// Keep the maximal subsumers: those whose body is not a proper
+		// subset of another subsumer's body.
+		for _, si := range subsumers {
+			maximal := true
+			for _, sj := range subsumers {
+				if si != sj && l.Rules[si].Body.Subsumes(l.Rules[sj].Body) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				l.covers[i] = append(l.covers[i], si)
+			}
+		}
+		sort.Ints(l.covers[i])
+	}
+}
+
+// properSubsetRules returns indices of rules whose body is a proper subset
+// of the given body, found by enumerating body's sub-assignments.
+func (l *MRSL) properSubsetRules(body relation.Tuple) []int {
+	attrs := body.CompleteAttrs()
+	n := len(attrs)
+	var out []int
+	sub := relation.NewTuple(len(body))
+	var buf []byte
+	for mask := 0; mask < (1 << n); mask++ {
+		if mask == (1<<n)-1 {
+			continue // the full body itself
+		}
+		for i := range sub {
+			sub[i] = relation.Missing
+		}
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				sub[attrs[b]] = body[attrs[b]]
+			}
+		}
+		buf = sub.AppendKey(buf[:0])
+		if idx, ok := l.byBody[string(buf)]; ok {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Covers returns the indices of the immediate subsumers of rule i in the
+// Hasse diagram (empty for the top-level rule).
+func (l *MRSL) Covers(i int) []int { return l.covers[i] }
+
+// Lookup returns the rule with exactly the given body, or nil.
+func (l *MRSL) Lookup(body relation.Tuple) *rules.MetaRule {
+	if i, ok := l.byBody[body.Key()]; ok {
+		return l.Rules[i]
+	}
+	return nil
+}
+
+// VoterChoice selects which matching meta-rules vote during inference
+// (Section IV).
+type VoterChoice int
+
+const (
+	// AllVoters uses every matching meta-rule.
+	AllVoters VoterChoice = iota
+	// BestVoters uses only the most specific matching meta-rules: matches
+	// that do not subsume any other match.
+	BestVoters
+)
+
+// String returns the paper's name for the choice ("all" / "best").
+func (v VoterChoice) String() string {
+	switch v {
+	case AllVoters:
+		return "all"
+	case BestVoters:
+		return "best"
+	default:
+		return fmt.Sprintf("VoterChoice(%d)", int(v))
+	}
+}
+
+// ParseVoterChoice converts "all"/"best" into a VoterChoice.
+func ParseVoterChoice(s string) (VoterChoice, error) {
+	switch s {
+	case "all":
+		return AllVoters, nil
+	case "best":
+		return BestVoters, nil
+	}
+	return 0, fmt.Errorf("core: unknown voter choice %q", s)
+}
+
+// Match returns the meta-rules applicable to tuple t under the given voter
+// choice: rules whose body assignments are all made by t (Algorithm 2's
+// GetMatchingMetaRules). The head attribute's own value in t is ignored.
+// The top-level rule always matches, so the result is never empty.
+func (l *MRSL) Match(t relation.Tuple, choice VoterChoice) []*rules.MetaRule {
+	idxs := l.matchIndices(t)
+	if choice == BestVoters {
+		idxs = l.mostSpecific(idxs)
+	}
+	out := make([]*rules.MetaRule, len(idxs))
+	for i, idx := range idxs {
+		out[i] = l.Rules[idx]
+	}
+	return out
+}
+
+// matchIndices enumerates the sub-assignments of t's evidence (complete
+// portion excluding the head attribute) and looks each up as a rule body.
+// With k evidence attributes this costs 2^k map probes; benchmark schemas
+// have k <= 9. For wider schemas it falls back to scanning all rules.
+func (l *MRSL) matchIndices(t relation.Tuple) []int {
+	evidence := make([]int, 0, len(t))
+	for a, v := range t {
+		if a != l.Attr && v != relation.Missing {
+			evidence = append(evidence, a)
+		}
+	}
+	const maxEnum = 16
+	if len(evidence) > maxEnum {
+		var out []int
+		for i, m := range l.Rules {
+			if m.Matches(t) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	var out []int
+	sub := relation.NewTuple(len(t))
+	var buf []byte
+	n := len(evidence)
+	for mask := 0; mask < (1 << n); mask++ {
+		for i := range sub {
+			sub[i] = relation.Missing
+		}
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				sub[evidence[b]] = t[evidence[b]]
+			}
+		}
+		buf = sub.AppendKey(buf[:0])
+		if idx, ok := l.byBody[string(buf)]; ok {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mostSpecific filters rule indices to those whose body is not a proper
+// subset of another matched rule's body ("meta-rules that do not subsume
+// any other meta-rules among the matches").
+func (l *MRSL) mostSpecific(idxs []int) []int {
+	var out []int
+	for _, i := range idxs {
+		keep := true
+		for _, j := range idxs {
+			if i != j && l.Rules[i].Subsumes(l.Rules[j]) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Len returns the number of meta-rules in the lattice.
+func (l *MRSL) Len() int { return len(l.Rules) }
+
+// Config controls Algorithm 1.
+type Config struct {
+	// SupportThreshold is theta, the minimum support of a frequent itemset.
+	SupportThreshold float64
+	// MaxItemsets is the per-round Apriori cutoff; <= 0 selects the paper's
+	// default of 1000.
+	MaxItemsets int
+	// MaxBodySize bounds meta-rule body size; <= 0 means unbounded.
+	MaxBodySize int
+	// IncludePartial also learns from the complete portions of incomplete
+	// tuples (the paper's Section III variant). When set, Learn accepts
+	// relations containing incomplete tuples.
+	IncludePartial bool
+}
+
+// Stats records facts about a learning run.
+type Stats struct {
+	// BuildTime is the wall-clock duration of Learn.
+	BuildTime time.Duration
+	// NumItemsets is the number of frequent itemsets mined.
+	NumItemsets int
+	// Truncated reports whether Apriori stopped early at the MaxItemsets
+	// cutoff.
+	Truncated bool
+	// TrainingSize is the number of complete tuples learned from.
+	TrainingSize int
+}
+
+// Model is the MRSL model (Definition 2.9): one meta-rule semi-lattice per
+// attribute of the schema, plus the configuration and statistics of the
+// learning run that produced it.
+type Model struct {
+	Schema   *relation.Schema
+	Lattices []*MRSL
+	Config   Config
+	Stats    Stats
+}
+
+// Learn implements Algorithm 1: mine frequent itemsets from the complete
+// relation rc, derive association rules and meta-rules per attribute, and
+// assemble one MRSL per attribute. rc must contain only complete tuples.
+func Learn(rc *relation.Relation, cfg Config) (*Model, error) {
+	start := time.Now()
+	maxSize := 0
+	if cfg.MaxBodySize > 0 {
+		// A meta-rule with body size b needs itemsets of size b+1.
+		maxSize = cfg.MaxBodySize + 1
+	}
+	mined, err := itemset.Mine(rc, itemset.Config{
+		SupportThreshold: cfg.SupportThreshold,
+		MaxItemsets:      cfg.MaxItemsets,
+		MaxSize:          maxSize,
+		IncludePartial:   cfg.IncludePartial,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: mining itemsets: %w", err)
+	}
+	m := &Model{
+		Schema:   rc.Schema,
+		Lattices: make([]*MRSL, rc.Schema.NumAttrs()),
+		Config:   cfg,
+	}
+	for a := 0; a < rc.Schema.NumAttrs(); a++ {
+		rs, err := rules.BuildRules(mined, a)
+		if err != nil {
+			return nil, fmt.Errorf("core: building rules for attribute %d: %w", a, err)
+		}
+		card := rc.Schema.Attrs[a].Card()
+		metas, err := rules.BuildMetaRules(rs, card)
+		if err != nil {
+			return nil, fmt.Errorf("core: building meta-rules for attribute %d: %w", a, err)
+		}
+		l, err := newMRSL(a, card, metas)
+		if err != nil {
+			return nil, err
+		}
+		m.Lattices[a] = l
+	}
+	m.Stats = Stats{
+		BuildTime:    time.Since(start),
+		NumItemsets:  mined.Len(),
+		Truncated:    mined.Truncated,
+		TrainingSize: rc.Len(),
+	}
+	return m, nil
+}
+
+// Lattice returns the MRSL for the given attribute index.
+func (m *Model) Lattice(attr int) (*MRSL, error) {
+	if attr < 0 || attr >= len(m.Lattices) {
+		return nil, fmt.Errorf("core: attribute %d out of range", attr)
+	}
+	return m.Lattices[attr], nil
+}
+
+// Size returns the total number of meta-rules across all lattices — the
+// paper's "model size" metric (Fig. 4(c), Fig. 9).
+func (m *Model) Size() int {
+	n := 0
+	for _, l := range m.Lattices {
+		n += l.Len()
+	}
+	return n
+}

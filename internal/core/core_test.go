@@ -1,0 +1,388 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// learnPaperExample learns a permissive-threshold model from the complete
+// part of the Fig. 1 relation.
+func learnPaperExample(t *testing.T) (*Model, *relation.Relation) {
+	t.Helper()
+	rc, _ := relation.Matchmaking().Split()
+	m, err := Learn(rc, Config{SupportThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rc
+}
+
+func TestLearnBuildsLatticePerAttribute(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	if len(m.Lattices) != rc.Schema.NumAttrs() {
+		t.Fatalf("%d lattices, want %d", len(m.Lattices), rc.Schema.NumAttrs())
+	}
+	for a, l := range m.Lattices {
+		if l.Attr != a {
+			t.Errorf("lattice %d has attr %d", a, l.Attr)
+		}
+		if l.Len() == 0 {
+			t.Errorf("lattice %d is empty", a)
+		}
+		if l.Rules[0].BodySize != 0 {
+			t.Errorf("lattice %d does not start with top-level rule", a)
+		}
+	}
+	if m.Size() <= rc.Schema.NumAttrs() {
+		t.Errorf("model size %d suspiciously small", m.Size())
+	}
+	if m.Stats.TrainingSize != 8 {
+		t.Errorf("training size = %d, want 8", m.Stats.TrainingSize)
+	}
+	if m.Stats.BuildTime <= 0 {
+		t.Error("build time not recorded")
+	}
+}
+
+func TestLearnRejectsBadInput(t *testing.T) {
+	rc, _ := relation.Matchmaking().Split()
+	if _, err := Learn(rc, Config{SupportThreshold: 0}); err == nil {
+		t.Error("theta=0 should fail")
+	}
+	empty := relation.NewRelation(rc.Schema)
+	if _, err := Learn(empty, Config{SupportThreshold: 0.1}); err == nil {
+		t.Error("empty relation should fail")
+	}
+}
+
+// TestMatchPaperExample reproduces the Section I-B worked example: for
+// t1 = ⟨age=?, edu=HS, inc=50K, nw=500K⟩ the MRSL for age matches five
+// meta-rules: P(age), P(age|edu=HS), P(age|inc=50K), P(age|nw=500K), and
+// P(age|edu=HS ∧ inc=50K) — provided all those bodies are frequent. With
+// the 8-point toy relation and theta=0.01 more combinations are frequent;
+// we check that exactly the sub-assignments of the evidence are matched.
+func TestMatchPaperExample(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	missing := relation.Missing
+	// age=?, edu=HS, inc=50K, nw=500K
+	t1 := relation.Tuple{missing, 0, 0, 1}
+	ageIdx := rc.Schema.AttrIndex("age")
+	l := m.Lattices[ageIdx]
+	matches := l.Match(t1, AllVoters)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	for _, mr := range matches {
+		// Every matched body must be a sub-assignment of the evidence.
+		if !mr.Matches(t1) {
+			t.Errorf("matched rule body %v does not apply to %v", mr.Body, t1)
+		}
+		if mr.Body[ageIdx] != relation.Missing {
+			t.Errorf("matched rule body assigns the head attribute: %v", mr.Body)
+		}
+	}
+	// The top-level rule is always among the matches.
+	foundTop := false
+	for _, mr := range matches {
+		if mr.BodySize == 0 {
+			foundTop = true
+		}
+	}
+	if !foundTop {
+		t.Error("top-level meta-rule not matched")
+	}
+	// Best voters: most specific only, and none subsumes another.
+	best := l.Match(t1, BestVoters)
+	if len(best) == 0 || len(best) > len(matches) {
+		t.Fatalf("best = %d matches, all = %d", len(best), len(matches))
+	}
+	for _, a := range best {
+		for _, b := range best {
+			if a != b && a.Subsumes(b) {
+				t.Errorf("best voters contain comparable rules %v ≺ %v", b.Body, a.Body)
+			}
+		}
+	}
+}
+
+// TestMatchConsistentWithLinearScan cross-checks the subset-enumeration
+// matcher against a brute-force scan on a random model.
+func TestMatchConsistentWithLinearScan(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		tu := relation.NewTuple(rc.Schema.NumAttrs())
+		for i := range tu {
+			if rng.Intn(2) == 0 {
+				tu[i] = rng.Intn(rc.Schema.Attrs[i].Card())
+			}
+		}
+		for a := 0; a < rc.Schema.NumAttrs(); a++ {
+			l := m.Lattices[a]
+			got := l.Match(tu, AllVoters)
+			var want int
+			for _, r := range l.Rules {
+				if r.Matches(tu) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("attr %d tuple %v: matcher found %d, scan %d", a, tu, len(got), want)
+			}
+		}
+	}
+}
+
+// TestBestVotersAreMaximal: on random tuples, every "all" match is either a
+// best voter or subsumes (is more general than) some best voter.
+func TestBestVotersAreMaximal(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		tu := relation.NewTuple(rc.Schema.NumAttrs())
+		for i := range tu {
+			if rng.Intn(3) > 0 {
+				tu[i] = rng.Intn(rc.Schema.Attrs[i].Card())
+			}
+		}
+		l := m.Lattices[0]
+		all := l.Match(tu, AllVoters)
+		best := l.Match(tu, BestVoters)
+		bestSet := make(map[*MetaRulePtr]bool)
+		_ = bestSet
+		for _, a := range all {
+			isBest := false
+			for _, b := range best {
+				if a == b {
+					isBest = true
+					break
+				}
+			}
+			if isBest {
+				continue
+			}
+			covered := false
+			for _, b := range best {
+				if a.Subsumes(b) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("match %v neither best nor more general than a best voter", a.Body)
+			}
+		}
+	}
+}
+
+// MetaRulePtr is a local alias used only to keep the test compact.
+type MetaRulePtr = struct{}
+
+func TestLookupAndCovers(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	ageIdx := rc.Schema.AttrIndex("age")
+	l := m.Lattices[ageIdx]
+	top := l.Lookup(relation.NewTuple(4))
+	if top == nil || top.BodySize != 0 {
+		t.Fatal("top-level rule not found by Lookup")
+	}
+	if l.Lookup(relation.Tuple{relation.Missing, 9, 9, 9}) != nil {
+		t.Error("bogus body should not be found")
+	}
+	// Every non-top rule has at least one cover, and covers are strictly
+	// more general.
+	for i, r := range l.Rules {
+		cov := l.Covers(i)
+		if r.BodySize == 0 {
+			if len(cov) != 0 {
+				t.Errorf("top rule has covers %v", cov)
+			}
+			continue
+		}
+		if len(cov) == 0 {
+			t.Errorf("rule %v has no covers", r.Body)
+		}
+		for _, c := range cov {
+			if !l.Rules[c].Subsumes(r) {
+				t.Errorf("cover %v does not subsume %v", l.Rules[c].Body, r.Body)
+			}
+		}
+	}
+}
+
+func TestVoterChoiceParsing(t *testing.T) {
+	if v, err := ParseVoterChoice("all"); err != nil || v != AllVoters {
+		t.Errorf("parse all = %v, %v", v, err)
+	}
+	if v, err := ParseVoterChoice("best"); err != nil || v != BestVoters {
+		t.Errorf("parse best = %v, %v", v, err)
+	}
+	if _, err := ParseVoterChoice("nope"); err == nil {
+		t.Error("bogus choice should fail")
+	}
+	if AllVoters.String() != "all" || BestVoters.String() != "best" {
+		t.Error("String() mismatch")
+	}
+	if VoterChoice(9).String() == "" {
+		t.Error("unknown choice should still render")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != m.Size() {
+		t.Fatalf("size %d != %d after roundtrip", back.Size(), m.Size())
+	}
+	if back.Schema.NumAttrs() != rc.Schema.NumAttrs() {
+		t.Fatal("schema lost")
+	}
+	if back.Stats.TrainingSize != m.Stats.TrainingSize {
+		t.Error("stats lost")
+	}
+	// Every original rule must exist with identical CPD and weight.
+	for a, l := range m.Lattices {
+		bl := back.Lattices[a]
+		if bl.Len() != l.Len() {
+			t.Fatalf("attr %d: %d rules != %d", a, bl.Len(), l.Len())
+		}
+		for _, r := range l.Rules {
+			br := bl.Lookup(r.Body)
+			if br == nil {
+				t.Fatalf("attr %d: rule %v lost", a, r.Body)
+			}
+			if math.Abs(br.Weight-r.Weight) > 1e-12 {
+				t.Errorf("attr %d rule %v: weight %v != %v", a, r.Body, br.Weight, r.Weight)
+			}
+			for i := range r.CPD {
+				if math.Abs(br.CPD[i]-r.CPD[i]) > 1e-12 {
+					t.Errorf("attr %d rule %v: CPD differs", a, r.Body)
+					break
+				}
+			}
+		}
+	}
+	// Matching behaves identically after reload.
+	tu := relation.Tuple{relation.Missing, 0, 0, 1}
+	if got, want := len(back.Lattices[0].Match(tu, AllVoters)), len(m.Lattices[0].Match(tu, AllVoters)); got != want {
+		t.Errorf("reloaded match count %d != %d", got, want)
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"schema":[],"lattices":[]}`)); err == nil {
+		t.Error("empty schema should fail")
+	}
+	if _, err := Load(strings.NewReader(
+		`{"schema":[{"name":"a","domain":["x","y"]}],"lattices":[]}`)); err == nil {
+		t.Error("missing lattices should fail")
+	}
+	// CPD length mismatch.
+	bad := `{"schema":[{"name":"a","domain":["x","y"]}],
+	 "lattices":[{"attr":0,"rules":[{"body":{},"cpd":[1.0],"weight":1}]}]}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("bad CPD length should fail")
+	}
+	// Body assigning the head attribute.
+	bad2 := `{"schema":[{"name":"a","domain":["x","y"]}],
+	 "lattices":[{"attr":0,"rules":[{"body":{"0":1},"cpd":[0.5,0.5],"weight":1}]}]}`
+	if _, err := Load(strings.NewReader(bad2)); err == nil {
+		t.Error("body assigning head should fail")
+	}
+}
+
+func TestMaxBodySizeLimitsLattice(t *testing.T) {
+	rc, _ := relation.Matchmaking().Split()
+	m, err := Learn(rc, Config{SupportThreshold: 0.01, MaxBodySize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.Lattices {
+		for _, r := range l.Rules {
+			if r.BodySize > 1 {
+				t.Errorf("rule %v exceeds MaxBodySize", r.Body)
+			}
+		}
+	}
+}
+
+func TestRenderMentionsHead(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	out := m.Lattices[rc.Schema.AttrIndex("age")].Render(rc.Schema)
+	if !strings.Contains(out, "MRSL for age") {
+		t.Errorf("render output:\n%s", out)
+	}
+	if !strings.Contains(out, "level 0") || !strings.Contains(out, "level 1") {
+		t.Errorf("render lacks levels:\n%s", out)
+	}
+}
+
+func TestFormatMetaRule(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	ageIdx := rc.Schema.AttrIndex("age")
+	top := m.Lattices[ageIdx].Lookup(relation.NewTuple(4))
+	s := FormatMetaRule(rc.Schema, top)
+	if !strings.HasPrefix(s, "P(age) = ") {
+		t.Errorf("top rule format: %q", s)
+	}
+	body := relation.NewTuple(4)
+	body[rc.Schema.AttrIndex("edu")] = 0
+	cond := m.Lattices[ageIdx].Lookup(body)
+	if cond == nil {
+		t.Fatal("P(age|edu=HS) rule missing")
+	}
+	cs := FormatMetaRule(rc.Schema, cond)
+	if !strings.Contains(cs, "P(age | edu=HS)") {
+		t.Errorf("conditional rule format: %q", cs)
+	}
+}
+
+func TestLatticeAccessor(t *testing.T) {
+	m, _ := learnPaperExample(t)
+	if _, err := m.Lattice(-1); err == nil {
+		t.Error("negative attr should fail")
+	}
+	if _, err := m.Lattice(99); err == nil {
+		t.Error("out-of-range attr should fail")
+	}
+	l, err := m.Lattice(0)
+	if err != nil || l.Attr != 0 {
+		t.Errorf("Lattice(0) = %v, %v", l, err)
+	}
+}
+
+func TestLoadRejectsInvalidProbabilities(t *testing.T) {
+	const template = `{"schema":[{"name":"a","domain":["x","y"]}],
+	 "lattices":[{"attr":0,"rules":[{"body":{},"cpd":%s,"weight":%s}]}]}`
+	cases := []struct {
+		name, cpd, weight string
+	}{
+		{"negative entry", "[-0.5,1.5]", "1"},
+		{"sum below 1", "[0.2,0.2]", "1"},
+		{"sum above 1", "[0.9,0.9]", "1"},
+		{"negative weight", "[0.5,0.5]", "-0.1"},
+		{"weight above 1", "[0.5,0.5]", "2"},
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf(template, c.cpd, c.weight)
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Load accepted invalid model", c.name)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// The JSON model format stores the schema, learning configuration, and every
+// meta-rule (body, CPD, weight) per attribute. Loading rebuilds the
+// subsumption structure, so the on-disk format stays small and stable.
+
+type jsonModel struct {
+	Schema   []jsonAttr    `json:"schema"`
+	Config   Config        `json:"config"`
+	Stats    jsonStats     `json:"stats"`
+	Lattices []jsonLattice `json:"lattices"`
+}
+
+type jsonAttr struct {
+	Name   string   `json:"name"`
+	Domain []string `json:"domain"`
+}
+
+type jsonStats struct {
+	BuildTimeNS  int64 `json:"build_time_ns"`
+	NumItemsets  int   `json:"num_itemsets"`
+	Truncated    bool  `json:"truncated"`
+	TrainingSize int   `json:"training_size"`
+}
+
+type jsonLattice struct {
+	Attr  int        `json:"attr"`
+	Rules []jsonRule `json:"rules"`
+}
+
+type jsonRule struct {
+	// Body maps attribute index -> value code for the body assignments.
+	Body   map[int]int `json:"body"`
+	CPD    []float64   `json:"cpd"`
+	Weight float64     `json:"weight"`
+	// NumRules is the count of association rules behind the meta-rule.
+	NumRules int `json:"num_rules"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	jm := jsonModel{
+		Config: m.Config,
+		Stats: jsonStats{
+			BuildTimeNS:  m.Stats.BuildTime.Nanoseconds(),
+			NumItemsets:  m.Stats.NumItemsets,
+			Truncated:    m.Stats.Truncated,
+			TrainingSize: m.Stats.TrainingSize,
+		},
+	}
+	for _, a := range m.Schema.Attrs {
+		jm.Schema = append(jm.Schema, jsonAttr{Name: a.Name, Domain: a.Domain})
+	}
+	for _, l := range m.Lattices {
+		jl := jsonLattice{Attr: l.Attr}
+		for _, r := range l.Rules {
+			body := make(map[int]int)
+			for a, v := range r.Body {
+				if v != relation.Missing {
+					body[a] = v
+				}
+			}
+			jl.Rules = append(jl.Rules, jsonRule{
+				Body:     body,
+				CPD:      r.CPD,
+				Weight:   r.Weight,
+				NumRules: r.NumRules,
+			})
+		}
+		jm.Lattices = append(jm.Lattices, jl)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(jm); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save, rebuilding subsumption
+// indexes.
+func Load(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	attrs := make([]relation.Attribute, len(jm.Schema))
+	for i, a := range jm.Schema {
+		attrs[i] = relation.Attribute{Name: a.Name, Domain: a.Domain}
+	}
+	schema, err := relation.NewSchema(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model schema: %w", err)
+	}
+	if len(jm.Lattices) != schema.NumAttrs() {
+		return nil, fmt.Errorf("core: model has %d lattices for %d attributes",
+			len(jm.Lattices), schema.NumAttrs())
+	}
+	m := &Model{
+		Schema:   schema,
+		Config:   jm.Config,
+		Lattices: make([]*MRSL, schema.NumAttrs()),
+		Stats: Stats{
+			NumItemsets:  jm.Stats.NumItemsets,
+			Truncated:    jm.Stats.Truncated,
+			TrainingSize: jm.Stats.TrainingSize,
+		},
+	}
+	m.Stats.BuildTime = time.Duration(jm.Stats.BuildTimeNS)
+	for _, jl := range jm.Lattices {
+		if jl.Attr < 0 || jl.Attr >= schema.NumAttrs() {
+			return nil, fmt.Errorf("core: lattice attribute %d out of range", jl.Attr)
+		}
+		card := schema.Attrs[jl.Attr].Card()
+		metas := make([]*rules.MetaRule, 0, len(jl.Rules))
+		for _, jr := range jl.Rules {
+			if len(jr.CPD) != card {
+				return nil, fmt.Errorf("core: CPD length %d for attribute %d (card %d)",
+					len(jr.CPD), jl.Attr, card)
+			}
+			var cpdSum float64
+			for _, p := range jr.CPD {
+				if p < 0 {
+					return nil, fmt.Errorf("core: negative CPD entry %v for attribute %d", p, jl.Attr)
+				}
+				cpdSum += p
+			}
+			if cpdSum < 0.99 || cpdSum > 1.01 {
+				return nil, fmt.Errorf("core: CPD for attribute %d sums to %v", jl.Attr, cpdSum)
+			}
+			if jr.Weight < 0 || jr.Weight > 1+1e-9 {
+				return nil, fmt.Errorf("core: meta-rule weight %v out of [0, 1]", jr.Weight)
+			}
+			body := relation.NewTuple(schema.NumAttrs())
+			for a, v := range jr.Body {
+				if a < 0 || a >= schema.NumAttrs() || a == jl.Attr {
+					return nil, fmt.Errorf("core: body attribute %d invalid for head %d", a, jl.Attr)
+				}
+				if v < 0 || v >= schema.Attrs[a].Card() {
+					return nil, fmt.Errorf("core: body value %d out of range for attribute %d", v, a)
+				}
+				body[a] = v
+			}
+			metas = append(metas, &rules.MetaRule{
+				HeadAttr: jl.Attr,
+				Body:     body,
+				BodySize: body.NumKnown(),
+				CPD:      dist.Dist(jr.CPD),
+				Weight:   jr.Weight,
+				NumRules: jr.NumRules,
+			})
+		}
+		l, err := newMRSL(jl.Attr, card, metas)
+		if err != nil {
+			return nil, err
+		}
+		m.Lattices[jl.Attr] = l
+	}
+	return m, nil
+}

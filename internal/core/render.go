@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// FormatMetaRule renders a meta-rule in the paper's notation, e.g.
+// "P(age | edu=HS ∧ inc=50K) = [0.15 0.70 0.15] (W=0.41)".
+func FormatMetaRule(s *relation.Schema, m *rules.MetaRule) string {
+	head := s.Attrs[m.HeadAttr].Name
+	var conds []string
+	for a, v := range m.Body {
+		if v == relation.Missing {
+			continue
+		}
+		conds = append(conds, fmt.Sprintf("%s=%s", s.Attrs[a].Name, s.Attrs[a].Domain[v]))
+	}
+	lhs := "P(" + head
+	if len(conds) > 0 {
+		lhs += " | " + strings.Join(conds, " ∧ ")
+	}
+	lhs += ")"
+	return fmt.Sprintf("%s = %s (W=%.2f)", lhs, m.CPD.String(), m.Weight)
+}
+
+// Render draws the semi-lattice level by level (body size 0 at the top,
+// as in the paper's Fig. 2), marking each rule's immediate subsumers.
+func (l *MRSL) Render(s *relation.Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MRSL for %s (%d meta-rules)\n", s.Attrs[l.Attr].Name, l.Len())
+	byLevel := make(map[int][]int)
+	var levels []int
+	for i, m := range l.Rules {
+		if len(byLevel[m.BodySize]) == 0 {
+			levels = append(levels, m.BodySize)
+		}
+		byLevel[m.BodySize] = append(byLevel[m.BodySize], i)
+	}
+	sort.Ints(levels)
+	for _, lvl := range levels {
+		fmt.Fprintf(&b, " level %d:\n", lvl)
+		for _, i := range byLevel[lvl] {
+			fmt.Fprintf(&b, "  %s", FormatMetaRule(s, l.Rules[i]))
+			if cov := l.Covers(i); len(cov) > 0 {
+				var ups []string
+				for _, c := range cov {
+					ups = append(ups, bodyLabel(s, l.Rules[c]))
+				}
+				fmt.Fprintf(&b, "  ≺ {%s}", strings.Join(ups, "; "))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func bodyLabel(s *relation.Schema, m *rules.MetaRule) string {
+	if m.BodySize == 0 {
+		return "⊤"
+	}
+	var conds []string
+	for a, v := range m.Body {
+		if v == relation.Missing {
+			continue
+		}
+		conds = append(conds, fmt.Sprintf("%s=%s", s.Attrs[a].Name, s.Attrs[a].Domain[v]))
+	}
+	return strings.Join(conds, "∧")
+}

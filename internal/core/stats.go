@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LatticeStats summarizes the shape of one attribute's semi-lattice.
+type LatticeStats struct {
+	// Attr is the head attribute index.
+	Attr int
+	// Rules is the number of meta-rules.
+	Rules int
+	// MaxBodySize is the largest body among the rules.
+	MaxBodySize int
+	// RulesPerLevel[k] counts rules with body size k.
+	RulesPerLevel []int
+	// AvgWeight is the mean meta-rule support.
+	AvgWeight float64
+	// LeafRules counts rules that subsume no other rule (the most specific
+	// frontier).
+	LeafRules int
+}
+
+// Stats computes the lattice's structural summary.
+func (l *MRSL) Stats() LatticeStats {
+	st := LatticeStats{Attr: l.Attr, Rules: l.Len()}
+	covered := make([]bool, l.Len()) // rule appears as someone's cover
+	var weightSum float64
+	for i, m := range l.Rules {
+		if m.BodySize > st.MaxBodySize {
+			st.MaxBodySize = m.BodySize
+		}
+		for len(st.RulesPerLevel) <= m.BodySize {
+			st.RulesPerLevel = append(st.RulesPerLevel, 0)
+		}
+		st.RulesPerLevel[m.BodySize]++
+		weightSum += m.Weight
+		for _, c := range l.Covers(i) {
+			covered[c] = true
+		}
+	}
+	if l.Len() > 0 {
+		st.AvgWeight = weightSum / float64(l.Len())
+	}
+	for i := range l.Rules {
+		if !covered[i] {
+			st.LeafRules++
+		}
+	}
+	return st
+}
+
+// ModelStats aggregates per-lattice summaries for a whole model.
+type ModelStats struct {
+	// TotalRules is the model size (sum over lattices).
+	TotalRules int
+	// PerAttribute holds one LatticeStats per schema attribute.
+	PerAttribute []LatticeStats
+	// MaxBodySize is the deepest body over all lattices.
+	MaxBodySize int
+}
+
+// ComputeStats summarizes the model's structure.
+func (m *Model) ComputeStats() ModelStats {
+	var out ModelStats
+	for _, l := range m.Lattices {
+		st := l.Stats()
+		out.PerAttribute = append(out.PerAttribute, st)
+		out.TotalRules += st.Rules
+		if st.MaxBodySize > out.MaxBodySize {
+			out.MaxBodySize = st.MaxBodySize
+		}
+	}
+	return out
+}
+
+// Describe renders the model summary as an aligned text table.
+func (m *Model) Describe() string {
+	stats := m.ComputeStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "MRSL model: %d meta-rules over %d attributes (trained on %d tuples in %s)\n",
+		stats.TotalRules, len(m.Lattices), m.Stats.TrainingSize, m.Stats.BuildTime)
+	for _, st := range stats.PerAttribute {
+		name := m.Schema.Attrs[st.Attr].Name
+		fmt.Fprintf(&b, "  %-12s %5d rules, depth %d, %4d most-specific, avg weight %.3f, per-level %v\n",
+			name, st.Rules, st.MaxBodySize, st.LeafRules, st.AvgWeight, st.RulesPerLevel)
+	}
+	return b.String()
+}

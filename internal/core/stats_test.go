@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatticeStats(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	l := m.Lattices[rc.Schema.AttrIndex("age")]
+	st := l.Stats()
+	if st.Rules != l.Len() {
+		t.Errorf("Rules = %d, want %d", st.Rules, l.Len())
+	}
+	total := 0
+	for _, c := range st.RulesPerLevel {
+		total += c
+	}
+	if total != st.Rules {
+		t.Errorf("per-level sums to %d, want %d", total, st.Rules)
+	}
+	if st.RulesPerLevel[0] != 1 {
+		t.Errorf("level 0 = %d, want 1 (the top rule)", st.RulesPerLevel[0])
+	}
+	if st.MaxBodySize < 1 || st.MaxBodySize >= rc.Schema.NumAttrs() {
+		t.Errorf("MaxBodySize = %d", st.MaxBodySize)
+	}
+	if st.AvgWeight <= 0 || st.AvgWeight > 1 {
+		t.Errorf("AvgWeight = %v", st.AvgWeight)
+	}
+	if st.LeafRules < 1 || st.LeafRules >= st.Rules {
+		t.Errorf("LeafRules = %d of %d", st.LeafRules, st.Rules)
+	}
+}
+
+func TestModelStatsAggregates(t *testing.T) {
+	m, _ := learnPaperExample(t)
+	stats := m.ComputeStats()
+	if stats.TotalRules != m.Size() {
+		t.Errorf("TotalRules = %d, want %d", stats.TotalRules, m.Size())
+	}
+	if len(stats.PerAttribute) != len(m.Lattices) {
+		t.Errorf("PerAttribute = %d", len(stats.PerAttribute))
+	}
+	if stats.MaxBodySize < 1 {
+		t.Errorf("MaxBodySize = %d", stats.MaxBodySize)
+	}
+}
+
+func TestDescribeMentionsEveryAttribute(t *testing.T) {
+	m, rc := learnPaperExample(t)
+	out := m.Describe()
+	for _, a := range rc.Schema.Attrs {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("Describe missing %q:\n%s", a.Name, out)
+		}
+	}
+	if !strings.Contains(out, "meta-rules over 4 attributes") {
+		t.Errorf("Describe header:\n%s", out)
+	}
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Env is one experimental unit: a parameterized network instance with a
+// train/test split of its forward-sampled dataset.
+type Env struct {
+	Top   *bn.Topology
+	Inst  *bn.Instance
+	Train *relation.Relation
+	Test  []relation.Tuple
+}
+
+// seedFor derives a deterministic sub-seed from the experiment seed, a
+// label, and indices, so every runner is reproducible without sharing RNG
+// state.
+func seedFor(base int64, label string, parts ...int) int64 {
+	h := uint64(base) * 0x9e3779b97f4a7c15
+	for _, c := range []byte(label) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	for _, p := range parts {
+		h = (h ^ uint64(uint32(p))) * 0x100000001b3
+	}
+	return int64(h >> 1)
+}
+
+// MakeEnv instantiates the topology (instance-th random parameterization),
+// samples a dataset sized so the training portion is trainSize after the
+// paper's 90/10 split, and performs the split-th random split.
+func MakeEnv(top *bn.Topology, opt Options, instance, split, trainSize int) (*Env, error) {
+	instRng := rand.New(rand.NewSource(seedFor(opt.Seed, "inst:"+top.ID, instance)))
+	inst, err := bn.Instantiate(top, instRng)
+	if err != nil {
+		return nil, err
+	}
+	total := trainSize*10/9 + 1 // 90% train, 10% test
+	dataRng := rand.New(rand.NewSource(seedFor(opt.Seed, "data:"+top.ID, instance, trainSize)))
+	data := inst.SampleRelation(dataRng, total)
+
+	splitRng := rand.New(rand.NewSource(seedFor(opt.Seed, "split:"+top.ID, instance, split, trainSize)))
+	perm := splitRng.Perm(total)
+	env := &Env{Top: top, Inst: inst, Train: relation.NewRelation(data.Schema)}
+	env.Train.Tuples = make([]relation.Tuple, 0, trainSize)
+	for _, idx := range perm[:trainSize] {
+		env.Train.Tuples = append(env.Train.Tuples, data.Tuples[idx])
+	}
+	for _, idx := range perm[trainSize:] {
+		env.Test = append(env.Test, data.Tuples[idx])
+	}
+	if len(env.Test) == 0 {
+		return nil, fmt.Errorf("experiment: empty test split for %s", top.ID)
+	}
+	return env, nil
+}
+
+// Learn trains an MRSL model on the env's training relation.
+func (e *Env) Learn(support float64, maxItemsets int) (*core.Model, error) {
+	return core.Learn(e.Train, core.Config{
+		SupportThreshold: support,
+		MaxItemsets:      maxItemsets,
+	})
+}
+
+// TestWorkload returns up to count test tuples with numMissing attribute
+// values hidden uniformly at random in each ("the test set is further
+// processed and one or several attributes in each tuple are replaced with
+// '?'"). The returned tuples are copies.
+func (e *Env) TestWorkload(rng *rand.Rand, count, numMissing int) []relation.Tuple {
+	nAttrs := e.Top.NumAttrs()
+	if numMissing >= nAttrs {
+		numMissing = nAttrs - 1
+	}
+	if numMissing < 1 {
+		numMissing = 1
+	}
+	if count > len(e.Test) {
+		count = len(e.Test)
+	}
+	out := make([]relation.Tuple, count)
+	for i := 0; i < count; i++ {
+		tu := e.Test[i].Clone()
+		for _, a := range rng.Perm(nAttrs)[:numMissing] {
+			tu[a] = relation.Missing
+		}
+		out[i] = tu
+	}
+	return out
+}
+
+// envsFor enumerates (instance, split) pairs for a topology at a given
+// training size, invoking fn for each; results are averaged by callers.
+func envsFor(top *bn.Topology, opt Options, trainSize int, fn func(*Env) error) error {
+	for inst := 0; inst < opt.Instances; inst++ {
+		for split := 0; split < opt.Splits; split++ {
+			env, err := MakeEnv(top, opt, inst, split, trainSize)
+			if err != nil {
+				return err
+			}
+			if err := fn(env); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

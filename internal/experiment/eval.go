@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+// Accuracy aggregates the paper's two accuracy metrics over a set of test
+// tuples: mean KL divergence between the true conditional and the
+// prediction, and the fraction of correct top-1 guesses. It also tracks
+// the per-tuple KL dispersion (Welford), so results averaged over the
+// paper's instances x splits protocol carry an uncertainty estimate.
+type Accuracy struct {
+	KL   float64
+	Top1 float64
+	N    int
+	// klM2 is the running sum of squared KL deviations (Welford).
+	klM2 float64
+
+	finished bool
+}
+
+func (a *Accuracy) add(kl float64, top1 bool) {
+	// KL holds the running sum until finish(); the Welford recurrence uses
+	// the means implied by that sum.
+	prevMean := 0.0
+	if a.N > 0 {
+		prevMean = a.KL / float64(a.N)
+	}
+	a.N++
+	a.KL += kl
+	newMean := a.KL / float64(a.N)
+	a.klM2 += (kl - prevMean) * (kl - newMean)
+	if top1 {
+		a.Top1++
+	}
+}
+
+func (a *Accuracy) finish() {
+	if a.finished {
+		return
+	}
+	if a.N > 0 {
+		a.KL /= float64(a.N)
+		a.Top1 /= float64(a.N)
+	}
+	a.finished = true
+}
+
+// KLStdDev returns the sample standard deviation of per-tuple KL values.
+func (a *Accuracy) KLStdDev() float64 {
+	if a.N < 2 {
+		return 0
+	}
+	return sqrt(a.klM2 / float64(a.N-1))
+}
+
+// KLStdErr returns the standard error of the mean KL.
+func (a *Accuracy) KLStdErr() float64 {
+	if a.N < 1 {
+		return 0
+	}
+	return a.KLStdDev() / sqrt(float64(a.N))
+}
+
+// merge averages another (finished) accuracy into this one, weighting by
+// sample count and combining dispersion with the parallel-variance
+// formula.
+func (a *Accuracy) merge(b Accuracy) {
+	total := a.N + b.N
+	if total == 0 {
+		return
+	}
+	na, nb := float64(a.N), float64(b.N)
+	delta := b.KL - a.KL
+	a.klM2 = a.klM2 + b.klM2 + delta*delta*na*nb/float64(total)
+	a.KL = (a.KL*na + b.KL*nb) / float64(total)
+	a.Top1 = (a.Top1*na + b.Top1*nb) / float64(total)
+	a.N = total
+	a.finished = true
+}
+
+func sqrt(v float64) float64 {
+	return math.Sqrt(v)
+}
+
+// evalSingle scores single-attribute inference: each workload tuple has
+// exactly one missing attribute; the voted estimate is compared with the
+// network's exact conditional.
+func evalSingle(env *Env, m *core.Model, method vote.Method, workload []relation.Tuple) (Accuracy, error) {
+	var acc Accuracy
+	for _, tu := range workload {
+		attr := tu.MissingAttrs()[0]
+		pred, err := vote.Infer(m, tu, attr, method)
+		if err != nil {
+			return acc, err
+		}
+		truth, err := env.Inst.ConditionalSingle(tu, attr)
+		if err != nil {
+			return acc, err
+		}
+		kl, err := dist.KL(truth, pred)
+		if err != nil {
+			return acc, err
+		}
+		top1, err := dist.Top1Match(truth, pred)
+		if err != nil {
+			return acc, err
+		}
+		acc.add(kl, top1)
+	}
+	acc.finish()
+	return acc, nil
+}
+
+// evalJoint scores a set of inferred joint distributions against the exact
+// conditionals.
+func evalJoint(env *Env, tuples []relation.Tuple, dists []*dist.Joint) (Accuracy, error) {
+	var acc Accuracy
+	for i, tu := range tuples {
+		truth, err := env.Inst.Conditional(tu)
+		if err != nil {
+			return acc, err
+		}
+		kl, err := dist.KLJoint(truth, dists[i])
+		if err != nil {
+			return acc, err
+		}
+		top1, err := dist.Top1Match(truth.P, dists[i].P)
+		if err != nil {
+			return acc, err
+		}
+		acc.add(kl, top1)
+	}
+	acc.finish()
+	return acc, nil
+}
+
+// evalGibbsTuples runs tuple-at-a-time Gibbs over a workload and scores the
+// estimates.
+func evalGibbsTuples(env *Env, m *core.Model, cfg gibbs.Config, workload []relation.Tuple) (Accuracy, error) {
+	s, err := gibbs.New(m, cfg)
+	if err != nil {
+		return Accuracy{}, err
+	}
+	res, err := s.TupleAtATime(workload)
+	if err != nil {
+		return Accuracy{}, err
+	}
+	return evalJoint(env, res.Tuples, res.Dists)
+}
+
+// singleMissingWorkload hides one uniformly random attribute per test
+// tuple.
+func singleMissingWorkload(env *Env, opt Options, label string) []relation.Tuple {
+	rng := rand.New(rand.NewSource(seedFor(opt.Seed, "wl:"+label+env.Top.ID)))
+	return env.TestWorkload(rng, opt.TestCount, 1)
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// directStats computes mean and sample variance the straightforward way.
+func directStats(vals []float64) (mean, variance float64) {
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		variance += d * d
+	}
+	if len(vals) > 1 {
+		variance /= float64(len(vals) - 1)
+	}
+	return mean, variance
+}
+
+// TestAccuracyWelfordMatchesDirect: add() accumulates the same mean and
+// standard deviation as a direct two-pass computation.
+func TestAccuracyWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 500)
+	var acc Accuracy
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() * 0.3
+		acc.add(vals[i], i%3 == 0)
+	}
+	acc.finish()
+	mean, variance := directStats(vals)
+	if math.Abs(acc.KL-mean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", acc.KL, mean)
+	}
+	if math.Abs(acc.KLStdDev()-math.Sqrt(variance)) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", acc.KLStdDev(), math.Sqrt(variance))
+	}
+	if math.Abs(acc.Top1-167.0/500) > 1e-9 {
+		t.Errorf("top1 = %v", acc.Top1)
+	}
+	wantSE := math.Sqrt(variance) / math.Sqrt(500)
+	if math.Abs(acc.KLStdErr()-wantSE) > 1e-9 {
+		t.Errorf("stderr = %v, want %v", acc.KLStdErr(), wantSE)
+	}
+}
+
+// TestAccuracyMergeMatchesPooled: merging two finished accumulators equals
+// computing statistics over the pooled samples.
+func TestAccuracyMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := make([]float64, 120)
+	b := make([]float64, 80)
+	var accA, accB Accuracy
+	for i := range a {
+		a[i] = rng.Float64()
+		accA.add(a[i], false)
+	}
+	for i := range b {
+		b[i] = 0.5 + rng.Float64() // shifted: dispersion across groups
+		accB.add(b[i], true)
+	}
+	accA.finish()
+	accB.finish()
+	accA.merge(accB)
+
+	pooled := append(append([]float64(nil), a...), b...)
+	mean, variance := directStats(pooled)
+	if math.Abs(accA.KL-mean) > 1e-9 {
+		t.Errorf("merged mean = %v, want %v", accA.KL, mean)
+	}
+	if math.Abs(accA.KLStdDev()-math.Sqrt(variance)) > 1e-9 {
+		t.Errorf("merged stddev = %v, want %v", accA.KLStdDev(), math.Sqrt(variance))
+	}
+	if math.Abs(accA.Top1-80.0/200) > 1e-9 {
+		t.Errorf("merged top1 = %v", accA.Top1)
+	}
+	if accA.N != 200 {
+		t.Errorf("merged N = %d", accA.N)
+	}
+}
+
+func TestAccuracyEdgeCases(t *testing.T) {
+	var empty Accuracy
+	empty.finish()
+	if empty.KLStdDev() != 0 || empty.KLStdErr() != 0 {
+		t.Error("empty accuracy should have zero dispersion")
+	}
+	var one Accuracy
+	one.add(0.5, true)
+	one.finish()
+	if one.KLStdDev() != 0 {
+		t.Error("single sample has no sample stddev")
+	}
+	// Merging into an empty accumulator adopts the other side.
+	var a, b Accuracy
+	b.add(0.3, false)
+	b.add(0.5, true)
+	b.finish()
+	a.merge(b)
+	if math.Abs(a.KL-0.4) > 1e-12 || a.N != 2 {
+		t.Errorf("merge into empty: KL=%v N=%d", a.KL, a.N)
+	}
+	// finish() is idempotent.
+	before := b.KL
+	b.finish()
+	if b.KL != before {
+		t.Error("double finish changed the mean")
+	}
+}

@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"strings"
+
+	"repro/internal/bn"
+)
+
+// RunTable1 renders the catalog as the paper's Table I.
+func RunTable1() *Table {
+	t := &Table{
+		Title:  "Table I: characteristics of the 20 Bayesian networks",
+		Header: []string{"network", "num. attrs", "avg card", "dom. size", "depth"},
+	}
+	for _, r := range bn.TableI() {
+		t.AddRow(r.Network, r.NumAttrs, r.AvgCard, r.DomSize, r.DepthLabel)
+	}
+	return t
+}
+
+// RunFig7 renders the benchmark network shapes (the paper's Fig. 7) as
+// ASCII adjacency listings.
+func RunFig7(ids []string) (*Table, error) {
+	if len(ids) == 0 {
+		ids = []string{"BN8", "BN9", "BN13", "BN14", "BN15", "BN16", "BN17", "BN18", "BN19", "BN20"}
+	}
+	t := &Table{
+		Title:  "Fig 7: benchmark network topologies",
+		Header: []string{"network", "structure"},
+	}
+	for _, id := range ids {
+		top, err := bn.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(id, strings.ReplaceAll(strings.TrimSpace(top.Render()), "\n", " | "))
+	}
+	return t, nil
+}
+
+// Fig4Point is one observation of the learning experiments: averaged model
+// build time and model size at a given training size and support.
+type Fig4Point struct {
+	TrainSize    int
+	Support      float64
+	AvgBuildSec  float64
+	AvgModelSize float64
+}
+
+// RunFig4a measures model building time as a function of training set size
+// with support fixed at 0.02, averaged over the learning networks
+// (Fig. 4(a)).
+func RunFig4a(opt Options, networks []string) ([]Fig4Point, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(networks) == 0 {
+		networks = LearningNetworks
+	}
+	const support = 0.02
+	var points []Fig4Point
+	for _, size := range opt.TrainSizes {
+		pt, err := learnAveraged(opt, networks, size, support)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt.logf("fig4a: train=%d avg build %.3fs", size, pt.AvgBuildSec)
+		points = append(points, pt)
+	}
+	t := &Table{
+		Title:  "Fig 4(a): model building time vs training set size (support=0.02)",
+		Header: []string{"training size", "build time (s)", "model size"},
+	}
+	for _, p := range points {
+		t.AddRow(p.TrainSize, p.AvgBuildSec, p.AvgModelSize)
+	}
+	return points, t, nil
+}
+
+// RunFig4b measures model building time as a function of support with the
+// training size fixed (Fig. 4(b): 10,000 tuples in the paper).
+func RunFig4b(opt Options, networks []string) ([]Fig4Point, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(networks) == 0 {
+		networks = LearningNetworks
+	}
+	var points []Fig4Point
+	for _, sup := range opt.Supports {
+		pt, err := learnAveraged(opt, networks, opt.TrainSize, sup)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt.logf("fig4b: support=%v avg build %.3fs", sup, pt.AvgBuildSec)
+		points = append(points, pt)
+	}
+	t := &Table{
+		Title:  "Fig 4(b): model building time vs support",
+		Header: []string{"support", "build time (s)", "model size"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Support, p.AvgBuildSec, p.AvgModelSize)
+	}
+	return points, t, nil
+}
+
+// RunFig4c reports model size as a function of support (Fig. 4(c)); it
+// reuses RunFig4b's sweep and re-renders the size column.
+func RunFig4c(opt Options, networks []string) ([]Fig4Point, *Table, error) {
+	points, _, err := RunFig4b(opt, networks)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  "Fig 4(c): model size vs support",
+		Header: []string{"support", "model size"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Support, p.AvgModelSize)
+	}
+	return points, t, nil
+}
+
+// learnAveraged learns models for every network/instance/split at one
+// (training size, support) setting and averages build time and model size.
+func learnAveraged(opt Options, networks []string, trainSize int, support float64) (Fig4Point, error) {
+	pt := Fig4Point{TrainSize: trainSize, Support: support}
+	var runs int
+	for _, id := range networks {
+		top, err := bn.ByID(id)
+		if err != nil {
+			return pt, err
+		}
+		err = envsFor(top, opt, trainSize, func(env *Env) error {
+			m, err := env.Learn(support, opt.MaxItemsets)
+			if err != nil {
+				return err
+			}
+			pt.AvgBuildSec += m.Stats.BuildTime.Seconds()
+			pt.AvgModelSize += float64(m.Size())
+			runs++
+			return nil
+		})
+		if err != nil {
+			return pt, err
+		}
+	}
+	if runs > 0 {
+		pt.AvgBuildSec /= float64(runs)
+		pt.AvgModelSize /= float64(runs)
+	}
+	return pt, nil
+}

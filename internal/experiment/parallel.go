@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/bn"
+	"repro/internal/gibbs"
+)
+
+// ParallelPoint measures workload inference wall time at one worker count.
+type ParallelPoint struct {
+	Network string
+	Workers int
+	WallSec float64
+	Speedup float64 // relative to workers=1
+}
+
+// RunAblationParallel measures the wall-clock speedup of the parallel
+// tuple-at-a-time runner across worker counts — an implementation ablation
+// of this reproduction (the paper's prototype was single-threaded).
+// Per-tuple seeding keeps results bit-identical across worker counts, so
+// only time changes.
+func RunAblationParallel(opt Options, networks []string, workerCounts []int) ([]ParallelPoint, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(networks) == 0 {
+		networks = []string{"BN9"}
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	var points []ParallelPoint
+	for _, id := range networks {
+		top, err := bn.ByID(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		env, err := MakeEnv(top, opt, 0, 0, opt.TrainSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := env.Learn(opt.Support, opt.MaxItemsets)
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(seedFor(opt.Seed, "par:"+id)))
+		workload := buildMixedWorkload(env, rng, opt.WorkloadSizes[len(opt.WorkloadSizes)-1])
+		var base float64
+		for _, workers := range workerCounts {
+			s, err := gibbs.New(m, gibbs.Config{
+				Samples: opt.GibbsSamples,
+				BurnIn:  opt.GibbsBurnIn,
+				Method:  defaultMethod(),
+				Seed:    seedFor(opt.Seed, "parrng:"+id),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			start := time.Now()
+			if _, err := s.ParallelTupleAtATime(workload, workers); err != nil {
+				return nil, nil, err
+			}
+			sec := time.Since(start).Seconds()
+			if workers == workerCounts[0] {
+				base = sec
+			}
+			speedup := 0.0
+			if sec > 0 {
+				speedup = base / sec
+			}
+			points = append(points, ParallelPoint{
+				Network: id, Workers: workers, WallSec: sec, Speedup: speedup,
+			})
+			opt.logf("ablation-parallel: %s workers=%d %.3fs", id, workers, sec)
+		}
+	}
+	t := &Table{
+		Title:  "Ablation: parallel workload inference (tuple-at-a-time)",
+		Header: []string{"network", "workers", "time (s)", "speedup"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Network, p.Workers, p.WallSec, p.Speedup)
+	}
+	return points, t, nil
+}

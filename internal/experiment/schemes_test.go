@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestExtendedMethodsShape(t *testing.T) {
+	ms := extendedMethods()
+	if len(ms) != 8 {
+		t.Fatalf("methods = %d, want 8 (4 paper + 4 extensions)", len(ms))
+	}
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		if seen[m.String()] {
+			t.Errorf("duplicate method %q", m)
+		}
+		seen[m.String()] = true
+	}
+}
+
+func TestRunAblationSchemes(t *testing.T) {
+	opt := tinyOpt()
+	opt.TrainSize = 2500
+	opt.Support = 0.005
+	points, tab, err := RunAblationSchemes(opt, []string{"BN8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("points = %d, want 8", len(points))
+	}
+	for _, p := range points {
+		if p.Acc.N == 0 {
+			t.Errorf("%s/%s scored no tuples", p.Network, p.Method)
+		}
+		if p.Acc.KL < 0 {
+			t.Errorf("%s/%s negative KL", p.Network, p.Method)
+		}
+		if p.Acc.Top1 < 0 || p.Acc.Top1 > 1 {
+			t.Errorf("%s/%s top1 = %v", p.Network, p.Method, p.Acc.Top1)
+		}
+	}
+	if len(tab.Rows) != len(points) {
+		t.Error("table rows mismatch")
+	}
+	// All methods should be competitive on an easy network: none should
+	// be catastrophically worse than the best.
+	best := points[0].Acc.KL
+	for _, p := range points {
+		if p.Acc.KL < best {
+			best = p.Acc.KL
+		}
+	}
+	for _, p := range points {
+		if p.Acc.KL > best+0.5 {
+			t.Errorf("%s KL=%v vs best %v — implausible gap", p.Method, p.Acc.KL, best)
+		}
+	}
+}
+
+func TestRunAblationParallel(t *testing.T) {
+	opt := tinyOpt()
+	opt.GibbsSamples = 60
+	points, tab, err := RunAblationParallel(opt, []string{"BN8"}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Workers != 1 || points[1].Workers != 4 {
+		t.Errorf("worker counts = %+v", points)
+	}
+	for _, p := range points {
+		if p.WallSec < 0 {
+			t.Errorf("negative wall time")
+		}
+	}
+	if len(tab.Rows) != 2 {
+		t.Error("table rows mismatch")
+	}
+}

@@ -1,0 +1,311 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/vote"
+)
+
+// Table2Row is one network's accuracy under the four voting methods
+// (Table II of the paper).
+type Table2Row struct {
+	Network string
+	// ByMethod is indexed like vote.Methods(): all-averaged, all-weighted,
+	// best-averaged, best-weighted.
+	ByMethod [4]Accuracy
+}
+
+// RunTable2 reproduces Table II: single-variable inference accuracy (top-1
+// and KL) per network for every voting method, at the options' default
+// support and training size.
+func RunTable2(opt Options, networks []string) ([]Table2Row, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(networks) == 0 {
+		networks = SingleInferenceNetworks
+	}
+	methods := vote.Methods()
+	var rows []Table2Row
+	for _, id := range networks {
+		top, err := bn.ByID(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table2Row{Network: id}
+		err = envsFor(top, opt, opt.TrainSize, func(env *Env) error {
+			m, err := env.Learn(opt.Support, opt.MaxItemsets)
+			if err != nil {
+				return err
+			}
+			workload := singleMissingWorkload(env, opt, "table2")
+			for mi, method := range methods {
+				acc, err := evalSingle(env, m, method, workload)
+				if err != nil {
+					return err
+				}
+				row.ByMethod[mi].merge(acc)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		opt.logf("table2: %s best-averaged KL=%.3f top1=%.2f",
+			id, row.ByMethod[2].KL, row.ByMethod[2].Top1)
+		rows = append(rows, row)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Table II: single-variable inference accuracy (support=%v, train=%d)",
+			opt.Support, opt.TrainSize),
+		Header: []string{"network",
+			"all-avg top1", "all-avg KL",
+			"all-wtd top1", "all-wtd KL",
+			"best-avg top1", "best-avg KL", "±",
+			"best-wtd top1", "best-wtd KL"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Network,
+			r.ByMethod[0].Top1, r.ByMethod[0].KL,
+			r.ByMethod[1].Top1, r.ByMethod[1].KL,
+			r.ByMethod[2].Top1, r.ByMethod[2].KL, r.ByMethod[2].KLStdErr(),
+			r.ByMethod[3].Top1, r.ByMethod[3].KL)
+	}
+	return rows, t, nil
+}
+
+// SweepPoint is one observation of an accuracy sweep (Fig. 5 or Fig. 6):
+// accuracy per voting method at one x-axis setting.
+type SweepPoint struct {
+	X        float64 // training size or support
+	ByMethod [4]Accuracy
+}
+
+// RunFig5 reproduces Fig. 5: KL divergence and top-1 accuracy as a function
+// of training set size, for all four voting methods, at the options'
+// default support.
+func RunFig5(opt Options, networks []string) ([]SweepPoint, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(networks) == 0 {
+		networks = SingleInferenceNetworks
+	}
+	var points []SweepPoint
+	for _, size := range opt.TrainSizes {
+		pt := SweepPoint{X: float64(size)}
+		if err := sweepAccuracy(opt, networks, size, opt.Support, "fig5", &pt); err != nil {
+			return nil, nil, err
+		}
+		opt.logf("fig5: train=%d best-avg KL=%.3f", size, pt.ByMethod[2].KL)
+		points = append(points, pt)
+	}
+	t := sweepTable(fmt.Sprintf("Fig 5: accuracy vs training set size (support=%v)", opt.Support),
+		"training size", points)
+	return points, t, nil
+}
+
+// RunFig6 reproduces Fig. 6: accuracy as a function of support, with the
+// training size fixed at the options' default.
+func RunFig6(opt Options, networks []string) ([]SweepPoint, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(networks) == 0 {
+		networks = SingleInferenceNetworks
+	}
+	var points []SweepPoint
+	for _, sup := range opt.Supports {
+		pt := SweepPoint{X: sup}
+		if err := sweepAccuracy(opt, networks, opt.TrainSize, sup, "fig6", &pt); err != nil {
+			return nil, nil, err
+		}
+		opt.logf("fig6: support=%v best-avg KL=%.3f", sup, pt.ByMethod[2].KL)
+		points = append(points, pt)
+	}
+	t := sweepTable(fmt.Sprintf("Fig 6: accuracy vs support (train=%d)", opt.TrainSize),
+		"support", points)
+	return points, t, nil
+}
+
+func sweepAccuracy(opt Options, networks []string, trainSize int, support float64, label string, pt *SweepPoint) error {
+	methods := vote.Methods()
+	for _, id := range networks {
+		top, err := bn.ByID(id)
+		if err != nil {
+			return err
+		}
+		err = envsFor(top, opt, trainSize, func(env *Env) error {
+			m, err := env.Learn(support, opt.MaxItemsets)
+			if err != nil {
+				return err
+			}
+			workload := singleMissingWorkload(env, opt, label)
+			for mi, method := range methods {
+				acc, err := evalSingle(env, m, method, workload)
+				if err != nil {
+					return err
+				}
+				pt.ByMethod[mi].merge(acc)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sweepTable(title, xName string, points []SweepPoint) *Table {
+	t := &Table{
+		Title: title,
+		Header: []string{xName,
+			"all-avg KL", "all-wtd KL", "best-avg KL", "best-wtd KL",
+			"all-avg top1", "all-wtd top1", "best-avg top1", "best-wtd top1"},
+	}
+	for _, p := range points {
+		t.AddRow(p.X,
+			p.ByMethod[0].KL, p.ByMethod[1].KL, p.ByMethod[2].KL, p.ByMethod[3].KL,
+			p.ByMethod[0].Top1, p.ByMethod[1].Top1, p.ByMethod[2].Top1, p.ByMethod[3].Top1)
+	}
+	return t
+}
+
+// Fig8Point relates a network property to single-attribute accuracy under
+// best-averaged voting (Fig. 8(a)-(c)).
+type Fig8Point struct {
+	Network  string
+	Property int // depth label, attribute count, or cardinality
+	KL       float64
+}
+
+// RunFig8 scores the given networks with best-averaged voting and labels
+// each with the requested property: "depth" (Fig. 8(a)), "attrs"
+// (Fig. 8(b)), or "card" (Fig. 8(c)).
+func RunFig8(opt Options, networks []string, property string) ([]Fig8Point, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	var points []Fig8Point
+	for _, id := range networks {
+		top, err := bn.ByID(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		var prop int
+		switch property {
+		case "depth":
+			prop = top.DepthLabel
+		case "attrs":
+			prop = top.NumAttrs()
+		case "card":
+			prop = int(top.AvgCard() + 0.5)
+		default:
+			return nil, nil, fmt.Errorf("experiment: unknown property %q", property)
+		}
+		var acc Accuracy
+		err = envsFor(top, opt, opt.TrainSize, func(env *Env) error {
+			m, err := env.Learn(opt.Support, opt.MaxItemsets)
+			if err != nil {
+				return err
+			}
+			workload := singleMissingWorkload(env, opt, "fig8"+property)
+			a, err := evalSingle(env, m, method, workload)
+			if err != nil {
+				return err
+			}
+			acc.merge(a)
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		opt.logf("fig8-%s: %s %s=%d KL=%.3f", property, id, property, prop, acc.KL)
+		points = append(points, Fig8Point{Network: id, Property: prop, KL: acc.KL})
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 8 (%s): KL vs network %s (best-averaged)", property, property),
+		Header: []string{"network", property, "avg KL"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Network, p.Property, p.KL)
+	}
+	return points, t, nil
+}
+
+// Fig9Point is one inference-time observation: a batch of tuples scored
+// against a model of a given size (Fig. 9).
+type Fig9Point struct {
+	Network    string
+	ModelSize  int
+	BatchSize  int
+	InferSec   float64
+	PerTupleMS float64
+}
+
+// RunFig9 measures single-attribute inference wall time as a function of
+// model size for several batch sizes, at the options' default support.
+func RunFig9(opt Options, networks []string, batches []int) ([]Fig9Point, *Table, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(networks) == 0 {
+		networks = SingleInferenceNetworks
+	}
+	if len(batches) == 0 {
+		batches = []int{1000, 5000, 10000}
+	}
+	method := vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+	var points []Fig9Point
+	for _, id := range networks {
+		top, err := bn.ByID(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		env, err := MakeEnv(top, opt, 0, 0, opt.TrainSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := env.Learn(opt.Support, opt.MaxItemsets)
+		if err != nil {
+			return nil, nil, err
+		}
+		base := singleMissingWorkload(env, opt, "fig9")
+		if len(base) == 0 {
+			continue
+		}
+		for _, batch := range batches {
+			// Repeat the workload cyclically to reach the batch size.
+			start := time.Now()
+			for i := 0; i < batch; i++ {
+				tu := base[i%len(base)]
+				attr := tu.MissingAttrs()[0]
+				if _, err := vote.Infer(m, tu, attr, method); err != nil {
+					return nil, nil, err
+				}
+			}
+			sec := time.Since(start).Seconds()
+			points = append(points, Fig9Point{
+				Network:    id,
+				ModelSize:  m.Size(),
+				BatchSize:  batch,
+				InferSec:   sec,
+				PerTupleMS: sec / float64(batch) * 1000,
+			})
+		}
+		opt.logf("fig9: %s model=%d done", id, m.Size())
+	}
+	t := &Table{
+		Title:  "Fig 9: single-attribute inference time vs model size",
+		Header: []string{"network", "model size", "batch", "time (s)", "ms/tuple"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Network, p.ModelSize, p.BatchSize, p.InferSec, p.PerTupleMS)
+	}
+	return points, t, nil
+}

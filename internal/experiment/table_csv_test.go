@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{Title: "ignored", Header: []string{"x", "y"}}
+	tab.AddRow(1, 0.5)
+	tab.AddRow("a,b", 2) // comma requires quoting
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != `"a,b",2` {
+		t.Errorf("quoted row = %q", lines[2])
+	}
+	if strings.Contains(buf.String(), "ignored") {
+		t.Error("title leaked into CSV")
+	}
+}
+
+func TestTableCSVRoundTripsNumbers(t *testing.T) {
+	tab := &Table{Header: []string{"v"}}
+	tab.AddRow(0.12345)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.1235") {
+		t.Errorf("float formatting lost: %q", buf.String())
+	}
+}

@@ -1,0 +1,67 @@
+package gibbs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// BenchmarkInferTuple measures one full chain (burn-in + N sweeps) at
+// several missing counts; the CPD cache makes later sweeps cheap.
+func BenchmarkInferTuple(b *testing.B) {
+	m, inst, rng := learnBN(b, "BN9", 10000, 201)
+	for _, missing := range []int{1, 2, 4} {
+		tu := inst.Sample(rng)
+		for _, a := range rng.Perm(6)[:missing] {
+			tu[a] = relation.Missing
+		}
+		b.Run(fmt.Sprintf("missing=%d", missing), func(b *testing.B) {
+			s, err := New(m, Config{Samples: 200, BurnIn: 50, Method: bestAveraged(), Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InferTuple(tu); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildTupleDAG measures DAG construction over a workload (the
+// pairwise-subsumption cost of Algorithm 3's setup).
+func BenchmarkBuildTupleDAG(b *testing.B) {
+	_, inst, rng := learnBN(b, "BN9", 2000, 202)
+	workload := workloadFromInstance(inst, rng, 500, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTupleDAG(workload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPDCacheHit isolates the memoized local-CPD path.
+func BenchmarkCPDCacheHit(b *testing.B) {
+	m, inst, rng := learnBN(b, "BN8", 5000, 203)
+	s, err := New(m, Config{Samples: 10, BurnIn: 5, Method: bestAveraged(), Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := inst.Sample(rng)
+	if _, err := s.localCPD(state, 0); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.localCPD(state, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,470 @@
+package gibbs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+func bestAveraged() vote.Method {
+	return vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+}
+
+// learnBN trains an MRSL model on a forward-sampled dataset from the given
+// catalog network.
+func learnBN(t testing.TB, id string, trainSize int, seed int64) (*core.Model, *bn.Instance, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	top, err := bn.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, trainSize)
+	m, err := core.Learn(train, core.Config{SupportThreshold: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, inst, rng
+}
+
+func TestNewValidation(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 500, 1)
+	if _, err := New(nil, Config{Samples: 10}); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := New(m, Config{Samples: 0}); err == nil {
+		t.Error("zero samples should fail")
+	}
+	s, err := New(m, Config{Samples: 10, Method: bestAveraged()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.burnIn() != DefaultBurnIn {
+		t.Errorf("default burn-in = %d, want %d", s.cfg.burnIn(), DefaultBurnIn)
+	}
+}
+
+func TestInferTupleRejectsComplete(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 500, 2)
+	s, err := New(m, Config{Samples: 10, Method: bestAveraged()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InferTuple(relation.Tuple{0, 0, 0, 0}); err == nil {
+		t.Error("complete tuple should fail")
+	}
+}
+
+// TestSingleAttributeGibbsMatchesVoting: with one missing attribute the
+// chain samples directly from the voted CPD, so the empirical distribution
+// must converge to vote.Infer's estimate.
+func TestSingleAttributeGibbsMatchesVoting(t *testing.T) {
+	m, _, rng := learnBN(t, "BN8", 5000, 3)
+	s, err := New(m, Config{Samples: 20000, BurnIn: 10, Method: bestAveraged(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.Tuple{relation.Missing, 0, 1, 0}
+	_ = rng
+	j, err := s.InferTuple(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := vote.Infer(m, tu, 0, bestAveraged())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(j.P[i]-want[i]) > 0.02 {
+			t.Errorf("P[%d] = %v, want %v +- 0.02", i, j.P[i], want[i])
+		}
+	}
+}
+
+// TestGibbsRecoversJointConditional: multi-attribute Gibbs estimates
+// approach the generating network's exact conditional (the paper's central
+// accuracy claim for Section V).
+func TestGibbsRecoversJointConditional(t *testing.T) {
+	m, inst, rng := learnBN(t, "BN8", 20000, 4)
+	s, err := New(m, Config{Samples: 4000, BurnIn: 100, Method: bestAveraged(), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		tu := inst.Sample(rng)
+		// Hide two attributes.
+		perm := rng.Perm(4)
+		tu[perm[0]] = relation.Missing
+		tu[perm[1]] = relation.Missing
+		got, err := s.InferTuple(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := inst.Conditional(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kl, err := dist.KLJoint(truth, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += kl
+	}
+	avg := total / trials
+	// Paper (Fig. 10, BN8): KL well under 0.1 at 2000+ samples per tuple.
+	if avg > 0.1 {
+		t.Errorf("average joint KL = %v, want <= 0.1", avg)
+	}
+}
+
+func TestSamplerDeterministicWithSeed(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 2000, 5)
+	tu := relation.Tuple{relation.Missing, relation.Missing, 0, 1}
+	run := func() *dist.Joint {
+		s, err := New(m, Config{Samples: 500, BurnIn: 20, Method: bestAveraged(), Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := s.InferTuple(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a, b := run(), run()
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a.P[i], b.P[i])
+		}
+	}
+}
+
+func TestCPDCacheIsUsed(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 2000, 6)
+	s, err := New(m, Config{Samples: 500, BurnIn: 20, Method: bestAveraged(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.Tuple{relation.Missing, relation.Missing, 0, 1}
+	if _, err := s.InferTuple(tu); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheHits == 0 {
+		t.Error("no cache hits on a finite state space")
+	}
+	// The reachable evidence-state count bounds cache misses: with 2
+	// missing binary attributes, at most 2 states per attr resample.
+	if s.CacheMisses > 8 {
+		t.Errorf("cache misses = %d, want <= 8", s.CacheMisses)
+	}
+}
+
+func TestPointsSampledAccounting(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 2000, 7)
+	s, err := New(m, Config{Samples: 50, BurnIn: 10, Method: bestAveraged(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.Tuple{relation.Missing, relation.Missing, 0, 1}
+	if _, err := s.InferTuple(tu); err != nil {
+		t.Fatal(err)
+	}
+	if s.PointsSampled != 60 {
+		t.Errorf("PointsSampled = %d, want 60 (10 burn-in + 50 recorded)", s.PointsSampled)
+	}
+}
+
+// TestBuildTupleDAGPaperExample reproduces Fig. 3: for the incomplete
+// tuples {t1, t3, t5, t8, t11, t12} of Fig. 1, the roots are t5, t8, t12;
+// t5 subsumes t1 and t3; t8 subsumes t1 and t11.
+func TestBuildTupleDAGPaperExample(t *testing.T) {
+	r := relation.Matchmaking()
+	pick := func(i int) relation.Tuple { return r.Tuples[i-1] } // 1-based ids
+	workload := []relation.Tuple{pick(1), pick(3), pick(5), pick(8), pick(11), pick(12)}
+	dag, err := BuildTupleDAG(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order of distinct tuples follows the workload: t1 t3 t5 t8 t11 t12.
+	idx := map[string]int{"t1": 0, "t3": 1, "t5": 2, "t8": 3, "t11": 4, "t12": 5}
+	wantRoots := []int{idx["t5"], idx["t8"], idx["t12"]}
+	if len(dag.Roots) != 3 {
+		t.Fatalf("roots = %v, want %v", dag.Roots, wantRoots)
+	}
+	for i, w := range wantRoots {
+		if dag.Roots[i] != w {
+			t.Errorf("roots = %v, want %v", dag.Roots, wantRoots)
+			break
+		}
+	}
+	hasEdge := func(from, to int) bool {
+		for _, s := range dag.Subsumees[from] {
+			if s == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(idx["t5"], idx["t1"]) || !hasEdge(idx["t5"], idx["t3"]) {
+		t.Errorf("t5 should subsume t1 and t3: %v", dag.Subsumees[idx["t5"]])
+	}
+	if !hasEdge(idx["t8"], idx["t1"]) || !hasEdge(idx["t8"], idx["t11"]) {
+		t.Errorf("t8 should subsume t1 and t11: %v", dag.Subsumees[idx["t8"]])
+	}
+	if len(dag.Subsumees[idx["t12"]]) != 0 {
+		t.Errorf("t12 should subsume nothing: %v", dag.Subsumees[idx["t12"]])
+	}
+	if len(dag.Subsumers[idx["t1"]]) != 2 {
+		t.Errorf("t1 should have two subsumers: %v", dag.Subsumers[idx["t1"]])
+	}
+}
+
+func TestBuildTupleDAGRejectsBadWorkload(t *testing.T) {
+	if _, err := BuildTupleDAG(nil); err == nil {
+		t.Error("empty workload should fail")
+	}
+	if _, err := BuildTupleDAG([]relation.Tuple{{0, 0}}); err == nil {
+		t.Error("complete tuple should fail")
+	}
+}
+
+func TestBuildTupleDAGDeduplicates(t *testing.T) {
+	m := relation.Missing
+	a := relation.Tuple{0, m, 1}
+	dag, err := BuildTupleDAG([]relation.Tuple{a, a.Clone(), a.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Tuples) != 1 {
+		t.Errorf("distinct tuples = %d, want 1", len(dag.Tuples))
+	}
+}
+
+// workloadFromInstance builds a workload of incomplete tuples by hiding
+// 1..maxMissing random attributes in sampled points.
+func workloadFromInstance(inst *bn.Instance, rng *rand.Rand, n, maxMissing int) []relation.Tuple {
+	nAttrs := inst.Top.NumAttrs()
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		tu := inst.Sample(rng)
+		k := 1 + rng.Intn(maxMissing)
+		for _, a := range rng.Perm(nAttrs)[:k] {
+			tu[a] = relation.Missing
+		}
+		out[i] = tu
+	}
+	return out
+}
+
+// TestTupleDAGFewerPointsThanTupleAtATime: the headline claim of Fig. 11 —
+// the DAG optimization draws far fewer points on a workload with
+// subsumption structure.
+func TestTupleDAGFewerPointsThanTupleAtATime(t *testing.T) {
+	m, inst, rng := learnBN(t, "BN8", 3000, 8)
+	workload := workloadFromInstance(inst, rng, 150, 3)
+	mk := func(seed int64) *Sampler {
+		s, err := New(m, Config{Samples: 100, BurnIn: 20, Method: bestAveraged(), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sDag := mk(1)
+	dagRes, err := sDag.TupleDAGRun(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBase := mk(1)
+	baseRes, err := sBase.TupleAtATime(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dagRes.Tuples) != len(baseRes.Tuples) {
+		t.Fatalf("result sizes differ: %d vs %d", len(dagRes.Tuples), len(baseRes.Tuples))
+	}
+	if dagRes.PointsSampled >= baseRes.PointsSampled {
+		t.Errorf("tuple-DAG sampled %d points, baseline %d — no saving",
+			dagRes.PointsSampled, baseRes.PointsSampled)
+	}
+}
+
+// TestTupleDAGAccuracyMatchesBaseline: the paper found "no difference" in
+// accuracy between tuple-DAG and tuple-at-a-time. We verify both strategies
+// land close to the exact conditional on average.
+func TestTupleDAGAccuracyMatchesBaseline(t *testing.T) {
+	m, inst, rng := learnBN(t, "BN8", 20000, 9)
+	workload := workloadFromInstance(inst, rng, 40, 2)
+	avgKL := func(res *Result) float64 {
+		var total float64
+		for i, tu := range res.Tuples {
+			truth, err := inst.Conditional(tu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kl, err := dist.KLJoint(truth, res.Dists[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += kl
+		}
+		return total / float64(len(res.Tuples))
+	}
+	sDag, err := New(m, Config{Samples: 2000, BurnIn: 100, Method: bestAveraged(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dagRes, err := sDag.TupleDAGRun(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBase, err := New(m, Config{Samples: 2000, BurnIn: 100, Method: bestAveraged(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := sBase.TupleAtATime(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	klDag, klBase := avgKL(dagRes), avgKL(baseRes)
+	if klDag > 0.15 || klBase > 0.15 {
+		t.Errorf("KL too high: dag=%v base=%v", klDag, klBase)
+	}
+	if math.Abs(klDag-klBase) > 0.1 {
+		t.Errorf("accuracy gap too large: dag=%v base=%v", klDag, klBase)
+	}
+}
+
+// TestTupleDAGEveryTupleGetsEnoughSamples: each distinct tuple accumulates
+// a valid, positive, normalized estimate.
+func TestTupleDAGEveryTupleGetsValidEstimate(t *testing.T) {
+	m, inst, rng := learnBN(t, "BN9", 3000, 10)
+	workload := workloadFromInstance(inst, rng, 100, 4)
+	s, err := New(m, Config{Samples: 100, BurnIn: 20, Method: bestAveraged(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.TupleDAGRun(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range res.Dists {
+		if j == nil {
+			t.Fatalf("tuple %v got no estimate", res.Tuples[i])
+		}
+		if !j.P.IsNormalized(1e-9) || !j.P.IsPositive() {
+			t.Errorf("tuple %v: invalid estimate", res.Tuples[i])
+		}
+		// Shape must match the tuple's missing attributes.
+		missing := res.Tuples[i].MissingAttrs()
+		if len(j.Attrs) != len(missing) {
+			t.Errorf("tuple %v: estimate over %v", res.Tuples[i], j.Attrs)
+		}
+	}
+}
+
+// TestAllAtATimeMatchesTupleAtATime on a tiny workload with strong
+// evidence overlap.
+func TestAllAtATime(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 5000, 11)
+	miss := relation.Missing
+	workload := []relation.Tuple{
+		{miss, miss, 0, 0},
+		{miss, miss, miss, miss}, // t*: everything missing
+	}
+	s, err := New(m, Config{Samples: 400, BurnIn: 50, Method: bestAveraged(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.AllAtATime(workload, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 {
+		t.Fatalf("results = %d, want 2", len(res.Tuples))
+	}
+	for i := range res.Dists {
+		if !res.Dists[i].P.IsNormalized(1e-9) {
+			t.Errorf("estimate %d not normalized", i)
+		}
+	}
+	if res.PointsSampled <= 400 {
+		t.Errorf("all-at-a-time should oversample: %d points", res.PointsSampled)
+	}
+}
+
+func TestAllAtATimeCapReached(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 5000, 12)
+	miss := relation.Missing
+	// A single very specific tuple: most draws will not match.
+	workload := []relation.Tuple{{miss, 0, 0, 0}}
+	s, err := New(m, Config{Samples: 1000000, BurnIn: 10, Method: bestAveraged(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.AllAtATime(workload, 200)
+	if err != nil {
+		// Acceptable: the cap may leave zero matching draws.
+		return
+	}
+	if res.PointsSampled > 10+200 {
+		t.Errorf("cap ignored: %d points", res.PointsSampled)
+	}
+}
+
+func TestTupleAtATimeRejectsEmptyWorkload(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 500, 13)
+	s, err := New(m, Config{Samples: 10, Method: bestAveraged()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TupleAtATime(nil); err == nil {
+		t.Error("empty workload should fail")
+	}
+	if _, err := s.TupleDAGRun(nil); err == nil {
+		t.Error("empty workload should fail (DAG)")
+	}
+	if _, err := s.AllAtATime(nil, 0); err == nil {
+		t.Error("empty workload should fail (all-at-a-time)")
+	}
+}
+
+// TestDeepDAGChainPromotion exercises multi-level promotion: a chain of
+// tuples t* ⊐ u ⊐ v must all complete.
+func TestDeepDAGChainPromotion(t *testing.T) {
+	m, _, _ := learnBN(t, "BN9", 2000, 14) // 6 attrs
+	miss := relation.Missing
+	workload := []relation.Tuple{
+		{miss, miss, miss, miss, miss, miss}, // t*
+		{0, miss, miss, miss, miss, miss},    // u ≺ t*
+		{0, 0, miss, miss, miss, miss},       // v ≺ u ≺ t*
+		{0, 0, 1, miss, miss, miss},          // w ≺ v
+	}
+	s, err := New(m, Config{Samples: 200, BurnIn: 20, Method: bestAveraged(), Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.TupleDAGRun(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 4 {
+		t.Fatalf("results = %d, want 4", len(res.Tuples))
+	}
+	for i, j := range res.Dists {
+		if j == nil || !j.P.IsNormalized(1e-9) {
+			t.Errorf("tuple %d lacks a valid estimate", i)
+		}
+	}
+}

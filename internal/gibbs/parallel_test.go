@@ -1,0 +1,99 @@
+package gibbs
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestParallelDeterministicAcrossWorkerCounts: identical results for 1 and
+// 8 workers, because every tuple's chain has its own derived seed.
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	m, inst, rng := learnBN(t, "BN9", 3000, 71)
+	workload := workloadFromInstance(inst, rng, 60, 3)
+	run := func(workers int) *Result {
+		s, err := New(m, Config{Samples: 120, BurnIn: 20, Method: bestAveraged(), Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.ParallelTupleAtATime(workload, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if len(a.Tuples) != len(b.Tuples) {
+		t.Fatalf("tuple counts differ: %d vs %d", len(a.Tuples), len(b.Tuples))
+	}
+	for i := range a.Dists {
+		for k := range a.Dists[i].P {
+			if a.Dists[i].P[k] != b.Dists[i].P[k] {
+				t.Fatalf("tuple %d outcome %d differs across worker counts", i, k)
+			}
+		}
+	}
+	if a.PointsSampled != b.PointsSampled {
+		t.Errorf("points differ: %d vs %d", a.PointsSampled, b.PointsSampled)
+	}
+}
+
+// TestParallelMatchesSerialAccuracy: the parallel runner's estimates agree
+// with serial tuple-at-a-time within sampling noise.
+func TestParallelMatchesSerialAccuracy(t *testing.T) {
+	m, inst, rng := learnBN(t, "BN8", 10000, 72)
+	workload := workloadFromInstance(inst, rng, 20, 2)
+	serial, err := New(m, Config{Samples: 2000, BurnIn: 100, Method: bestAveraged(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := serial.TupleAtATime(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(m, Config{Samples: 2000, BurnIn: 100, Method: bestAveraged(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := parallel.ParallelTupleAtATime(workload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sres.Dists {
+		l1, err := dist.L1(sres.Dists[i].P, pres.Dists[i].P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1 > 0.2 {
+			t.Errorf("tuple %d: serial and parallel estimates differ by L1=%v", i, l1)
+		}
+	}
+	if pres.PointsSampled != sres.PointsSampled {
+		t.Errorf("points: parallel %d vs serial %d", pres.PointsSampled, sres.PointsSampled)
+	}
+}
+
+func TestParallelRejectsEmptyWorkload(t *testing.T) {
+	m, _, _ := learnBN(t, "BN8", 500, 73)
+	s, err := New(m, Config{Samples: 10, Method: bestAveraged()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ParallelTupleAtATime(nil, 4); err == nil {
+		t.Error("empty workload should fail")
+	}
+}
+
+func TestMixSeedSpread(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 10000; i++ {
+		s := mixSeed(42, i)
+		if s < 0 {
+			t.Fatalf("negative seed %d", s)
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}

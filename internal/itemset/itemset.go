@@ -1,0 +1,311 @@
+// Package itemset implements frequent-itemset mining over attribute-value
+// pairs, the first stage of the MRSL learning algorithm (Section III of the
+// paper). Itemsets are partial assignments of values to attributes — the
+// same representation as an incomplete tuple's complete portion — and are
+// mined with the level-wise Apriori algorithm of Agrawal & Srikant, with the
+// paper's extra termination condition: stop after any round that yields
+// more than maxItemsets frequent itemsets.
+package itemset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// DefaultMaxItemsets is the paper's setting of the round-size cutoff
+// ("we set maxItemsets = 1000 in our implementation").
+const DefaultMaxItemsets = 1000
+
+// Itemset is one frequent itemset: a partial assignment over the schema's
+// attributes together with its support in the mined relation.
+type Itemset struct {
+	// Tuple holds the assignment; attributes not in the itemset are Missing.
+	Tuple relation.Tuple
+	// Count is the number of matching points in the mined relation.
+	Count int
+	// Support is Count divided by the relation size.
+	Support float64
+	// Size is the number of attributes assigned by the itemset.
+	Size int
+}
+
+// Result is the outcome of mining: all frequent itemsets, indexed by
+// assignment key, plus bookkeeping about the run.
+type Result struct {
+	// Itemsets maps relation.Tuple.Key() to the frequent itemset.
+	Itemsets map[string]*Itemset
+	// PerLevel[k] is the number of frequent itemsets of size k
+	// (PerLevel[0] == 1 for the empty itemset).
+	PerLevel []int
+	// Truncated reports whether mining stopped early because a round
+	// produced more than maxItemsets itemsets.
+	Truncated bool
+	// Rows is the number of points mined.
+	Rows int
+}
+
+// Config controls a mining run.
+type Config struct {
+	// SupportThreshold is the paper's theta: an itemset is frequent if its
+	// support is at least this fraction. Must be in (0, 1].
+	SupportThreshold float64
+	// MaxItemsets is the per-round cutoff; <= 0 selects
+	// DefaultMaxItemsets.
+	MaxItemsets int
+	// MaxSize bounds itemset size; <= 0 means no bound (up to the number
+	// of attributes).
+	MaxSize int
+	// IncludePartial also mines the complete portions of incomplete
+	// tuples, as the paper suggests in Section III ("the complete portion
+	// of incomplete tuples in Ri may also be used to discover association
+	// rules"). A tuple then supports an itemset when all of the itemset's
+	// attributes are known in the tuple and agree; the support denominator
+	// remains the total tuple count, so estimates are conservative for
+	// itemsets over frequently missing attributes.
+	IncludePartial bool
+}
+
+// Mine runs Apriori over the relation rc. Without Config.IncludePartial
+// every tuple must be complete (a point); with it, incomplete tuples
+// contribute their known portions.
+func Mine(rc *relation.Relation, cfg Config) (*Result, error) {
+	if cfg.SupportThreshold <= 0 || cfg.SupportThreshold > 1 {
+		return nil, fmt.Errorf("itemset: support threshold %v out of (0, 1]", cfg.SupportThreshold)
+	}
+	maxItemsets := cfg.MaxItemsets
+	if maxItemsets <= 0 {
+		maxItemsets = DefaultMaxItemsets
+	}
+	n := rc.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("itemset: relation has no complete tuples to mine")
+	}
+	if !cfg.IncludePartial {
+		for i, t := range rc.Tuples {
+			if !t.IsComplete() {
+				return nil, fmt.Errorf("itemset: tuple %d is incomplete", i)
+			}
+		}
+	}
+	nAttrs := rc.Schema.NumAttrs()
+	maxSize := cfg.MaxSize
+	if maxSize <= 0 || maxSize > nAttrs {
+		maxSize = nAttrs
+	}
+	minCount := int(cfg.SupportThreshold * float64(n))
+	if float64(minCount) < cfg.SupportThreshold*float64(n) {
+		minCount++
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	res := &Result{
+		Itemsets: make(map[string]*Itemset),
+		PerLevel: []int{1},
+		Rows:     n,
+	}
+	// The empty itemset matches everything; it anchors the top meta-rules
+	// P(a) of every MRSL.
+	empty := relation.NewTuple(nAttrs)
+	res.Itemsets[empty.Key()] = &Itemset{Tuple: empty, Count: n, Support: 1, Size: 0}
+
+	// Level 1: count every attribute-value pair. Missing values contribute
+	// nothing (relevant only with IncludePartial).
+	counts := make(map[string]*Itemset)
+	for _, p := range rc.Tuples {
+		for a, v := range p {
+			if v == relation.Missing {
+				continue
+			}
+			it := relation.NewTuple(nAttrs)
+			it[a] = v
+			k := it.Key()
+			if e, ok := counts[k]; ok {
+				e.Count++
+			} else {
+				counts[k] = &Itemset{Tuple: it, Count: 1, Size: 1}
+			}
+		}
+	}
+	frontier := keepFrequent(counts, minCount, n, res)
+
+	// Levels 2..maxSize.
+	for k := 2; k <= maxSize && len(frontier) > 0; k++ {
+		if len(frontier) > maxItemsets {
+			res.Truncated = true
+			break
+		}
+		candidates := generateCandidates(frontier, res.Itemsets, nAttrs)
+		if len(candidates) == 0 {
+			break
+		}
+		countCandidates(rc, candidates, k)
+		frontier = keepFrequent(candidates, minCount, n, res)
+	}
+	return res, nil
+}
+
+// keepFrequent moves itemsets meeting minCount into the result and returns
+// them as the next frontier.
+func keepFrequent(cands map[string]*Itemset, minCount, rows int, res *Result) []*Itemset {
+	var out []*Itemset
+	for k, it := range cands {
+		if it.Count < minCount {
+			continue
+		}
+		it.Support = float64(it.Count) / float64(rows)
+		res.Itemsets[k] = it
+		out = append(out, it)
+	}
+	// Stable order keeps candidate generation deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Tuple.Key() < out[j].Tuple.Key()
+	})
+	if len(out) > 0 {
+		for len(res.PerLevel) <= out[0].Size {
+			res.PerLevel = append(res.PerLevel, 0)
+		}
+		res.PerLevel[out[0].Size] = len(out)
+	}
+	return out
+}
+
+// generateCandidates joins frequent (k-1)-itemsets that share all but their
+// last assigned attribute (classic Apriori join) and prunes candidates with
+// an infrequent (k-1)-subset.
+func generateCandidates(frontier []*Itemset, frequent map[string]*Itemset, nAttrs int) map[string]*Itemset {
+	out := make(map[string]*Itemset)
+	for i := 0; i < len(frontier); i++ {
+		for j := i + 1; j < len(frontier); j++ {
+			cand, ok := join(frontier[i].Tuple, frontier[j].Tuple, nAttrs)
+			if !ok {
+				continue
+			}
+			k := cand.Key()
+			if _, dup := out[k]; dup {
+				continue
+			}
+			if !allSubsetsFrequent(cand, frequent) {
+				continue
+			}
+			out[k] = &Itemset{Tuple: cand, Size: frontier[i].Size + 1}
+		}
+	}
+	return out
+}
+
+// join merges two k-1 itemsets differing in exactly one assigned attribute
+// into a k-itemset, or reports failure.
+func join(a, b relation.Tuple, nAttrs int) (relation.Tuple, bool) {
+	diff := 0
+	out := make(relation.Tuple, nAttrs)
+	for i := 0; i < nAttrs; i++ {
+		av, bv := a[i], b[i]
+		switch {
+		case av == bv:
+			out[i] = av
+		case av == relation.Missing:
+			out[i] = bv
+			diff++
+		case bv == relation.Missing:
+			out[i] = av
+			diff++
+		default:
+			return nil, false // same attribute, different values
+		}
+		if diff > 2 {
+			return nil, false
+		}
+	}
+	// Joining two distinct (k-1)-itemsets into a k-itemset requires exactly
+	// one attribute unique to each side.
+	if diff != 2 {
+		return nil, false
+	}
+	return out, true
+}
+
+// allSubsetsFrequent checks the Apriori pruning condition: every (k-1)
+// subset of cand must already be frequent.
+func allSubsetsFrequent(cand relation.Tuple, frequent map[string]*Itemset) bool {
+	for i, v := range cand {
+		if v == relation.Missing {
+			continue
+		}
+		cand[i] = relation.Missing
+		_, ok := frequent[cand.Key()]
+		cand[i] = v
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// countCandidates scans the relation once, incrementing each candidate a
+// point matches. For every point we enumerate its size-k sub-assignments
+// restricted to attributes that appear in some candidate, and look them up.
+func countCandidates(rc *relation.Relation, cands map[string]*Itemset, k int) {
+	nAttrs := rc.Schema.NumAttrs()
+	sub := relation.NewTuple(nAttrs)
+	idx := make([]int, k)
+	var buf []byte
+	for _, p := range rc.Tuples {
+		// Enumerate all k-subsets of the attribute indices.
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			for i := range sub {
+				sub[i] = relation.Missing
+			}
+			for _, a := range idx {
+				sub[a] = p[a]
+			}
+			buf = sub.AppendKey(buf[:0])
+			if it, ok := cands[string(buf)]; ok {
+				it.Count++
+			}
+			// Next k-combination of {0..nAttrs-1}.
+			i := k - 1
+			for i >= 0 && idx[i] == nAttrs-k+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < k; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+}
+
+// Frequent returns the mined itemset for the given partial assignment, or
+// nil if it is not frequent.
+func (r *Result) Frequent(t relation.Tuple) *Itemset {
+	return r.Itemsets[t.Key()]
+}
+
+// Len returns the number of frequent itemsets, including the empty itemset.
+func (r *Result) Len() int { return len(r.Itemsets) }
+
+// All returns the frequent itemsets sorted by (size, key) for deterministic
+// iteration.
+func (r *Result) All() []*Itemset {
+	out := make([]*Itemset, 0, len(r.Itemsets))
+	for _, it := range r.Itemsets {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size < out[j].Size
+		}
+		return out[i].Tuple.Key() < out[j].Tuple.Key()
+	})
+	return out
+}

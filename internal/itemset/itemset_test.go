@@ -1,0 +1,316 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// tinyRelation builds a 8-point relation over two binary and one ternary
+// attribute with known co-occurrence counts.
+func tinyRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "a", Domain: []string{"a0", "a1"}},
+		{Name: "b", Domain: []string{"b0", "b1"}},
+		{Name: "c", Domain: []string{"c0", "c1", "c2"}},
+	})
+	r := relation.NewRelation(s)
+	rows := []relation.Tuple{
+		{0, 0, 0},
+		{0, 0, 0},
+		{0, 0, 1},
+		{0, 1, 1},
+		{1, 0, 2},
+		{1, 1, 2},
+		{1, 1, 0},
+		{1, 1, 0},
+	}
+	for _, row := range rows {
+		if err := r.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestMineValidation(t *testing.T) {
+	r := tinyRelation(t)
+	if _, err := Mine(r, Config{SupportThreshold: 0}); err == nil {
+		t.Error("theta=0 should fail")
+	}
+	if _, err := Mine(r, Config{SupportThreshold: 1.5}); err == nil {
+		t.Error("theta>1 should fail")
+	}
+	empty := relation.NewRelation(r.Schema)
+	if _, err := Mine(empty, Config{SupportThreshold: 0.1}); err == nil {
+		t.Error("empty relation should fail")
+	}
+	incomplete := relation.NewRelation(r.Schema)
+	if err := incomplete.Append(relation.Tuple{0, relation.Missing, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mine(incomplete, Config{SupportThreshold: 0.1}); err == nil {
+		t.Error("incomplete tuples should fail")
+	}
+}
+
+func TestMineCountsExactly(t *testing.T) {
+	r := tinyRelation(t)
+	res, err := Mine(r, Config{SupportThreshold: 0.124}) // count >= 1 needs supp >= 1/8
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := relation.Missing
+	check := func(tu relation.Tuple, wantCount int) {
+		t.Helper()
+		it := res.Frequent(tu)
+		if wantCount == 0 {
+			if it != nil {
+				t.Errorf("%v should not be frequent, got count %d", tu, it.Count)
+			}
+			return
+		}
+		if it == nil {
+			t.Errorf("%v should be frequent with count %d", tu, wantCount)
+			return
+		}
+		if it.Count != wantCount {
+			t.Errorf("%v count = %d, want %d", tu, it.Count, wantCount)
+		}
+		if got, want := it.Support, float64(wantCount)/8; got != want {
+			t.Errorf("%v support = %v, want %v", tu, got, want)
+		}
+	}
+	// Singletons.
+	check(relation.Tuple{0, m, m}, 4)
+	check(relation.Tuple{1, m, m}, 4)
+	check(relation.Tuple{m, 0, m}, 4)
+	check(relation.Tuple{m, 1, m}, 4)
+	check(relation.Tuple{m, m, 0}, 4)
+	check(relation.Tuple{m, m, 1}, 2)
+	check(relation.Tuple{m, m, 2}, 2)
+	// Pairs.
+	check(relation.Tuple{0, 0, m}, 3)
+	check(relation.Tuple{0, 1, m}, 1)
+	check(relation.Tuple{1, 1, m}, 3)
+	check(relation.Tuple{m, 1, 0}, 2)
+	// Triples.
+	check(relation.Tuple{0, 0, 0}, 2)
+	check(relation.Tuple{1, 1, 0}, 2)
+	check(relation.Tuple{1, 0, 0}, 0) // never occurs
+	// Empty itemset present with support 1.
+	check(relation.NewTuple(3), 8)
+}
+
+func TestMineRespectsThreshold(t *testing.T) {
+	r := tinyRelation(t)
+	res, err := Mine(r, Config{SupportThreshold: 0.5}) // count >= 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.All() {
+		if it.Size == 0 {
+			continue
+		}
+		if it.Count < 4 {
+			t.Errorf("itemset %v has count %d < 4", it.Tuple, it.Count)
+		}
+	}
+	m := relation.Missing
+	if res.Frequent(relation.Tuple{m, m, 1}) != nil {
+		t.Error("c=c1 (count 2) should not pass theta=0.5")
+	}
+	if res.Frequent(relation.Tuple{0, m, m}) == nil {
+		t.Error("a=a0 (count 4) should pass theta=0.5")
+	}
+}
+
+// TestAprioriMonotonicity: the support of an itemset never exceeds the
+// support of any of its subsets.
+func TestAprioriMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "w", Domain: []string{"0", "1", "2"}},
+		{Name: "x", Domain: []string{"0", "1"}},
+		{Name: "y", Domain: []string{"0", "1", "2"}},
+		{Name: "z", Domain: []string{"0", "1"}},
+	})
+	r := relation.NewRelation(s)
+	for i := 0; i < 400; i++ {
+		tu := relation.Tuple{rng.Intn(3), rng.Intn(2), rng.Intn(3), rng.Intn(2)}
+		if err := r.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Mine(r, Config{SupportThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.All() {
+		if it.Size == 0 {
+			continue
+		}
+		// Drop each assigned attribute; the subset must be frequent with
+		// at least this count.
+		for a, v := range it.Tuple {
+			if v == relation.Missing {
+				continue
+			}
+			sub := it.Tuple.Clone()
+			sub[a] = relation.Missing
+			parent := res.Frequent(sub)
+			if parent == nil {
+				t.Fatalf("subset %v of frequent %v is missing", sub, it.Tuple)
+			}
+			if parent.Count < it.Count {
+				t.Fatalf("subset %v count %d < superset %v count %d",
+					sub, parent.Count, it.Tuple, it.Count)
+			}
+		}
+	}
+}
+
+// TestMineAgainstBruteForce compares Apriori counts against brute-force
+// enumeration on a small random relation.
+func TestMineAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "x", Domain: []string{"0", "1"}},
+		{Name: "y", Domain: []string{"0", "1", "2"}},
+		{Name: "z", Domain: []string{"0", "1"}},
+	})
+	r := relation.NewRelation(s)
+	for i := 0; i < 60; i++ {
+		tu := relation.Tuple{rng.Intn(2), rng.Intn(3), rng.Intn(2)}
+		if err := r.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const theta = 0.1
+	res, err := Mine(r, Config{SupportThreshold: theta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: enumerate every partial assignment, count matches.
+	minCount := 6 // ceil(0.1*60)
+	var walk func(tu relation.Tuple, attr int)
+	walk = func(tu relation.Tuple, attr int) {
+		if attr == 3 {
+			count := r.CountMatches(tu)
+			it := res.Frequent(tu)
+			if count >= minCount {
+				if it == nil {
+					t.Fatalf("missing frequent itemset %v (count %d)", tu, count)
+				}
+				if it.Count != count {
+					t.Fatalf("itemset %v count %d, want %d", tu, it.Count, count)
+				}
+			} else if it != nil && it.Size > 0 {
+				t.Fatalf("infrequent itemset %v (count %d) reported frequent", tu, count)
+			}
+			return
+		}
+		tu[attr] = relation.Missing
+		walk(tu, attr+1)
+		for v := 0; v < r.Schema.Attrs[attr].Card(); v++ {
+			tu[attr] = v
+			walk(tu, attr+1)
+		}
+		tu[attr] = relation.Missing
+	}
+	walk(relation.NewTuple(3), 0)
+}
+
+func TestMaxItemsetsTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	attrs := make([]relation.Attribute, 6)
+	for i := range attrs {
+		attrs[i] = relation.Attribute{
+			Name:   string(rune('a' + i)),
+			Domain: []string{"0", "1", "2", "3"},
+		}
+	}
+	s := relation.MustSchema(attrs)
+	r := relation.NewRelation(s)
+	for i := 0; i < 500; i++ {
+		tu := make(relation.Tuple, 6)
+		for j := range tu {
+			tu[j] = rng.Intn(4)
+		}
+		if err := r.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := Mine(r, Config{SupportThreshold: 0.001, MaxItemsets: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Mine(r, Config{SupportThreshold: 0.001, MaxItemsets: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Truncated {
+		t.Error("capped run should be truncated")
+	}
+	if capped.Len() >= full.Len() {
+		t.Errorf("capped %d itemsets, full %d — cap had no effect", capped.Len(), full.Len())
+	}
+}
+
+func TestMaxSizeBounds(t *testing.T) {
+	r := tinyRelation(t)
+	res, err := Mine(r, Config{SupportThreshold: 0.124, MaxSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.All() {
+		if it.Size > 1 {
+			t.Errorf("itemset %v exceeds MaxSize=1", it.Tuple)
+		}
+	}
+}
+
+func TestPerLevelAccounting(t *testing.T) {
+	r := tinyRelation(t)
+	res, err := Mine(r, Config{SupportThreshold: 0.124})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerLevel[0] != 1 {
+		t.Errorf("PerLevel[0] = %d, want 1", res.PerLevel[0])
+	}
+	// 2+2+3 singleton values exist.
+	if res.PerLevel[1] != 7 {
+		t.Errorf("PerLevel[1] = %d, want 7", res.PerLevel[1])
+	}
+	total := 0
+	for _, c := range res.PerLevel {
+		total += c
+	}
+	if total != res.Len() {
+		t.Errorf("PerLevel sums to %d, Len is %d", total, res.Len())
+	}
+	if res.Rows != 8 {
+		t.Errorf("Rows = %d, want 8", res.Rows)
+	}
+}
+
+func TestAllSortedDeterministic(t *testing.T) {
+	r := tinyRelation(t)
+	res, err := Mine(r, Config{SupportThreshold: 0.124})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.All()
+	b := res.All()
+	for i := range a {
+		if !a[i].Tuple.Equal(b[i].Tuple) {
+			t.Fatal("All() is not deterministic")
+		}
+		if i > 0 && a[i].Size < a[i-1].Size {
+			t.Fatal("All() not sorted by size")
+		}
+	}
+}

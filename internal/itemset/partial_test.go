@@ -1,0 +1,150 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// partialRelation builds a mixed relation: 6 complete points plus
+// incomplete tuples whose known portions carry extra evidence.
+func partialRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "a", Domain: []string{"a0", "a1"}},
+		{Name: "b", Domain: []string{"b0", "b1"}},
+	})
+	r := relation.NewRelation(s)
+	m := relation.Missing
+	rows := []relation.Tuple{
+		{0, 0}, {0, 0}, {0, 1}, {1, 1}, {1, 1}, {1, 0},
+		{0, m}, {0, m}, {m, 1}, {m, m},
+	}
+	for _, row := range rows {
+		if err := r.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestMineRejectsPartialByDefault(t *testing.T) {
+	r := partialRelation(t)
+	if _, err := Mine(r, Config{SupportThreshold: 0.05}); err == nil {
+		t.Error("incomplete tuples should be rejected without IncludePartial")
+	}
+}
+
+func TestMinePartialCounts(t *testing.T) {
+	r := partialRelation(t)
+	res, err := Mine(r, Config{SupportThreshold: 0.05, IncludePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 10 {
+		t.Fatalf("rows = %d, want 10", res.Rows)
+	}
+	m := relation.Missing
+	// a=a0: rows 1,2,3 complete + two partials = 5.
+	if it := res.Frequent(relation.Tuple{0, m}); it == nil || it.Count != 5 {
+		t.Errorf("a=a0 count = %+v, want 5", it)
+	}
+	// b=b1: rows 3,4,5 + one partial = 4.
+	if it := res.Frequent(relation.Tuple{m, 1}); it == nil || it.Count != 4 {
+		t.Errorf("b=b1 count = %+v, want 4", it)
+	}
+	// Pair (a0, b0): only complete rows 1,2 count — partial tuples cannot
+	// support a pair touching a missing attribute.
+	if it := res.Frequent(relation.Tuple{0, 0}); it == nil || it.Count != 2 {
+		t.Errorf("(a0,b0) count = %+v, want 2", it)
+	}
+	// The empty itemset still counts every tuple.
+	if it := res.Frequent(relation.NewTuple(2)); it == nil || it.Count != 10 {
+		t.Errorf("empty itemset count = %+v, want 10", it)
+	}
+}
+
+// TestPartialMonotonicityHolds: subset counts still dominate superset
+// counts when partial tuples participate.
+func TestPartialMonotonicityHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "x", Domain: []string{"0", "1", "2"}},
+		{Name: "y", Domain: []string{"0", "1"}},
+		{Name: "z", Domain: []string{"0", "1", "2"}},
+	})
+	r := relation.NewRelation(s)
+	for i := 0; i < 300; i++ {
+		tu := relation.Tuple{rng.Intn(3), rng.Intn(2), rng.Intn(3)}
+		for j := range tu {
+			if rng.Float64() < 0.2 {
+				tu[j] = relation.Missing
+			}
+		}
+		if err := r.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Mine(r, Config{SupportThreshold: 0.01, IncludePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.All() {
+		if it.Size == 0 {
+			continue
+		}
+		for a, v := range it.Tuple {
+			if v == relation.Missing {
+				continue
+			}
+			sub := it.Tuple.Clone()
+			sub[a] = relation.Missing
+			parent := res.Frequent(sub)
+			if parent == nil || parent.Count < it.Count {
+				t.Fatalf("monotonicity violated at %v -> %v", it.Tuple, sub)
+			}
+		}
+	}
+}
+
+// TestPartialMiningImprovesCoverage: with heavy missingness, partial mining
+// sees strictly more evidence for single attributes than complete-only
+// mining.
+func TestPartialMiningImprovesCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "x", Domain: []string{"0", "1"}},
+		{Name: "y", Domain: []string{"0", "1"}},
+		{Name: "z", Domain: []string{"0", "1"}},
+	})
+	full := relation.NewRelation(s)
+	for i := 0; i < 500; i++ {
+		tu := relation.Tuple{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+		if i%2 == 0 { // half the tuples lose one value
+			tu[rng.Intn(3)] = relation.Missing
+		}
+		if err := full.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc, _ := full.Split()
+	completeOnly, err := Mine(rc, Config{SupportThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Mine(full, Config{SupportThreshold: 0.01, IncludePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := relation.Missing
+	probe := relation.Tuple{0, m, m}
+	co := completeOnly.Frequent(probe)
+	pa := partial.Frequent(probe)
+	if co == nil || pa == nil {
+		t.Fatal("x=0 should be frequent in both runs")
+	}
+	if pa.Count <= co.Count {
+		t.Errorf("partial count %d should exceed complete-only %d", pa.Count, co.Count)
+	}
+}

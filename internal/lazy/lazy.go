@@ -1,0 +1,231 @@
+// Package lazy implements the paper's closing future-work proposal:
+// "partial materialization of probability values, as well as lazy,
+// query-targeted learning and inference" (Section VIII). Instead of
+// deriving a block of completions for every incomplete tuple up front, a
+// lazy database answers structured queries by classifying each incomplete
+// tuple against the query's conditions: tuples whose known values already
+// refute or entail the query cost nothing, tuples with one open condition
+// are resolved by a single voted CPD lookup, and only tuples with several
+// open conditions pay for Gibbs sampling. Inferred distributions are
+// memoized, so repeated queries amortize — the partial materialization the
+// paper anticipates.
+package lazy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/pdb"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+// Config tunes lazy inference.
+type Config struct {
+	// Method is the voting method for local CPDs and single-attribute
+	// resolutions.
+	Method vote.Method
+	// Samples and BurnIn configure Gibbs for multi-attribute resolutions;
+	// Samples <= 0 defaults to 1000.
+	Samples int
+	BurnIn  int
+	// Seed anchors the sampler.
+	Seed int64
+}
+
+// Stats counts the work a lazy database has (and has not) performed.
+type Stats struct {
+	// Refuted and Entailed count query/tuple pairs decided from known
+	// values alone.
+	Refuted, Entailed int
+	// SingleLookups counts single-attribute CPD resolutions.
+	SingleLookups int
+	// GibbsRuns counts multi-attribute Gibbs inferences.
+	GibbsRuns int
+	// CacheHits counts memoized reuses of previously inferred
+	// distributions.
+	CacheHits int
+}
+
+// DB is a lazily derived probabilistic database over an incomplete
+// relation.
+type DB struct {
+	model *core.Model
+	rel   *relation.Relation
+	cfg   Config
+
+	sampler *gibbs.Sampler
+
+	// singles memoizes voted CPDs keyed by tuple key + attribute.
+	singles map[string]dist.Dist
+	// joints memoizes Gibbs joints keyed by tuple key.
+	joints map[string]*dist.Joint
+
+	stats Stats
+}
+
+// New wraps a model and relation into a lazy database.
+func New(m *core.Model, rel *relation.Relation, cfg Config) (*DB, error) {
+	if m == nil || rel == nil {
+		return nil, fmt.Errorf("lazy: nil model or relation")
+	}
+	if m.Schema.NumAttrs() != rel.Schema.NumAttrs() {
+		return nil, fmt.Errorf("lazy: schema mismatch (%d vs %d attributes)",
+			m.Schema.NumAttrs(), rel.Schema.NumAttrs())
+	}
+	samples := cfg.Samples
+	if samples <= 0 {
+		samples = 1000
+	}
+	s, err := gibbs.New(m, gibbs.Config{
+		Samples: samples,
+		BurnIn:  cfg.BurnIn,
+		Method:  cfg.Method,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		model:   m,
+		rel:     rel,
+		cfg:     cfg,
+		sampler: s,
+		singles: make(map[string]dist.Dist),
+		joints:  make(map[string]*dist.Joint),
+	}, nil
+}
+
+// Stats returns the accumulated work counters.
+func (db *DB) Stats() Stats { return db.stats }
+
+// ExpectedCount evaluates the expected number of tuples satisfying the
+// conjunctive query, deriving probability values only where the query
+// forces it.
+func (db *DB) ExpectedCount(q pdb.ConjQuery) (float64, error) {
+	if err := q.Validate(db.rel.Schema); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, t := range db.rel.Tuples {
+		p, err := db.TupleProb(t, q)
+		if err != nil {
+			return 0, err
+		}
+		total += p
+	}
+	return total, nil
+}
+
+// TupleProb returns the probability that tuple t satisfies the query.
+// Complete tuples are evaluated directly; incomplete tuples are classified
+// against the query's conditions first, and only Open tuples trigger
+// inference.
+func (db *DB) TupleProb(t relation.Tuple, q pdb.ConjQuery) (float64, error) {
+	outcome, openAttrs := q.EvalKnown(t)
+	switch outcome {
+	case pdb.Refuted:
+		db.stats.Refuted++
+		return 0, nil
+	case pdb.Entailed:
+		db.stats.Entailed++
+		return 1, nil
+	}
+	// Open: probability that the open attributes take the queried values.
+	want := make(map[int]int, len(q))
+	for _, c := range q {
+		want[c.Attr] = c.Value
+	}
+	if len(openAttrs) == 1 {
+		attr := openAttrs[0]
+		d, err := db.singleCPD(t, attr)
+		if err != nil {
+			return 0, err
+		}
+		return d[want[attr]], nil
+	}
+	j, err := db.jointDist(t)
+	if err != nil {
+		return 0, err
+	}
+	// Sum joint mass over outcomes where every open attribute matches.
+	var p float64
+	vals := make([]int, len(j.Attrs))
+	for idx, mass := range j.P {
+		j.ValuesInto(idx, vals)
+		ok := true
+		for i, a := range j.Attrs {
+			if wantVal, queried := want[a]; queried && vals[i] != wantVal {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			p += mass
+		}
+	}
+	return p, nil
+}
+
+// singleCPD memoizes vote.Infer per (tuple, attribute).
+func (db *DB) singleCPD(t relation.Tuple, attr int) (dist.Dist, error) {
+	key := fmt.Sprintf("%s#%d", t.Key(), attr)
+	if d, ok := db.singles[key]; ok {
+		db.stats.CacheHits++
+		return d, nil
+	}
+	d, err := vote.Infer(db.model, t, attr, db.cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	db.stats.SingleLookups++
+	db.singles[key] = d
+	return d, nil
+}
+
+// jointDist memoizes Gibbs joints per tuple.
+func (db *DB) jointDist(t relation.Tuple) (*dist.Joint, error) {
+	key := t.Key()
+	if j, ok := db.joints[key]; ok {
+		db.stats.CacheHits++
+		return j, nil
+	}
+	j, err := db.sampler.InferTuple(t)
+	if err != nil {
+		return nil, err
+	}
+	db.stats.GibbsRuns++
+	db.joints[key] = j
+	return j, nil
+}
+
+// Materialize eagerly derives the block for one incomplete tuple (the
+// "partial materialization" knob: callers can precompute hot tuples and
+// leave the cold ones lazy).
+func (db *DB) Materialize(t relation.Tuple, maxAlts int) (*pdb.Block, error) {
+	missing := t.MissingAttrs()
+	switch len(missing) {
+	case 0:
+		return nil, fmt.Errorf("lazy: tuple %v is complete", t)
+	case 1:
+		attr := missing[0]
+		d, err := db.singleCPD(t, attr)
+		if err != nil {
+			return nil, err
+		}
+		j, err := dist.NewJoint([]int{attr}, []int{db.model.Schema.Attrs[attr].Card()})
+		if err != nil {
+			return nil, err
+		}
+		copy(j.P, d)
+		return pdb.NewBlock(t, j, maxAlts)
+	default:
+		j, err := db.jointDist(t)
+		if err != nil {
+			return nil, err
+		}
+		return pdb.NewBlock(t, j, maxAlts)
+	}
+}

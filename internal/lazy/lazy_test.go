@@ -1,0 +1,239 @@
+package lazy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/pdb"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+func bestAveraged() vote.Method {
+	return vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+}
+
+// fixture learns a model over BN8 and builds a mixed relation of complete
+// and incomplete tuples.
+func fixture(t *testing.T, seed int64) (*core.Model, *relation.Relation, *bn.Instance) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	top, err := bn.ByID("BN8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, 8000)
+	m, err := core.Learn(train, core.Config{SupportThreshold: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := relation.NewRelation(train.Schema)
+	for i := 0; i < 200; i++ {
+		tu := inst.Sample(rng)
+		switch {
+		case i%4 == 1:
+			tu[rng.Intn(4)] = relation.Missing
+		case i%4 == 2:
+			perm := rng.Perm(4)
+			tu[perm[0]] = relation.Missing
+			tu[perm[1]] = relation.Missing
+		}
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, rel, inst
+}
+
+func TestNewValidation(t *testing.T) {
+	m, rel, _ := fixture(t, 81)
+	if _, err := New(nil, rel, Config{}); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := New(m, nil, Config{}); err == nil {
+		t.Error("nil relation should fail")
+	}
+	other := relation.NewRelation(relation.MustSchema([]relation.Attribute{
+		{Name: "z", Domain: []string{"0", "1"}},
+	}))
+	if _, err := New(m, other, Config{}); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}
+
+func TestExpectedCountValidatesQuery(t *testing.T) {
+	m, rel, _ := fixture(t, 82)
+	db, err := New(m, rel, Config{Method: bestAveraged(), Samples: 200, BurnIn: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExpectedCount(nil); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := db.ExpectedCount(pdb.ConjQuery{{Attr: 9, Value: 0}}); err == nil {
+		t.Error("invalid query should fail")
+	}
+}
+
+// TestLazySkipsDecidedTuples: a query over one attribute only triggers
+// inference for tuples where that attribute is missing.
+func TestLazySkipsDecidedTuples(t *testing.T) {
+	m, rel, _ := fixture(t, 83)
+	db, err := New(m, rel, Config{Method: bestAveraged(), Samples: 200, BurnIn: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pdb.ConjQuery{{Attr: 0, Value: 1}}
+	if _, err := db.ExpectedCount(q); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	// Tuples where attr 0 is known were decided without inference.
+	var knownAttr0 int
+	for _, tu := range rel.Tuples {
+		if tu[0] != relation.Missing {
+			knownAttr0++
+		}
+	}
+	if st.Refuted+st.Entailed != knownAttr0 {
+		t.Errorf("decided = %d, want %d (known attr-0 tuples)",
+			st.Refuted+st.Entailed, knownAttr0)
+	}
+	if st.GibbsRuns != 0 {
+		t.Errorf("single-condition query ran %d Gibbs inferences", st.GibbsRuns)
+	}
+	if st.SingleLookups == 0 {
+		t.Error("no single lookups recorded")
+	}
+}
+
+// TestLazyCountMatchesEagerDerive: lazy expected counts agree with fully
+// materializing the database and using pdb's evaluator (within Gibbs
+// noise on the multi-missing tuples).
+func TestLazyCountMatchesEagerDerive(t *testing.T) {
+	m, rel, _ := fixture(t, 84)
+	db, err := New(m, rel, Config{Method: bestAveraged(), Samples: 1500, BurnIn: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pdb.ConjQuery{{Attr: 0, Value: 1}, {Attr: 3, Value: 0}}
+	lazyCount, err := db.ExpectedCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Eager path: materialize every incomplete tuple into a block.
+	eager := pdb.NewDatabase(rel.Schema)
+	for _, tu := range rel.Tuples {
+		if tu.IsComplete() {
+			if err := eager.AddCertain(tu); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		blk, err := db.Materialize(tu, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eager.AddBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eagerCount := eager.ExpectedCount(q.Predicate())
+	if math.Abs(lazyCount-eagerCount) > 1.0 {
+		t.Errorf("lazy %v vs eager %v", lazyCount, eagerCount)
+	}
+}
+
+// TestLazyAgainstGroundTruth: on decided tuples the count is exact; on open
+// ones the probability mass tracks the generating network, so the total
+// should land near the true count of the hidden data.
+func TestLazyAgainstGroundTruth(t *testing.T) {
+	m, rel, inst := fixture(t, 85)
+	db, err := New(m, rel, Config{Method: bestAveraged(), Samples: 1500, BurnIn: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pdb.ConjQuery{{Attr: 1, Value: 0}}
+	got, err := db.ExpectedCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True expectation: decided tuples contribute exactly; open tuples
+	// contribute the network's conditional probability.
+	var want float64
+	for _, tu := range rel.Tuples {
+		outcome, _ := q.EvalKnown(tu)
+		switch outcome {
+		case pdb.Refuted:
+		case pdb.Entailed:
+			want++
+		default:
+			cond, err := inst.ConditionalSingle(tu, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += cond[0]
+		}
+	}
+	if math.Abs(got-want) > float64(rel.Len())*0.05 {
+		t.Errorf("expected count %v, ground-truth %v", got, want)
+	}
+}
+
+func TestCacheAmortizesRepeatedQueries(t *testing.T) {
+	m, rel, _ := fixture(t, 86)
+	db, err := New(m, rel, Config{Method: bestAveraged(), Samples: 150, BurnIn: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pdb.ConjQuery{{Attr: 0, Value: 0}, {Attr: 1, Value: 1}}
+	if _, err := db.ExpectedCount(q); err != nil {
+		t.Fatal(err)
+	}
+	first := db.Stats()
+	if _, err := db.ExpectedCount(q); err != nil {
+		t.Fatal(err)
+	}
+	second := db.Stats()
+	if second.GibbsRuns != first.GibbsRuns || second.SingleLookups != first.SingleLookups {
+		t.Errorf("second query re-ran inference: %+v -> %+v", first, second)
+	}
+	if second.CacheHits <= first.CacheHits {
+		t.Error("second query produced no cache hits")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	m, rel, _ := fixture(t, 87)
+	db, err := New(m, rel, Config{Method: bestAveraged(), Samples: 300, BurnIn: 30, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize(relation.Tuple{0, 0, 0, 0}, 0); err == nil {
+		t.Error("complete tuple should fail")
+	}
+	mTuple := relation.Tuple{relation.Missing, 0, 0, 0}
+	blk, err := db.Materialize(mTuple, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Alts) == 0 || math.Abs(blk.ProbSum()-1) > 1e-6 {
+		t.Errorf("bad single-missing block: %+v", blk)
+	}
+	m2 := relation.Tuple{relation.Missing, relation.Missing, 0, 0}
+	blk2, err := db.Materialize(m2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk2.Alts) > 2 {
+		t.Errorf("maxAlts ignored: %d alternatives", len(blk2.Alts))
+	}
+}

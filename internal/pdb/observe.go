@@ -1,0 +1,64 @@
+package pdb
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Observation support: in interactive cleaning, a user (or a later data
+// delivery) pins down one of a tuple's missing values. Conditioning the
+// block on that observation is a Bayesian update within the block — the
+// alternatives inconsistent with the observation drop out and the rest
+// renormalize — and requires no re-inference.
+
+// Observe returns a new block conditioned on attribute attr having value
+// val. The base tuple's missing marker for attr is replaced by the
+// observed value. Observing a value the block considers impossible (zero
+// remaining mass) is an error: the model and the observation disagree.
+func (b *Block) Observe(attr, val int) (*Block, error) {
+	if attr < 0 || attr >= len(b.Base) {
+		return nil, fmt.Errorf("pdb: attribute %d out of range", attr)
+	}
+	if b.Base[attr] != relation.Missing {
+		if b.Base[attr] == val {
+			return b, nil // observation agrees with a known value: no-op
+		}
+		return nil, fmt.Errorf("pdb: observation %d conflicts with known value %d", val, b.Base[attr])
+	}
+	nb := &Block{Base: b.Base.Clone()}
+	nb.Base[attr] = val
+	for _, a := range b.Alts {
+		if a.Tuple[attr] != val {
+			continue
+		}
+		nb.Alts = append(nb.Alts, Alternative{Tuple: a.Tuple, Prob: a.Prob})
+	}
+	if len(nb.Alts) == 0 {
+		return nil, fmt.Errorf("pdb: observed value has zero probability in block for %v", b.Base)
+	}
+	nb.renormalize()
+	return nb, nil
+}
+
+// ObserveBlock conditions block index bi of the database in place. If the
+// observation completes the tuple (no alternatives remain distinct), the
+// block collapses into a certain tuple.
+func (db *Database) ObserveBlock(bi, attr, val int) error {
+	if bi < 0 || bi >= len(db.Blocks) {
+		return fmt.Errorf("pdb: block %d out of range", bi)
+	}
+	nb, err := db.Blocks[bi].Observe(attr, val)
+	if err != nil {
+		return err
+	}
+	if nb.Base.IsComplete() {
+		// The observation determined the last missing value: the block
+		// collapses to a certain tuple.
+		db.Certain = append(db.Certain, nb.Alts[0].Tuple)
+		db.Blocks = append(db.Blocks[:bi], db.Blocks[bi+1:]...)
+		return nil
+	}
+	db.Blocks[bi] = nb
+	return nil
+}

@@ -1,0 +1,155 @@
+package pdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+)
+
+// TestObservePaperBlock conditions the paper's Delta_t12 block on
+// inc = 50K: the surviving completions are t12.1 (0.30) and t12.2 (0.45),
+// renormalized to 0.4 and 0.6.
+func TestObservePaperBlock(t *testing.T) {
+	b, s := paperBlock(t)
+	inc := s.AttrIndex("inc")
+	nb, err := b.Observe(inc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb.Alts) != 2 {
+		t.Fatalf("alts = %d, want 2", len(nb.Alts))
+	}
+	if nb.Base[inc] != 0 {
+		t.Errorf("base inc = %d, want 0", nb.Base[inc])
+	}
+	// Sorted descending: 0.6 (nw=500K) then 0.4 (nw=100K).
+	if math.Abs(nb.Alts[0].Prob-0.6) > 1e-12 || math.Abs(nb.Alts[1].Prob-0.4) > 1e-12 {
+		t.Errorf("posterior = %v, %v; want 0.6, 0.4", nb.Alts[0].Prob, nb.Alts[1].Prob)
+	}
+	// The original block is untouched.
+	if len(b.Alts) != 4 {
+		t.Error("Observe mutated the source block")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	b, s := paperBlock(t)
+	if _, err := b.Observe(-1, 0); err == nil {
+		t.Error("bad attribute should fail")
+	}
+	age := s.AttrIndex("age")
+	// age is known (30 = code 1): observing the same value is a no-op...
+	same, err := b.Observe(age, 1)
+	if err != nil || same != b {
+		t.Errorf("observing known value: %v, %v", same, err)
+	}
+	// ...but a conflicting one fails.
+	if _, err := b.Observe(age, 0); err == nil {
+		t.Error("conflicting observation should fail")
+	}
+}
+
+func TestObserveZeroProbabilityValue(t *testing.T) {
+	s := relation.MatchmakingSchema()
+	_ = s
+	m := relation.Missing
+	base := relation.Tuple{1, 2, m, m}
+	j, err := dist.NewJoint([]int{2, 3}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inc=100K carries all mass; observing inc=50K is impossible.
+	j.P = dist.Dist{0, 0, 0.5, 0.5}
+	b, err := NewBlock(base, j, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Observe(2, 0); err == nil {
+		t.Error("zero-probability observation should fail")
+	}
+}
+
+func TestObserveBlockCollapsesToCertain(t *testing.T) {
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "x", Domain: []string{"0", "1"}},
+		{Name: "y", Domain: []string{"0", "1"}},
+	})
+	db := NewDatabase(s)
+	m := relation.Missing
+	j, err := dist.NewJoint([]int{1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.P = dist.Dist{0.3, 0.7}
+	b, err := NewBlock(relation.Tuple{0, m}, j, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ObserveBlock(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Blocks) != 0 {
+		t.Fatalf("block did not collapse: %d blocks", len(db.Blocks))
+	}
+	if len(db.Certain) != 1 || !db.Certain[0].Equal(relation.Tuple{0, 1}) {
+		t.Errorf("certain = %v", db.Certain)
+	}
+	if err := db.ObserveBlock(5, 0, 0); err == nil {
+		t.Error("bad block index should fail")
+	}
+}
+
+// TestObservePartialKeepsBlock: observing one of two missing attributes
+// leaves a smaller, renormalized block in place.
+func TestObservePartialKeepsBlock(t *testing.T) {
+	b, s := paperBlock(t)
+	db := NewDatabase(s)
+	if err := db.AddBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ObserveBlock(0, s.AttrIndex("inc"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Blocks) != 1 || len(db.Certain) != 0 {
+		t.Fatalf("blocks=%d certain=%d", len(db.Blocks), len(db.Certain))
+	}
+	nb := db.Blocks[0]
+	if math.Abs(nb.ProbSum()-1) > 1e-12 {
+		t.Errorf("posterior not normalized: %v", nb.ProbSum())
+	}
+	// Original masses 0.10 (nw=100K) and 0.15 (nw=500K) -> 0.4 / 0.6.
+	if math.Abs(nb.Prob(Eq(s.AttrIndex("nw"), 1))-0.6) > 1e-12 {
+		t.Errorf("P(nw=500K | inc=100K) = %v, want 0.6", nb.Prob(Eq(s.AttrIndex("nw"), 1)))
+	}
+}
+
+// TestObserveMatchesConditionalMath: conditioning a block equals dividing
+// the selected mass by the marginal, for random distributions.
+func TestObserveMatchesConditionalMath(t *testing.T) {
+	s := relation.MatchmakingSchema()
+	m := relation.Missing
+	base := relation.Tuple{0, 0, m, m}
+	j, err := dist.NewJoint([]int{2, 3}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.P = dist.Dist{0.1, 0.2, 0.3, 0.4}
+	b, err := NewBlock(base, j, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Observe(3, 0) // nw = 100K: masses 0.1 and 0.3
+	if err != nil {
+		t.Fatal(err)
+	}
+	incIdx := s.AttrIndex("inc")
+	want := 0.3 / 0.4 // P(inc=100K | nw=100K)
+	if got := nb.Prob(Eq(incIdx, 1)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(inc=100K|nw=100K) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,330 @@
+// Package pdb implements the disjoint-independent probabilistic database
+// model that the paper's pipeline produces (Section I-A): each incomplete
+// tuple gives rise to a block of mutually exclusive completed tuples, one
+// of which is chosen per possible world, independently across blocks.
+// The package provides block construction from inferred joint
+// distributions, possible-world semantics (enumeration, sampling, most
+// probable world), and query evaluation (per-block marginals, expected
+// counts, projection probabilities) under block independence.
+package pdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+)
+
+// Alternative is one completed version of an incomplete tuple, with its
+// probability within the block.
+type Alternative struct {
+	Tuple relation.Tuple
+	Prob  float64
+}
+
+// Block is the distribution Delta_t over the completions of one incomplete
+// tuple: a set of mutually exclusive alternatives whose probabilities sum
+// to 1.
+type Block struct {
+	// Base is the original incomplete tuple.
+	Base relation.Tuple
+	// Alts are the completions, sorted by descending probability.
+	Alts []Alternative
+}
+
+// NewBlock expands an inferred joint distribution over the missing
+// attributes of base into a block of completed tuples. maxAlts > 0 keeps
+// only the most probable alternatives (renormalized); <= 0 keeps all.
+func NewBlock(base relation.Tuple, j *dist.Joint, maxAlts int) (*Block, error) {
+	missing := base.MissingAttrs()
+	if len(missing) == 0 {
+		return nil, fmt.Errorf("pdb: tuple %v is already complete", base)
+	}
+	if len(j.Attrs) != len(missing) {
+		return nil, fmt.Errorf("pdb: joint over %v does not cover missing %v", j.Attrs, missing)
+	}
+	for i, a := range j.Attrs {
+		if a != missing[i] {
+			return nil, fmt.Errorf("pdb: joint over %v does not cover missing %v", j.Attrs, missing)
+		}
+	}
+	b := &Block{Base: base.Clone()}
+	vals := make([]int, len(missing))
+	for idx, p := range j.P {
+		if p <= 0 {
+			continue
+		}
+		j.ValuesInto(idx, vals)
+		tu := base.Clone()
+		for k, a := range missing {
+			tu[a] = vals[k]
+		}
+		b.Alts = append(b.Alts, Alternative{Tuple: tu, Prob: p})
+	}
+	if len(b.Alts) == 0 {
+		return nil, fmt.Errorf("pdb: joint for %v has no mass", base)
+	}
+	sort.SliceStable(b.Alts, func(x, y int) bool { return b.Alts[x].Prob > b.Alts[y].Prob })
+	if maxAlts > 0 && len(b.Alts) > maxAlts {
+		b.Alts = b.Alts[:maxAlts]
+		b.renormalize()
+	}
+	return b, nil
+}
+
+func (b *Block) renormalize() {
+	var s float64
+	for _, a := range b.Alts {
+		s += a.Prob
+	}
+	if s <= 0 {
+		u := 1.0 / float64(len(b.Alts))
+		for i := range b.Alts {
+			b.Alts[i].Prob = u
+		}
+		return
+	}
+	for i := range b.Alts {
+		b.Alts[i].Prob /= s
+	}
+}
+
+// ProbSum returns the total probability mass of the block's alternatives.
+func (b *Block) ProbSum() float64 {
+	var s float64
+	for _, a := range b.Alts {
+		s += a.Prob
+	}
+	return s
+}
+
+// MostProbable returns the alternative with the highest probability.
+func (b *Block) MostProbable() Alternative { return b.Alts[0] }
+
+// Predicate selects tuples; used by queries.
+type Predicate func(relation.Tuple) bool
+
+// Eq returns a predicate matching tuples whose attribute attr equals val.
+func Eq(attr, val int) Predicate {
+	return func(t relation.Tuple) bool { return t[attr] == val }
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate {
+	return func(t relation.Tuple) bool {
+		for _, p := range ps {
+			if !p(t) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Prob returns the probability that the block's tuple satisfies pred.
+func (b *Block) Prob(pred Predicate) float64 {
+	var s float64
+	for _, a := range b.Alts {
+		if pred(a.Tuple) {
+			s += a.Prob
+		}
+	}
+	return s
+}
+
+// Database is a disjoint-independent probabilistic database: certain
+// (complete) tuples plus independent blocks of mutually exclusive
+// alternatives.
+type Database struct {
+	Schema  *relation.Schema
+	Certain []relation.Tuple
+	Blocks  []*Block
+}
+
+// NewDatabase returns an empty database over the schema.
+func NewDatabase(s *relation.Schema) *Database {
+	return &Database{Schema: s}
+}
+
+// AddCertain appends a complete tuple.
+func (db *Database) AddCertain(t relation.Tuple) error {
+	if !t.IsComplete() {
+		return fmt.Errorf("pdb: certain tuple %v is incomplete", t)
+	}
+	db.Certain = append(db.Certain, t)
+	return nil
+}
+
+// AddBlock appends a block after validating its distribution.
+func (db *Database) AddBlock(b *Block) error {
+	if len(b.Alts) == 0 {
+		return fmt.Errorf("pdb: block has no alternatives")
+	}
+	if math.Abs(b.ProbSum()-1) > 1e-6 {
+		return fmt.Errorf("pdb: block probabilities sum to %v", b.ProbSum())
+	}
+	for _, a := range b.Alts {
+		if !a.Tuple.IsComplete() {
+			return fmt.Errorf("pdb: alternative %v is incomplete", a.Tuple)
+		}
+		if a.Prob < 0 {
+			return fmt.Errorf("pdb: negative probability %v", a.Prob)
+		}
+	}
+	db.Blocks = append(db.Blocks, b)
+	return nil
+}
+
+// NumWorlds returns the number of possible worlds (product of block sizes),
+// or -1 if it overflows int64.
+func (db *Database) NumWorlds() int64 {
+	n := int64(1)
+	for _, b := range db.Blocks {
+		k := int64(len(b.Alts))
+		if n > math.MaxInt64/k {
+			return -1
+		}
+		n *= k
+	}
+	return n
+}
+
+// ExpectedCount returns the expected number of tuples satisfying pred:
+// certain matches count 1, each block contributes its match probability.
+func (db *Database) ExpectedCount(pred Predicate) float64 {
+	var e float64
+	for _, t := range db.Certain {
+		if pred(t) {
+			e++
+		}
+	}
+	for _, b := range db.Blocks {
+		e += b.Prob(pred)
+	}
+	return e
+}
+
+// CountVariance returns the variance of the count of tuples satisfying
+// pred; blocks are independent Bernoulli contributions, certain tuples are
+// constant.
+func (db *Database) CountVariance(pred Predicate) float64 {
+	var v float64
+	for _, b := range db.Blocks {
+		p := b.Prob(pred)
+		v += p * (1 - p)
+	}
+	return v
+}
+
+// AnyProb returns the probability that at least one tuple (certain or
+// uncertain) satisfies pred: 1 if a certain tuple matches, otherwise
+// 1 - prod_blocks (1 - P(match)) by block independence. This evaluates
+// projection/existential queries.
+func (db *Database) AnyProb(pred Predicate) float64 {
+	for _, t := range db.Certain {
+		if pred(t) {
+			return 1
+		}
+	}
+	q := 1.0
+	for _, b := range db.Blocks {
+		q *= 1 - b.Prob(pred)
+	}
+	return 1 - q
+}
+
+// World is one possible world: a choice of alternative per block.
+type World struct {
+	// Choice[i] indexes Blocks[i].Alts.
+	Choice []int
+	// Prob is the world's probability (product of chosen alternatives).
+	Prob float64
+}
+
+// Tuples materializes the world as a complete relation: certain tuples
+// followed by each block's chosen alternative.
+func (db *Database) Tuples(w World) []relation.Tuple {
+	out := make([]relation.Tuple, 0, len(db.Certain)+len(db.Blocks))
+	out = append(out, db.Certain...)
+	for i, b := range db.Blocks {
+		out = append(out, b.Alts[w.Choice[i]].Tuple)
+	}
+	return out
+}
+
+// EnumerateWorlds lists every possible world, or fails if there are more
+// than limit.
+func (db *Database) EnumerateWorlds(limit int64) ([]World, error) {
+	n := db.NumWorlds()
+	if n < 0 || n > limit {
+		return nil, fmt.Errorf("pdb: %d possible worlds exceed limit %d", n, limit)
+	}
+	worlds := make([]World, 0, n)
+	choice := make([]int, len(db.Blocks))
+	var walk func(i int, p float64)
+	walk = func(i int, p float64) {
+		if i == len(db.Blocks) {
+			worlds = append(worlds, World{Choice: append([]int(nil), choice...), Prob: p})
+			return
+		}
+		for k, a := range db.Blocks[i].Alts {
+			choice[i] = k
+			walk(i+1, p*a.Prob)
+		}
+	}
+	walk(0, 1)
+	return worlds, nil
+}
+
+// SampleWorld draws a possible world according to the block distributions.
+func (db *Database) SampleWorld(rng *rand.Rand) World {
+	w := World{Choice: make([]int, len(db.Blocks)), Prob: 1}
+	for i, b := range db.Blocks {
+		u := rng.Float64()
+		acc := 0.0
+		pick := len(b.Alts) - 1
+		for k, a := range b.Alts {
+			acc += a.Prob
+			if u < acc {
+				pick = k
+				break
+			}
+		}
+		w.Choice[i] = pick
+		w.Prob *= b.Alts[pick].Prob
+	}
+	return w
+}
+
+// MostProbableWorld returns the world choosing each block's most probable
+// alternative; under block independence this maximizes world probability.
+func (db *Database) MostProbableWorld() World {
+	w := World{Choice: make([]int, len(db.Blocks)), Prob: 1}
+	for i, b := range db.Blocks {
+		w.Choice[i] = 0 // Alts sorted by descending probability
+		w.Prob *= b.Alts[0].Prob
+	}
+	return w
+}
+
+// MonteCarloCount estimates the distribution of the count of tuples
+// matching pred by sampling worlds; it returns the empirical mean. It is a
+// cross-check for ExpectedCount in the style of MCDB-like systems.
+func (db *Database) MonteCarloCount(pred Predicate, rng *rand.Rand, worlds int) float64 {
+	if worlds <= 0 {
+		worlds = 1000
+	}
+	var total float64
+	for i := 0; i < worlds; i++ {
+		w := db.SampleWorld(rng)
+		for _, t := range db.Tuples(w) {
+			if pred(t) {
+				total++
+			}
+		}
+	}
+	return total / float64(worlds)
+}

@@ -1,0 +1,368 @@
+package pdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+)
+
+func twoAttrSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema([]relation.Attribute{
+		{Name: "x", Domain: []string{"x0", "x1"}},
+		{Name: "y", Domain: []string{"y0", "y1"}},
+	})
+}
+
+// paperBlock builds the Delta_t12 block of Fig. 1: base tuple
+// ⟨30, MS, ?, ?⟩ with completions over inc × nw at probabilities
+// 0.30, 0.45, 0.10, 0.15.
+func paperBlock(t *testing.T) (*Block, *relation.Schema) {
+	t.Helper()
+	s := relation.MatchmakingSchema()
+	m := relation.Missing
+	base := relation.Tuple{1, 2, m, m} // 30, MS, ?, ?
+	j, err := dist.NewJoint([]int{2, 3}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index order: (inc, nw) with nw fastest: (50K,100K) (50K,500K)
+	// (100K,100K) (100K,500K).
+	j.P = dist.Dist{0.30, 0.45, 0.10, 0.15}
+	b, err := NewBlock(base, j, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, s
+}
+
+func TestNewBlockPaperExample(t *testing.T) {
+	b, _ := paperBlock(t)
+	if len(b.Alts) != 4 {
+		t.Fatalf("alts = %d, want 4", len(b.Alts))
+	}
+	if math.Abs(b.ProbSum()-1) > 1e-12 {
+		t.Errorf("prob sum = %v", b.ProbSum())
+	}
+	// Sorted by descending probability: 0.45 first (t12.2 in the paper).
+	top := b.MostProbable()
+	if math.Abs(top.Prob-0.45) > 1e-12 {
+		t.Errorf("most probable = %v, want 0.45", top.Prob)
+	}
+	if top.Tuple[2] != 0 || top.Tuple[3] != 1 {
+		t.Errorf("most probable completion = %v, want inc=50K nw=500K", top.Tuple)
+	}
+	// All completions preserve the base's known values.
+	for _, a := range b.Alts {
+		if a.Tuple[0] != 1 || a.Tuple[1] != 2 {
+			t.Errorf("completion %v altered known values", a.Tuple)
+		}
+		if !a.Tuple.IsComplete() {
+			t.Errorf("completion %v incomplete", a.Tuple)
+		}
+	}
+}
+
+func TestNewBlockValidation(t *testing.T) {
+	s := twoAttrSchema(t)
+	_ = s
+	complete := relation.Tuple{0, 1}
+	j, _ := dist.NewJoint([]int{0}, []int{2})
+	j.P = dist.Dist{0.5, 0.5}
+	if _, err := NewBlock(complete, j, 0); err == nil {
+		t.Error("complete base should fail")
+	}
+	m := relation.Missing
+	base := relation.Tuple{m, 1}
+	wrong, _ := dist.NewJoint([]int{1}, []int{2})
+	wrong.P = dist.Dist{0.5, 0.5}
+	if _, err := NewBlock(base, wrong, 0); err == nil {
+		t.Error("joint over wrong attrs should fail")
+	}
+	zero, _ := dist.NewJoint([]int{0}, []int{2})
+	if _, err := NewBlock(base, zero, 0); err == nil {
+		t.Error("zero-mass joint should fail")
+	}
+}
+
+func TestNewBlockTopK(t *testing.T) {
+	b, _ := paperBlock(t)
+	_ = b
+	s := relation.MatchmakingSchema()
+	_ = s
+	m := relation.Missing
+	base := relation.Tuple{1, 2, m, m}
+	j, _ := dist.NewJoint([]int{2, 3}, []int{2, 2})
+	j.P = dist.Dist{0.30, 0.45, 0.10, 0.15}
+	capped, err := NewBlock(base, j, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Alts) != 2 {
+		t.Fatalf("alts = %d, want 2", len(capped.Alts))
+	}
+	if math.Abs(capped.ProbSum()-1) > 1e-12 {
+		t.Errorf("renormalized sum = %v", capped.ProbSum())
+	}
+	// 0.45/0.75 and 0.30/0.75.
+	if math.Abs(capped.Alts[0].Prob-0.6) > 1e-12 || math.Abs(capped.Alts[1].Prob-0.4) > 1e-12 {
+		t.Errorf("renormalized probs = %v, %v", capped.Alts[0].Prob, capped.Alts[1].Prob)
+	}
+}
+
+func TestBlockProb(t *testing.T) {
+	b, s := paperBlock(t)
+	inc := s.AttrIndex("inc")
+	nw := s.AttrIndex("nw")
+	// P(inc = 50K) = 0.30 + 0.45.
+	if got := b.Prob(Eq(inc, 0)); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P(inc=50K) = %v, want 0.75", got)
+	}
+	// P(inc=100K AND nw=500K) = 0.15.
+	if got := b.Prob(And(Eq(inc, 1), Eq(nw, 1))); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("P(inc=100K,nw=500K) = %v, want 0.15", got)
+	}
+}
+
+func buildTestDB(t *testing.T) *Database {
+	t.Helper()
+	s := twoAttrSchema(t)
+	db := NewDatabase(s)
+	if err := db.AddCertain(relation.Tuple{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	m := relation.Missing
+	mk := func(base relation.Tuple, probs []float64) *Block {
+		j, err := dist.NewJoint(base.MissingAttrs(), []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.P = probs
+		b, err := NewBlock(base, j, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if err := db.AddBlock(mk(relation.Tuple{m, 1}, []float64{0.7, 0.3})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddBlock(mk(relation.Tuple{1, m}, []float64{0.4, 0.6})); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestAddValidation(t *testing.T) {
+	db := NewDatabase(twoAttrSchema(t))
+	m := relation.Missing
+	if err := db.AddCertain(relation.Tuple{0, m}); err == nil {
+		t.Error("incomplete certain tuple should fail")
+	}
+	if err := db.AddBlock(&Block{}); err == nil {
+		t.Error("empty block should fail")
+	}
+	bad := &Block{Alts: []Alternative{{Tuple: relation.Tuple{0, 0}, Prob: 0.5}}}
+	if err := db.AddBlock(bad); err == nil {
+		t.Error("non-normalized block should fail")
+	}
+	incomplete := &Block{Alts: []Alternative{{Tuple: relation.Tuple{0, m}, Prob: 1}}}
+	if err := db.AddBlock(incomplete); err == nil {
+		t.Error("incomplete alternative should fail")
+	}
+}
+
+func TestNumWorlds(t *testing.T) {
+	db := buildTestDB(t)
+	if got := db.NumWorlds(); got != 4 {
+		t.Errorf("NumWorlds = %d, want 4", got)
+	}
+	empty := NewDatabase(twoAttrSchema(t))
+	if got := empty.NumWorlds(); got != 1 {
+		t.Errorf("empty NumWorlds = %d, want 1", got)
+	}
+}
+
+func TestExpectedCountHandComputed(t *testing.T) {
+	db := buildTestDB(t)
+	// pred: x = x0. Certain {0,0} matches (1). Block1 base {?,1}:
+	// P(x=0)=0.7. Block2 base {1,?}: never matches.
+	got := db.ExpectedCount(Eq(0, 0))
+	if math.Abs(got-1.7) > 1e-12 {
+		t.Errorf("E[count] = %v, want 1.7", got)
+	}
+	// Variance: 0.7*0.3 + 0 = 0.21.
+	if v := db.CountVariance(Eq(0, 0)); math.Abs(v-0.21) > 1e-12 {
+		t.Errorf("Var[count] = %v, want 0.21", v)
+	}
+}
+
+func TestAnyProb(t *testing.T) {
+	db := buildTestDB(t)
+	// Certain tuple {0,0} matches y=y0 — probability 1.
+	if got := db.AnyProb(Eq(1, 0)); got != 1 {
+		t.Errorf("AnyProb certain = %v, want 1", got)
+	}
+	// pred x=x1: block1 P=0.3, block2 P=1. 1-(0.7)(0) = 1.
+	if got := db.AnyProb(Eq(0, 1)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("AnyProb = %v, want 1", got)
+	}
+	// pred x=x1 AND y=y1: block1 {?,1}: P(x=1)=0.3 (y=1 fixed) -> 0.3;
+	// block2 {1,?}: P(y=1)=0.6. 1 - 0.7*0.4 = 0.72.
+	pred := And(Eq(0, 1), Eq(1, 1))
+	if got := db.AnyProb(pred); math.Abs(got-0.72) > 1e-12 {
+		t.Errorf("AnyProb = %v, want 0.72", got)
+	}
+}
+
+func TestEnumerateWorlds(t *testing.T) {
+	db := buildTestDB(t)
+	worlds, err := db.EnumerateWorlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 4 {
+		t.Fatalf("worlds = %d, want 4", len(worlds))
+	}
+	var total float64
+	for _, w := range worlds {
+		total += w.Prob
+		tuples := db.Tuples(w)
+		if len(tuples) != 3 { // 1 certain + 2 blocks
+			t.Errorf("world has %d tuples, want 3", len(tuples))
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v", total)
+	}
+	if _, err := db.EnumerateWorlds(3); err == nil {
+		t.Error("limit exceeded should fail")
+	}
+}
+
+func TestMostProbableWorld(t *testing.T) {
+	db := buildTestDB(t)
+	w := db.MostProbableWorld()
+	// Block1 best = 0.7 (x=0), block2 best = 0.6 (y=1).
+	if math.Abs(w.Prob-0.42) > 1e-12 {
+		t.Errorf("most probable world prob = %v, want 0.42", w.Prob)
+	}
+	worlds, err := db.EnumerateWorlds(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range worlds {
+		if other.Prob > w.Prob+1e-12 {
+			t.Errorf("world %v beats 'most probable' (%v > %v)", other.Choice, other.Prob, w.Prob)
+		}
+	}
+}
+
+func TestSampleWorldEmpirical(t *testing.T) {
+	db := buildTestDB(t)
+	rng := rand.New(rand.NewSource(17))
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w := db.SampleWorld(rng)
+		counts[w.Choice[0]*2+w.Choice[1]]++
+	}
+	// Alts are sorted by descending probability: block1 = {0.7 (x=0),
+	// 0.3 (x=1)}, block2 = {0.6 (y=1), 0.4 (y=0)}.
+	want := []float64{0.42, 0.28, 0.18, 0.12}
+	for k, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-want[k]) > 0.01 {
+			t.Errorf("world %d freq %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestMonteCarloCountAgreesWithExact(t *testing.T) {
+	db := buildTestDB(t)
+	rng := rand.New(rand.NewSource(18))
+	exact := db.ExpectedCount(Eq(0, 0))
+	mc := db.MonteCarloCount(Eq(0, 0), rng, 50000)
+	if math.Abs(mc-exact) > 0.02 {
+		t.Errorf("MC = %v, exact = %v", mc, exact)
+	}
+}
+
+// TestQuickExpectedCountLinearity: expected counts of a predicate and its
+// complement sum to the total tuple count.
+func TestQuickExpectedCountLinearity(t *testing.T) {
+	f := func(p1, p2 uint8) bool {
+		a := 0.1 + 0.8*float64(p1)/255
+		b := 0.1 + 0.8*float64(p2)/255
+		s := relation.MustSchema([]relation.Attribute{
+			{Name: "x", Domain: []string{"0", "1"}},
+		})
+		db := NewDatabase(s)
+		m := relation.Missing
+		for _, p := range []float64{a, b} {
+			j, err := dist.NewJoint([]int{0}, []int{2})
+			if err != nil {
+				return false
+			}
+			j.P = dist.Dist{p, 1 - p}
+			blk, err := NewBlock(relation.Tuple{m}, j, 0)
+			if err != nil {
+				return false
+			}
+			if err := db.AddBlock(blk); err != nil {
+				return false
+			}
+		}
+		e0 := db.ExpectedCount(Eq(0, 0))
+		e1 := db.ExpectedCount(Eq(0, 1))
+		return math.Abs(e0+e1-2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWorldProbsSumToOne on random two-block databases.
+func TestQuickWorldProbsSumToOne(t *testing.T) {
+	f := func(p1, p2 uint8) bool {
+		a := 0.05 + 0.9*float64(p1)/255
+		b := 0.05 + 0.9*float64(p2)/255
+		s := relation.MustSchema([]relation.Attribute{
+			{Name: "x", Domain: []string{"0", "1"}},
+			{Name: "y", Domain: []string{"0", "1"}},
+		})
+		db := NewDatabase(s)
+		m := relation.Missing
+		mk := func(base relation.Tuple, p float64) bool {
+			j, err := dist.NewJoint(base.MissingAttrs(), []int{2})
+			if err != nil {
+				return false
+			}
+			j.P = dist.Dist{p, 1 - p}
+			blk, err := NewBlock(base, j, 0)
+			if err != nil {
+				return false
+			}
+			return db.AddBlock(blk) == nil
+		}
+		if !mk(relation.Tuple{m, 0}, a) || !mk(relation.Tuple{1, m}, b) {
+			return false
+		}
+		worlds, err := db.EnumerateWorlds(16)
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, w := range worlds {
+			total += w.Prob
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package pdb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Structured queries. Function predicates (Predicate) are opaque — fine for
+// evaluating a materialized database, but useless for reasoning about what
+// needs to be materialized at all. Cond/ConjQuery express the
+// equality-conjunction fragment structurally, which both the evaluator here
+// and the lazy query-targeted deriver (package lazy) exploit.
+
+// Cond is one equality condition attr = value.
+type Cond struct {
+	Attr  int
+	Value int
+}
+
+// ConjQuery is a conjunction of equality conditions over distinct
+// attributes.
+type ConjQuery []Cond
+
+// Validate checks attribute ranges and duplicate-free conditions.
+func (q ConjQuery) Validate(s *relation.Schema) error {
+	if len(q) == 0 {
+		return fmt.Errorf("pdb: empty query")
+	}
+	seen := make(map[int]bool, len(q))
+	for _, c := range q {
+		if c.Attr < 0 || c.Attr >= s.NumAttrs() {
+			return fmt.Errorf("pdb: condition attribute %d out of range", c.Attr)
+		}
+		if c.Value < 0 || c.Value >= s.Attrs[c.Attr].Card() {
+			return fmt.Errorf("pdb: condition value %d out of range for %q",
+				c.Value, s.Attrs[c.Attr].Name)
+		}
+		if seen[c.Attr] {
+			return fmt.Errorf("pdb: duplicate condition on attribute %q", s.Attrs[c.Attr].Name)
+		}
+		seen[c.Attr] = true
+	}
+	return nil
+}
+
+// Predicate converts the structured query into an opaque predicate.
+func (q ConjQuery) Predicate() Predicate {
+	return func(t relation.Tuple) bool {
+		for _, c := range q {
+			if t[c.Attr] != c.Value {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// EvalKnown classifies an incomplete tuple against the query using only
+// its known values: the query is Refuted if a known value conflicts,
+// Entailed if every condition is satisfied by known values, and Open
+// otherwise (conditions touch missing attributes).
+type EvalOutcome int
+
+const (
+	// Refuted: no completion of the tuple can satisfy the query.
+	Refuted EvalOutcome = iota
+	// Entailed: every completion of the tuple satisfies the query.
+	Entailed
+	// Open: satisfaction depends on the missing values.
+	Open
+)
+
+// EvalKnown classifies t against q; openAttrs lists the query attributes
+// that are missing in t (only meaningful for Open).
+func (q ConjQuery) EvalKnown(t relation.Tuple) (outcome EvalOutcome, openAttrs []int) {
+	for _, c := range q {
+		switch t[c.Attr] {
+		case relation.Missing:
+			openAttrs = append(openAttrs, c.Attr)
+		case c.Value:
+			// satisfied by a known value
+		default:
+			return Refuted, nil
+		}
+	}
+	if len(openAttrs) == 0 {
+		return Entailed, nil
+	}
+	return Open, openAttrs
+}
+
+// ResultRow is one alternative surviving a selection, tagged with its
+// probability and source.
+type ResultRow struct {
+	Tuple relation.Tuple
+	Prob  float64
+	// Block is the source block index, or -1 for a certain tuple.
+	Block int
+}
+
+// Select returns the probabilistic selection sigma_pred(db): every certain
+// tuple that satisfies pred (probability 1) and every block alternative
+// that does (its block probability). Rows from one block remain mutually
+// exclusive; the per-block row probabilities sum to the block's
+// satisfaction probability, which may be below 1 — the tuple might not
+// qualify in a given world.
+func (db *Database) Select(pred Predicate) []ResultRow {
+	var rows []ResultRow
+	for _, t := range db.Certain {
+		if pred(t) {
+			rows = append(rows, ResultRow{Tuple: t, Prob: 1, Block: -1})
+		}
+	}
+	for bi, b := range db.Blocks {
+		for _, a := range b.Alts {
+			if pred(a.Tuple) {
+				rows = append(rows, ResultRow{Tuple: a.Tuple, Prob: a.Prob, Block: bi})
+			}
+		}
+	}
+	return rows
+}
+
+// GroupStat is one group of an expected-count histogram.
+type GroupStat struct {
+	Value    int
+	Expected float64
+	Variance float64
+}
+
+// GroupCount returns, for each value of attribute attr, the expected number
+// of tuples taking that value and the variance of that count (blocks are
+// independent Bernoulli contributions).
+func (db *Database) GroupCount(attr int) ([]GroupStat, error) {
+	if attr < 0 || attr >= db.Schema.NumAttrs() {
+		return nil, fmt.Errorf("pdb: attribute %d out of range", attr)
+	}
+	card := db.Schema.Attrs[attr].Card()
+	stats := make([]GroupStat, card)
+	for v := range stats {
+		stats[v].Value = v
+	}
+	for _, t := range db.Certain {
+		stats[t[attr]].Expected++
+	}
+	for _, b := range db.Blocks {
+		var perValue = make([]float64, card)
+		for _, a := range b.Alts {
+			perValue[a.Tuple[attr]] += a.Prob
+		}
+		for v, p := range perValue {
+			stats[v].Expected += p
+			stats[v].Variance += p * (1 - p)
+		}
+	}
+	return stats, nil
+}
+
+// TopKRows returns the k most probable selection results (certain rows
+// first, then by descending probability; ties broken by block order for
+// determinism).
+func (db *Database) TopKRows(pred Predicate, k int) []ResultRow {
+	rows := db.Select(pred)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Prob > rows[j].Prob })
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}

@@ -1,0 +1,129 @@
+package pdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestConjQueryValidate(t *testing.T) {
+	s := twoAttrSchema(t)
+	if err := (ConjQuery{}).Validate(s); err == nil {
+		t.Error("empty query should fail")
+	}
+	if err := (ConjQuery{{Attr: 9, Value: 0}}).Validate(s); err == nil {
+		t.Error("bad attr should fail")
+	}
+	if err := (ConjQuery{{Attr: 0, Value: 9}}).Validate(s); err == nil {
+		t.Error("bad value should fail")
+	}
+	if err := (ConjQuery{{0, 0}, {0, 1}}).Validate(s); err == nil {
+		t.Error("duplicate attr should fail")
+	}
+	if err := (ConjQuery{{0, 1}, {1, 0}}).Validate(s); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestConjQueryPredicate(t *testing.T) {
+	q := ConjQuery{{Attr: 0, Value: 1}, {Attr: 1, Value: 0}}
+	pred := q.Predicate()
+	if !pred(relation.Tuple{1, 0}) {
+		t.Error("matching tuple rejected")
+	}
+	if pred(relation.Tuple{1, 1}) || pred(relation.Tuple{0, 0}) {
+		t.Error("non-matching tuple accepted")
+	}
+}
+
+func TestEvalKnown(t *testing.T) {
+	m := relation.Missing
+	q := ConjQuery{{Attr: 0, Value: 1}, {Attr: 2, Value: 0}}
+	// Known conflict -> Refuted.
+	if out, _ := q.EvalKnown(relation.Tuple{0, m, m}); out != Refuted {
+		t.Errorf("conflicting tuple = %v, want Refuted", out)
+	}
+	// All conditions known-satisfied -> Entailed.
+	if out, _ := q.EvalKnown(relation.Tuple{1, m, 0}); out != Entailed {
+		t.Errorf("satisfied tuple = %v, want Entailed", out)
+	}
+	// Open on one attr.
+	out, open := q.EvalKnown(relation.Tuple{1, m, m})
+	if out != Open || len(open) != 1 || open[0] != 2 {
+		t.Errorf("open eval = %v, %v", out, open)
+	}
+	// Open on both.
+	out, open = q.EvalKnown(relation.Tuple{m, m, m})
+	if out != Open || len(open) != 2 {
+		t.Errorf("fully open eval = %v, %v", out, open)
+	}
+	// Refuted wins over open.
+	if out, _ := q.EvalKnown(relation.Tuple{m, m, 1}); out != Refuted {
+		t.Errorf("partially conflicting tuple = %v, want Refuted", out)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	db := buildTestDB(t)
+	rows := db.Select(Eq(0, 0)) // x = x0
+	// Certain {0,0} (prob 1) + block1 alternative x=0 (0.7).
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Block != -1 || rows[0].Prob != 1 {
+		t.Errorf("certain row = %+v", rows[0])
+	}
+	if rows[1].Block != 0 || math.Abs(rows[1].Prob-0.7) > 1e-12 {
+		t.Errorf("block row = %+v", rows[1])
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	db := buildTestDB(t)
+	stats, err := db.GroupCount(0) // attribute x
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=0: certain 1 + block1 0.7 = 1.7; x=1: block1 0.3 + block2 1 = 1.3.
+	if math.Abs(stats[0].Expected-1.7) > 1e-12 {
+		t.Errorf("E[x=0] = %v, want 1.7", stats[0].Expected)
+	}
+	if math.Abs(stats[1].Expected-1.3) > 1e-12 {
+		t.Errorf("E[x=1] = %v, want 1.3", stats[1].Expected)
+	}
+	// Variances: block1 contributes 0.21 to both groups; block2 (certain
+	// within block on x) contributes 0.
+	if math.Abs(stats[0].Variance-0.21) > 1e-12 || math.Abs(stats[1].Variance-0.21) > 1e-12 {
+		t.Errorf("variances = %v, %v; want 0.21 each", stats[0].Variance, stats[1].Variance)
+	}
+	// Expected counts over all groups total the tuple count.
+	var total float64
+	for _, g := range stats {
+		total += g.Expected
+	}
+	if math.Abs(total-3) > 1e-12 {
+		t.Errorf("total expectation = %v, want 3", total)
+	}
+	if _, err := db.GroupCount(9); err == nil {
+		t.Error("bad attribute should fail")
+	}
+}
+
+func TestTopKRows(t *testing.T) {
+	db := buildTestDB(t)
+	all := db.TopKRows(func(relation.Tuple) bool { return true }, 0)
+	// 1 certain + 2 + 2 alternatives.
+	if len(all) != 5 {
+		t.Fatalf("rows = %d, want 5", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Prob > all[i-1].Prob {
+			t.Errorf("rows not sorted at %d", i)
+		}
+	}
+	top2 := db.TopKRows(func(relation.Tuple) bool { return true }, 2)
+	if len(top2) != 2 || top2[0].Prob != 1 {
+		t.Errorf("top2 = %+v", top2)
+	}
+}

@@ -1,0 +1,104 @@
+package pdb
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// TopKWorlds returns the k most probable possible worlds in descending
+// probability order, without enumerating the full world space. Because
+// blocks are independent, the search is a best-first expansion over
+// per-block alternative ranks (each block's alternatives are already
+// sorted by descending probability): the best world takes rank 0
+// everywhere, and any world's successors bump a single block to the next
+// rank. This is the classic k-shortest-paths style lazy enumeration.
+func (db *Database) TopKWorlds(k int) ([]World, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("pdb: k must be positive, got %d", k)
+	}
+	n := len(db.Blocks)
+	if n == 0 {
+		return []World{{Choice: []int{}, Prob: 1}}, nil
+	}
+	for bi, b := range db.Blocks {
+		if len(b.Alts) == 0 {
+			return nil, fmt.Errorf("pdb: block %d has no alternatives", bi)
+		}
+	}
+
+	// Work in log space to avoid underflow on wide databases.
+	logP := func(choice []int) float64 {
+		var s float64
+		for bi, r := range choice {
+			p := db.Blocks[bi].Alts[r].Prob
+			if p <= 0 {
+				return math.Inf(-1)
+			}
+			s += math.Log(p)
+		}
+		return s
+	}
+
+	best := make([]int, n) // all rank 0
+	pq := &worldQueue{}
+	heap.Init(pq)
+	heap.Push(pq, worldItem{choice: best, logP: logP(best)})
+	seen := map[string]bool{key(best): true}
+
+	var out []World
+	for pq.Len() > 0 && len(out) < k {
+		item := heap.Pop(pq).(worldItem)
+		out = append(out, World{
+			Choice: item.choice,
+			Prob:   math.Exp(item.logP),
+		})
+		// Successors: bump one block to its next-ranked alternative.
+		for bi := 0; bi < n; bi++ {
+			if item.choice[bi]+1 >= len(db.Blocks[bi].Alts) {
+				continue
+			}
+			next := append([]int(nil), item.choice...)
+			next[bi]++
+			kk := key(next)
+			if seen[kk] {
+				continue
+			}
+			seen[kk] = true
+			heap.Push(pq, worldItem{choice: next, logP: logP(next)})
+		}
+	}
+	return out, nil
+}
+
+func key(choice []int) string {
+	b := make([]byte, 0, len(choice)*2)
+	for _, c := range choice {
+		for c >= 0x80 {
+			b = append(b, byte(c)|0x80)
+			c >>= 7
+		}
+		b = append(b, byte(c))
+	}
+	return string(b)
+}
+
+type worldItem struct {
+	choice []int
+	logP   float64
+}
+
+// worldQueue is a max-heap on logP.
+type worldQueue []worldItem
+
+func (q worldQueue) Len() int           { return len(q) }
+func (q worldQueue) Less(i, j int) bool { return q[i].logP > q[j].logP }
+func (q worldQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *worldQueue) Push(x any)        { *q = append(*q, x.(worldItem)) }
+func (q *worldQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,134 @@
+package pdb
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+)
+
+func TestTopKWorldsValidation(t *testing.T) {
+	db := buildTestDB(t)
+	if _, err := db.TopKWorlds(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestTopKWorldsEmptyDatabase(t *testing.T) {
+	db := NewDatabase(twoAttrSchema(t))
+	worlds, err := db.TopKWorlds(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 1 || worlds[0].Prob != 1 {
+		t.Errorf("empty db worlds = %+v", worlds)
+	}
+}
+
+// TestTopKWorldsMatchesEnumeration: best-first search returns exactly the
+// k most probable worlds that brute-force enumeration finds.
+func TestTopKWorldsMatchesEnumeration(t *testing.T) {
+	db := buildTestDB(t)
+	all, err := db.EnumerateWorlds(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Prob > all[j].Prob })
+	for _, k := range []int{1, 2, 3, 4, 10} {
+		got, err := db.TopKWorlds(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := k
+		if want > len(all) {
+			want = len(all)
+		}
+		if len(got) != want {
+			t.Fatalf("k=%d: %d worlds, want %d", k, len(got), want)
+		}
+		for i := range got {
+			if math.Abs(got[i].Prob-all[i].Prob) > 1e-12 {
+				t.Errorf("k=%d world %d: prob %v, want %v", k, i, got[i].Prob, all[i].Prob)
+			}
+		}
+		// Descending order.
+		for i := 1; i < len(got); i++ {
+			if got[i].Prob > got[i-1].Prob+1e-12 {
+				t.Errorf("k=%d: worlds not in descending order", k)
+			}
+		}
+	}
+}
+
+// TestTopKWorldsAgreesWithMostProbableWorld.
+func TestTopKWorldsTopIsMostProbable(t *testing.T) {
+	db := buildTestDB(t)
+	top, err := db.TopKWorlds(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := db.MostProbableWorld()
+	if math.Abs(top[0].Prob-mp.Prob) > 1e-12 {
+		t.Errorf("top world %v vs MostProbableWorld %v", top[0].Prob, mp.Prob)
+	}
+}
+
+// TestTopKWorldsWideDatabase: log-space scoring survives many blocks where
+// naive products underflow gradually.
+func TestTopKWorldsWideDatabase(t *testing.T) {
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "x", Domain: []string{"0", "1"}},
+	})
+	db := NewDatabase(s)
+	m := relation.Missing
+	for i := 0; i < 200; i++ {
+		j, err := dist.NewJoint([]int{0}, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.P = dist.Dist{0.9, 0.1}
+		blk, err := NewBlock(relation.Tuple{m}, j, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AddBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	worlds, err := db.TopKWorlds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 3 {
+		t.Fatalf("worlds = %d", len(worlds))
+	}
+	// Best world: all rank 0, prob 0.9^200.
+	want := math.Pow(0.9, 200)
+	if math.Abs(worlds[0].Prob-want)/want > 1e-6 {
+		t.Errorf("best world prob %v, want %v", worlds[0].Prob, want)
+	}
+	// Second-best: exactly one block at rank 1: 0.9^199 * 0.1.
+	want2 := math.Pow(0.9, 199) * 0.1
+	if math.Abs(worlds[1].Prob-want2)/want2 > 1e-6 {
+		t.Errorf("second world prob %v, want %v", worlds[1].Prob, want2)
+	}
+	// Probabilities descending and distinct choices.
+	if worlds[1].Prob > worlds[0].Prob || worlds[2].Prob > worlds[1].Prob {
+		t.Error("not descending")
+	}
+}
+
+func TestWorldChoiceKeyDistinct(t *testing.T) {
+	a := key([]int{1, 2, 3})
+	b := key([]int{1, 2, 4})
+	c := key([]int{12, 3})
+	if a == b || a == c {
+		t.Error("key collisions")
+	}
+	// Large ranks exercise the varint path.
+	if key([]int{300}) == key([]int{44, 2}) {
+		t.Error("varint key collision")
+	}
+}

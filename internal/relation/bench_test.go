@@ -1,0 +1,70 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchRelation(n int) *Relation {
+	rng := rand.New(rand.NewSource(5))
+	s := MustSchema([]Attribute{
+		{Name: "a", Domain: []string{"0", "1", "2"}},
+		{Name: "b", Domain: []string{"0", "1"}},
+		{Name: "c", Domain: []string{"0", "1", "2", "3"}},
+		{Name: "d", Domain: []string{"0", "1"}},
+	})
+	r := NewRelation(s)
+	r.Tuples = make([]Tuple, n)
+	for i := range r.Tuples {
+		r.Tuples[i] = Tuple{rng.Intn(3), rng.Intn(2), rng.Intn(4), rng.Intn(2)}
+	}
+	return r
+}
+
+// BenchmarkSupport measures the linear-scan support computation.
+func BenchmarkSupport(b *testing.B) {
+	r := benchRelation(10000)
+	probe := Tuple{1, Missing, 2, Missing}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Support(probe)
+	}
+}
+
+// BenchmarkTupleKey measures assignment-key encoding (the map-key hot
+// path of mining and matching).
+func BenchmarkTupleKey(b *testing.B) {
+	t := Tuple{1, Missing, 2, 0, Missing, 3, 1, 0}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = t.AppendKey(buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkCSVRoundTrip measures CSV write + parse of a 10k relation.
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	r := benchRelation(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, r); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubsumes measures the subsumption check used throughout DAG
+// construction.
+func BenchmarkSubsumes(b *testing.B) {
+	x := Tuple{1, Missing, 2, Missing}
+	y := Tuple{1, 0, 2, 1}
+	for i := 0; i < b.N; i++ {
+		_ = x.Subsumes(y)
+	}
+}

@@ -1,0 +1,104 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MissingLabel is the textual rendering of a missing value in CSV files,
+// matching the paper's "?" notation.
+const MissingLabel = "?"
+
+// ReadCSV parses a relation from CSV. The first record is the header naming
+// the attributes. Domains are inferred from the data: each attribute's
+// domain is the sorted set of distinct non-"?" labels seen in its column.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: csv has no header")
+	}
+	header := records[0]
+	rows := records[1:]
+
+	// Infer per-column domains.
+	domains := make([]map[string]bool, len(header))
+	for i := range domains {
+		domains[i] = make(map[string]bool)
+	}
+	for n, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("relation: row %d has %d fields, want %d", n+2, len(row), len(header))
+		}
+		for i, cell := range row {
+			if cell != MissingLabel {
+				domains[i][cell] = true
+			}
+		}
+	}
+	attrs := make([]Attribute, len(header))
+	for i, name := range header {
+		var vals []string
+		for v := range domains[i] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("relation: column %q has no known values", name)
+		}
+		attrs[i] = Attribute{Name: name, Domain: vals}
+	}
+	schema, err := NewSchema(attrs)
+	if err != nil {
+		return nil, err
+	}
+
+	rel := NewRelation(schema)
+	for n, row := range rows {
+		t := NewTuple(len(header))
+		for i, cell := range row {
+			if cell == MissingLabel {
+				continue
+			}
+			code, err := schema.ValueCode(i, cell)
+			if err != nil {
+				return nil, fmt.Errorf("relation: row %d: %w", n+2, err)
+			}
+			t[i] = code
+		}
+		if err := rel.Append(t); err != nil {
+			return nil, fmt.Errorf("relation: row %d: %w", n+2, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row; missing values are
+// written as "?".
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.SortedAttrNames()); err != nil {
+		return fmt.Errorf("relation: writing csv header: %w", err)
+	}
+	row := make([]string, r.Schema.NumAttrs())
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			if v == Missing {
+				row[i] = MissingLabel
+			} else {
+				row[i] = r.Schema.Attrs[i].Domain[v]
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,99 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `age,edu,inc
+20,HS,50K
+30,BS,?
+?,HS,100K
+20,MS,50K
+`
+
+func TestReadCSV(t *testing.T) {
+	r, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.NumAttrs() != 3 {
+		t.Fatalf("NumAttrs = %d, want 3", r.Schema.NumAttrs())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	// Domains are sorted distinct labels.
+	age := r.Schema.Attrs[0]
+	if age.Name != "age" || age.Card() != 2 {
+		t.Errorf("age attr = %+v", age)
+	}
+	if age.Domain[0] != "20" || age.Domain[1] != "30" {
+		t.Errorf("age domain = %v", age.Domain)
+	}
+	// Missing cells become Missing codes.
+	if r.Tuples[1][2] != Missing {
+		t.Errorf("row 2 inc should be missing, got %d", r.Tuples[1][2])
+	}
+	if r.Tuples[2][0] != Missing {
+		t.Errorf("row 3 age should be missing, got %d", r.Tuples[2][0])
+	}
+	rc, ri := r.Split()
+	if rc.Len() != 2 || ri.Len() != 2 {
+		t.Errorf("split = %d complete, %d incomplete; want 2, 2", rc.Len(), ri.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n?,x\n?,y\n")); err == nil {
+		t.Error("all-missing column should fail")
+	}
+	// Ragged rows are rejected by encoding/csv itself.
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("roundtrip length %d != %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Tuples {
+		if !orig.Tuples[i].Equal(back.Tuples[i]) {
+			t.Errorf("tuple %d: %v != %v", i, orig.Tuples[i], back.Tuples[i])
+		}
+	}
+}
+
+func TestWriteCSVMatchmaking(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, Matchmaking()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 18 { // header + 17 tuples
+		t.Fatalf("lines = %d, want 18", len(lines))
+	}
+	if lines[0] != "age,edu,inc,nw" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "20,HS,?,?" {
+		t.Errorf("t1 = %q, want 20,HS,?,?", lines[1])
+	}
+}

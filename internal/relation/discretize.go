@@ -1,0 +1,257 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// The paper limits its model to discrete finite-valued attributes and
+// proposes "to break up the domains of continuous attributes into
+// sub-ranges, treating each sub-range as a discrete value" (Section II).
+// This file implements that preprocessing: equal-width and equal-frequency
+// (quantile) bucketing of numeric columns, with human-readable range
+// labels, plus a whole-table discretizer for mixed string/numeric CSV
+// input.
+
+// BucketStrategy selects how a continuous domain is split into sub-ranges.
+type BucketStrategy int
+
+const (
+	// EqualWidth splits [min, max] into buckets of equal width.
+	EqualWidth BucketStrategy = iota
+	// EqualFrequency (quantile) buckets hold approximately equal numbers
+	// of observed values.
+	EqualFrequency
+)
+
+// String names the strategy.
+func (s BucketStrategy) String() string {
+	switch s {
+	case EqualWidth:
+		return "equal-width"
+	case EqualFrequency:
+		return "equal-frequency"
+	default:
+		return fmt.Sprintf("BucketStrategy(%d)", int(s))
+	}
+}
+
+// Discretizer maps continuous values of one attribute into bucket codes.
+type Discretizer struct {
+	// Strategy is the bucketing rule used.
+	Strategy BucketStrategy
+	// Bounds are the interior cut points, ascending: value v falls in
+	// bucket i where Bounds[i-1] <= v < Bounds[i] (bucket 0 has no lower
+	// bound, the last bucket no upper bound).
+	Bounds []float64
+	// Labels are the rendered bucket names, e.g. "[20.0,35.5)".
+	Labels []string
+}
+
+// NewDiscretizer fits a discretizer over observed values. Missing values
+// are represented by NaN and ignored during fitting. buckets must be at
+// least 2; fewer distinct values than buckets reduces the bucket count.
+func NewDiscretizer(values []float64, buckets int, strategy BucketStrategy) (*Discretizer, error) {
+	if buckets < 2 {
+		return nil, fmt.Errorf("relation: need at least 2 buckets, got %d", buckets)
+	}
+	var obs []float64
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			obs = append(obs, v)
+		}
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("relation: no observed values to discretize")
+	}
+	sort.Float64s(obs)
+	lo, hi := obs[0], obs[len(obs)-1]
+	if lo == hi {
+		return nil, fmt.Errorf("relation: all observed values equal (%v); nothing to bucket", lo)
+	}
+
+	var bounds []float64
+	switch strategy {
+	case EqualWidth:
+		width := (hi - lo) / float64(buckets)
+		for i := 1; i < buckets; i++ {
+			bounds = append(bounds, lo+width*float64(i))
+		}
+	case EqualFrequency:
+		for i := 1; i < buckets; i++ {
+			q := float64(i) / float64(buckets)
+			idx := int(q * float64(len(obs)-1))
+			b := obs[idx]
+			// Skip duplicate cut points caused by repeated values.
+			if len(bounds) == 0 || b > bounds[len(bounds)-1] {
+				bounds = append(bounds, b)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("relation: unknown bucket strategy %v", strategy)
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("relation: could not derive any cut points")
+	}
+	d := &Discretizer{Strategy: strategy, Bounds: bounds}
+	d.Labels = make([]string, len(bounds)+1)
+	for i := range d.Labels {
+		switch {
+		case i == 0:
+			d.Labels[i] = fmt.Sprintf("(-inf,%s)", trimNum(bounds[0]))
+		case i == len(bounds):
+			d.Labels[i] = fmt.Sprintf("[%s,+inf)", trimNum(bounds[i-1]))
+		default:
+			d.Labels[i] = fmt.Sprintf("[%s,%s)", trimNum(bounds[i-1]), trimNum(bounds[i]))
+		}
+	}
+	return d, nil
+}
+
+func trimNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// NumBuckets returns the number of buckets.
+func (d *Discretizer) NumBuckets() int { return len(d.Bounds) + 1 }
+
+// Code maps a continuous value to its bucket code; NaN maps to Missing.
+func (d *Discretizer) Code(v float64) int {
+	if math.IsNaN(v) {
+		return Missing
+	}
+	// Binary search for the first bound greater than v.
+	i := sort.SearchFloat64s(d.Bounds, v)
+	if i < len(d.Bounds) && d.Bounds[i] == v {
+		i++ // half-open intervals: v equal to a bound joins the upper bucket
+	}
+	return i
+}
+
+// Attribute renders the discretizer as a relation attribute.
+func (d *Discretizer) Attribute(name string) Attribute {
+	return Attribute{Name: name, Domain: append([]string(nil), d.Labels...)}
+}
+
+// ColumnKind classifies a raw column for DiscretizeTable.
+type ColumnKind int
+
+const (
+	// Categorical columns keep their string labels.
+	Categorical ColumnKind = iota
+	// Numeric columns are parsed as floats and bucketed.
+	Numeric
+)
+
+// RawTable is string-typed tabular input with "?" for missing cells, prior
+// to discretization.
+type RawTable struct {
+	Names []string
+	Rows  [][]string
+}
+
+// DiscretizeTable converts a raw table into a relation: numeric columns
+// (every non-missing cell parses as a float) are bucketed with the given
+// strategy and bucket count; other columns become categorical attributes
+// with sorted distinct domains.
+func DiscretizeTable(raw RawTable, buckets int, strategy BucketStrategy) (*Relation, []ColumnKind, error) {
+	nCols := len(raw.Names)
+	if nCols == 0 {
+		return nil, nil, fmt.Errorf("relation: raw table has no columns")
+	}
+	for r, row := range raw.Rows {
+		if len(row) != nCols {
+			return nil, nil, fmt.Errorf("relation: row %d has %d cells, want %d", r, len(row), nCols)
+		}
+	}
+
+	kinds := make([]ColumnKind, nCols)
+	numeric := make([][]float64, nCols)
+	for c := 0; c < nCols; c++ {
+		kinds[c] = Numeric
+		vals := make([]float64, len(raw.Rows))
+		seen := false
+		for r, row := range raw.Rows {
+			cell := row[c]
+			if cell == MissingLabel {
+				vals[r] = math.NaN()
+				continue
+			}
+			f, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				kinds[c] = Categorical
+				break
+			}
+			vals[r] = f
+			seen = true
+		}
+		if kinds[c] == Numeric && !seen {
+			kinds[c] = Categorical
+		}
+		if kinds[c] == Numeric {
+			numeric[c] = vals
+		}
+	}
+
+	attrs := make([]Attribute, nCols)
+	discs := make([]*Discretizer, nCols)
+	for c := 0; c < nCols; c++ {
+		if kinds[c] == Numeric {
+			d, err := NewDiscretizer(numeric[c], buckets, strategy)
+			if err != nil {
+				// Degenerate numeric column (e.g. constant): treat as
+				// categorical instead of failing the whole table.
+				kinds[c] = Categorical
+				numeric[c] = nil
+			} else {
+				discs[c] = d
+				attrs[c] = d.Attribute(raw.Names[c])
+				continue
+			}
+		}
+		dom := map[string]bool{}
+		for _, row := range raw.Rows {
+			if row[c] != MissingLabel {
+				dom[row[c]] = true
+			}
+		}
+		var labels []string
+		for v := range dom {
+			labels = append(labels, v)
+		}
+		sort.Strings(labels)
+		if len(labels) == 0 {
+			return nil, nil, fmt.Errorf("relation: column %q has no known values", raw.Names[c])
+		}
+		attrs[c] = Attribute{Name: raw.Names[c], Domain: labels}
+	}
+
+	schema, err := NewSchema(attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel := NewRelation(schema)
+	for r, row := range raw.Rows {
+		tu := NewTuple(nCols)
+		for c, cell := range row {
+			if cell == MissingLabel {
+				continue
+			}
+			if discs[c] != nil {
+				tu[c] = discs[c].Code(numeric[c][r])
+				continue
+			}
+			code, err := schema.ValueCode(c, cell)
+			if err != nil {
+				return nil, nil, fmt.Errorf("relation: row %d: %w", r, err)
+			}
+			tu[c] = code
+		}
+		if err := rel.Append(tu); err != nil {
+			return nil, nil, fmt.Errorf("relation: row %d: %w", r, err)
+		}
+	}
+	return rel, kinds, nil
+}

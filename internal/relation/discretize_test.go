@@ -1,0 +1,262 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDiscretizerValidation(t *testing.T) {
+	if _, err := NewDiscretizer([]float64{1, 2}, 1, EqualWidth); err == nil {
+		t.Error("1 bucket should fail")
+	}
+	if _, err := NewDiscretizer(nil, 2, EqualWidth); err == nil {
+		t.Error("no values should fail")
+	}
+	if _, err := NewDiscretizer([]float64{math.NaN()}, 2, EqualWidth); err == nil {
+		t.Error("all-missing should fail")
+	}
+	if _, err := NewDiscretizer([]float64{3, 3, 3}, 2, EqualWidth); err == nil {
+		t.Error("constant column should fail")
+	}
+	if _, err := NewDiscretizer([]float64{1, 2}, 2, BucketStrategy(9)); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestEqualWidthBounds(t *testing.T) {
+	d, err := NewDiscretizer([]float64{0, 10}, 4, EqualWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 5, 7.5}
+	if len(d.Bounds) != 3 {
+		t.Fatalf("bounds = %v", d.Bounds)
+	}
+	for i := range want {
+		if math.Abs(d.Bounds[i]-want[i]) > 1e-12 {
+			t.Errorf("bound %d = %v, want %v", i, d.Bounds[i], want[i])
+		}
+	}
+	if d.NumBuckets() != 4 {
+		t.Errorf("buckets = %d, want 4", d.NumBuckets())
+	}
+}
+
+func TestCodeHalfOpenIntervals(t *testing.T) {
+	d, err := NewDiscretizer([]float64{0, 10}, 2, EqualWidth) // bound at 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]int{
+		-100: 0, 0: 0, 4.999: 0,
+		5: 1, 7: 1, 10: 1, 1e9: 1,
+	}
+	for v, want := range cases {
+		if got := d.Code(v); got != want {
+			t.Errorf("Code(%v) = %d, want %d", v, got, want)
+		}
+	}
+	if got := d.Code(math.NaN()); got != Missing {
+		t.Errorf("Code(NaN) = %d, want Missing", got)
+	}
+}
+
+func TestEqualFrequencyBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Skewed data: equal-width would crowd one bucket.
+	vals := make([]float64, 1000)
+	for i := range vals {
+		v := rng.ExpFloat64()
+		vals[i] = v
+	}
+	d, err := NewDiscretizer(vals, 4, EqualFrequency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, d.NumBuckets())
+	for _, v := range vals {
+		counts[d.Code(v)]++
+	}
+	for b, c := range counts {
+		if c < 150 || c > 350 {
+			t.Errorf("bucket %d holds %d of 1000; want roughly balanced", b, c)
+		}
+	}
+}
+
+func TestEqualFrequencyDuplicateHeavy(t *testing.T) {
+	// Half the mass is a single repeated value; duplicate cut points must
+	// collapse rather than produce empty buckets.
+	vals := []float64{1, 1, 1, 1, 1, 1, 2, 3, 4, 5}
+	d, err := NewDiscretizer(vals, 5, EqualFrequency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBuckets() > 5 || d.NumBuckets() < 2 {
+		t.Errorf("buckets = %d", d.NumBuckets())
+	}
+	for i := 1; i < len(d.Bounds); i++ {
+		if d.Bounds[i] <= d.Bounds[i-1] {
+			t.Errorf("bounds not strictly increasing: %v", d.Bounds)
+		}
+	}
+}
+
+func TestDiscretizerAttribute(t *testing.T) {
+	d, err := NewDiscretizer([]float64{0, 10}, 2, EqualWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Attribute("temp")
+	if a.Name != "temp" || a.Card() != 2 {
+		t.Errorf("attribute = %+v", a)
+	}
+	if a.Domain[0] != "(-inf,5)" || a.Domain[1] != "[5,+inf)" {
+		t.Errorf("labels = %v", a.Domain)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if EqualWidth.String() != "equal-width" || EqualFrequency.String() != "equal-frequency" {
+		t.Error("strategy names wrong")
+	}
+	if BucketStrategy(7).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}
+
+func TestDiscretizeTableMixed(t *testing.T) {
+	raw := RawTable{
+		Names: []string{"city", "age", "score"},
+		Rows: [][]string{
+			{"nyc", "23", "1.5"},
+			{"sfo", "31", "2.5"},
+			{"nyc", "47", "?"},
+			{"?", "52", "9.0"},
+			{"chi", "29", "4.0"},
+			{"nyc", "35", "6.5"},
+		},
+	}
+	rel, kinds, err := DiscretizeTable(raw, 2, EqualWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds[0] != Categorical || kinds[1] != Numeric || kinds[2] != Numeric {
+		t.Errorf("kinds = %v", kinds)
+	}
+	if rel.Len() != 6 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	// city domain: chi, nyc, sfo sorted.
+	if rel.Schema.Attrs[0].Card() != 3 || rel.Schema.Attrs[0].Domain[0] != "chi" {
+		t.Errorf("city attr = %+v", rel.Schema.Attrs[0])
+	}
+	// age range [23, 52], bound 37.5: 23->0, 47->1, 52->1.
+	if rel.Tuples[0][1] != 0 || rel.Tuples[2][1] != 1 || rel.Tuples[3][1] != 1 {
+		t.Errorf("age codes = %v %v %v", rel.Tuples[0][1], rel.Tuples[2][1], rel.Tuples[3][1])
+	}
+	// Missing cells survive.
+	if rel.Tuples[2][2] != Missing || rel.Tuples[3][0] != Missing {
+		t.Error("missing cells lost")
+	}
+}
+
+func TestDiscretizeTableConstantNumericFallsBackToCategorical(t *testing.T) {
+	raw := RawTable{
+		Names: []string{"x", "const"},
+		Rows: [][]string{
+			{"a", "7"},
+			{"b", "7"},
+			{"a", "7"},
+		},
+	}
+	rel, kinds, err := DiscretizeTable(raw, 2, EqualWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds[1] != Categorical {
+		t.Errorf("constant column kind = %v, want Categorical", kinds[1])
+	}
+	if rel.Schema.Attrs[1].Card() != 1 {
+		t.Errorf("constant column card = %d", rel.Schema.Attrs[1].Card())
+	}
+}
+
+func TestDiscretizeTableErrors(t *testing.T) {
+	if _, _, err := DiscretizeTable(RawTable{}, 2, EqualWidth); err == nil {
+		t.Error("no columns should fail")
+	}
+	ragged := RawTable{Names: []string{"a", "b"}, Rows: [][]string{{"1"}}}
+	if _, _, err := DiscretizeTable(ragged, 2, EqualWidth); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	allMissing := RawTable{Names: []string{"a"}, Rows: [][]string{{"?"}, {"?"}}}
+	if _, _, err := DiscretizeTable(allMissing, 2, EqualWidth); err == nil {
+		t.Error("all-missing column should fail")
+	}
+}
+
+// TestDiscretizeTableEndToEndLearnable: bucketed continuous data feeds the
+// normal pipeline.
+func TestDiscretizeTableEndToEndLearnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	raw := RawTable{Names: []string{"x", "y"}}
+	for i := 0; i < 400; i++ {
+		x := rng.NormFloat64()
+		y := x + 0.3*rng.NormFloat64() // correlated
+		raw.Rows = append(raw.Rows, []string{trimNum(x), trimNum(y)})
+	}
+	rel, _, err := DiscretizeTable(raw, 3, EqualFrequency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := rel.Split()
+	if rc.Len() != 400 {
+		t.Fatalf("complete rows = %d", rc.Len())
+	}
+	// The correlation must survive bucketing: matching buckets co-occur
+	// far above the 1/9 independence rate.
+	same := 0
+	for _, tu := range rc.Tuples {
+		if tu[0] == tu[1] {
+			same++
+		}
+	}
+	if frac := float64(same) / 400; frac < 0.5 {
+		t.Errorf("bucket agreement %.2f; correlation lost in discretization", frac)
+	}
+}
+
+// TestQuickDiscretizerProperties: codes are always in range and monotone
+// in the input value, for random data and both strategies.
+func TestQuickDiscretizerProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 200; trial++ {
+		n := 20 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+		}
+		buckets := 2 + rng.Intn(6)
+		strategy := EqualWidth
+		if trial%2 == 1 {
+			strategy = EqualFrequency
+		}
+		d, err := NewDiscretizer(vals, buckets, strategy)
+		if err != nil {
+			continue // degenerate sample (all equal): rejected by design
+		}
+		prevCode := -1
+		for _, q := range []float64{-1e6, -50, 0, 50, 1e6} {
+			c := d.Code(q)
+			if c < 0 || c >= d.NumBuckets() {
+				t.Fatalf("code %d out of range", c)
+			}
+			if c < prevCode {
+				t.Fatalf("codes not monotone: %d after %d", c, prevCode)
+			}
+			prevCode = c
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package relation
+
+// MatchmakingSchema returns the schema of the paper's running example
+// (Figure 1): a matchmaking site's profile relation with four non-key
+// attributes over discrete domains.
+func MatchmakingSchema() *Schema {
+	return MustSchema([]Attribute{
+		{Name: "age", Domain: []string{"20", "30", "40"}},
+		{Name: "edu", Domain: []string{"HS", "BS", "MS"}},
+		{Name: "inc", Domain: []string{"50K", "100K"}},
+		{Name: "nw", Domain: []string{"100K", "500K"}},
+	})
+}
+
+// Matchmaking returns the 17-tuple incomplete relation R of Figure 1 in the
+// paper. Tuples t1..t17 appear in paper order; missing values are Missing.
+func Matchmaking() *Relation {
+	s := MatchmakingSchema()
+	m := Missing
+	rows := []Tuple{
+		{0, 0, m, m}, // t1:  20 HS ?    ?
+		{0, 1, 0, 0}, // t2:  20 BS 50K  100K
+		{0, m, 0, m}, // t3:  20 ?  50K  ?
+		{0, 0, 1, 1}, // t4:  20 HS 100K 500K
+		{0, m, m, m}, // t5:  20 ?  ?    ?
+		{0, 0, 0, 0}, // t6:  20 HS 50K  100K
+		{0, 0, 0, 1}, // t7:  20 HS 50K  500K
+		{m, 0, m, m}, // t8:  ?  HS ?    ?
+		{1, 1, 1, 0}, // t9:  30 BS 100K 100K
+		{1, m, 1, m}, // t10: 30 ?  100K ?
+		{1, 0, m, m}, // t11: 30 HS ?    ?
+		{1, 2, m, m}, // t12: 30 MS ?    ?
+		{2, 1, 1, 0}, // t13: 40 BS 100K 100K
+		{2, 0, m, m}, // t14: 40 HS ?    ?
+		{2, 1, 0, 1}, // t15: 40 BS 50K  500K
+		{2, 0, m, 1}, // t16: 40 HS ?    500K
+		{2, 0, 1, 1}, // t17: 40 HS 100K 500K
+	}
+	r := NewRelation(s)
+	for i, t := range rows {
+		if err := r.Append(t); err != nil {
+			panic("relation: bad matchmaking fixture row " + string(rune('0'+i)) + ": " + err.Error())
+		}
+	}
+	return r
+}

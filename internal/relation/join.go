@@ -1,0 +1,119 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// The paper assumes a single relation but notes (Section I-B) that
+// multi-relation databases can be handled by "computing a primary-foreign
+// key join when appropriate" and learning over the joined relation. This
+// file implements that preprocessing step.
+
+// JoinSpec describes a primary-foreign key equi-join between two relations.
+type JoinSpec struct {
+	// LeftKey is the foreign-key attribute index in the left relation.
+	LeftKey int
+	// RightKey is the primary-key attribute index in the right relation;
+	// its values must be unique among the right relation's tuples.
+	RightKey int
+	// KeepKeys retains the join attributes in the output; by default they
+	// are dropped (keys are identifiers, not statistical evidence — mining
+	// them would produce one spurious "rule" per entity).
+	KeepKeys bool
+}
+
+// Join computes the PK-FK join of left and right. Key attributes must have
+// identical domains (they refer to the same entities). Left tuples with a
+// missing foreign key, or with a foreign key that has no right-side match,
+// join to an all-missing right side — the derived columns become inference
+// targets rather than being dropped, mirroring how incomplete data is
+// handled everywhere else in the pipeline.
+func Join(left, right *Relation, spec JoinSpec) (*Relation, error) {
+	if spec.LeftKey < 0 || spec.LeftKey >= left.Schema.NumAttrs() {
+		return nil, fmt.Errorf("relation: left key %d out of range", spec.LeftKey)
+	}
+	if spec.RightKey < 0 || spec.RightKey >= right.Schema.NumAttrs() {
+		return nil, fmt.Errorf("relation: right key %d out of range", spec.RightKey)
+	}
+	lk, rk := left.Schema.Attrs[spec.LeftKey], right.Schema.Attrs[spec.RightKey]
+	if lk.Card() != rk.Card() {
+		return nil, fmt.Errorf("relation: key domains differ (%d vs %d values)", lk.Card(), rk.Card())
+	}
+	for i := range lk.Domain {
+		if lk.Domain[i] != rk.Domain[i] {
+			return nil, fmt.Errorf("relation: key domains differ at value %d (%q vs %q)",
+				i, lk.Domain[i], rk.Domain[i])
+		}
+	}
+
+	// Index the right relation by key; enforce primary-key uniqueness.
+	index := make(map[int]Tuple, right.Len())
+	for _, t := range right.Tuples {
+		k := t[spec.RightKey]
+		if k == Missing {
+			return nil, fmt.Errorf("relation: right tuple %v has missing primary key", t)
+		}
+		if _, dup := index[k]; dup {
+			return nil, fmt.Errorf("relation: duplicate primary key %q",
+				rk.Domain[k])
+		}
+		index[k] = t
+	}
+
+	// Output schema: left attributes (optionally minus the FK), then right
+	// attributes (optionally minus the PK). Names are prefixed on
+	// collision.
+	var attrs []Attribute
+	var leftMap, rightMap []int // output position -> source attr, or -1
+	names := make(map[string]bool)
+	addAttr := func(a Attribute, prefix string) {
+		name := a.Name
+		if names[name] {
+			name = prefix + "." + name
+		}
+		names[name] = true
+		attrs = append(attrs, Attribute{Name: name, Domain: a.Domain})
+	}
+	for i, a := range left.Schema.Attrs {
+		if i == spec.LeftKey && !spec.KeepKeys {
+			continue
+		}
+		leftMap = append(leftMap, i)
+		addAttr(a, "left")
+	}
+	for i, a := range right.Schema.Attrs {
+		if i == spec.RightKey {
+			continue // the PK duplicates the FK; at most the FK is kept
+		}
+		rightMap = append(rightMap, i)
+		addAttr(a, "right")
+	}
+	schema, err := NewSchema(attrs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := NewRelation(schema)
+	for _, lt := range left.Tuples {
+		tu := NewTuple(schema.NumAttrs())
+		pos := 0
+		for _, src := range leftMap {
+			tu[pos] = lt[src]
+			pos++
+		}
+		var rt Tuple
+		if k := lt[spec.LeftKey]; k != Missing {
+			rt = index[k] // nil when dangling: right side stays missing
+		}
+		for _, src := range rightMap {
+			if rt != nil {
+				tu[pos] = rt[src]
+			}
+			pos++
+		}
+		if err := out.Append(tu); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

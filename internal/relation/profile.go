@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AttrProfile summarizes one attribute of a relation: how often it is
+// missing and how its known values distribute. Profiles guide the choice
+// of support threshold (rare values need lower theta to surface rules) and
+// flag attributes whose missing rate makes them inference targets.
+type AttrProfile struct {
+	// Name is the attribute name.
+	Name string
+	// Card is the domain cardinality.
+	Card int
+	// Known and MissingCount partition the column.
+	Known, MissingCount int
+	// Counts holds per-value occurrence counts over known cells.
+	Counts []int
+	// Entropy is the Shannon entropy (nats) of the known-value
+	// distribution; near-zero entropy means the attribute is almost
+	// constant and its rules carry little information.
+	Entropy float64
+}
+
+// MissingRate returns the fraction of tuples with this attribute missing.
+func (p *AttrProfile) MissingRate() float64 {
+	total := p.Known + p.MissingCount
+	if total == 0 {
+		return 0
+	}
+	return float64(p.MissingCount) / float64(total)
+}
+
+// Profile summarizes a relation column by column.
+type Profile struct {
+	// Tuples, Complete, and Incomplete count rows.
+	Tuples, Complete, Incomplete int
+	// Attrs holds one profile per attribute, in schema order.
+	Attrs []AttrProfile
+}
+
+// ComputeProfile scans the relation once and summarizes it.
+func ComputeProfile(r *Relation) *Profile {
+	p := &Profile{Tuples: r.Len()}
+	p.Attrs = make([]AttrProfile, r.Schema.NumAttrs())
+	for i, a := range r.Schema.Attrs {
+		p.Attrs[i] = AttrProfile{
+			Name:   a.Name,
+			Card:   a.Card(),
+			Counts: make([]int, a.Card()),
+		}
+	}
+	for _, t := range r.Tuples {
+		if t.IsComplete() {
+			p.Complete++
+		} else {
+			p.Incomplete++
+		}
+		for i, v := range t {
+			if v == Missing {
+				p.Attrs[i].MissingCount++
+				continue
+			}
+			p.Attrs[i].Known++
+			p.Attrs[i].Counts[v]++
+		}
+	}
+	for i := range p.Attrs {
+		ap := &p.Attrs[i]
+		if ap.Known == 0 {
+			continue
+		}
+		for _, c := range ap.Counts {
+			if c == 0 {
+				continue
+			}
+			f := float64(c) / float64(ap.Known)
+			ap.Entropy -= f * math.Log(f)
+		}
+	}
+	return p
+}
+
+// Render draws the profile as an aligned text report.
+func (p *Profile) Render(s *Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d tuples: %d complete, %d incomplete (%.1f%%)\n",
+		p.Tuples, p.Complete, p.Incomplete,
+		100*float64(p.Incomplete)/math.Max(1, float64(p.Tuples)))
+	for i, ap := range p.Attrs {
+		fmt.Fprintf(&b, "  %-12s card %-3d missing %5.1f%%  entropy %.2f",
+			ap.Name, ap.Card, 100*ap.MissingRate(), ap.Entropy)
+		// Show the mode value for quick orientation.
+		best, bestCount := 0, -1
+		for v, c := range ap.Counts {
+			if c > bestCount {
+				best, bestCount = v, c
+			}
+		}
+		if ap.Known > 0 {
+			fmt.Fprintf(&b, "  mode %s (%.1f%%)",
+				s.Attrs[i].Domain[best], 100*float64(bestCount)/float64(ap.Known))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

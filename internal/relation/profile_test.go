@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeProfileMatchmaking(t *testing.T) {
+	r := Matchmaking()
+	p := ComputeProfile(r)
+	if p.Tuples != 17 || p.Complete != 8 || p.Incomplete != 9 {
+		t.Fatalf("counts = %d/%d/%d", p.Tuples, p.Complete, p.Incomplete)
+	}
+	age := p.Attrs[0]
+	if age.Name != "age" {
+		t.Fatalf("attr order changed: %s", age.Name)
+	}
+	// age missing only in t8.
+	if age.MissingCount != 1 || age.Known != 16 {
+		t.Errorf("age known/missing = %d/%d", age.Known, age.MissingCount)
+	}
+	if got := age.MissingRate(); math.Abs(got-1.0/17) > 1e-12 {
+		t.Errorf("age missing rate = %v", got)
+	}
+	// Known ages: 20 x7, 30 x4, 40 x5.
+	if age.Counts[0] != 7 || age.Counts[1] != 4 || age.Counts[2] != 5 {
+		t.Errorf("age counts = %v", age.Counts)
+	}
+	if age.Entropy <= 0 || age.Entropy > math.Log(3) {
+		t.Errorf("age entropy = %v", age.Entropy)
+	}
+}
+
+func TestProfileEntropyExtremes(t *testing.T) {
+	s := MustSchema([]Attribute{
+		{Name: "const", Domain: []string{"a", "b"}},
+		{Name: "fair", Domain: []string{"x", "y"}},
+	})
+	r := NewRelation(s)
+	for i := 0; i < 10; i++ {
+		if err := r.Append(Tuple{0, i % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := ComputeProfile(r)
+	if p.Attrs[0].Entropy != 0 {
+		t.Errorf("constant column entropy = %v", p.Attrs[0].Entropy)
+	}
+	if math.Abs(p.Attrs[1].Entropy-math.Ln2) > 1e-12 {
+		t.Errorf("fair column entropy = %v", p.Attrs[1].Entropy)
+	}
+}
+
+func TestProfileAllMissingColumn(t *testing.T) {
+	s := MustSchema([]Attribute{{Name: "x", Domain: []string{"a"}}})
+	r := NewRelation(s)
+	if err := r.Append(Tuple{Missing}); err != nil {
+		t.Fatal(err)
+	}
+	p := ComputeProfile(r)
+	if p.Attrs[0].MissingRate() != 1 || p.Attrs[0].Entropy != 0 {
+		t.Errorf("profile = %+v", p.Attrs[0])
+	}
+	// Render must not panic with zero known values.
+	_ = p.Render(s)
+}
+
+func TestProfileRender(t *testing.T) {
+	r := Matchmaking()
+	out := ComputeProfile(r).Render(r.Schema)
+	for _, want := range []string{"17 tuples", "age", "edu", "inc", "nw", "mode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

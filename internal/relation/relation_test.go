@@ -1,0 +1,330 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MatchmakingSchema()
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attribute
+	}{
+		{"empty name", []Attribute{{Name: "", Domain: []string{"a"}}}},
+		{"empty domain", []Attribute{{Name: "x", Domain: nil}}},
+		{"dup attr", []Attribute{
+			{Name: "x", Domain: []string{"a"}},
+			{Name: "x", Domain: []string{"b"}},
+		}},
+		{"dup value", []Attribute{{Name: "x", Domain: []string{"a", "a"}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSchema(c.attrs); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.NumAttrs() != 4 {
+		t.Fatalf("NumAttrs = %d, want 4", s.NumAttrs())
+	}
+	if got := s.AttrIndex("inc"); got != 2 {
+		t.Errorf("AttrIndex(inc) = %d, want 2", got)
+	}
+	if got := s.AttrIndex("nope"); got != -1 {
+		t.Errorf("AttrIndex(nope) = %d, want -1", got)
+	}
+	if got := s.DomainSize(); got != 3*3*2*2 {
+		t.Errorf("DomainSize = %d, want 36", got)
+	}
+	cards := s.Cards()
+	want := []int{3, 3, 2, 2}
+	for i := range cards {
+		if cards[i] != want[i] {
+			t.Errorf("Cards[%d] = %d, want %d", i, cards[i], want[i])
+		}
+	}
+	code, err := s.ValueCode(0, "30")
+	if err != nil || code != 1 {
+		t.Errorf("ValueCode(age, 30) = %d, %v", code, err)
+	}
+	if _, err := s.ValueCode(0, "99"); err == nil {
+		t.Error("ValueCode with unknown label should fail")
+	}
+	if _, err := s.ValueCode(9, "x"); err == nil {
+		t.Error("ValueCode with bad attr should fail")
+	}
+}
+
+func TestTupleCompleteness(t *testing.T) {
+	full := Tuple{0, 1, 0, 1}
+	if !full.IsComplete() || full.NumMissing() != 0 || full.NumKnown() != 4 {
+		t.Errorf("complete tuple misclassified")
+	}
+	part := Tuple{0, Missing, 1, Missing}
+	if part.IsComplete() {
+		t.Errorf("incomplete tuple misclassified")
+	}
+	if got := part.NumMissing(); got != 2 {
+		t.Errorf("NumMissing = %d, want 2", got)
+	}
+	ca := part.CompleteAttrs()
+	if len(ca) != 2 || ca[0] != 0 || ca[1] != 2 {
+		t.Errorf("CompleteAttrs = %v", ca)
+	}
+	ma := part.MissingAttrs()
+	if len(ma) != 2 || ma[0] != 1 || ma[1] != 3 {
+		t.Errorf("MissingAttrs = %v", ma)
+	}
+}
+
+// TestPaperSupportExample checks Definition 2.3's worked example: in Fig. 1,
+// t1 = ⟨20, HS, ?, ?⟩ is matched by points t4, t6, t7, so supp(t1) = 3/8.
+func TestPaperSupportExample(t *testing.T) {
+	r := Matchmaking()
+	rc, ri := r.Split()
+	if rc.Len() != 8 {
+		t.Fatalf("complete part has %d tuples, want 8", rc.Len())
+	}
+	if ri.Len() != 9 {
+		t.Fatalf("incomplete part has %d tuples, want 9", ri.Len())
+	}
+	t1 := r.Tuples[0]
+	if got, want := rc.Support(t1), 3.0/8.0; got != want {
+		t.Errorf("supp(t1) = %v, want %v", got, want)
+	}
+	if got := rc.CountMatches(t1); got != 3 {
+		t.Errorf("CountMatches(t1) = %d, want 3", got)
+	}
+}
+
+// TestPaperMatchExample: point t4 matches t1 while point t2 does not.
+func TestPaperMatchExample(t *testing.T) {
+	r := Matchmaking()
+	t1, t2, t4 := r.Tuples[0], r.Tuples[1], r.Tuples[3]
+	if !t1.Matches(t4) {
+		t.Errorf("t4 should match t1")
+	}
+	if t1.Matches(t2) {
+		t.Errorf("t2 should not match t1")
+	}
+}
+
+// TestPaperSubsumptionExample: t1 ≺ t5 and t3 ≺ t5; no subsumption between
+// t1 and t3 (Definition 2.4's worked example).
+func TestPaperSubsumptionExample(t *testing.T) {
+	r := Matchmaking()
+	t1, t3, t5 := r.Tuples[0], r.Tuples[2], r.Tuples[4]
+	if !t5.Subsumes(t1) {
+		t.Errorf("t5 should subsume t1 (t1 ≺ t5)")
+	}
+	if !t5.Subsumes(t3) {
+		t.Errorf("t5 should subsume t3 (t3 ≺ t5)")
+	}
+	if t1.Subsumes(t3) || t3.Subsumes(t1) {
+		t.Errorf("t1 and t3 should be incomparable")
+	}
+}
+
+func TestSubsumesIsStrict(t *testing.T) {
+	a := Tuple{0, Missing}
+	if a.Subsumes(a) {
+		t.Errorf("a tuple must not strictly subsume itself")
+	}
+	if !a.SubsumesOrEqual(a) {
+		t.Errorf("SubsumesOrEqual must accept equality")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Tuple{0, 1, Missing}
+	b := Tuple{0, 1, Missing}
+	c := Tuple{0, 1, 2}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(Tuple{0, 1}) {
+		t.Errorf("Equal misbehaves")
+	}
+}
+
+func TestKeyIdentifiesAssignment(t *testing.T) {
+	a := Tuple{0, Missing, 1}
+	b := Tuple{0, Missing, 1}
+	c := Tuple{0, 1, Missing}
+	d := Tuple{Missing, 0, 1} // same values, different attrs
+	if a.Key() != b.Key() {
+		t.Errorf("equal tuples must share a key")
+	}
+	if a.Key() == c.Key() || a.Key() == d.Key() {
+		t.Errorf("different assignments must have different keys")
+	}
+	empty := Tuple{Missing, Missing}
+	if empty.Key() != "" {
+		t.Errorf("fully missing tuple should have empty key")
+	}
+}
+
+func TestKeyDisambiguatesLargeCodes(t *testing.T) {
+	// Attribute/value codes above 127 exercise the uvarint encoding.
+	a := NewTuple(200)
+	a[128] = 130
+	b := NewTuple(200)
+	b[130] = 128
+	if a.Key() == b.Key() {
+		t.Errorf("keys collide for distinct large-coded assignments")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := NewRelation(testSchema(t))
+	if err := r.Append(Tuple{0, 0, 0}); err == nil {
+		t.Error("short tuple should fail")
+	}
+	if err := r.Append(Tuple{0, 0, 0, 5}); err == nil {
+		t.Error("out-of-range value should fail")
+	}
+	if err := r.Append(Tuple{0, 0, 0, -2}); err == nil {
+		t.Error("negative non-missing value should fail")
+	}
+	if err := r.Append(Tuple{Missing, 0, 0, 0}); err != nil {
+		t.Errorf("missing value should be accepted: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestDistinctIncomplete(t *testing.T) {
+	s := testSchema(t)
+	r := NewRelation(s)
+	mustAppend := func(tu Tuple) {
+		if err := r.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(Tuple{0, 0, 0, 0})             // complete: skipped
+	mustAppend(Tuple{0, Missing, 0, Missing}) // A
+	mustAppend(Tuple{0, Missing, 0, Missing}) // A again
+	mustAppend(Tuple{Missing, 0, 0, Missing}) // B
+	tuples, counts := r.DistinctIncomplete()
+	if len(tuples) != 2 {
+		t.Fatalf("distinct = %d, want 2", len(tuples))
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v, want [2 1]", counts)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := testSchema(t)
+	got := Tuple{0, 0, Missing, Missing}.Format(s)
+	want := "⟨age=20, edu=HS, inc=?, nw=?⟩"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}
+
+// randTuple generates a random partial tuple over n attributes with small
+// cardinalities, for property tests.
+func randTuple(rng *rand.Rand, n int) Tuple {
+	t := NewTuple(n)
+	for i := range t {
+		switch rng.Intn(3) {
+		case 0: // missing
+		default:
+			t[i] = rng.Intn(3)
+		}
+	}
+	return t
+}
+
+// TestQuickSubsumptionPartialOrder checks that strict subsumption is
+// irreflexive, antisymmetric, and transitive on random tuples.
+func TestQuickSubsumptionPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		a, b, c := randTuple(rng, 5), randTuple(rng, 5), randTuple(rng, 5)
+		if a.Subsumes(a) {
+			t.Fatalf("irreflexivity violated: %v", a)
+		}
+		if a.Subsumes(b) && b.Subsumes(a) {
+			t.Fatalf("antisymmetry violated: %v, %v", a, b)
+		}
+		if a.Subsumes(b) && b.Subsumes(c) && !a.Subsumes(c) {
+			t.Fatalf("transitivity violated: %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+// TestQuickSubsumerHasFewerKnown: a strict subsumer fixes strictly fewer
+// attributes than its subsumee.
+func TestQuickSubsumerHasFewerKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 3000; i++ {
+		a, b := randTuple(rng, 5), randTuple(rng, 5)
+		if a.Subsumes(b) && a.NumKnown() >= b.NumKnown() {
+			t.Fatalf("subsumer %v has >= known attrs than subsumee %v", a, b)
+		}
+	}
+}
+
+// TestQuickMatchesMonotone: if a subsumes b then every point matching b also
+// matches a (supp is monotone under subsumption).
+func TestQuickMatchesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 3000; i++ {
+		a, b := randTuple(rng, 4), randTuple(rng, 4)
+		if !a.Subsumes(b) {
+			continue
+		}
+		p := NewTuple(4)
+		for j := range p {
+			p[j] = rng.Intn(3)
+		}
+		if b.Matches(p) && !a.Matches(p) {
+			t.Fatalf("monotonicity violated: a=%v b=%v p=%v", a, b, p)
+		}
+	}
+}
+
+func TestQuickKeyRoundtripEquality(t *testing.T) {
+	f := func(vals [6]int8) bool {
+		a := NewTuple(6)
+		b := NewTuple(6)
+		for i, v := range vals {
+			code := int(v)
+			if code < 0 {
+				code = Missing
+			} else {
+				code %= 4
+			}
+			a[i], b[i] = code, code
+		}
+		return a.Key() == b.Key() && a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupportEmptyRelation(t *testing.T) {
+	r := NewRelation(testSchema(t))
+	if got := r.Support(Tuple{0, 0, 0, 0}); got != 0 {
+		t.Errorf("Support over empty relation = %v, want 0", got)
+	}
+}
+
+func TestFullyMissingTupleMatchesEverything(t *testing.T) {
+	r := Matchmaking()
+	rc, _ := r.Split()
+	all := NewTuple(4)
+	if got := rc.Support(all); got != 1 {
+		t.Errorf("supp(t*) = %v, want 1", got)
+	}
+}

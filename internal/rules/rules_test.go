@@ -1,0 +1,281 @@
+package rules
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/itemset"
+	"repro/internal/relation"
+)
+
+// paperExampleResult mines the complete part of the paper's Fig. 1 relation
+// with a permissive threshold, so the worked examples of Section II can be
+// checked directly.
+func paperExampleResult(t *testing.T) (*itemset.Result, *relation.Relation) {
+	t.Helper()
+	rc, _ := relation.Matchmaking().Split()
+	res, err := itemset.Mine(rc, itemset.Config{SupportThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rc
+}
+
+func TestBuildRulesEmptyResult(t *testing.T) {
+	if _, err := BuildRules(nil, 0); err == nil {
+		t.Error("nil result should fail")
+	}
+}
+
+// TestPaperMetaRuleExample reproduces the worked example of Definition 2.6:
+// meta-rule with head age and body {edu=HS} estimates
+// P(age | edu = HS) from rule confidences.
+//
+// In the complete part of Fig. 1 (8 points: t2, t4, t6, t7, t9, t13, t15,
+// t17), edu=HS holds for t4, t6, t7, t17 (4 points): ages 20, 20, 20, 40.
+// So P(age|edu=HS) ≈ [3/4, 0, 1/4] before smoothing.
+func TestPaperMetaRuleExample(t *testing.T) {
+	res, rc := paperExampleResult(t)
+	ageIdx := rc.Schema.AttrIndex("age")
+	eduIdx := rc.Schema.AttrIndex("edu")
+	rules, err := BuildRules(res, ageIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := BuildMetaRules(rules, rc.Schema.Attrs[ageIdx].Card())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *MetaRule
+	for _, cand := range metas {
+		if cand.BodySize == 1 && cand.Body[eduIdx] == 0 { // edu=HS
+			m = cand
+			break
+		}
+	}
+	if m == nil {
+		t.Fatal("no meta-rule with body {edu=HS}")
+	}
+	if m.HeadAttr != ageIdx {
+		t.Errorf("head attr = %d, want %d", m.HeadAttr, ageIdx)
+	}
+	if got, want := m.Weight, 0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("weight = %v, want %v (supp of edu=HS)", got, want)
+	}
+	// CPD close to [0.75, ~0, 0.25] after smoothing.
+	if math.Abs(m.CPD[0]-0.75) > 0.01 || math.Abs(m.CPD[2]-0.25) > 0.01 {
+		t.Errorf("CPD = %v, want ≈[0.75 eps 0.25]", m.CPD)
+	}
+	if !m.CPD.IsPositive() || !m.CPD.IsNormalized(1e-9) {
+		t.Errorf("CPD not a positive distribution: %v", m.CPD)
+	}
+	if m.NumRules != 2 { // age=20 and age=40 co-occur with edu=HS
+		t.Errorf("NumRules = %d, want 2", m.NumRules)
+	}
+}
+
+// TestTopLevelMetaRule: the empty body produces the marginal P(age), with
+// weight 1.
+func TestTopLevelMetaRule(t *testing.T) {
+	res, rc := paperExampleResult(t)
+	ageIdx := rc.Schema.AttrIndex("age")
+	rules, err := BuildRules(res, ageIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := BuildMetaRules(rules, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top *MetaRule
+	for _, m := range metas {
+		if m.BodySize == 0 {
+			top = m
+			break
+		}
+	}
+	if top == nil {
+		t.Fatal("no top-level meta-rule")
+	}
+	if math.Abs(top.Weight-1) > 1e-9 {
+		t.Errorf("top-level weight = %v, want 1", top.Weight)
+	}
+	// Ages in Rc: 20 x3 (t2 t4 t6 t7 = 4 actually), let's count: t2,t4,t6,t7
+	// are age 20 (4), t9 age 30 (1), t13, t15, t17 age 40 (3).
+	want := dist.Dist{0.5, 0.125, 0.375}
+	for i := range want {
+		if math.Abs(top.CPD[i]-want[i]) > 0.01 {
+			t.Errorf("P(age)[%d] = %v, want ≈%v", i, top.CPD[i], want[i])
+		}
+	}
+}
+
+func TestRuleConfidenceDefinition(t *testing.T) {
+	res, rc := paperExampleResult(t)
+	incIdx := rc.Schema.AttrIndex("inc")
+	ageIdx := rc.Schema.AttrIndex("age")
+	rules, err := BuildRules(res, incIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rule r: body {age=20}, head {inc=50K}. In Rc, age=20 holds for
+	// t2, t4, t6, t7 (supp 0.5); age=20 & inc=50K holds for t2, t6, t7
+	// (supp 3/8). conf = (3/8)/(1/2) = 3/4.
+	found := false
+	for _, r := range rules {
+		if r.Body[ageIdx] == 0 && r.Body.NumKnown() == 1 && r.HeadValue == 0 {
+			found = true
+			if math.Abs(r.Confidence-0.75) > 1e-9 {
+				t.Errorf("conf = %v, want 0.75", r.Confidence)
+			}
+			if math.Abs(r.BodySupport-0.5) > 1e-9 {
+				t.Errorf("body support = %v, want 0.5", r.BodySupport)
+			}
+			if math.Abs(r.FullSupport-0.375) > 1e-9 {
+				t.Errorf("full support = %v, want 0.375", r.FullSupport)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rule ⟨{age=20,inc=50K}, {age=20}⟩ not found")
+	}
+}
+
+// TestBodyExcludesHead: every rule and meta-rule body leaves the head
+// attribute unassigned.
+func TestBodyExcludesHead(t *testing.T) {
+	res, rc := paperExampleResult(t)
+	for a := 0; a < rc.Schema.NumAttrs(); a++ {
+		rules, err := BuildRules(res, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rules {
+			if r.Body[a] != relation.Missing {
+				t.Fatalf("attr %d: rule body assigns head: %v", a, r.Body)
+			}
+		}
+		metas, err := BuildMetaRules(rules, rc.Schema.Attrs[a].Card())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range metas {
+			if m.Body[a] != relation.Missing {
+				t.Fatalf("attr %d: meta body assigns head: %v", a, m.Body)
+			}
+		}
+	}
+}
+
+// TestAllCPDsPositiveNormalized: the paper's smoothing guarantees positive
+// CPDs summing to 1 for every meta-rule.
+func TestAllCPDsPositiveNormalized(t *testing.T) {
+	res, rc := paperExampleResult(t)
+	for a := 0; a < rc.Schema.NumAttrs(); a++ {
+		rules, err := BuildRules(res, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas, err := BuildMetaRules(rules, rc.Schema.Attrs[a].Card())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(metas) == 0 {
+			t.Fatalf("attr %d: no meta-rules", a)
+		}
+		for _, m := range metas {
+			if !m.CPD.IsPositive() {
+				t.Errorf("attr %d body %v: CPD has zero entry %v", a, m.Body, m.CPD)
+			}
+			if !m.CPD.IsNormalized(1e-9) {
+				t.Errorf("attr %d body %v: CPD sums to %v", a, m.Body, m.CPD.Sum())
+			}
+		}
+	}
+}
+
+// TestSmoothRemainderSpreadsEqually: missing mass is distributed equally,
+// not proportionally (paper, Section III).
+func TestSmoothRemainderSpreadsEqually(t *testing.T) {
+	cpd := dist.Dist{0.5, 0.1, 0, 0} // sums to 0.6, leftover 0.4
+	smoothRemainder(cpd)
+	// Equal spread adds 0.1 to each: [0.6 0.2 0.1 0.1].
+	want := dist.Dist{0.6, 0.2, 0.1, 0.1}
+	for i := range want {
+		if math.Abs(cpd[i]-want[i]) > 1e-3 {
+			t.Errorf("cpd[%d] = %v, want ≈%v", i, cpd[i], want[i])
+		}
+	}
+	if !cpd.IsNormalized(1e-9) {
+		t.Errorf("not normalized: %v", cpd.Sum())
+	}
+}
+
+func TestSmoothRemainderOverflow(t *testing.T) {
+	cpd := dist.Dist{0.7, 0.7} // float slop beyond 1
+	smoothRemainder(cpd)
+	if !cpd.IsNormalized(1e-9) || !cpd.IsPositive() {
+		t.Errorf("overflowed CPD not fixed: %v", cpd)
+	}
+	if math.Abs(cpd[0]-cpd[1]) > 1e-9 {
+		t.Errorf("symmetric inputs should stay symmetric: %v", cpd)
+	}
+}
+
+func TestMetaRuleMatches(t *testing.T) {
+	m := &MetaRule{
+		HeadAttr: 0,
+		Body:     relation.Tuple{relation.Missing, 1, relation.Missing},
+	}
+	if !m.Matches(relation.Tuple{relation.Missing, 1, 2}) {
+		t.Error("matching tuple rejected")
+	}
+	if m.Matches(relation.Tuple{relation.Missing, 0, 2}) {
+		t.Error("conflicting tuple accepted")
+	}
+	if m.Matches(relation.Tuple{relation.Missing, relation.Missing, 2}) {
+		t.Error("tuple without evidence for body accepted")
+	}
+	// The empty body matches anything.
+	top := &MetaRule{HeadAttr: 0, Body: relation.NewTuple(3)}
+	if !top.Matches(relation.Tuple{relation.Missing, relation.Missing, relation.Missing}) {
+		t.Error("top-level meta-rule should match everything")
+	}
+}
+
+func TestMetaRuleSubsumes(t *testing.T) {
+	m := relation.Missing
+	general := &MetaRule{HeadAttr: 0, Body: relation.Tuple{m, 1, m}}
+	specific := &MetaRule{HeadAttr: 0, Body: relation.Tuple{m, 1, 2}}
+	otherHead := &MetaRule{HeadAttr: 1, Body: relation.Tuple{m, 1, 2}}
+	if !general.Subsumes(specific) {
+		t.Error("general should subsume specific")
+	}
+	if specific.Subsumes(general) {
+		t.Error("specific should not subsume general")
+	}
+	if general.Subsumes(general) {
+		t.Error("subsumption is strict")
+	}
+	if general.Subsumes(otherHead) {
+		t.Error("different head attributes are incomparable")
+	}
+}
+
+func TestBuildMetaRulesValidation(t *testing.T) {
+	if _, err := BuildMetaRules(nil, 0); err == nil {
+		t.Error("zero cardinality should fail")
+	}
+	bad := []Rule{{Body: relation.NewTuple(2), HeadAttr: 0, HeadValue: 5}}
+	if _, err := BuildMetaRules(bad, 2); err == nil {
+		t.Error("out-of-range head value should fail")
+	}
+	dup := []Rule{
+		{Body: relation.NewTuple(2), HeadAttr: 0, HeadValue: 0, Confidence: 0.5},
+		{Body: relation.NewTuple(2), HeadAttr: 0, HeadValue: 0, Confidence: 0.5},
+	}
+	if _, err := BuildMetaRules(dup, 2); err == nil {
+		t.Error("duplicate head value for one body should fail")
+	}
+}

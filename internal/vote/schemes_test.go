@@ -1,0 +1,158 @@
+package vote
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+func TestExtensionSchemeParsing(t *testing.T) {
+	if s, err := ParseScheme("median"); err != nil || s != Median {
+		t.Errorf("parse median: %v, %v", s, err)
+	}
+	if s, err := ParseScheme("logpool"); err != nil || s != LogPool {
+		t.Errorf("parse logpool: %v, %v", s, err)
+	}
+	if Median.String() != "median" || LogPool.String() != "logpool" {
+		t.Error("String() mismatch")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("median even = %v", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Errorf("median single = %v", got)
+	}
+}
+
+func TestMedianSchemeRobustToOutlier(t *testing.T) {
+	voters := []*rules.MetaRule{
+		{CPD: dist.Dist{0.6, 0.4}},
+		{CPD: dist.Dist{0.62, 0.38}},
+		{CPD: dist.Dist{0.58, 0.42}},
+		{CPD: dist.Dist{0.01, 0.99}}, // wild voter
+	}
+	med, err := Combine(voters, Median, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Combine(voters, Averaged, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The median estimate stays near the consensus 0.6; averaging is
+	// dragged toward the outlier.
+	if med[0] < 0.55 {
+		t.Errorf("median dragged by outlier: %v", med)
+	}
+	if avg[0] > med[0] {
+		t.Errorf("averaging (%v) should sit below median (%v) here", avg[0], med[0])
+	}
+	if !med.IsNormalized(1e-9) {
+		t.Errorf("median result not normalized: %v", med)
+	}
+}
+
+func TestLogPoolSharpensConsensus(t *testing.T) {
+	voters := []*rules.MetaRule{
+		{CPD: dist.Dist{0.8, 0.2}},
+		{CPD: dist.Dist{0.8, 0.2}},
+	}
+	lp, err := Combine(voters, LogPool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometric mean of identical voters reproduces them.
+	if math.Abs(lp[0]-0.8) > 1e-9 {
+		t.Errorf("logpool identical voters = %v, want [0.8 0.2]", lp)
+	}
+	mixed := []*rules.MetaRule{
+		{CPD: dist.Dist{0.9, 0.1}},
+		{CPD: dist.Dist{0.6, 0.4}},
+	}
+	lp2, err := Combine(mixed, LogPool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Combine(mixed, Averaged, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp2[0] <= avg[0] {
+		t.Errorf("logpool (%v) should sharpen beyond averaging (%v)", lp2[0], avg[0])
+	}
+	if !lp2.IsNormalized(1e-9) || !lp2.IsPositive() {
+		t.Errorf("invalid logpool output: %v", lp2)
+	}
+}
+
+func TestLogPoolRejectsZeroMass(t *testing.T) {
+	voters := []*rules.MetaRule{{CPD: dist.Dist{1, 0}}}
+	if _, err := Combine(voters, LogPool, 2); err == nil {
+		t.Error("zero-probability voter should fail logpool")
+	}
+}
+
+func TestExtensionSchemesArityChecks(t *testing.T) {
+	bad := []*rules.MetaRule{{CPD: dist.Dist{1}}}
+	if _, err := Combine(bad, Median, 2); err == nil {
+		t.Error("median arity mismatch should fail")
+	}
+	if _, err := Combine(bad, LogPool, 2); err == nil {
+		t.Error("logpool arity mismatch should fail")
+	}
+}
+
+// TestExtensionSchemesThroughInfer: the extension schemes work end-to-end
+// against a learned model.
+func TestExtensionSchemesThroughInfer(t *testing.T) {
+	m, rc := paperModel(t)
+	tu := relation.Tuple{relation.Missing, 0, 0, 1}
+	age := rc.Schema.AttrIndex("age")
+	for _, scheme := range []Scheme{Median, LogPool} {
+		d, err := Infer(m, tu, age, Method{Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if !d.IsNormalized(1e-9) || !d.IsPositive() {
+			t.Errorf("%v: invalid distribution %v", scheme, d)
+		}
+	}
+}
+
+// TestQuickAllSchemesProduceDistributions: every scheme yields a positive,
+// normalized distribution on random positive voters.
+func TestQuickAllSchemesProduceDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 300; trial++ {
+		nVoters := 1 + rng.Intn(5)
+		card := 2 + rng.Intn(4)
+		voters := make([]*rules.MetaRule, nVoters)
+		for i := range voters {
+			cpd := dist.Zeros(card)
+			for j := range cpd {
+				cpd[j] = rng.Float64() + 1e-6
+			}
+			cpd.Normalize()
+			voters[i] = &rules.MetaRule{CPD: cpd, Weight: rng.Float64()}
+		}
+		for _, scheme := range []Scheme{Averaged, Weighted, Median, LogPool} {
+			got, err := Combine(voters, scheme, card)
+			if err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+			if !got.IsNormalized(1e-9) || !got.IsPositive() {
+				t.Fatalf("%v: invalid output %v", scheme, got)
+			}
+		}
+	}
+}

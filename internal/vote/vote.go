@@ -1,0 +1,213 @@
+// Package vote implements the single-attribute inference procedure of the
+// paper (Algorithm 2, Section IV): the meta-rules of an MRSL that match an
+// incomplete tuple act as an ensemble of voters, combined either by plain
+// averaging or by support-weighted averaging.
+package vote
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Scheme is the vote-combination method (the paper's vScheme). Averaged
+// and Weighted are the two schemes the paper implements; Median and
+// LogPool are the "other voting schemes [that] exist" it alludes to,
+// provided as extensions and ablated in the benchmarks.
+type Scheme int
+
+const (
+	// Averaged combines voter CPDs position by position with equal weight.
+	Averaged Scheme = iota
+	// Weighted combines voter CPDs weighted by each meta-rule's support.
+	Weighted
+	// Median takes the per-position median of the voter CPDs and
+	// renormalizes; robust to a single wild voter.
+	Median
+	// LogPool combines voters by the geometric mean (logarithmic opinion
+	// pool); sharper than averaging when voters agree.
+	LogPool
+)
+
+// String returns the scheme's name.
+func (s Scheme) String() string {
+	switch s {
+	case Averaged:
+		return "averaged"
+	case Weighted:
+		return "weighted"
+	case Median:
+		return "median"
+	case LogPool:
+		return "logpool"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a scheme name into a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "averaged":
+		return Averaged, nil
+	case "weighted":
+		return Weighted, nil
+	case "median":
+		return Median, nil
+	case "logpool":
+		return LogPool, nil
+	}
+	return 0, fmt.Errorf("vote: unknown scheme %q", s)
+}
+
+// Method pairs a voter choice with a voting scheme; the paper evaluates all
+// four combinations in Table II.
+type Method struct {
+	Choice core.VoterChoice
+	Scheme Scheme
+}
+
+// Methods lists the four voting methods in Table II's column order:
+// all-averaged, all-weighted, best-averaged, best-weighted.
+func Methods() []Method {
+	return []Method{
+		{core.AllVoters, Averaged},
+		{core.AllVoters, Weighted},
+		{core.BestVoters, Averaged},
+		{core.BestVoters, Weighted},
+	}
+}
+
+// String renders e.g. "best weighted".
+func (m Method) String() string { return m.Choice.String() + " " + m.Scheme.String() }
+
+// Infer estimates the conditional probability distribution of attribute
+// attr in tuple t, which must be missing in t, using the model's MRSL for
+// attr (Algorithm 2). The result is a positive, normalized distribution
+// over the attribute's domain.
+func Infer(m *core.Model, t relation.Tuple, attr int, method Method) (dist.Dist, error) {
+	if attr < 0 || attr >= m.Schema.NumAttrs() {
+		return nil, fmt.Errorf("vote: attribute %d out of range", attr)
+	}
+	if t[attr] != relation.Missing {
+		return nil, fmt.Errorf("vote: attribute %q is not missing in %v",
+			m.Schema.Attrs[attr].Name, t)
+	}
+	l := m.Lattices[attr]
+	voters := l.Match(t, method.Choice)
+	if len(voters) == 0 {
+		// Cannot happen with a well-formed lattice (the top-level rule
+		// matches everything), but fail soft with the marginal-free uniform.
+		return dist.New(l.Card), nil
+	}
+	return Combine(voters, method.Scheme, l.Card)
+}
+
+// Combine merges the voters' CPDs under the given scheme into a single
+// estimate over card values.
+func Combine(voters []*rules.MetaRule, scheme Scheme, card int) (dist.Dist, error) {
+	if len(voters) == 0 {
+		return nil, fmt.Errorf("vote: no voters")
+	}
+	out := dist.Zeros(card)
+	switch scheme {
+	case Averaged:
+		for _, v := range voters {
+			if len(v.CPD) != card {
+				return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
+			}
+			for i, p := range v.CPD {
+				out[i] += p
+			}
+		}
+	case Weighted:
+		var totalW float64
+		for _, v := range voters {
+			if len(v.CPD) != card {
+				return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
+			}
+			w := v.Weight
+			if w < 0 {
+				return nil, fmt.Errorf("vote: negative weight %v", w)
+			}
+			totalW += w
+			for i, p := range v.CPD {
+				out[i] += w * p
+			}
+		}
+		if totalW == 0 {
+			// All-zero weights degenerate to plain averaging.
+			return Combine(voters, Averaged, card)
+		}
+	case Median:
+		col := make([]float64, len(voters))
+		for i := 0; i < card; i++ {
+			for vi, v := range voters {
+				if len(v.CPD) != card {
+					return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
+				}
+				col[vi] = v.CPD[i]
+			}
+			out[i] = median(col)
+		}
+	case LogPool:
+		for i := range out {
+			out[i] = 1
+		}
+		inv := 1.0 / float64(len(voters))
+		for _, v := range voters {
+			if len(v.CPD) != card {
+				return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
+			}
+			for i, p := range v.CPD {
+				if p <= 0 {
+					return nil, fmt.Errorf("vote: logpool needs positive CPDs, got %v", p)
+				}
+				out[i] *= math.Pow(p, inv)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("vote: unknown scheme %v", scheme)
+	}
+	out.Normalize()
+	// Voters' CPDs are positive, so the combination is too; Smooth guards
+	// against degenerate hand-built voters.
+	if !out.IsPositive() {
+		out.Smooth(dist.SmoothFloor)
+	}
+	return out, nil
+}
+
+// median returns the median of vals; the input slice is reordered.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return 0.5 * (vals[n/2-1] + vals[n/2])
+}
+
+// InferAll runs Infer for every missing attribute of t independently and
+// returns the per-attribute estimates keyed by attribute index. This is the
+// independence-assuming estimator the paper warns about in Section V; it is
+// exact only when t has a single missing attribute.
+func InferAll(m *core.Model, t relation.Tuple, method Method) (map[int]dist.Dist, error) {
+	out := make(map[int]dist.Dist)
+	for _, a := range t.MissingAttrs() {
+		d, err := Infer(m, t, a, method)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = d
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vote: tuple %v has no missing attributes", t)
+	}
+	return out, nil
+}

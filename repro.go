@@ -1,0 +1,266 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/pdb"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+// Re-exported core types, so callers need only import the root package.
+type (
+	// Schema describes the attributes of a relation.
+	Schema = relation.Schema
+	// Attribute is one discrete column.
+	Attribute = relation.Attribute
+	// Tuple is a (possibly incomplete) row; Missing marks unknown values.
+	Tuple = relation.Tuple
+	// Relation is a set of tuples over a schema.
+	Relation = relation.Relation
+	// Model is a learned MRSL model.
+	Model = core.Model
+	// Dist is a single-attribute probability distribution.
+	Dist = dist.Dist
+	// Joint is a distribution over combinations of several attributes.
+	Joint = dist.Joint
+	// Database is a disjoint-independent probabilistic database.
+	Database = pdb.Database
+	// Block is the completion distribution of one incomplete tuple.
+	Block = pdb.Block
+	// Method is a voting method (voter choice x scheme).
+	Method = vote.Method
+)
+
+// Missing is the value code of a missing ("?") attribute value.
+const Missing = relation.Missing
+
+// NewSchema builds a validated schema.
+func NewSchema(attrs []Attribute) (*Schema, error) { return relation.NewSchema(attrs) }
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(s *Schema) *Relation { return relation.NewRelation(s) }
+
+// ReadCSV parses a relation ("?" denotes missing values) and infers domains.
+func ReadCSV(r io.Reader) (*Relation, error) { return relation.ReadCSV(r) }
+
+// WriteCSV writes a relation with a header row.
+func WriteCSV(w io.Writer, rel *Relation) error { return relation.WriteCSV(w, rel) }
+
+// Voting method constructors, named after the paper's Table II columns.
+
+// AllAveraged votes with every matching meta-rule, plainly averaged.
+func AllAveraged() Method { return Method{Choice: core.AllVoters, Scheme: vote.Averaged} }
+
+// AllWeighted votes with every matching meta-rule, support-weighted.
+func AllWeighted() Method { return Method{Choice: core.AllVoters, Scheme: vote.Weighted} }
+
+// BestAveraged votes with the most specific matches, plainly averaged —
+// the paper's most accurate method at scale.
+func BestAveraged() Method { return Method{Choice: core.BestVoters, Scheme: vote.Averaged} }
+
+// BestWeighted votes with the most specific matches, support-weighted.
+func BestWeighted() Method { return Method{Choice: core.BestVoters, Scheme: vote.Weighted} }
+
+// LearnOptions configure Learn.
+type LearnOptions struct {
+	// SupportThreshold is the paper's theta (frequent itemset cutoff).
+	SupportThreshold float64
+	// MaxItemsets caps Apriori rounds; <= 0 uses the paper's 1000.
+	MaxItemsets int
+	// MaxBodySize bounds meta-rule bodies; <= 0 means unbounded.
+	MaxBodySize int
+	// UseIncomplete also mines the complete portions of incomplete tuples
+	// (the paper's Section III variant) instead of learning from complete
+	// tuples only.
+	UseIncomplete bool
+}
+
+// Learn builds an MRSL model from the complete portion of rel
+// (Algorithm 1). By default incomplete tuples are ignored during learning,
+// exactly as in the paper's main algorithm; with opt.UseIncomplete their
+// known values contribute to mining as well.
+func Learn(rel *Relation, opt LearnOptions) (*Model, error) {
+	rc, _ := rel.Split()
+	if rc.Len() == 0 {
+		return nil, fmt.Errorf("repro: relation has no complete tuples to learn from")
+	}
+	cfg := core.Config{
+		SupportThreshold: opt.SupportThreshold,
+		MaxItemsets:      opt.MaxItemsets,
+		MaxBodySize:      opt.MaxBodySize,
+		IncludePartial:   opt.UseIncomplete,
+	}
+	if opt.UseIncomplete {
+		return core.Learn(rel, cfg)
+	}
+	return core.Learn(rc, cfg)
+}
+
+// LoadModel reads a model saved with Model.Save.
+func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
+
+// InferSingle estimates the distribution of the single missing attribute
+// attr of t by ensemble voting (Algorithm 2).
+func InferSingle(m *Model, t Tuple, attr int, method Method) (Dist, error) {
+	return vote.Infer(m, t, attr, method)
+}
+
+// GibbsOptions configure multi-attribute inference.
+type GibbsOptions struct {
+	// Samples is the number of recorded points per tuple (N); <= 0 uses
+	// the paper's well-converged setting of 2000.
+	Samples int
+	// BurnIn is the number of discarded warm-up sweeps (B); <= 0 uses 100.
+	BurnIn int
+	// Method is the voting method for local CPDs. The zero value is
+	// AllAveraged (all voters, plain averaging); pass BestAveraged() etc.
+	// to select another method.
+	Method Method
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+func (o GibbsOptions) config() gibbs.Config {
+	samples := o.Samples
+	if samples <= 0 {
+		samples = 2000
+	}
+	return gibbs.Config{Samples: samples, BurnIn: o.BurnIn, Method: o.Method, Seed: o.Seed}
+}
+
+// InferJoint estimates the joint distribution over all missing attributes
+// of t by ordered Gibbs sampling over the model's MRSLs (Section V).
+func InferJoint(m *Model, t Tuple, opt GibbsOptions) (*Joint, error) {
+	s, err := gibbs.New(m, opt.config())
+	if err != nil {
+		return nil, err
+	}
+	return s.InferTuple(t)
+}
+
+// InferWorkload estimates distributions for a whole workload of incomplete
+// tuples with the tuple-DAG optimization (Algorithm 3), sharing samples
+// between tuples related by subsumption. Results align with the distinct
+// incomplete tuples in first-appearance order.
+func InferWorkload(m *Model, workload []Tuple, opt GibbsOptions) ([]Tuple, []*Joint, error) {
+	s, err := gibbs.New(m, opt.config())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.TupleDAGRun(workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Tuples, res.Dists, nil
+}
+
+// DeriveOptions configure Derive.
+type DeriveOptions struct {
+	// Gibbs configures multi-attribute inference for tuples with more than
+	// one missing value.
+	Gibbs GibbsOptions
+	// Method is the voting method for single-missing tuples. The zero
+	// value is AllAveraged; the paper's most accurate method at scale is
+	// BestAveraged().
+	Method Method
+	// MaxAlternatives caps each block's alternatives (most probable kept,
+	// renormalized); <= 0 keeps all combinations.
+	MaxAlternatives int
+	// Workers > 1 runs multi-missing inference with independent parallel
+	// chains (one per distinct tuple, deterministic per-tuple seeding)
+	// instead of the sequential tuple-DAG sampler. Parallelism trades the
+	// DAG's sample sharing for wall-clock speedup on many-core machines.
+	Workers int
+}
+
+// Derive runs the paper's end-to-end pipeline on rel: every complete tuple
+// becomes a certain tuple of the output database; every incomplete tuple
+// becomes a block of mutually exclusive completions distributed according
+// to the inferred Delta_t. Single-missing tuples use ensemble voting;
+// multi-missing tuples use tuple-DAG Gibbs sampling over the whole
+// workload.
+func Derive(m *Model, rel *Relation, opt DeriveOptions) (*Database, error) {
+	method := opt.Method
+	db := pdb.NewDatabase(rel.Schema)
+	var multi []Tuple
+	for _, t := range rel.Tuples {
+		if t.IsComplete() {
+			if err := db.AddCertain(t); err != nil {
+				return nil, err
+			}
+		} else if t.NumMissing() > 1 {
+			multi = append(multi, t)
+		}
+	}
+
+	// Single-missing tuples: direct voting (Algorithm 2).
+	for _, t := range rel.Tuples {
+		if t.IsComplete() || t.NumMissing() != 1 {
+			continue
+		}
+		attr := t.MissingAttrs()[0]
+		d, err := vote.Infer(m, t, attr, method)
+		if err != nil {
+			return nil, err
+		}
+		j, err := dist.NewJoint([]int{attr}, []int{m.Schema.Attrs[attr].Card()})
+		if err != nil {
+			return nil, err
+		}
+		copy(j.P, d)
+		b, err := pdb.NewBlock(t, j, opt.MaxAlternatives)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AddBlock(b); err != nil {
+			return nil, err
+		}
+	}
+
+	// Multi-missing tuples: workload-driven Gibbs (Algorithm 3), or
+	// parallel independent chains when Workers > 1. Distinct tuples are
+	// inferred once; duplicates share the estimate.
+	if len(multi) > 0 {
+		var (
+			tuples []Tuple
+			joints []*Joint
+			err    error
+		)
+		if opt.Workers > 1 {
+			s, serr := gibbs.New(m, opt.Gibbs.config())
+			if serr != nil {
+				return nil, serr
+			}
+			res, rerr := s.ParallelTupleAtATime(multi, opt.Workers)
+			if rerr != nil {
+				return nil, rerr
+			}
+			tuples, joints = res.Tuples, res.Dists
+		} else {
+			tuples, joints, err = InferWorkload(m, multi, opt.Gibbs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		byKey := make(map[string]*Joint, len(tuples))
+		for i, t := range tuples {
+			byKey[t.Key()] = joints[i]
+		}
+		for _, t := range multi {
+			j := byKey[t.Key()]
+			b, err := pdb.NewBlock(t, j, opt.MaxAlternatives)
+			if err != nil {
+				return nil, err
+			}
+			if err := db.AddBlock(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
