@@ -1,0 +1,30 @@
+# Tier-1 verification targets. `make ci` is the gate every change must
+# pass: vet, the full test suite under the race detector, and a one-shot
+# smoke of the derivation benchmarks (exercising the streaming engine end
+# to end).
+
+GO ?= go
+
+.PHONY: ci vet test race bench-smoke fuzz-smoke build
+
+ci: vet race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=Derive -benchtime=1x .
+
+# Short fuzzing pass over the two external input parsers.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/relation
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/bn

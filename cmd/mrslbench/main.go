@@ -6,7 +6,8 @@
 //
 //	mrslbench -exp table1|fig4a|fig4b|fig4c|table2|fig5|fig6|fig7|
 //	               fig8a|fig8b|fig8c|fig9|fig10|fig11|
-//	               ablation-indep|ablation-schemes|ablation-parallel|all
+//	               ablation-indep|ablation-schemes|ablation-parallel|
+//	               ablation-derive|all
 //	          [-scale quick|paper] [-seed N] [-networks BN8,BN9]
 //	          [-csv] [-quiet] [-list]
 //
@@ -31,6 +32,7 @@ var allExperiments = []string{
 	"table1", "fig7", "fig4a", "fig4b", "fig4c", "table2",
 	"fig5", "fig6", "fig8a", "fig8b", "fig8c", "fig9", "fig10",
 	"fig11", "ablation-indep", "ablation-schemes", "ablation-parallel",
+	"ablation-derive",
 }
 
 func main() {
@@ -142,6 +144,8 @@ func resolve(id string, opt experiment.Options, nets []string) (*experiment.Tabl
 		_, tab, err = experiment.RunAblationSchemes(opt, nets)
 	case "ablation-parallel":
 		_, tab, err = experiment.RunAblationParallel(opt, nets, nil)
+	case "ablation-derive":
+		_, tab, err = experiment.RunAblationDerive(opt, nets, nil)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", id)
 	}

@@ -11,7 +11,9 @@
 //
 // Supported operations: count (expected count, default), topk (most
 // probable matching completions), groupby (expected histogram; uses
-// -groupby instead of -where).
+// -groupby instead of -where). topk and groupby evaluate against the
+// derivation stream (repro.DeriveStream): blocks are aggregated as they
+// are inferred and never materialized as a whole database.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"repro"
@@ -101,13 +104,10 @@ func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burni
 		if err != nil {
 			return err
 		}
-		db, err := repro.Derive(model, rel, repro.DeriveOptions{
-			Gibbs: gibbs, Method: repro.BestAveraged(),
-		})
+		rows, err := streamTopK(model, rel, gibbs, q.Predicate(), k)
 		if err != nil {
 			return err
 		}
-		rows := db.TopKRows(q.Predicate(), k)
 		fmt.Fprintf(w, "top %d matching completions:\n", len(rows))
 		for _, row := range rows {
 			src := "certain"
@@ -125,13 +125,7 @@ func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burni
 		if attr < 0 {
 			return fmt.Errorf("unknown attribute %q", groupBy)
 		}
-		db, err := repro.Derive(model, rel, repro.DeriveOptions{
-			Gibbs: gibbs, Method: repro.BestAveraged(),
-		})
-		if err != nil {
-			return err
-		}
-		stats, err := db.GroupCount(attr)
+		stats, err := streamGroupCount(model, rel, gibbs, attr)
 		if err != nil {
 			return err
 		}
@@ -144,6 +138,88 @@ func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burni
 	default:
 		return fmt.Errorf("unknown operation %q", op)
 	}
+}
+
+// deriveOpts builds the streaming derivation options shared by topk and
+// groupby; VoteWorkers 0 lets the engine saturate the machine.
+func deriveOpts(gibbs repro.GibbsOptions) repro.DeriveOptions {
+	return repro.DeriveOptions{Gibbs: gibbs, Method: repro.BestAveraged()}
+}
+
+// streamTopK folds the derivation stream into the k most probable
+// matching rows, holding at most k rows at any time — never the database
+// and never the full selection (certain rows carry probability 1; ties
+// keep stream order for determinism). k <= 0 keeps every matching row.
+func streamTopK(model *repro.Model, rel *repro.Relation, gibbs repro.GibbsOptions, pred pdb.Predicate, k int) ([]pdb.ResultRow, error) {
+	var rows []pdb.ResultRow // sorted by descending Prob, stream order on ties
+	insert := func(row pdb.ResultRow) {
+		if k > 0 && len(rows) == k && rows[k-1].Prob >= row.Prob {
+			return
+		}
+		// First position with strictly smaller probability: equal-prob
+		// rows keep their stream order, matching a stable sort.
+		pos := sort.Search(len(rows), func(i int) bool { return rows[i].Prob < row.Prob })
+		rows = append(rows, pdb.ResultRow{})
+		copy(rows[pos+1:], rows[pos:])
+		rows[pos] = row
+		if k > 0 && len(rows) > k {
+			rows = rows[:k]
+		}
+	}
+	blocks := 0
+	err := repro.DeriveStream(model, rel, deriveOpts(gibbs), func(it repro.DeriveItem) error {
+		if it.Certain() {
+			if pred(it.Tuple) {
+				insert(pdb.ResultRow{Tuple: it.Tuple, Prob: 1, Block: -1})
+			}
+			return nil
+		}
+		for _, a := range it.Block.Alts {
+			if pred(a.Tuple) {
+				insert(pdb.ResultRow{Tuple: a.Tuple, Prob: a.Prob, Block: blocks})
+			}
+		}
+		blocks++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// streamGroupCount folds the derivation stream into an expected-count
+// histogram of attr: certain tuples contribute 1 to their group, each
+// block contributes its per-value probability mass (independent Bernoulli
+// variance, as pdb.GroupCount computes on a materialized database).
+func streamGroupCount(model *repro.Model, rel *repro.Relation, gibbs repro.GibbsOptions, attr int) ([]pdb.GroupStat, error) {
+	card := model.Schema.Attrs[attr].Card()
+	stats := make([]pdb.GroupStat, card)
+	for v := range stats {
+		stats[v].Value = v
+	}
+	perValue := make([]float64, card)
+	err := repro.DeriveStream(model, rel, deriveOpts(gibbs), func(it repro.DeriveItem) error {
+		if it.Certain() {
+			stats[it.Tuple[attr]].Expected++
+			return nil
+		}
+		for v := range perValue {
+			perValue[v] = 0
+		}
+		for _, a := range it.Block.Alts {
+			perValue[a.Tuple[attr]] += a.Prob
+		}
+		for v, p := range perValue {
+			stats[v].Expected += p
+			stats[v].Variance += p * (1 - p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
 }
 
 // parseWhere converts "attr=value,attr=value" into a validated query.

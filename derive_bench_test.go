@@ -1,0 +1,195 @@
+package repro
+
+// End-to-end derivation benchmarks. The workload mirrors real dirty data:
+// a mix of complete tuples, many duplicated single-missing tuples, and
+// duplicated multi-missing tuples.
+//
+// BenchmarkDerive measures the sequential derivation exactly as the seed
+// implemented it: one vote.Infer call per single-missing tuple (no
+// memoization across duplicates) followed by workload-driven DAG sampling,
+// materializing the whole database. BenchmarkDeriveParallel measures the
+// streaming engine with its worker pools open: duplicates hit the shared
+// vote cache, blocks stream without materialization, and on multi-core
+// hardware the pools add wall-clock parallelism on top. The two produce
+// the same blocks (modulo the DAG-vs-independent-chains estimator for
+// multi-missing tuples).
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bn"
+	"repro/internal/dist"
+	"repro/internal/pdb"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+type deriveBenchEnv struct {
+	model *Model
+	rel   *Relation
+}
+
+var (
+	deriveBenchOnce sync.Once
+	deriveBenchCtx  *deriveBenchEnv
+)
+
+// deriveBenchSetup builds the shared fixture: a BN9 model and a 600-tuple
+// relation with ~20% complete tuples, 32 distinct single-missing damage
+// patterns and 8 distinct multi-missing ones, heavily duplicated.
+func deriveBenchSetup(b *testing.B) *deriveBenchEnv {
+	b.Helper()
+	deriveBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(77))
+		top, err := bn.ByID("BN9")
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := bn.Instantiate(top, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		train := inst.SampleRelation(rng, 8000)
+		m, err := Learn(train, LearnOptions{SupportThreshold: 0.002})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nAttrs := top.NumAttrs()
+		var patterns []Tuple
+		for i := 0; i < 32; i++ { // single-missing patterns
+			tu := inst.Sample(rng)
+			tu[rng.Intn(nAttrs)] = relation.Missing
+			patterns = append(patterns, tu)
+		}
+		for i := 0; i < 8; i++ { // multi-missing patterns
+			tu := inst.Sample(rng)
+			for _, a := range rng.Perm(nAttrs)[:2] {
+				tu[a] = relation.Missing
+			}
+			patterns = append(patterns, tu)
+		}
+		rel := NewRelation(top.Schema())
+		for i := 0; i < 600; i++ {
+			var tu Tuple
+			if rng.Float64() < 0.2 {
+				tu = inst.Sample(rng)
+			} else {
+				tu = patterns[rng.Intn(len(patterns))].Clone()
+			}
+			if err := rel.Append(tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+		deriveBenchCtx = &deriveBenchEnv{model: m, rel: rel}
+	})
+	return deriveBenchCtx
+}
+
+func benchGibbs() GibbsOptions {
+	return GibbsOptions{Samples: 200, BurnIn: 30, Seed: 31, Method: BestAveraged()}
+}
+
+// legacyDerive is the seed's sequential Derive, kept verbatim as the
+// benchmark baseline: single-missing tuples are voted one at a time with
+// no cross-tuple memoization, multi-missing tuples go through the
+// workload-driven DAG sampler, and the whole database is materialized.
+func legacyDerive(m *Model, rel *Relation, opt DeriveOptions) (*Database, error) {
+	db := pdb.NewDatabase(rel.Schema)
+	var multi []Tuple
+	for _, t := range rel.Tuples {
+		if t.IsComplete() {
+			if err := db.AddCertain(t); err != nil {
+				return nil, err
+			}
+		} else if t.NumMissing() > 1 {
+			multi = append(multi, t)
+		}
+	}
+	for _, t := range rel.Tuples {
+		if t.IsComplete() || t.NumMissing() != 1 {
+			continue
+		}
+		attr := t.MissingAttrs()[0]
+		d, err := vote.Infer(m, t, attr, opt.Method)
+		if err != nil {
+			return nil, err
+		}
+		j, err := dist.NewJoint([]int{attr}, []int{m.Schema.Attrs[attr].Card()})
+		if err != nil {
+			return nil, err
+		}
+		copy(j.P, d)
+		b, err := pdb.NewBlock(t, j, opt.MaxAlternatives)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AddBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	if len(multi) > 0 {
+		tuples, joints, err := InferWorkload(m, multi, opt.Gibbs)
+		if err != nil {
+			return nil, err
+		}
+		byKey := make(map[string]*Joint, len(tuples))
+		for i, t := range tuples {
+			byKey[t.Key()] = joints[i]
+		}
+		for _, t := range multi {
+			b, err := pdb.NewBlock(t, byKey[t.Key()], opt.MaxAlternatives)
+			if err != nil {
+				return nil, err
+			}
+			if err := db.AddBlock(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// BenchmarkDerive is the sequential baseline (the seed's algorithm).
+func BenchmarkDerive(b *testing.B) {
+	e := deriveBenchSetup(b)
+	opt := DeriveOptions{Method: BestAveraged(), Gibbs: benchGibbs()}
+	b.ResetTimer()
+	var blocks int
+	for i := 0; i < b.N; i++ {
+		db, err := legacyDerive(e.model, e.rel, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = len(db.Blocks)
+	}
+	b.ReportMetric(float64(blocks), "blocks")
+}
+
+// BenchmarkDeriveParallel streams the same derivation through the engine
+// with 8 voting workers and 8 Gibbs chains.
+func BenchmarkDeriveParallel(b *testing.B) {
+	e := deriveBenchSetup(b)
+	opt := DeriveOptions{
+		Method:      BestAveraged(),
+		Gibbs:       benchGibbs(),
+		VoteWorkers: 8,
+		Workers:     8,
+	}
+	b.ResetTimer()
+	var blocks int
+	for i := 0; i < b.N; i++ {
+		blocks = 0
+		err := DeriveStream(e.model, e.rel, opt, func(it DeriveItem) error {
+			if !it.Certain() {
+				blocks++
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(blocks), "blocks")
+}

@@ -17,8 +17,32 @@
 //	j, err := repro.InferJoint(model, tuple, repro.GibbsOptions{Samples: 2000})
 //	db, err := repro.Derive(model, rel, repro.DeriveOptions{})
 //
-// The cmd/ directory ships four tools (mrslbench regenerates every table
-// and figure of the paper; mrsllearn, mrslinfer, and bngen operate on CSV
+// Derivation runs on a concurrent, cache-backed streaming engine
+// (internal/derive). Derive materializes the whole database; DeriveStream
+// emits certain tuples and completed blocks in input order through a
+// callback, so large derivations can be persisted or served without ever
+// being held in memory:
+//
+//	err := repro.DeriveStream(model, rel, repro.DeriveOptions{
+//		Method:      repro.BestAveraged(),
+//		VoteWorkers: 8, // single-missing voting pool (0 = GOMAXPROCS)
+//		Workers:     8, // multi-missing parallel Gibbs chains
+//	}, func(it repro.DeriveItem) error {
+//		return persist(it) // blocks arrive in input order
+//	})
+//
+// Distinct incomplete tuples are inferred once — duplicates are served
+// from a shared, synchronized memoization cache keyed by the tuple's
+// evidence — and the emitted stream does not depend on pool sizes: any
+// VoteWorkers value and any Workers count above 1 produce bit-identical
+// databases, thanks to deterministic content-keyed per-tuple seeding.
+// (Workers <= 1 selects the paper's tuple-DAG sampler instead of
+// independent chains — a different estimator for multi-missing tuples.)
+//
+// The cmd/ directory ships five tools (mrslbench regenerates every table
+// and figure of the paper plus engine ablations; mrslquery answers
+// count/topk/groupby queries over incomplete CSV data via lazy or
+// streaming derivation; mrsllearn, mrslinfer, and bngen operate on CSV
 // data), and examples/ contains runnable walkthroughs, starting with the
 // paper's own matchmaking relation in examples/quickstart.
 package repro

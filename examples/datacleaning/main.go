@@ -71,21 +71,12 @@ func run() error {
 		}
 	}
 
-	// Derive the probabilistic database over the dirty records.
-	db, err := repro.Derive(model, dirtyRel, repro.DeriveOptions{
-		Method: repro.BestAveraged(),
-		Gibbs: repro.GibbsOptions{
-			Samples: 800, BurnIn: 100, Seed: 3, Method: repro.BestAveraged(),
-		},
-	})
-	if err != nil {
-		return err
-	}
-
-	// Repair = most probable alternative per block; score against truth.
-	// Derive orders blocks single-missing first, so records are matched to
-	// blocks by their incomplete tuple's key (multiset semantics: records
-	// with identical damage consume matching blocks one each).
+	// Derive the probabilistic database over the dirty records and score
+	// it block by block as it streams — no materialized database. Blocks
+	// arrive in input order, but records are still matched by their
+	// incomplete tuple's key (multiset semantics: records with identical
+	// damage consume matching blocks one each), so the scoring does not
+	// depend on emission order.
 	pending := make(map[string][]int) // base key -> record indices
 	for i, rec := range records {
 		k := rec.broken.Key()
@@ -101,14 +92,25 @@ func run() error {
 		pending[k] = idxs[1:]
 		return rec, nil
 	}
-	blockRecords := make([]dirty, len(db.Blocks))
-	var cellsRepaired, cellsCorrect, tuplesCorrect int
-	for i, b := range db.Blocks {
+	var cellsRepaired, cellsCorrect, tuplesCorrect, blocks int
+	var klSum float64
+	err = repro.DeriveStream(model, dirtyRel, repro.DeriveOptions{
+		Method: repro.BestAveraged(),
+		Gibbs: repro.GibbsOptions{
+			Samples: 800, BurnIn: 100, Seed: 3, Method: repro.BestAveraged(),
+		},
+	}, func(it repro.DeriveItem) error {
+		if it.Certain() {
+			return nil
+		}
+		b := it.Block
+		blocks++
 		rec, err := matchRecord(b)
 		if err != nil {
 			return err
 		}
-		blockRecords[i] = rec
+
+		// Repair = most probable alternative; score against truth.
 		repair := b.MostProbable().Tuple
 		allRight := true
 		for a, v := range rec.broken {
@@ -125,18 +127,10 @@ func run() error {
 		if allRight {
 			tuplesCorrect++
 		}
-	}
-	fmt.Printf("repaired %d cells: %.1f%% of cells correct, %.1f%% of tuples fully correct\n",
-		cellsRepaired,
-		100*float64(cellsCorrect)/float64(cellsRepaired),
-		100*float64(tuplesCorrect)/float64(len(db.Blocks)))
 
-	// Distribution quality: mean KL of each block's distribution vs the
-	// exact conditional of the generating network.
-	var klSum float64
-	var klN int
-	for i, b := range db.Blocks {
-		truthDist, err := inst.Conditional(blockRecords[i].broken)
+		// Distribution quality: KL of the block's distribution vs the
+		// exact conditional of the generating network.
+		truthDist, err := inst.Conditional(rec.broken)
 		if err != nil {
 			return err
 		}
@@ -157,9 +151,16 @@ func run() error {
 			return err
 		}
 		klSum += kl
-		klN++
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("mean KL(truth || derived block) = %.3f over %d blocks\n", klSum/float64(klN), klN)
+	fmt.Printf("repaired %d cells: %.1f%% of cells correct, %.1f%% of tuples fully correct\n",
+		cellsRepaired,
+		100*float64(cellsCorrect)/float64(cellsRepaired),
+		100*float64(tuplesCorrect)/float64(blocks))
+	fmt.Printf("mean KL(truth || derived block) = %.3f over %d blocks\n", klSum/float64(blocks), blocks)
 
 	// Single-cell imputation shoot-out across voting methods, plus the
 	// random floor (paper Table II's framing).

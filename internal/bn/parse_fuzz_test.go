@@ -1,0 +1,60 @@
+package bn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse guards the topology DSL parser — the framework's external
+// network input — against panics, and checks that anything it accepts
+// validates and survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"network mynet depth 3\nnode a card 3\nnode b card 2 parents a\nnode c card 4 parents a b\n",
+		"# comment\nnetwork n\nnode x card 2\n",
+		"network n depth 0\nnode x card 2\nnode y card 2 parents x\n",
+		"node x card 2\n",                           // missing network directive
+		"network n\n",                               // no nodes
+		"network n\nnode x card 1\n",                // cardinality too small
+		"network n\nnode x card 2 parents y\n",      // undeclared parent
+		"network n\nnode x card 2\nnode x card 2\n", // duplicate node
+		"network n depth -1\nnode x card 2\n",       // bad depth
+		"network n\nnode x card 2 parents\n",        // empty parents list
+		"network a network b\nnode x card 2\n",      // dangling option
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		top, err := ParseTopology(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		if err := top.Validate(); err != nil {
+			t.Fatalf("accepted topology fails validation: %v", err)
+		}
+		// Names are whitespace-split tokens, so every accepted topology
+		// can round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteTopology(&buf, top); err != nil {
+			t.Fatalf("WriteTopology of accepted topology: %v", err)
+		}
+		back, err := ParseTopology(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ndsl:\n%s", err, buf.String())
+		}
+		if back.ID != top.ID || len(back.Nodes) != len(top.Nodes) {
+			t.Fatalf("round trip changed topology: %s/%d -> %s/%d",
+				top.ID, len(top.Nodes), back.ID, len(back.Nodes))
+		}
+		for i := range top.Nodes {
+			if back.Nodes[i].Name != top.Nodes[i].Name ||
+				back.Nodes[i].Card != top.Nodes[i].Card ||
+				len(back.Nodes[i].Parents) != len(top.Nodes[i].Parents) {
+				t.Fatalf("round trip changed node %d: %+v -> %+v",
+					i, top.Nodes[i], back.Nodes[i])
+			}
+		}
+	})
+}

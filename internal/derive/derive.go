@@ -1,0 +1,407 @@
+// Package derive implements the concurrent, cache-backed derivation
+// engine behind the paper's end-to-end pipeline (Section VI): every
+// complete tuple of an incomplete relation becomes a certain tuple of the
+// output database, every incomplete tuple becomes a block of mutually
+// exclusive completions distributed according to the inferred Delta_t.
+//
+// The engine improves on a naive sequential derivation in three ways:
+//
+//   - Single-missing voting is sharded across a pool of goroutines that
+//     share a synchronized, single-flight memoization cache keyed by the
+//     tuple's canonical evidence (relation.Tuple.Key). Distinct incomplete
+//     tuples are voted exactly once; duplicates hit the cache — the same
+//     treatment gibbs.ParallelTupleAtATime gives multi-missing tuples.
+//   - Completed pdb.Blocks are streamed to the caller in input order
+//     through a callback, so callers can persist or serve blocks without
+//     ever holding the whole database in memory. Only the per-distinct
+//     joint cache is retained.
+//   - Results do not depend on pool sizes: voting is deterministic for
+//     every VoteWorkers value, multi-missing chains are seeded by tuple
+//     content so every positive GibbsWorkers count is bit-identical, and
+//     emission order is the input order regardless of which goroutine
+//     finished first. (GibbsWorkers <= 0 selects the tuple-DAG sampler —
+//     a different, workload-dependent estimator; toggling between DAG
+//     and chains changes multi-missing estimates.)
+//
+// An Engine may be reused across relations; its caches persist, so a
+// serving deployment pays for each distinct evidence pattern once. With
+// the chain sampler (GibbsWorkers > 0) a tuple's estimate is the same
+// whether it was inferred on the first call or any later one; with the
+// DAG sampler, estimates depend on which tuples were inferred together.
+package derive
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/pdb"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+// Config controls an Engine.
+type Config struct {
+	// Method is the voting method for single-missing tuples. The zero
+	// value is all-voters/averaged.
+	Method vote.Method
+	// Gibbs configures multi-missing inference.
+	Gibbs gibbs.Config
+	// MaxAlternatives caps each emitted block's alternatives (most
+	// probable kept, renormalized); <= 0 keeps all combinations.
+	MaxAlternatives int
+	// VoteWorkers is the size of the single-missing voting pool; <= 0
+	// selects GOMAXPROCS. The result does not depend on the pool size.
+	VoteWorkers int
+	// GibbsWorkers > 0 runs multi-missing inference with independent
+	// per-tuple chains across that many goroutines; the estimates are
+	// bit-identical for every positive worker count (chains are seeded by
+	// tuple content). <= 0 uses the sequential tuple-DAG sampler
+	// (Algorithm 3), which shares samples between subsumption-related
+	// tuples — a different (workload-dependent) estimator.
+	GibbsWorkers int
+}
+
+// Item is one streamed element of the derived database. Items arrive in
+// input order: Index is the tuple's position in the source relation.
+// Exactly one of the two interpretations applies: a complete input tuple
+// is passed through as a certain tuple (Block == nil), an incomplete one
+// arrives with its completion Block.
+type Item struct {
+	// Index is the position of the source tuple in the input relation.
+	Index int
+	// Tuple is the source tuple (complete for certain items, incomplete
+	// for blocks).
+	Tuple relation.Tuple
+	// Block is the inferred completion distribution, nil for certain
+	// tuples.
+	Block *pdb.Block
+}
+
+// Certain reports whether the item is a pass-through complete tuple.
+func (it Item) Certain() bool { return it.Block == nil }
+
+// EmitFunc receives streamed items. Returning an error stops the stream;
+// Stream returns that error.
+type EmitFunc func(Item) error
+
+// Stats instruments the engine's caches.
+type Stats struct {
+	// VotesComputed counts distinct single-missing evidence patterns that
+	// were actually voted (cache misses).
+	VotesComputed int64
+	// SingleTuples counts single-missing input tuples served. The
+	// difference SingleTuples - VotesComputed is the number of tuples
+	// answered purely from the memo cache (duplicates).
+	SingleTuples int64
+	// GibbsComputed counts distinct multi-missing tuples inferred by
+	// sampling; GibbsCacheHits counts multi-missing joints served from the
+	// engine's cross-call cache.
+	GibbsComputed  int64
+	GibbsCacheHits int64
+	// PointsSampled counts Gibbs draws, including burn-in.
+	PointsSampled int64
+}
+
+// VoteHitRate returns the fraction of single-missing input tuples served
+// from the shared memo cache rather than voted afresh.
+func (s Stats) VoteHitRate() float64 {
+	if s.SingleTuples == 0 {
+		return 0
+	}
+	return float64(s.SingleTuples-s.VotesComputed) / float64(s.SingleTuples)
+}
+
+// Engine is a reusable derivation engine. It is safe for sequential reuse
+// across relations; the memoization caches persist between Stream calls.
+type Engine struct {
+	model *core.Model
+	cfg   Config
+
+	mu     sync.Mutex
+	votes  map[string]*voteEntry
+	joints map[string]*dist.Joint // multi-missing joints by tuple key
+	stats  Stats
+}
+
+// voteEntry is a single-flight cache slot for one distinct single-missing
+// evidence pattern. The claimer computes joint/err and closes ready;
+// everyone else waits on ready.
+type voteEntry struct {
+	ready chan struct{}
+	joint *dist.Joint
+	err   error
+}
+
+// New returns an engine over the model.
+func New(model *core.Model, cfg Config) (*Engine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("derive: nil model")
+	}
+	return &Engine{
+		model:  model,
+		cfg:    cfg,
+		votes:  make(map[string]*voteEntry),
+		joints: make(map[string]*dist.Joint),
+	}, nil
+}
+
+// Stats returns a snapshot of the engine's cache instrumentation.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// lookupVote returns the cache entry for key, creating and claiming it if
+// absent. claimed is true when the caller must compute the entry and close
+// ready.
+func (e *Engine) lookupVote(key string) (entry *voteEntry, claimed bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if en, ok := e.votes[key]; ok {
+		return en, false
+	}
+	en := &voteEntry{ready: make(chan struct{})}
+	e.votes[key] = en
+	e.stats.VotesComputed++
+	return en, true
+}
+
+// voteJoint runs single-attribute ensemble voting (Algorithm 2) for the
+// one missing attribute of t and lifts the estimate into a 1-attribute
+// joint.
+func (e *Engine) voteJoint(t relation.Tuple) (*dist.Joint, error) {
+	attr := t.MissingAttrs()[0]
+	d, err := vote.Infer(e.model, t, attr, e.cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	j, err := dist.NewJoint([]int{attr}, []int{e.model.Schema.Attrs[attr].Card()})
+	if err != nil {
+		return nil, err
+	}
+	copy(j.P, d)
+	return j, nil
+}
+
+// resolveVote returns the memoized vote joint for t, computing it if this
+// caller claims the cache slot and waiting for the in-flight computation
+// otherwise. It is the emitter's fetch path, so it counts served tuples.
+func (e *Engine) resolveVote(t relation.Tuple, key string) (*dist.Joint, error) {
+	e.mu.Lock()
+	e.stats.SingleTuples++
+	e.mu.Unlock()
+	en, claimed := e.lookupVote(key)
+	if claimed {
+		en.joint, en.err = e.voteJoint(t)
+		close(en.ready)
+	} else {
+		<-en.ready
+	}
+	return en.joint, en.err
+}
+
+// prefetchVote warms the cache slot for t without blocking on entries
+// another goroutine already claimed.
+func (e *Engine) prefetchVote(t relation.Tuple, key string) {
+	en, claimed := e.lookupVote(key)
+	if claimed {
+		en.joint, en.err = e.voteJoint(t)
+		close(en.ready)
+	}
+}
+
+// inferMulti estimates joints for every distinct multi-missing tuple of
+// workload that is not already cached, and returns the per-key map
+// covering the whole workload.
+func (e *Engine) inferMulti(workload []relation.Tuple) (map[string]*dist.Joint, error) {
+	byKey := make(map[string]*dist.Joint)
+	var todo []relation.Tuple
+	e.mu.Lock()
+	for _, t := range workload {
+		k := t.Key()
+		if _, dup := byKey[k]; dup {
+			continue
+		}
+		if j, ok := e.joints[k]; ok {
+			byKey[k] = j
+			e.stats.GibbsCacheHits++
+			continue
+		}
+		byKey[k] = nil // placeholder: marks the key as scheduled
+		todo = append(todo, t)
+	}
+	e.mu.Unlock()
+	if len(todo) == 0 {
+		return byKey, nil
+	}
+	s, err := gibbs.New(e.model, e.cfg.Gibbs)
+	if err != nil {
+		return nil, err
+	}
+	var res *gibbs.Result
+	if e.cfg.GibbsWorkers > 0 {
+		res, err = s.ParallelTupleAtATime(todo, e.cfg.GibbsWorkers)
+	} else {
+		res, err = s.TupleDAGRun(todo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	for i, t := range res.Tuples {
+		k := t.Key()
+		byKey[k] = res.Dists[i]
+		e.joints[k] = res.Dists[i]
+	}
+	e.stats.GibbsComputed += int64(len(res.Tuples))
+	e.stats.PointsSampled += int64(res.PointsSampled)
+	e.mu.Unlock()
+	return byKey, nil
+}
+
+// block expands a memoized joint into the completion block of t.
+func (e *Engine) block(t relation.Tuple, j *dist.Joint) (*pdb.Block, error) {
+	if j == nil {
+		return nil, fmt.Errorf("derive: no inferred joint for tuple %v", t)
+	}
+	return pdb.NewBlock(t, j, e.cfg.MaxAlternatives)
+}
+
+// Stream derives the probabilistic database of rel and emits it item by
+// item, in input order: complete tuples pass through as certain items,
+// incomplete tuples arrive as blocks. Single-missing voting runs on the
+// engine's worker pool concurrently with emission; multi-missing sampling
+// runs in the background and the emitter blocks on it only when it
+// reaches the first multi-missing tuple. If emit returns an error the
+// stream stops and Stream returns that error after draining its workers.
+func (e *Engine) Stream(rel *relation.Relation, emit EmitFunc) error {
+	if rel == nil {
+		return fmt.Errorf("derive: nil relation")
+	}
+
+	// Classify the workload.
+	var multi []relation.Tuple
+	numSingles := 0
+	for _, t := range rel.Tuples {
+		switch {
+		case t.IsComplete():
+		case t.NumMissing() == 1:
+			numSingles++
+		default:
+			multi = append(multi, t)
+		}
+	}
+
+	// Multi-missing inference runs holistically in the background; the
+	// emitter waits for it only when it reaches a multi-missing tuple.
+	var (
+		multiDone   chan struct{}
+		multiJoints map[string]*dist.Joint
+		multiErr    error
+	)
+	if len(multi) > 0 {
+		multiDone = make(chan struct{})
+		go func() {
+			defer close(multiDone)
+			multiJoints, multiErr = e.inferMulti(multi)
+		}()
+	}
+
+	// The voting pool prefetches single-missing estimates ahead of the
+	// emitter. quit stops the dispatcher early when emission fails.
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	if numSingles > 0 {
+		workers := e.cfg.VoteWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > numSingles {
+			workers = numSingles
+		}
+		work := make(chan relation.Tuple)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range work {
+					e.prefetchVote(t, t.Key())
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(work)
+			for _, t := range rel.Tuples {
+				if t.IsComplete() || t.NumMissing() != 1 {
+					continue
+				}
+				select {
+				case work <- t:
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+
+	// Emit in input order. The emitter steals unclaimed vote work
+	// (resolveVote computes inline when the pool has not reached the
+	// entry yet), so it never idles behind the pool.
+	var err error
+	for i, t := range rel.Tuples {
+		switch {
+		case t.IsComplete():
+			err = emit(Item{Index: i, Tuple: t})
+		case t.NumMissing() == 1:
+			var j *dist.Joint
+			j, err = e.resolveVote(t, t.Key())
+			if err == nil {
+				var b *pdb.Block
+				if b, err = e.block(t, j); err == nil {
+					err = emit(Item{Index: i, Tuple: t, Block: b})
+				}
+			}
+		default:
+			<-multiDone
+			err = multiErr
+			if err == nil {
+				var b *pdb.Block
+				if b, err = e.block(t, multiJoints[t.Key()]); err == nil {
+					err = emit(Item{Index: i, Tuple: t, Block: b})
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(quit)
+	wg.Wait()
+	if multiDone != nil {
+		<-multiDone
+	}
+	return err
+}
+
+// Derive collects the stream into a materialized pdb.Database: certain
+// tuples in input order, blocks in input order.
+func (e *Engine) Derive(rel *relation.Relation) (*pdb.Database, error) {
+	db := pdb.NewDatabase(rel.Schema)
+	err := e.Stream(rel, func(it Item) error {
+		if it.Certain() {
+			return db.AddCertain(it.Tuple)
+		}
+		return db.AddBlock(it.Block)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}

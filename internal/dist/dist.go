@@ -1,0 +1,193 @@
+// Package dist provides the discrete probability distributions the
+// pipeline passes around: Dist, a distribution over one attribute's
+// domain, and Joint, a distribution over the Cartesian product of several
+// attributes' domains (mixed-radix indexed, last attribute varying
+// fastest). Both are plain float64 slices underneath so hot paths can
+// index them directly; the methods keep them normalized and positive.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SmoothFloor is the minimum probability smoothing raises values to, so
+// downstream log-likelihoods and KL divergences stay finite.
+const SmoothFloor = 1e-6
+
+// Dist is a probability distribution over a single discrete domain.
+type Dist []float64
+
+// New returns the uniform distribution over n values.
+func New(n int) Dist {
+	d := make(Dist, n)
+	u := 1.0 / float64(n)
+	for i := range d {
+		d[i] = u
+	}
+	return d
+}
+
+// Zeros returns an all-zero vector over n values (a tally, not yet a
+// distribution).
+func Zeros(n int) Dist { return make(Dist, n) }
+
+// Clone returns a copy of d.
+func (d Dist) Clone() Dist {
+	out := make(Dist, len(d))
+	copy(out, d)
+	return out
+}
+
+// Sum returns the total mass of d.
+func (d Dist) Sum() float64 {
+	var s float64
+	for _, p := range d {
+		s += p
+	}
+	return s
+}
+
+// Normalize scales d in place to sum to 1 and returns it. A vector with
+// no positive mass becomes uniform.
+func (d Dist) Normalize() Dist {
+	s := d.Sum()
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		u := 1.0 / float64(len(d))
+		for i := range d {
+			d[i] = u
+		}
+		return d
+	}
+	for i := range d {
+		d[i] /= s
+	}
+	return d
+}
+
+// Smooth raises every value to at least floor and renormalizes, in place,
+// returning d. It guarantees a positive distribution.
+func (d Dist) Smooth(floor float64) Dist {
+	for i := range d {
+		if d[i] < floor {
+			d[i] = floor
+		}
+	}
+	return d.Normalize()
+}
+
+// IsPositive reports whether every value is strictly positive.
+func (d Dist) IsPositive() bool {
+	for _, p := range d {
+		if p <= 0 {
+			return false
+		}
+	}
+	return len(d) > 0
+}
+
+// IsNormalized reports whether the mass sums to 1 within eps.
+func (d Dist) IsNormalized(eps float64) bool {
+	return math.Abs(d.Sum()-1) <= eps
+}
+
+// ArgMax returns the index of the largest value (the first on ties).
+func (d Dist) ArgMax() int {
+	best := 0
+	for i := 1; i < len(d); i++ {
+		if d[i] > d[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sample inverts the CDF at u (uniform in [0,1)): it returns the smallest
+// index whose cumulative mass exceeds u. Out-of-range u falls back to the
+// last value, so callers never index past the domain.
+func (d Dist) Sample(u float64) int {
+	acc := 0.0
+	for i, p := range d {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(d) - 1
+}
+
+// String renders the distribution compactly, e.g. "[0.25 0.75]".
+func (d Dist) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, p := range d {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f", p)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Entropy returns the Shannon entropy of d in nats; zero-probability
+// values contribute nothing.
+func (d Dist) Entropy() float64 {
+	var h float64
+	for _, p := range d {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// KL returns the Kullback-Leibler divergence D(truth || pred) in nats.
+// Values where truth has no mass contribute nothing; where truth has mass
+// but pred does not, the divergence is +Inf.
+func KL(truth, pred Dist) (float64, error) {
+	if len(truth) != len(pred) {
+		return 0, fmt.Errorf("dist: KL over mismatched domains (%d vs %d)", len(truth), len(pred))
+	}
+	var kl float64
+	for i, p := range truth {
+		if p <= 0 {
+			continue
+		}
+		if pred[i] <= 0 {
+			return math.Inf(1), nil
+		}
+		kl += p * math.Log(p/pred[i])
+	}
+	if kl < 0 {
+		// Floating-point slop on near-identical distributions.
+		kl = 0
+	}
+	return kl, nil
+}
+
+// L1 returns the total variation numerator: the sum of absolute
+// differences between a and b.
+func L1(a, b Dist) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("dist: L1 over mismatched domains (%d vs %d)", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s, nil
+}
+
+// Top1Match reports whether truth and pred agree on the most probable
+// value (the paper's top-1 accuracy criterion).
+func Top1Match(truth, pred Dist) (bool, error) {
+	if len(truth) != len(pred) {
+		return false, fmt.Errorf("dist: Top1Match over mismatched domains (%d vs %d)", len(truth), len(pred))
+	}
+	if len(truth) == 0 {
+		return false, fmt.Errorf("dist: Top1Match over empty distributions")
+	}
+	return truth.ArgMax() == pred.ArgMax(), nil
+}

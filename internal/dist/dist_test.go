@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewIsUniform(t *testing.T) {
+	d := New(4)
+	for i, p := range d {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Errorf("New(4)[%d] = %v, want 0.25", i, p)
+		}
+	}
+	if !d.IsNormalized(1e-12) || !d.IsPositive() {
+		t.Errorf("New(4) = %v is not a distribution", d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := Dist{1, 3}
+	d.Normalize()
+	if math.Abs(d[0]-0.25) > 1e-12 || math.Abs(d[1]-0.75) > 1e-12 {
+		t.Errorf("normalized = %v", d)
+	}
+	z := Zeros(3)
+	z.Normalize()
+	for _, p := range z {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Errorf("zero vector should normalize to uniform, got %v", z)
+		}
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	d := Dist{0, 1}
+	d.Smooth(SmoothFloor)
+	if !d.IsPositive() || !d.IsNormalized(1e-9) {
+		t.Errorf("smoothed = %v", d)
+	}
+	if d[0] <= 0 || d[0] > 2*SmoothFloor {
+		t.Errorf("floor value = %v", d[0])
+	}
+}
+
+func TestArgMaxAndSample(t *testing.T) {
+	d := Dist{0.1, 0.6, 0.3}
+	if d.ArgMax() != 1 {
+		t.Errorf("ArgMax = %d, want 1", d.ArgMax())
+	}
+	if got := d.Sample(0.05); got != 0 {
+		t.Errorf("Sample(0.05) = %d, want 0", got)
+	}
+	if got := d.Sample(0.5); got != 1 {
+		t.Errorf("Sample(0.5) = %d, want 1", got)
+	}
+	if got := d.Sample(0.99); got != 2 {
+		t.Errorf("Sample(0.99) = %d, want 2", got)
+	}
+	// Out-of-range u (possible only through float slop) stays in range.
+	if got := d.Sample(1.5); got != 2 {
+		t.Errorf("Sample(1.5) = %d, want 2", got)
+	}
+}
+
+func TestKL(t *testing.T) {
+	u := New(2)
+	if kl, err := KL(u, u.Clone()); err != nil || kl != 0 {
+		t.Errorf("KL(u,u) = %v, %v", kl, err)
+	}
+	p := Dist{0.9, 0.1}
+	kl, err := KL(p, u)
+	if err != nil || kl <= 0 {
+		t.Errorf("KL(p,u) = %v, %v, want > 0", kl, err)
+	}
+	if _, err := KL(p, New(3)); err == nil {
+		t.Error("mismatched domains should fail")
+	}
+	inf, err := KL(Dist{1, 0}, Dist{0, 1})
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("KL with unsupported mass = %v, %v, want +Inf", inf, err)
+	}
+}
+
+func TestL1AndTop1(t *testing.T) {
+	a, b := Dist{0.2, 0.8}, Dist{0.4, 0.6}
+	l1, err := L1(a, b)
+	if err != nil || math.Abs(l1-0.4) > 1e-12 {
+		t.Errorf("L1 = %v, %v", l1, err)
+	}
+	if _, err := L1(a, New(3)); err == nil {
+		t.Error("mismatched L1 should fail")
+	}
+	match, err := Top1Match(a, b)
+	if err != nil || !match {
+		t.Errorf("Top1Match = %v, %v, want true", match, err)
+	}
+	match, err = Top1Match(a, Dist{0.7, 0.3})
+	if err != nil || match {
+		t.Errorf("Top1Match = %v, %v, want false", match, err)
+	}
+	if _, err := Top1Match(a, New(3)); err == nil {
+		t.Error("mismatched Top1Match should fail")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := (Dist{1, 0}).Entropy(); h != 0 {
+		t.Errorf("deterministic entropy = %v", h)
+	}
+	if h := New(4).Entropy(); math.Abs(h-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want ln 4", h)
+	}
+}
+
+func TestNewJointValidation(t *testing.T) {
+	if _, err := NewJoint(nil, nil); err == nil {
+		t.Error("empty joint should fail")
+	}
+	if _, err := NewJoint([]int{0}, []int{2, 3}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := NewJoint([]int{0}, []int{0}); err == nil {
+		t.Error("zero cardinality should fail")
+	}
+}
+
+func TestJointIndexRoundTrip(t *testing.T) {
+	j, err := NewJoint([]int{1, 3}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != 6 {
+		t.Fatalf("size = %d, want 6", j.Size())
+	}
+	seen := make(map[int]bool)
+	for v0 := 0; v0 < 2; v0++ {
+		for v1 := 0; v1 < 3; v1++ {
+			idx := j.Index([]int{v0, v1})
+			if idx < 0 || idx >= j.Size() || seen[idx] {
+				t.Fatalf("Index(%d,%d) = %d invalid or duplicate", v0, v1, idx)
+			}
+			seen[idx] = true
+			got := j.Values(idx)
+			if got[0] != v0 || got[1] != v1 {
+				t.Errorf("Values(%d) = %v, want [%d %d]", idx, got, v0, v1)
+			}
+		}
+	}
+	// Last attribute varies fastest (mixed radix).
+	if j.Index([]int{0, 1}) != 1 {
+		t.Errorf("Index(0,1) = %d, want 1", j.Index([]int{0, 1}))
+	}
+}
+
+func TestJointMarginal(t *testing.T) {
+	j, err := NewJoint([]int{2, 5}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(a=0,b=0)=0.1 P(0,1)=0.2 P(1,0)=0.3 P(1,1)=0.4
+	copy(j.P, []float64{0.1, 0.2, 0.3, 0.4})
+	ma, err := j.Marginal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ma[0]-0.3) > 1e-12 || math.Abs(ma[1]-0.7) > 1e-12 {
+		t.Errorf("marginal of attr 2 = %v", ma)
+	}
+	mb, err := j.Marginal(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mb[0]-0.4) > 1e-12 || math.Abs(mb[1]-0.6) > 1e-12 {
+		t.Errorf("marginal of attr 5 = %v", mb)
+	}
+	if _, err := j.Marginal(7); err == nil {
+		t.Error("uncovered attribute should fail")
+	}
+}
+
+func TestJointCloneIsDeep(t *testing.T) {
+	j, err := NewJoint([]int{0}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(j.P, []float64{0.5, 0.5})
+	c := j.Clone()
+	c.P[0] = 0
+	c.Attrs[0] = 9
+	if j.P[0] != 0.5 || j.Attrs[0] != 0 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestKLJoint(t *testing.T) {
+	a, _ := NewJoint([]int{0, 1}, []int{2, 2})
+	b, _ := NewJoint([]int{0, 1}, []int{2, 2})
+	copy(a.P, []float64{0.25, 0.25, 0.25, 0.25})
+	copy(b.P, []float64{0.25, 0.25, 0.25, 0.25})
+	if kl, err := KLJoint(a, b); err != nil || kl != 0 {
+		t.Errorf("KLJoint(u,u) = %v, %v", kl, err)
+	}
+	c, _ := NewJoint([]int{0, 2}, []int{2, 2})
+	if _, err := KLJoint(a, c); err == nil {
+		t.Error("different attribute sets should fail")
+	}
+}

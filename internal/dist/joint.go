@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Joint is a probability distribution over the Cartesian product of
+// several attributes' domains. Outcomes are indexed in mixed radix with
+// the last attribute varying fastest, so P[Index(vals)] is the mass of
+// the combination vals.
+type Joint struct {
+	// Attrs are the covered attribute indices (schema positions), in the
+	// order the mixed-radix index runs over them.
+	Attrs []int
+	// Cards are the domain cardinalities of Attrs, aligned by position.
+	Cards []int
+	// P holds one probability per combination.
+	P Dist
+}
+
+// NewJoint returns a zero-mass joint over the given attributes and
+// cardinalities.
+func NewJoint(attrs, cards []int) (*Joint, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("dist: joint over no attributes")
+	}
+	if len(attrs) != len(cards) {
+		return nil, fmt.Errorf("dist: %d attributes but %d cardinalities", len(attrs), len(cards))
+	}
+	size := 1
+	for i, c := range cards {
+		if c < 1 {
+			return nil, fmt.Errorf("dist: attribute %d has cardinality %d", attrs[i], c)
+		}
+		if size > math.MaxInt32/c {
+			return nil, fmt.Errorf("dist: joint over %v is too large", attrs)
+		}
+		size *= c
+	}
+	return &Joint{
+		Attrs: append([]int(nil), attrs...),
+		Cards: append([]int(nil), cards...),
+		P:     Zeros(size),
+	}, nil
+}
+
+// Size returns the number of outcomes (the product of the cardinalities).
+func (j *Joint) Size() int { return len(j.P) }
+
+// Clone returns a deep copy of j.
+func (j *Joint) Clone() *Joint {
+	return &Joint{
+		Attrs: append([]int(nil), j.Attrs...),
+		Cards: append([]int(nil), j.Cards...),
+		P:     j.P.Clone(),
+	}
+}
+
+// Index returns the outcome index of the value combination vals, which
+// must align with Attrs.
+func (j *Joint) Index(vals []int) int {
+	idx := 0
+	for i, c := range j.Cards {
+		idx = idx*c + vals[i]
+	}
+	return idx
+}
+
+// ValuesInto decodes outcome idx into vals, which must have len(Attrs).
+func (j *Joint) ValuesInto(idx int, vals []int) {
+	for i := len(j.Cards) - 1; i >= 0; i-- {
+		c := j.Cards[i]
+		vals[i] = idx % c
+		idx /= c
+	}
+}
+
+// Values decodes outcome idx into a fresh slice aligned with Attrs.
+func (j *Joint) Values(idx int) []int {
+	vals := make([]int, len(j.Cards))
+	j.ValuesInto(idx, vals)
+	return vals
+}
+
+// Normalize scales the mass to sum to 1 in place and returns j.
+func (j *Joint) Normalize() *Joint {
+	j.P.Normalize()
+	return j
+}
+
+// Smooth raises every outcome to at least floor and renormalizes,
+// returning j.
+func (j *Joint) Smooth(floor float64) *Joint {
+	j.P.Smooth(floor)
+	return j
+}
+
+// Marginal sums the joint down to the single attribute attr, which must be
+// one of Attrs.
+func (j *Joint) Marginal(attr int) (Dist, error) {
+	pos := -1
+	for i, a := range j.Attrs {
+		if a == attr {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("dist: attribute %d is not covered by joint over %v", attr, j.Attrs)
+	}
+	out := Zeros(j.Cards[pos])
+	vals := make([]int, len(j.Cards))
+	for idx, p := range j.P {
+		j.ValuesInto(idx, vals)
+		out[vals[pos]] += p
+	}
+	return out, nil
+}
+
+// KLJoint returns D(truth || pred) between two joints over the same
+// attributes.
+func KLJoint(truth, pred *Joint) (float64, error) {
+	if len(truth.Attrs) != len(pred.Attrs) {
+		return 0, fmt.Errorf("dist: KLJoint over different attribute sets %v vs %v", truth.Attrs, pred.Attrs)
+	}
+	for i, a := range truth.Attrs {
+		if pred.Attrs[i] != a {
+			return 0, fmt.Errorf("dist: KLJoint over different attribute sets %v vs %v", truth.Attrs, pred.Attrs)
+		}
+	}
+	return KL(truth.P, pred.P)
+}

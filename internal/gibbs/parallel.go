@@ -12,8 +12,9 @@ import (
 // ParallelTupleAtATime runs an independent chain for every distinct tuple
 // of the workload across a pool of goroutines. Each tuple's chain draws
 // from its own RNG, deterministically derived from the sampler seed and
-// the tuple's position, so the result is bit-identical for any worker
-// count. workers <= 0 selects GOMAXPROCS.
+// the tuple's content (not its position), so the result is bit-identical
+// for any worker count — and a tuple's estimate does not depend on which
+// other tuples share the workload. workers <= 0 selects GOMAXPROCS.
 //
 // The per-tuple CPD caches are private to each chain; chains revisit their
 // own finite evidence states constantly, so memoization stays effective
@@ -47,7 +48,7 @@ func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (
 					BurnIn:  s.cfg.BurnIn,
 					Samples: s.cfg.Samples,
 					Method:  s.cfg.Method,
-					Seed:    mixSeed(s.cfg.Seed, i),
+					Seed:    tupleSeed(s.cfg.Seed, distinct[i]),
 				})
 				if err == nil {
 					res.Dists[i], err = sub.InferTuple(distinct[i])
@@ -76,9 +77,18 @@ func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (
 	return res, nil
 }
 
-// mixSeed derives a well-separated per-tuple seed (splitmix64 finalizer).
-func mixSeed(seed int64, i int) int64 {
-	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+// tupleSeed derives a well-separated per-tuple seed from the sampler seed
+// and the tuple's canonical evidence key (FNV-1a over the key bytes, then
+// the splitmix64 finalizer). Keying by content rather than workload
+// position keeps a tuple's chain identical no matter which other tuples
+// are inferred alongside it.
+func tupleSeed(seed int64, t relation.Tuple) int64 {
+	h := uint64(14695981039346656037) // FNV offset basis
+	for _, b := range t.AppendKey(nil) {
+		h ^= uint64(b)
+		h *= 1099511628211 // FNV prime
+	}
+	z := uint64(seed) + (h|1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return int64((z ^ (z >> 31)) >> 1)

@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/relation"
 )
 
-// TestParallelDeterministicAcrossWorkerCounts: identical results for 1 and
-// 8 workers, because every tuple's chain has its own derived seed.
+// TestParallelDeterministicAcrossWorkerCounts: identical results for 1, 2
+// and 8 workers, because every tuple's chain has its own derived seed.
 func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
 	m, inst, rng := learnBN(t, "BN9", 3000, 71)
 	workload := workloadFromInstance(inst, rng, 60, 3)
@@ -22,19 +23,22 @@ func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 		return res
 	}
-	a, b := run(1), run(8)
-	if len(a.Tuples) != len(b.Tuples) {
-		t.Fatalf("tuple counts differ: %d vs %d", len(a.Tuples), len(b.Tuples))
-	}
-	for i := range a.Dists {
-		for k := range a.Dists[i].P {
-			if a.Dists[i].P[k] != b.Dists[i].P[k] {
-				t.Fatalf("tuple %d outcome %d differs across worker counts", i, k)
+	a := run(1)
+	for _, workers := range []int{2, 8} {
+		b := run(workers)
+		if len(a.Tuples) != len(b.Tuples) {
+			t.Fatalf("workers=%d: tuple counts differ: %d vs %d", workers, len(a.Tuples), len(b.Tuples))
+		}
+		for i := range a.Dists {
+			for k := range a.Dists[i].P {
+				if a.Dists[i].P[k] != b.Dists[i].P[k] {
+					t.Fatalf("workers=%d: tuple %d outcome %d differs across worker counts", workers, i, k)
+				}
 			}
 		}
-	}
-	if a.PointsSampled != b.PointsSampled {
-		t.Errorf("points differ: %d vs %d", a.PointsSampled, b.PointsSampled)
+		if a.PointsSampled != b.PointsSampled {
+			t.Errorf("workers=%d: points differ: %d vs %d", workers, a.PointsSampled, b.PointsSampled)
+		}
 	}
 }
 
@@ -73,6 +77,41 @@ func TestParallelMatchesSerialAccuracy(t *testing.T) {
 	}
 }
 
+// TestParallelSeedsByContent: a tuple's parallel-chain estimate does not
+// depend on which other tuples share the workload (chains are seeded by
+// tuple content, not workload position), so caches of past estimates
+// remain valid as workloads grow.
+func TestParallelSeedsByContent(t *testing.T) {
+	m, inst, rng := learnBN(t, "BN8", 2000, 74)
+	workload := workloadFromInstance(inst, rng, 8, 2)
+	target := workload[len(workload)-1]
+	run := func(wl []relation.Tuple) *dist.Joint {
+		s, err := New(m, Config{Samples: 100, BurnIn: 10, Method: bestAveraged(), Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.ParallelTupleAtATime(wl, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tu := range res.Tuples {
+			if tu.Key() == target.Key() {
+				return res.Dists[i]
+			}
+		}
+		t.Fatalf("target tuple missing from result")
+		return nil
+	}
+	alone := run([]relation.Tuple{target})
+	together := run(workload)
+	for k := range alone.P {
+		if alone.P[k] != together.P[k] {
+			t.Fatalf("outcome %d differs when the workload changes: %v vs %v",
+				k, alone.P[k], together.P[k])
+		}
+	}
+}
+
 func TestParallelRejectsEmptyWorkload(t *testing.T) {
 	m, _, _ := learnBN(t, "BN8", 500, 73)
 	s, err := New(m, Config{Samples: 10, Method: bestAveraged()})
@@ -84,16 +123,22 @@ func TestParallelRejectsEmptyWorkload(t *testing.T) {
 	}
 }
 
-func TestMixSeedSpread(t *testing.T) {
+func TestTupleSeedSpread(t *testing.T) {
 	seen := make(map[int64]bool)
-	for i := 0; i < 10000; i++ {
-		s := mixSeed(42, i)
-		if s < 0 {
-			t.Fatalf("negative seed %d", s)
+	tu := make(relation.Tuple, 3)
+	for a := 0; a < 20; a++ {
+		for b := 0; b < 25; b++ {
+			for c := 0; c < 20; c++ {
+				tu[0], tu[1], tu[2] = a, b, c
+				s := tupleSeed(42, tu)
+				if s < 0 {
+					t.Fatalf("negative seed %d for %v", s, tu)
+				}
+				if seen[s] {
+					t.Fatalf("seed collision at %v", tu)
+				}
+				seen[s] = true
+			}
 		}
-		if seen[s] {
-			t.Fatalf("seed collision at %d", i)
-		}
-		seen[s] = true
 	}
 }

@@ -37,6 +37,13 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 			return nil, fmt.Errorf("relation: row %d has %d fields, want %d", n+2, len(row), len(header))
 		}
 		for i, cell := range row {
+			if cell == "" {
+				// Empty labels cannot round-trip through CSV (a row of
+				// empty fields reads back as a blank line); require the
+				// explicit missing marker instead.
+				return nil, fmt.Errorf("relation: row %d column %q is empty (use %q for missing)",
+					n+2, header[i], MissingLabel)
+			}
 			if cell != MissingLabel {
 				domains[i][cell] = true
 			}

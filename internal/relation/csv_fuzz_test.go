@@ -1,0 +1,54 @@
+package relation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV guards the CSV parser — the pipeline's external data input —
+// against panics, and checks that anything it accepts is a well-formed
+// relation that survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"age,inc\n20,50K\n30,100K\n?,50K\n30,?\n?,?\n",
+		"a\nx\n",
+		"a,b\n?,?\n",                 // all-missing column: must be rejected
+		"a,b\n1\n",                   // ragged row
+		"",                           // empty input
+		"a,a\n1,2\n",                 // duplicate attribute names
+		"x,y\n\"q,uo\",2\n?,2\n",     // quoted field with comma
+		"h1,h2\r\nv1,v2\r\nv1,?\r\n", // CRLF
+		"a,b\n 1,2\n1 ,2\n",          // leading/trailing spaces
+		"név,inc\nérték,50K\n",       // non-ASCII labels
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		// Accepted input must produce a consistent relation: every tuple
+		// within schema bounds (Append re-validates) ...
+		check := NewRelation(rel.Schema)
+		for _, tu := range rel.Tuples {
+			if err := check.Append(tu); err != nil {
+				t.Fatalf("accepted relation has invalid tuple %v: %v", tu, err)
+			}
+		}
+		// ... and it must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatalf("WriteCSV of accepted relation: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ncsv:\n%s", err, buf.String())
+		}
+		if back.Len() != rel.Len() || back.Schema.NumAttrs() != rel.Schema.NumAttrs() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				rel.Len(), rel.Schema.NumAttrs(), back.Len(), back.Schema.NumAttrs())
+		}
+	})
+}

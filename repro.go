@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/derive"
 	"repro/internal/dist"
 	"repro/internal/gibbs"
 	"repro/internal/pdb"
@@ -159,7 +160,7 @@ func InferWorkload(m *Model, workload []Tuple, opt GibbsOptions) ([]Tuple, []*Jo
 	return res.Tuples, res.Dists, nil
 }
 
-// DeriveOptions configure Derive.
+// DeriveOptions configure Derive and DeriveStream.
 type DeriveOptions struct {
 	// Gibbs configures multi-attribute inference for tuples with more than
 	// one missing value.
@@ -176,91 +177,64 @@ type DeriveOptions struct {
 	// instead of the sequential tuple-DAG sampler. Parallelism trades the
 	// DAG's sample sharing for wall-clock speedup on many-core machines.
 	Workers int
+	// VoteWorkers sizes the goroutine pool that shards single-missing
+	// voting; <= 0 selects GOMAXPROCS. Distinct incomplete tuples are
+	// voted once through a shared memoization cache, and the derived
+	// database is bit-identical for every pool size.
+	VoteWorkers int
 }
 
-// Derive runs the paper's end-to-end pipeline on rel: every complete tuple
-// becomes a certain tuple of the output database; every incomplete tuple
-// becomes a block of mutually exclusive completions distributed according
-// to the inferred Delta_t. Single-missing tuples use ensemble voting;
-// multi-missing tuples use tuple-DAG Gibbs sampling over the whole
-// workload.
+func (o DeriveOptions) config() derive.Config {
+	gibbsWorkers := 0 // <= 1 keeps the sequential tuple-DAG sampler
+	if o.Workers > 1 {
+		gibbsWorkers = o.Workers
+	}
+	return derive.Config{
+		Method:          o.Method,
+		Gibbs:           o.Gibbs.config(),
+		MaxAlternatives: o.MaxAlternatives,
+		VoteWorkers:     o.VoteWorkers,
+		GibbsWorkers:    gibbsWorkers,
+	}
+}
+
+// DeriveItem is one streamed element of a derived database: a certain
+// tuple (Block == nil) or a block of completions, tagged with the source
+// tuple's position in the input relation.
+type DeriveItem = derive.Item
+
+// DeriveStream runs the paper's end-to-end pipeline on rel and streams
+// the derived database to emit in input order, without materializing it:
+// every complete tuple is passed through as a certain item, every
+// incomplete tuple arrives as a block of mutually exclusive completions
+// distributed according to the inferred Delta_t. Single-missing tuples
+// use ensemble voting sharded across opt.VoteWorkers goroutines with a
+// shared memoization cache; multi-missing tuples use workload-driven
+// Gibbs sampling (tuple-DAG, or parallel per-tuple chains when
+// opt.Workers > 1). The emitted stream does not depend on pool sizes: it
+// is bit-identical for every VoteWorkers value and for every Workers
+// count above 1 (chains are seeded by tuple content). Only switching
+// between the DAG sampler (Workers <= 1) and parallel chains changes
+// multi-missing estimates — they are different estimators. If emit
+// returns an error the stream stops and DeriveStream returns that error.
+func DeriveStream(m *Model, rel *Relation, opt DeriveOptions, emit func(DeriveItem) error) error {
+	e, err := derive.New(m, opt.config())
+	if err != nil {
+		return err
+	}
+	return e.Stream(rel, derive.EmitFunc(emit))
+}
+
+// Derive runs the paper's end-to-end pipeline on rel and collects the
+// stream into a materialized database: every complete tuple becomes a
+// certain tuple of the output database; every incomplete tuple becomes a
+// block of mutually exclusive completions, both in input order. It is a
+// thin collector over DeriveStream; callers that can persist or serve
+// blocks incrementally should use DeriveStream directly.
 func Derive(m *Model, rel *Relation, opt DeriveOptions) (*Database, error) {
-	method := opt.Method
-	db := pdb.NewDatabase(rel.Schema)
-	var multi []Tuple
-	for _, t := range rel.Tuples {
-		if t.IsComplete() {
-			if err := db.AddCertain(t); err != nil {
-				return nil, err
-			}
-		} else if t.NumMissing() > 1 {
-			multi = append(multi, t)
-		}
+	e, err := derive.New(m, opt.config())
+	if err != nil {
+		return nil, err
 	}
-
-	// Single-missing tuples: direct voting (Algorithm 2).
-	for _, t := range rel.Tuples {
-		if t.IsComplete() || t.NumMissing() != 1 {
-			continue
-		}
-		attr := t.MissingAttrs()[0]
-		d, err := vote.Infer(m, t, attr, method)
-		if err != nil {
-			return nil, err
-		}
-		j, err := dist.NewJoint([]int{attr}, []int{m.Schema.Attrs[attr].Card()})
-		if err != nil {
-			return nil, err
-		}
-		copy(j.P, d)
-		b, err := pdb.NewBlock(t, j, opt.MaxAlternatives)
-		if err != nil {
-			return nil, err
-		}
-		if err := db.AddBlock(b); err != nil {
-			return nil, err
-		}
-	}
-
-	// Multi-missing tuples: workload-driven Gibbs (Algorithm 3), or
-	// parallel independent chains when Workers > 1. Distinct tuples are
-	// inferred once; duplicates share the estimate.
-	if len(multi) > 0 {
-		var (
-			tuples []Tuple
-			joints []*Joint
-			err    error
-		)
-		if opt.Workers > 1 {
-			s, serr := gibbs.New(m, opt.Gibbs.config())
-			if serr != nil {
-				return nil, serr
-			}
-			res, rerr := s.ParallelTupleAtATime(multi, opt.Workers)
-			if rerr != nil {
-				return nil, rerr
-			}
-			tuples, joints = res.Tuples, res.Dists
-		} else {
-			tuples, joints, err = InferWorkload(m, multi, opt.Gibbs)
-			if err != nil {
-				return nil, err
-			}
-		}
-		byKey := make(map[string]*Joint, len(tuples))
-		for i, t := range tuples {
-			byKey[t.Key()] = joints[i]
-		}
-		for _, t := range multi {
-			j := byKey[t.Key()]
-			b, err := pdb.NewBlock(t, j, opt.MaxAlternatives)
-			if err != nil {
-				return nil, err
-			}
-			if err := db.AddBlock(b); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return db, nil
+	return e.Derive(rel)
 }
