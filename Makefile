@@ -1,13 +1,15 @@
 # Tier-1 verification targets. `make ci` is the gate every change must
-# pass: vet, the full test suite under the race detector, and a one-shot
+# pass: vet, the full test suite under the race detector, a one-shot
 # smoke of the derivation benchmarks (exercising the streaming engine end
-# to end).
+# to end), an end-to-end serving smoke of cmd/mrslserve over HTTP, and a
+# one-shot publish of the concurrent-serving benchmark into
+# BENCH_engine.json.
 
 GO ?= go
 
-.PHONY: ci vet test race bench-smoke fuzz-smoke build
+.PHONY: ci vet test race bench-smoke serve-smoke bench-serve fuzz-smoke build
 
-ci: vet race bench-smoke
+ci: vet race bench-smoke serve-smoke bench-serve
 
 build:
 	$(GO) build ./...
@@ -23,6 +25,18 @@ race:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=Derive -benchtime=1x .
+
+# Build mrslserve, boot it on a random port, POST one derivation over
+# HTTP, and check the streamed NDJSON and the stats endpoint.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
+# Publish the concurrent serving benchmark (1/4/16 overlapping streams on
+# one engine) as go-test JSON events, so serving throughput is tracked
+# run over run.
+bench-serve:
+	$(GO) test -run=NONE -bench=BenchmarkEngineConcurrent -benchtime=1x -json . > BENCH_engine.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_engine.json | head -3
 
 # Short fuzzing pass over the two external input parsers.
 fuzz-smoke:

@@ -73,13 +73,12 @@ func run(modelPath, in string, samples, burnin int, methodName string, top int, 
 		return err
 	}
 	defer df.Close()
-	rel, err := repro.ReadCSV(df)
+	// Parse against the model's schema: inference-time data rarely
+	// exercises every domain value, and re-inferring domains would
+	// misalign value codes with the model.
+	rel, err := repro.ReadCSVInSchema(df, model.Schema)
 	if err != nil {
 		return err
-	}
-	if rel.Schema.NumAttrs() != model.Schema.NumAttrs() {
-		return fmt.Errorf("data has %d attributes, model has %d",
-			rel.Schema.NumAttrs(), model.Schema.NumAttrs())
 	}
 
 	db, err := repro.Derive(model, rel, repro.DeriveOptions{

@@ -12,8 +12,9 @@
 // Supported operations: count (expected count, default), topk (most
 // probable matching completions), groupby (expected histogram; uses
 // -groupby instead of -where). topk and groupby evaluate against the
-// derivation stream (repro.DeriveStream): blocks are aggregated as they
-// are inferred and never materialized as a whole database.
+// derivation stream of a repro.Engine: blocks are aggregated as they are
+// inferred and never materialized as a whole database, and repeated
+// damage patterns are inferred once through the engine's caches.
 package main
 
 import (
@@ -67,18 +68,21 @@ func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burni
 		return err
 	}
 	defer df.Close()
-	rel, err := repro.ReadCSV(df)
+	// Parse against the model's schema: query data rarely exercises
+	// every domain value, and re-inferring domains would misalign value
+	// codes with the model.
+	rel, err := repro.ReadCSVInSchema(df, model.Schema)
 	if err != nil {
 		return err
-	}
-	if rel.Schema.NumAttrs() != model.Schema.NumAttrs() {
-		return fmt.Errorf("data has %d attributes, model has %d",
-			rel.Schema.NumAttrs(), model.Schema.NumAttrs())
 	}
 
 	gibbs := repro.GibbsOptions{
 		Samples: samples, BurnIn: burnin, Seed: seed, Method: repro.BestAveraged(),
 	}
+	// One serving engine backs the streaming operations; its caches
+	// dedupe repeated damage patterns across the whole run. (count runs
+	// on the lazy query path instead.)
+	newEngine := func() (*repro.Engine, error) { return repro.NewEngine(model, deriveOpts(gibbs)) }
 
 	switch op {
 	case "count":
@@ -104,7 +108,11 @@ func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burni
 		if err != nil {
 			return err
 		}
-		rows, err := streamTopK(model, rel, gibbs, q.Predicate(), k)
+		eng, err := newEngine()
+		if err != nil {
+			return err
+		}
+		rows, err := streamTopK(eng, rel, q.Predicate(), k)
 		if err != nil {
 			return err
 		}
@@ -125,7 +133,11 @@ func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burni
 		if attr < 0 {
 			return fmt.Errorf("unknown attribute %q", groupBy)
 		}
-		stats, err := streamGroupCount(model, rel, gibbs, attr)
+		eng, err := newEngine()
+		if err != nil {
+			return err
+		}
+		stats, err := streamGroupCount(eng, model, rel, attr)
 		if err != nil {
 			return err
 		}
@@ -150,7 +162,7 @@ func deriveOpts(gibbs repro.GibbsOptions) repro.DeriveOptions {
 // matching rows, holding at most k rows at any time — never the database
 // and never the full selection (certain rows carry probability 1; ties
 // keep stream order for determinism). k <= 0 keeps every matching row.
-func streamTopK(model *repro.Model, rel *repro.Relation, gibbs repro.GibbsOptions, pred pdb.Predicate, k int) ([]pdb.ResultRow, error) {
+func streamTopK(eng *repro.Engine, rel *repro.Relation, pred pdb.Predicate, k int) ([]pdb.ResultRow, error) {
 	var rows []pdb.ResultRow // sorted by descending Prob, stream order on ties
 	insert := func(row pdb.ResultRow) {
 		if k > 0 && len(rows) == k && rows[k-1].Prob >= row.Prob {
@@ -167,7 +179,7 @@ func streamTopK(model *repro.Model, rel *repro.Relation, gibbs repro.GibbsOption
 		}
 	}
 	blocks := 0
-	err := repro.DeriveStream(model, rel, deriveOpts(gibbs), func(it repro.DeriveItem) error {
+	err := eng.DeriveStream(rel, func(it repro.DeriveItem) error {
 		if it.Certain() {
 			if pred(it.Tuple) {
 				insert(pdb.ResultRow{Tuple: it.Tuple, Prob: 1, Block: -1})
@@ -192,14 +204,14 @@ func streamTopK(model *repro.Model, rel *repro.Relation, gibbs repro.GibbsOption
 // histogram of attr: certain tuples contribute 1 to their group, each
 // block contributes its per-value probability mass (independent Bernoulli
 // variance, as pdb.GroupCount computes on a materialized database).
-func streamGroupCount(model *repro.Model, rel *repro.Relation, gibbs repro.GibbsOptions, attr int) ([]pdb.GroupStat, error) {
+func streamGroupCount(eng *repro.Engine, model *repro.Model, rel *repro.Relation, attr int) ([]pdb.GroupStat, error) {
 	card := model.Schema.Attrs[attr].Card()
 	stats := make([]pdb.GroupStat, card)
 	for v := range stats {
 		stats[v].Value = v
 	}
 	perValue := make([]float64, card)
-	err := repro.DeriveStream(model, rel, deriveOpts(gibbs), func(it repro.DeriveItem) error {
+	err := eng.DeriveStream(rel, func(it repro.DeriveItem) error {
 		if it.Certain() {
 			stats[it.Tuple[attr]].Expected++
 			return nil

@@ -1,0 +1,228 @@
+// Command mrslserve serves streaming derivations over HTTP from one
+// long-lived repro.Engine: the model is loaded once, and every request
+// shares the engine's evidence-keyed caches, so repeated damage patterns
+// across requests are inferred exactly once for the life of the process.
+//
+// Usage:
+//
+//	mrslserve -model model.json [-addr :8080] [-workers 8] [-samples 800]
+//
+// Endpoints:
+//
+//	POST /derive   body: CSV relation over the model's schema ("?" marks
+//	               missing values). Streams the derived database back as
+//	               NDJSON — a schema record, then one record per input
+//	               tuple in input order (certain values, or a block of
+//	               alternatives with probabilities) — flushing each line,
+//	               so clients read blocks as they are inferred. Query
+//	               parameters voteworkers and gibbsworkers override the
+//	               request's pool sizes (never the result).
+//	GET  /stats    engine cache counters, hit rates, uptime, requests.
+//	GET  /healthz  liveness probe.
+//
+// With -addr host:0 the kernel picks a free port; the chosen address is
+// printed as "mrslserve: listening on <addr>" so scripts can scrape it.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model JSON from mrsllearn (required)")
+		addr      = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+		samples   = flag.Int("samples", 800, "Gibbs samples per distinct multi-missing tuple")
+		burnin    = flag.Int("burnin", 100, "Gibbs burn-in sweeps")
+		seed      = flag.Int64("seed", 1, "sampler seed")
+		workers   = flag.Int("workers", 8, "default Gibbs chain pool size per request (>1 selects per-block chains)")
+		voters    = flag.Int("voteworkers", 0, "default voting pool size per request (0 = GOMAXPROCS)")
+		maxAlts   = flag.Int("maxalts", 0, "cap block alternatives (0 keeps all)")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "mrslserve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
+		os.Exit(1)
+	}
+	model, err := repro.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
+		os.Exit(1)
+	}
+	opt := repro.DeriveOptions{
+		Method:          repro.BestAveraged(),
+		MaxAlternatives: *maxAlts,
+		Workers:         *workers,
+		VoteWorkers:     *voters,
+		Gibbs: repro.GibbsOptions{
+			Samples: *samples, BurnIn: *burnin, Seed: *seed, Method: repro.BestAveraged(),
+		},
+	}
+	srv, err := newServer(model, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mrslserve: listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// server routes HTTP traffic onto one shared derivation engine.
+type server struct {
+	model *repro.Model
+	eng   *repro.Engine
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Int64 // derivation requests accepted
+	failed   atomic.Int64 // derivation requests that ended in an error
+}
+
+func newServer(model *repro.Model, opt repro.DeriveOptions) (*server, error) {
+	eng, err := repro.NewEngine(model, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{model: model, eng: eng, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /derive", s.handleDerive)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleDerive parses the posted CSV against the model schema and streams
+// the derived database back as NDJSON, one line per item as it is
+// inferred.
+func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pools, err := poolsFromQuery(r)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	sink := repro.NewJSONLSink(newFlushWriter(w), s.model.Schema)
+	if err := s.eng.DeriveToPools(rel, pools, sink); err != nil {
+		s.failed.Add(1)
+		var mismatch *repro.SchemaMismatchError
+		if errors.As(err, &mismatch) {
+			// ReadCSVInSchema makes this unreachable in practice, but the
+			// engine's own validation still deserves a 4xx, not a 5xx.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// The NDJSON stream may already be under way; append a terminal
+		// error record instead of a status code the client can no longer
+		// see.
+		json.NewEncoder(w).Encode(map[string]string{"kind": "error", "error": err.Error()})
+		return
+	}
+}
+
+// statsResponse is the /stats payload: the engine's cache counters plus
+// serving-level bookkeeping.
+type statsResponse struct {
+	Engine        repro.EngineStats `json:"engine"`
+	VoteHitRate   float64           `json:"vote_hit_rate"`
+	GibbsHitRate  float64           `json:"gibbs_hit_rate"`
+	Requests      int64             `json:"requests"`
+	Failed        int64             `json:"failed"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsResponse{
+		Engine:        st,
+		VoteHitRate:   st.VoteHitRate(),
+		GibbsHitRate:  st.GibbsHitRate(),
+		Requests:      s.requests.Load(),
+		Failed:        s.failed.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// poolsFromQuery reads optional per-request pool overrides; pool sizes
+// affect scheduling only, never the derived stream.
+func poolsFromQuery(r *http.Request) (repro.Pools, error) {
+	var p repro.Pools
+	q := r.URL.Query()
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"voteworkers", &p.VoteWorkers}, {"gibbsworkers", &p.GibbsWorkers}} {
+		v := q.Get(f.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("query parameter %s must be a non-negative integer, got %q", f.name, v)
+		}
+		*f.dst = n
+	}
+	return p, nil
+}
+
+// flushWriter flushes the HTTP response after every write, so each NDJSON
+// line reaches the client as soon as its block is inferred.
+type flushWriter struct {
+	w     io.Writer
+	flush func()
+}
+
+func newFlushWriter(w http.ResponseWriter) *flushWriter {
+	fw := &flushWriter{w: w, flush: func() {}}
+	if f, ok := w.(http.Flusher); ok {
+		fw.flush = f.Flush
+	}
+	return fw
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.flush()
+	return n, err
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/relation"
+)
+
+// serveOptions are the derivation options under test; Workers > 1 selects
+// the per-block scheduled chain sampler, whose output is content-seeded
+// and therefore identical between the server's long-lived engine and a
+// fresh local one.
+func serveOptions() repro.DeriveOptions {
+	return repro.DeriveOptions{
+		Method:      repro.BestAveraged(),
+		Workers:     4,
+		VoteWorkers: 4,
+		Gibbs: repro.GibbsOptions{
+			Samples: 300, BurnIn: 30, Seed: 11, Method: repro.BestAveraged(),
+		},
+	}
+}
+
+// matchmakingFixture renders the paper's matchmaking relation to CSV and
+// learns a model from the CSV-read form, exactly as a real deployment
+// (mrsllearn on a CSV file) would — so the model's schema is the inferred
+// one the server validates requests against.
+func matchmakingFixture(t *testing.T) (*repro.Model, *repro.Relation, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := repro.WriteCSV(&buf, relation.Matchmaking()); err != nil {
+		t.Fatal(err)
+	}
+	csvBody := buf.Bytes()
+	rel, err := repro.ReadCSV(bytes.NewReader(csvBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := repro.Learn(rel, repro.LearnOptions{SupportThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, rel, csvBody
+}
+
+func startServer(t *testing.T, model *repro.Model) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(model, serveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv) // random port
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postDerive(t *testing.T, ts *httptest.Server, body []byte, query string) []byte {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/derive"+query, "text/csv", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /derive: status %d: %s", resp.StatusCode, out)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	return out
+}
+
+// TestServeDeriveEndToEnd spins the HTTP server on a random port, POSTs
+// the matchmaking relation, and asserts the streamed NDJSON is
+// byte-identical to rendering repro.Derive's output through the same
+// JSONL sink — the serving path adds transport, not semantics.
+func TestServeDeriveEndToEnd(t *testing.T) {
+	model, rel, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	got := postDerive(t, ts, csvBody, "")
+
+	// Reference 1: the same stream rendered locally, no HTTP involved.
+	var want bytes.Buffer
+	sink := repro.NewJSONLSink(&want, model.Schema)
+	if err := repro.DeriveStream(model, rel, serveOptions(), sink.Emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("served NDJSON differs from local derivation:\ngot:\n%s\nwant:\n%s", got, want.Bytes())
+	}
+
+	// Reference 2: the materialized repro.Derive database; the NDJSON
+	// block records must carry exactly its blocks, bit-identical
+	// probabilities included.
+	db, err := repro.Derive(model, rel, serveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Kind string `json:"kind"`
+		Alts []struct {
+			Values []string `json:"values"`
+			P      float64  `json:"p"`
+		} `json:"alts"`
+	}
+	var certain, blocks int
+	for _, line := range strings.Split(strings.TrimSpace(string(got)), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch r.Kind {
+		case "schema":
+		case "certain":
+			certain++
+		case "block":
+			b := db.Blocks[blocks]
+			if len(r.Alts) != len(b.Alts) {
+				t.Fatalf("block %d has %d alternatives, want %d", blocks, len(r.Alts), len(b.Alts))
+			}
+			for k, a := range r.Alts {
+				if a.P != b.Alts[k].Prob {
+					t.Fatalf("block %d alt %d probability %v, want bit-identical %v",
+						blocks, k, a.P, b.Alts[k].Prob)
+				}
+			}
+			blocks++
+		default:
+			t.Fatalf("unexpected record kind %q", r.Kind)
+		}
+	}
+	if certain != len(db.Certain) || blocks != len(db.Blocks) {
+		t.Fatalf("streamed %d certain + %d blocks, want %d + %d",
+			certain, blocks, len(db.Certain), len(db.Blocks))
+	}
+}
+
+// TestServeRepeatedRequestsShareCaches posts the same relation twice and
+// checks that the long-lived engine answers the second request from its
+// caches with a byte-identical stream.
+func TestServeRepeatedRequestsShareCaches(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	first := postDerive(t, ts, csvBody, "")
+	second := postDerive(t, ts, csvBody, "?voteworkers=1&gibbsworkers=2")
+	if !bytes.Equal(first, second) {
+		t.Fatal("second (cache-served, differently sharded) request is not byte-identical to the first")
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Failed != 0 {
+		t.Errorf("stats: requests=%d failed=%d, want 2/0", st.Requests, st.Failed)
+	}
+	if st.Engine.Streams != 2 {
+		t.Errorf("stats: engine streams=%d, want 2", st.Engine.Streams)
+	}
+	// Both requests served the same tuples, but distinct patterns were
+	// inferred only once across the engine's lifetime.
+	if st.Engine.SingleTuples != 2*st.Engine.VotesComputed || st.VoteHitRate != 0.5 {
+		t.Errorf("vote cache did not dedup across requests: %+v", st.Engine)
+	}
+	if st.Engine.GibbsComputed == 0 || st.Engine.MultiTuples != 2*st.Engine.GibbsComputed {
+		t.Errorf("gibbs cache did not dedup across requests: %+v", st.Engine)
+	}
+}
+
+// TestServeRejectsBadInput covers the 4xx paths: malformed CSV, labels
+// outside the model's domains, bad pool parameters, wrong method.
+func TestServeRejectsBadInput(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	post := func(body, query string) int {
+		resp, err := http.Post(ts.URL+"/derive"+query, "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := post("age,edu\n20,HS\n", ""); code != http.StatusBadRequest {
+		t.Errorf("truncated header: status %d, want 400", code)
+	}
+	if code := post("age,edu,inc,nw\n99,HS,50K,100K\n", ""); code != http.StatusBadRequest {
+		t.Errorf("out-of-domain label: status %d, want 400", code)
+	}
+	if code := post(string(csvBody), "?gibbsworkers=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad pool parameter: status %d, want 400", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/derive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /derive: status %d, want 405", resp.StatusCode)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	body, _ := io.ReadAll(hz.Body)
+	if hz.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: status %d body %q", hz.StatusCode, body)
+	}
+}

@@ -15,6 +15,7 @@ package repro
 // multi-missing tuples).
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -165,6 +166,50 @@ func BenchmarkDerive(b *testing.B) {
 		blocks = len(db.Blocks)
 	}
 	b.ReportMetric(float64(blocks), "blocks")
+}
+
+// BenchmarkEngineConcurrent measures serving throughput of one long-lived
+// engine under 1, 4, and 16 concurrent DeriveStream requests over the
+// shared fixture relation. The first iteration warms the evidence-keyed
+// caches; steady-state iterations measure the serving regime mrslserve
+// runs in, where repeated damage patterns are answered from memory. The
+// tuples/s metric counts input tuples served across all streams.
+func BenchmarkEngineConcurrent(b *testing.B) {
+	for _, streams := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			e := deriveBenchSetup(b)
+			eng, err := NewEngine(e.model, DeriveOptions{
+				Method:      BestAveraged(),
+				Gibbs:       benchGibbs(),
+				VoteWorkers: 4,
+				Workers:     4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, streams)
+				for s := 0; s < streams; s++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						errs <- eng.DeriveStream(e.rel, func(DeriveItem) error { return nil })
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			served := float64(e.rel.Len()) * float64(streams) * float64(b.N)
+			b.ReportMetric(served/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
 }
 
 // BenchmarkDeriveParallel streams the same derivation through the engine

@@ -31,18 +31,36 @@
 //		return persist(it) // blocks arrive in input order
 //	})
 //
+// For long-lived serving, construct the engine once and reuse it: an
+// Engine accepts any number of overlapping derivation requests from any
+// number of goroutines, and its evidence-keyed caches persist across
+// them, so each distinct damage pattern is inferred once for the
+// engine's lifetime. Streams can feed a callback or a pluggable Sink
+// (NewCollector, NewCSVSink, NewJSONLSink, NewTextSink), and individual
+// requests can be sharded differently via Pools:
+//
+//	eng, _ := repro.NewEngine(model, repro.DeriveOptions{Workers: 8})
+//	err := eng.DeriveTo(rel, repro.NewJSONLSink(w, model.Schema))
+//	stats := eng.Stats() // cache hit rates, points sampled, streams served
+//
 // Distinct incomplete tuples are inferred once — duplicates are served
-// from a shared, synchronized memoization cache keyed by the tuple's
+// from the shared, synchronized memoization caches keyed by the tuple's
 // evidence — and the emitted stream does not depend on pool sizes: any
 // VoteWorkers value and any Workers count above 1 produce bit-identical
-// databases, thanks to deterministic content-keyed per-tuple seeding.
-// (Workers <= 1 selects the paper's tuple-DAG sampler instead of
-// independent chains — a different estimator for multi-missing tuples.)
+// databases, thanks to deterministic content-keyed per-tuple seeding
+// with per-block scheduling. (Workers <= 1 selects the paper's tuple-DAG
+// sampler instead of independent chains — a different estimator for
+// multi-missing tuples.) Relations must carry the model's schema; a
+// mismatch fails up front with *SchemaMismatchError, and
+// ReadCSVInSchema parses serving-time inputs against a model schema
+// without re-inferring domains.
 //
-// The cmd/ directory ships five tools (mrslbench regenerates every table
-// and figure of the paper plus engine ablations; mrslquery answers
-// count/topk/groupby queries over incomplete CSV data via lazy or
-// streaming derivation; mrsllearn, mrslinfer, and bngen operate on CSV
-// data), and examples/ contains runnable walkthroughs, starting with the
-// paper's own matchmaking relation in examples/quickstart.
+// The cmd/ directory ships six tools (mrslserve serves streaming
+// derivations over HTTP from one long-lived engine; mrslbench
+// regenerates every table and figure of the paper plus engine ablations;
+// mrslquery answers count/topk/groupby queries over incomplete CSV data
+// via lazy or streaming derivation; mrsllearn, mrslinfer, and bngen
+// operate on CSV data), and examples/ contains runnable walkthroughs,
+// starting with the paper's own matchmaking relation in
+// examples/quickstart.
 package repro

@@ -94,12 +94,16 @@ func run() error {
 	}
 	var cellsRepaired, cellsCorrect, tuplesCorrect, blocks int
 	var klSum float64
-	err = repro.DeriveStream(model, dirtyRel, repro.DeriveOptions{
+	eng, err := repro.NewEngine(model, repro.DeriveOptions{
 		Method: repro.BestAveraged(),
 		Gibbs: repro.GibbsOptions{
 			Samples: 800, BurnIn: 100, Seed: 3, Method: repro.BestAveraged(),
 		},
-	}, func(it repro.DeriveItem) error {
+	})
+	if err != nil {
+		return err
+	}
+	err = eng.DeriveStream(dirtyRel, func(it repro.DeriveItem) error {
 		if it.Certain() {
 			return nil
 		}
@@ -161,6 +165,10 @@ func run() error {
 		100*float64(cellsCorrect)/float64(cellsRepaired),
 		100*float64(tuplesCorrect)/float64(blocks))
 	fmt.Printf("mean KL(truth || derived block) = %.3f over %d blocks\n", klSum/float64(blocks), blocks)
+	st := eng.Stats()
+	fmt.Printf("engine caches: %d/%d single-missing voted (%.0f%% hit), %d/%d multi-missing sampled (%.0f%% hit)\n",
+		st.VotesComputed, st.SingleTuples, 100*st.VoteHitRate(),
+		st.GibbsComputed, st.MultiTuples, 100*st.GibbsHitRate())
 
 	// Single-cell imputation shoot-out across voting methods, plus the
 	// random floor (paper Table II's framing).

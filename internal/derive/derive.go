@@ -1,33 +1,42 @@
-// Package derive implements the concurrent, cache-backed derivation
+// Package derive implements the long-lived, concurrency-safe derivation
 // engine behind the paper's end-to-end pipeline (Section VI): every
 // complete tuple of an incomplete relation becomes a certain tuple of the
 // output database, every incomplete tuple becomes a block of mutually
 // exclusive completions distributed according to the inferred Delta_t.
 //
-// The engine improves on a naive sequential derivation in three ways:
+// The engine improves on a naive sequential derivation in four ways:
 //
 //   - Single-missing voting is sharded across a pool of goroutines that
 //     share a synchronized, single-flight memoization cache keyed by the
 //     tuple's canonical evidence (relation.Tuple.Key). Distinct incomplete
-//     tuples are voted exactly once; duplicates hit the cache — the same
-//     treatment gibbs.ParallelTupleAtATime gives multi-missing tuples.
+//     tuples are voted exactly once; duplicates hit the cache.
+//   - Multi-missing Gibbs sampling is scheduled per block (GibbsWorkers >
+//     0): each distinct multi-missing tuple is an independent work item,
+//     prefetched ahead of the emitter through its own single-flight cache,
+//     so the first multi-missing block is ready as soon as its own chain
+//     has run — not when the whole workload batch has. (GibbsWorkers <= 0
+//     selects the sequential tuple-DAG sampler instead, which shares
+//     samples across the workload and therefore runs as one holistic
+//     background batch.)
 //   - Completed pdb.Blocks are streamed to the caller in input order
-//     through a callback, so callers can persist or serve blocks without
-//     ever holding the whole database in memory. Only the per-distinct
-//     joint cache is retained.
+//     through a callback or a pluggable Sink, so callers can persist or
+//     serve blocks without ever holding the whole database in memory.
 //   - Results do not depend on pool sizes: voting is deterministic for
 //     every VoteWorkers value, multi-missing chains are seeded by tuple
 //     content so every positive GibbsWorkers count is bit-identical, and
 //     emission order is the input order regardless of which goroutine
-//     finished first. (GibbsWorkers <= 0 selects the tuple-DAG sampler —
-//     a different, workload-dependent estimator; toggling between DAG
-//     and chains changes multi-missing estimates.)
+//     finished first. Only toggling between the DAG sampler and chains
+//     changes multi-missing estimates — they are different estimators.
 //
-// An Engine may be reused across relations; its caches persist, so a
-// serving deployment pays for each distinct evidence pattern once. With
-// the chain sampler (GibbsWorkers > 0) a tuple's estimate is the same
-// whether it was inferred on the first call or any later one; with the
-// DAG sampler, estimates depend on which tuples were inferred together.
+// An Engine is safe for concurrent use: any number of goroutines may run
+// overlapping Stream calls against one engine. The memoization caches are
+// shared and persist across calls, so a serving deployment pays for each
+// distinct evidence pattern once, no matter which request saw it first.
+// With the chain sampler (GibbsWorkers > 0) a tuple's estimate is the same
+// whether it was inferred by this request, an earlier one, or a concurrent
+// one; with the DAG sampler, estimates depend on which tuples were
+// inferred together, so concurrent serving deployments should prefer
+// chains.
 package derive
 
 import (
@@ -53,16 +62,49 @@ type Config struct {
 	// MaxAlternatives caps each emitted block's alternatives (most
 	// probable kept, renormalized); <= 0 keeps all combinations.
 	MaxAlternatives int
-	// VoteWorkers is the size of the single-missing voting pool; <= 0
-	// selects GOMAXPROCS. The result does not depend on the pool size.
+	// VoteWorkers is the default size of the per-request single-missing
+	// voting pool; <= 0 selects GOMAXPROCS. The result does not depend on
+	// the pool size.
 	VoteWorkers int
 	// GibbsWorkers > 0 runs multi-missing inference with independent
-	// per-tuple chains across that many goroutines; the estimates are
-	// bit-identical for every positive worker count (chains are seeded by
-	// tuple content). <= 0 uses the sequential tuple-DAG sampler
-	// (Algorithm 3), which shares samples between subsumption-related
-	// tuples — a different (workload-dependent) estimator.
+	// per-tuple chains scheduled block by block across that many
+	// goroutines per request; the estimates are bit-identical for every
+	// positive worker count (chains are seeded by tuple content). <= 0
+	// uses the sequential tuple-DAG sampler (Algorithm 3), which shares
+	// samples between subsumption-related tuples — a different
+	// (workload-dependent) estimator that runs as one background batch.
+	// The choice of estimator is engine-level and fixed at construction,
+	// so the engine's cross-request joint cache stays coherent.
 	GibbsWorkers int
+}
+
+// chains reports whether the engine uses per-tuple independent chains
+// (shardable) rather than the holistic tuple-DAG batch.
+func (c Config) chains() bool { return c.GibbsWorkers > 0 }
+
+// Pools sizes the worker pools of one Stream request. The zero value
+// inherits the engine Config's VoteWorkers/GibbsWorkers; positive fields
+// override them for this request only. Pool sizes never change the
+// emitted stream — only how many goroutines compute it — so per-request
+// sharding is always safe. (In DAG mode GibbsWorkers has no pool to size;
+// the estimator choice itself is fixed at engine construction.)
+type Pools struct {
+	VoteWorkers  int
+	GibbsWorkers int
+}
+
+// SchemaMismatchError reports a relation whose schema is not
+// attribute-for-attribute identical to the model's. It is returned up
+// front, before any inference runs.
+type SchemaMismatchError struct {
+	// Model and Data are the two schemas that failed to match.
+	Model, Data *relation.Schema
+	// Diff is a one-line description of the first difference.
+	Diff string
+}
+
+func (e *SchemaMismatchError) Error() string {
+	return fmt.Sprintf("derive: relation schema does not match model schema: %s", e.Diff)
 }
 
 // Item is one streamed element of the derived database. Items arrive in
@@ -88,7 +130,9 @@ func (it Item) Certain() bool { return it.Block == nil }
 // Stream returns that error.
 type EmitFunc func(Item) error
 
-// Stats instruments the engine's caches.
+// Stats instruments the engine's caches. All counters are monotonically
+// non-decreasing over the engine's lifetime; concurrent requests update
+// them atomically under the engine lock.
 type Stats struct {
 	// VotesComputed counts distinct single-missing evidence patterns that
 	// were actually voted (cache misses).
@@ -97,40 +141,67 @@ type Stats struct {
 	// difference SingleTuples - VotesComputed is the number of tuples
 	// answered purely from the memo cache (duplicates).
 	SingleTuples int64
-	// GibbsComputed counts distinct multi-missing tuples inferred by
-	// sampling; GibbsCacheHits counts multi-missing joints served from the
-	// engine's cross-call cache.
-	GibbsComputed  int64
+	// GibbsComputed counts distinct multi-missing tuples actually
+	// inferred by sampling (cache misses).
+	GibbsComputed int64
+	// MultiTuples counts multi-missing input tuples served.
+	MultiTuples int64
+	// GibbsCacheHits counts multi-missing resolutions served from the
+	// engine's cache (in-flight or completed) rather than sampled by the
+	// requester itself.
 	GibbsCacheHits int64
 	// PointsSampled counts Gibbs draws, including burn-in.
 	PointsSampled int64
+	// Streams counts completed Stream calls (successful or not).
+	Streams int64
 }
 
 // VoteHitRate returns the fraction of single-missing input tuples served
-// from the shared memo cache rather than voted afresh.
+// from the shared memo cache rather than voted afresh. Clamped at 0: the
+// prefetch pools run ahead of the emitters, so a snapshot taken
+// mid-stream (or after an aborted stream) can have computed more
+// patterns than it has served tuples.
 func (s Stats) VoteHitRate() float64 {
-	if s.SingleTuples == 0 {
-		return 0
-	}
-	return float64(s.SingleTuples-s.VotesComputed) / float64(s.SingleTuples)
+	return hitRate(s.SingleTuples, s.VotesComputed)
 }
 
-// Engine is a reusable derivation engine. It is safe for sequential reuse
-// across relations; the memoization caches persist between Stream calls.
+// GibbsHitRate returns the fraction of multi-missing input tuples served
+// from the shared joint cache rather than sampled afresh, clamped at 0
+// like VoteHitRate.
+func (s Stats) GibbsHitRate() float64 {
+	return hitRate(s.MultiTuples, s.GibbsComputed)
+}
+
+func hitRate(served, computed int64) float64 {
+	if served == 0 || computed > served {
+		return 0
+	}
+	return float64(served-computed) / float64(served)
+}
+
+// Engine is a long-lived, reusable derivation engine. It is safe for
+// concurrent use by multiple goroutines; the memoization caches are
+// shared across overlapping Stream calls and persist between them.
 type Engine struct {
 	model *core.Model
 	cfg   Config
 
 	mu     sync.Mutex
-	votes  map[string]*voteEntry
-	joints map[string]*dist.Joint // multi-missing joints by tuple key
+	votes  map[string]*entry      // single-missing joints by evidence key
+	gibbs  map[string]*entry      // multi-missing joints by evidence key (chain mode)
+	joints map[string]*dist.Joint // multi-missing joints by evidence key (DAG mode)
 	stats  Stats
+
+	// dagMu serializes DAG-mode batches so overlapping streams never
+	// re-sample or overwrite each other's cached joints. Never acquired
+	// while holding mu.
+	dagMu sync.Mutex
 }
 
-// voteEntry is a single-flight cache slot for one distinct single-missing
-// evidence pattern. The claimer computes joint/err and closes ready;
-// everyone else waits on ready.
-type voteEntry struct {
+// entry is a single-flight cache slot for one distinct evidence pattern.
+// The claimer computes joint/err and closes ready; everyone else waits on
+// ready.
+type entry struct {
 	ready chan struct{}
 	joint *dist.Joint
 	err   error
@@ -144,10 +215,14 @@ func New(model *core.Model, cfg Config) (*Engine, error) {
 	return &Engine{
 		model:  model,
 		cfg:    cfg,
-		votes:  make(map[string]*voteEntry),
+		votes:  make(map[string]*entry),
+		gibbs:  make(map[string]*entry),
 		joints: make(map[string]*dist.Joint),
 	}, nil
 }
+
+// Model returns the model the engine serves.
+func (e *Engine) Model() *core.Model { return e.model }
 
 // Stats returns a snapshot of the engine's cache instrumentation.
 func (e *Engine) Stats() Stats {
@@ -156,18 +231,18 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// lookupVote returns the cache entry for key, creating and claiming it if
+// lookup returns the cache entry for key in m, creating and claiming it if
 // absent. claimed is true when the caller must compute the entry and close
-// ready.
-func (e *Engine) lookupVote(key string) (entry *voteEntry, claimed bool) {
+// ready. computed points at the stat counting cache misses in m.
+func (e *Engine) lookup(m map[string]*entry, key string, computed *int64) (en *entry, claimed bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if en, ok := e.votes[key]; ok {
+	if en, ok := m[key]; ok {
 		return en, false
 	}
-	en := &voteEntry{ready: make(chan struct{})}
-	e.votes[key] = en
-	e.stats.VotesComputed++
+	en = &entry{ready: make(chan struct{})}
+	m[key] = en
+	*computed++
 	return en, true
 }
 
@@ -188,6 +263,19 @@ func (e *Engine) voteJoint(t relation.Tuple) (*dist.Joint, error) {
 	return j, nil
 }
 
+// chainJoint runs the content-seeded independent chain for one distinct
+// multi-missing tuple — the per-block unit of work in chain mode.
+func (e *Engine) chainJoint(t relation.Tuple) (*dist.Joint, error) {
+	j, points, err := gibbs.InferIndependent(e.model, e.cfg.Gibbs, t)
+	e.mu.Lock()
+	e.stats.PointsSampled += int64(points)
+	if err == nil {
+		e.stats.GibbsComputed++
+	}
+	e.mu.Unlock()
+	return j, err
+}
+
 // resolveVote returns the memoized vote joint for t, computing it if this
 // caller claims the cache slot and waiting for the in-flight computation
 // otherwise. It is the emitter's fetch path, so it counts served tuples.
@@ -195,7 +283,7 @@ func (e *Engine) resolveVote(t relation.Tuple, key string) (*dist.Joint, error) 
 	e.mu.Lock()
 	e.stats.SingleTuples++
 	e.mu.Unlock()
-	en, claimed := e.lookupVote(key)
+	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed)
 	if claimed {
 		en.joint, en.err = e.voteJoint(t)
 		close(en.ready)
@@ -205,20 +293,68 @@ func (e *Engine) resolveVote(t relation.Tuple, key string) (*dist.Joint, error) 
 	return en.joint, en.err
 }
 
-// prefetchVote warms the cache slot for t without blocking on entries
+// prefetchVote warms the vote cache slot for t without blocking on entries
 // another goroutine already claimed.
 func (e *Engine) prefetchVote(t relation.Tuple, key string) {
-	en, claimed := e.lookupVote(key)
+	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed)
 	if claimed {
 		en.joint, en.err = e.voteJoint(t)
 		close(en.ready)
 	}
 }
 
+// resolveGibbs returns the memoized multi-missing joint for t in chain
+// mode, sampling inline if this caller claims the slot (the emitter steals
+// work the prefetch pool has not reached) and waiting otherwise. It is the
+// emitter's fetch path, so it counts served tuples and cache hits.
+func (e *Engine) resolveGibbs(t relation.Tuple, key string) (*dist.Joint, error) {
+	e.mu.Lock()
+	e.stats.MultiTuples++
+	e.mu.Unlock()
+	en, claimed := e.gibbsClaim(key)
+	if claimed {
+		en.joint, en.err = e.chainJoint(t)
+		close(en.ready)
+	} else {
+		e.mu.Lock()
+		e.stats.GibbsCacheHits++
+		e.mu.Unlock()
+		<-en.ready
+	}
+	return en.joint, en.err
+}
+
+// prefetchGibbs warms the joint cache slot for t without blocking on
+// entries another goroutine already claimed.
+func (e *Engine) prefetchGibbs(t relation.Tuple, key string) {
+	en, claimed := e.gibbsClaim(key)
+	if claimed {
+		en.joint, en.err = e.chainJoint(t)
+		close(en.ready)
+	}
+}
+
+// gibbsClaim is lookup on the chain-mode joint cache. GibbsComputed is
+// counted by chainJoint on success instead of at claim time, so a tuple
+// whose chain failed is not reported as computed.
+func (e *Engine) gibbsClaim(key string) (*entry, bool) {
+	var scratch int64
+	return e.lookup(e.gibbs, key, &scratch)
+}
+
 // inferMulti estimates joints for every distinct multi-missing tuple of
-// workload that is not already cached, and returns the per-key map
-// covering the whole workload.
+// workload that is not already cached, with the holistic tuple-DAG
+// sampler, and returns the per-key map covering the whole workload. It is
+// the DAG-mode path; chain mode schedules per block instead. dagMu
+// serializes overlapping DAG batches: without it, two concurrent streams
+// sharing tuples would each sample the full workload and racily
+// overwrite each other's cached joints. (Which workload a shared tuple
+// is sampled alongside still depends on arrival order — the DAG
+// estimator is workload-dependent by construction, which is why serving
+// deployments should prefer chains.)
 func (e *Engine) inferMulti(workload []relation.Tuple) (map[string]*dist.Joint, error) {
+	e.dagMu.Lock()
+	defer e.dagMu.Unlock()
 	byKey := make(map[string]*dist.Joint)
 	var todo []relation.Tuple
 	e.mu.Lock()
@@ -243,12 +379,7 @@ func (e *Engine) inferMulti(workload []relation.Tuple) (map[string]*dist.Joint, 
 	if err != nil {
 		return nil, err
 	}
-	var res *gibbs.Result
-	if e.cfg.GibbsWorkers > 0 {
-		res, err = s.ParallelTupleAtATime(todo, e.cfg.GibbsWorkers)
-	} else {
-		res, err = s.TupleDAGRun(todo)
-	}
+	res, err := s.TupleDAGRun(todo)
 	if err != nil {
 		return nil, err
 	}
@@ -273,15 +404,37 @@ func (e *Engine) block(t relation.Tuple, j *dist.Joint) (*pdb.Block, error) {
 }
 
 // Stream derives the probabilistic database of rel and emits it item by
-// item, in input order: complete tuples pass through as certain items,
-// incomplete tuples arrive as blocks. Single-missing voting runs on the
-// engine's worker pool concurrently with emission; multi-missing sampling
-// runs in the background and the emitter blocks on it only when it
-// reaches the first multi-missing tuple. If emit returns an error the
-// stream stops and Stream returns that error after draining its workers.
+// item, in input order, with the engine's default pool sizes. See
+// StreamPools.
 func (e *Engine) Stream(rel *relation.Relation, emit EmitFunc) error {
+	return e.StreamPools(rel, Pools{}, emit)
+}
+
+// StreamPools derives the probabilistic database of rel and emits it item
+// by item, in input order: complete tuples pass through as certain items,
+// incomplete tuples arrive as blocks. Single-missing voting runs on a
+// per-request worker pool concurrently with emission. Multi-missing
+// sampling is scheduled per block on its own per-request pool in chain
+// mode, so each block becomes available as soon as its own chain has run;
+// in DAG mode it runs as one background batch and the emitter blocks on
+// it only when it reaches the first multi-missing tuple. If emit returns
+// an error the stream stops and StreamPools returns that error after
+// draining its workers. Overlapping calls from multiple goroutines are
+// safe and share the engine's caches.
+func (e *Engine) StreamPools(rel *relation.Relation, pools Pools, emit EmitFunc) error {
+	err := e.stream(rel, pools, emit)
+	e.mu.Lock()
+	e.stats.Streams++
+	e.mu.Unlock()
+	return err
+}
+
+func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) error {
 	if rel == nil {
 		return fmt.Errorf("derive: nil relation")
+	}
+	if d := e.model.Schema.Diff(rel.Schema); d != "" {
+		return &SchemaMismatchError{Model: e.model.Schema, Data: rel.Schema, Diff: d}
 	}
 
 	// Classify the workload.
@@ -297,63 +450,50 @@ func (e *Engine) Stream(rel *relation.Relation, emit EmitFunc) error {
 		}
 	}
 
-	// Multi-missing inference runs holistically in the background; the
-	// emitter waits for it only when it reaches a multi-missing tuple.
+	// quit stops the dispatchers early when emission fails.
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Multi-missing inference. Chain mode shards it per block: a pool of
+	// gibbs workers prefetches distinct multi-missing tuples in input
+	// order, through the same single-flight cache the emitter resolves
+	// from. DAG mode runs the whole workload holistically in the
+	// background; the emitter waits for it at its first multi-missing
+	// tuple.
 	var (
 		multiDone   chan struct{}
 		multiJoints map[string]*dist.Joint
 		multiErr    error
 	)
 	if len(multi) > 0 {
-		multiDone = make(chan struct{})
-		go func() {
-			defer close(multiDone)
-			multiJoints, multiErr = e.inferMulti(multi)
-		}()
+		if e.cfg.chains() {
+			e.spawnPool(&wg, quit, poolSize(pools.GibbsWorkers, e.cfg.GibbsWorkers, len(multi)),
+				distinctTuples(multi), e.prefetchGibbs)
+		} else {
+			multiDone = make(chan struct{})
+			go func() {
+				defer close(multiDone)
+				multiJoints, multiErr = e.inferMulti(multi)
+			}()
+		}
 	}
 
 	// The voting pool prefetches single-missing estimates ahead of the
-	// emitter. quit stops the dispatcher early when emission fails.
-	quit := make(chan struct{})
-	var wg sync.WaitGroup
+	// emitter.
 	if numSingles > 0 {
-		workers := e.cfg.VoteWorkers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if workers > numSingles {
-			workers = numSingles
-		}
-		work := make(chan relation.Tuple)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for t := range work {
-					e.prefetchVote(t, t.Key())
-				}
-			}()
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer close(work)
-			for _, t := range rel.Tuples {
-				if t.IsComplete() || t.NumMissing() != 1 {
-					continue
-				}
-				select {
-				case work <- t:
-				case <-quit:
-					return
-				}
+		var singles []relation.Tuple
+		for _, t := range rel.Tuples {
+			if !t.IsComplete() && t.NumMissing() == 1 {
+				singles = append(singles, t)
 			}
-		}()
+		}
+		e.spawnPool(&wg, quit, poolSize(pools.VoteWorkers, e.cfg.VoteWorkers, numSingles),
+			singles, e.prefetchVote)
 	}
 
-	// Emit in input order. The emitter steals unclaimed vote work
-	// (resolveVote computes inline when the pool has not reached the
-	// entry yet), so it never idles behind the pool.
+	// Emit in input order. The emitter steals unclaimed work (resolveVote
+	// and resolveGibbs compute inline when a pool has not reached the
+	// entry yet), so it never idles behind the pools.
 	var err error
 	for i, t := range rel.Tuples {
 		switch {
@@ -368,10 +508,22 @@ func (e *Engine) Stream(rel *relation.Relation, emit EmitFunc) error {
 					err = emit(Item{Index: i, Tuple: t, Block: b})
 				}
 			}
+		case e.cfg.chains():
+			var j *dist.Joint
+			j, err = e.resolveGibbs(t, t.Key())
+			if err == nil {
+				var b *pdb.Block
+				if b, err = e.block(t, j); err == nil {
+					err = emit(Item{Index: i, Tuple: t, Block: b})
+				}
+			}
 		default:
 			<-multiDone
 			err = multiErr
 			if err == nil {
+				e.mu.Lock()
+				e.stats.MultiTuples++
+				e.mu.Unlock()
 				var b *pdb.Block
 				if b, err = e.block(t, multiJoints[t.Key()]); err == nil {
 					err = emit(Item{Index: i, Tuple: t, Block: b})
@@ -390,18 +542,72 @@ func (e *Engine) Stream(rel *relation.Relation, emit EmitFunc) error {
 	return err
 }
 
+// spawnPool starts a dispatcher plus workers goroutines that prefetch the
+// given tuples (in order) through warm, until done or quit.
+func (e *Engine) spawnPool(wg *sync.WaitGroup, quit chan struct{}, workers int,
+	tuples []relation.Tuple, warm func(relation.Tuple, string)) {
+	work := make(chan relation.Tuple)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				warm(t, t.Key())
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(work)
+		for _, t := range tuples {
+			select {
+			case work <- t:
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// poolSize resolves a per-request pool size: a positive request override
+// wins, then the engine default, then GOMAXPROCS; the pool never exceeds
+// the number of work items.
+func poolSize(request, engine, items int) int {
+	n := engine
+	if request > 0 {
+		n = request
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	return n
+}
+
+// distinctTuples returns the distinct tuples of ts by evidence key, in
+// first-appearance order.
+func distinctTuples(ts []relation.Tuple) []relation.Tuple {
+	seen := make(map[string]bool, len(ts))
+	var out []relation.Tuple
+	for _, t := range ts {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // Derive collects the stream into a materialized pdb.Database: certain
 // tuples in input order, blocks in input order.
 func (e *Engine) Derive(rel *relation.Relation) (*pdb.Database, error) {
-	db := pdb.NewDatabase(rel.Schema)
-	err := e.Stream(rel, func(it Item) error {
-		if it.Certain() {
-			return db.AddCertain(it.Tuple)
-		}
-		return db.AddBlock(it.Block)
-	})
-	if err != nil {
+	c := NewCollector(rel.Schema)
+	if err := e.StreamTo(rel, c); err != nil {
 		return nil, err
 	}
-	return db, nil
+	return c.Database(), nil
 }

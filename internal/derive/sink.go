@@ -1,0 +1,249 @@
+package derive
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/pdb"
+	"repro/internal/relation"
+)
+
+// Sink receives a derivation stream. Emit is called once per item, in
+// input order; Close is called once after the last item and must flush
+// whatever the sink buffers. Sinks are used by one stream at a time; wrap
+// a sink in your own locking to share it.
+type Sink interface {
+	Emit(Item) error
+	Close() error
+}
+
+// StreamTo derives rel and pushes the stream into sink, closing it on
+// success. If the stream or the sink fails, StreamTo returns that error
+// without calling Close, so a partial output is never flushed as if it
+// were complete.
+func (e *Engine) StreamTo(rel *relation.Relation, sink Sink) error {
+	if err := e.Stream(rel, sink.Emit); err != nil {
+		return err
+	}
+	return sink.Close()
+}
+
+// StreamPoolsTo is StreamTo with per-request pool sizes.
+func (e *Engine) StreamPoolsTo(rel *relation.Relation, pools Pools, sink Sink) error {
+	if err := e.StreamPools(rel, pools, sink.Emit); err != nil {
+		return err
+	}
+	return sink.Close()
+}
+
+// Collector is the in-memory Sink: it materializes the stream into a
+// pdb.Database (certain tuples and blocks, each in input order).
+type Collector struct {
+	db *pdb.Database
+}
+
+// NewCollector returns a collector over the schema.
+func NewCollector(s *relation.Schema) *Collector {
+	return &Collector{db: pdb.NewDatabase(s)}
+}
+
+// Emit adds the item to the database.
+func (c *Collector) Emit(it Item) error {
+	if it.Certain() {
+		return c.db.AddCertain(it.Tuple)
+	}
+	return c.db.AddBlock(it.Block)
+}
+
+// Close is a no-op; the collector holds everything in memory.
+func (c *Collector) Close() error { return nil }
+
+// Database returns the materialized database.
+func (c *Collector) Database() *pdb.Database { return c.db }
+
+// CSVSink writes the stream as a complete CSV relation: certain tuples
+// pass through, each block is materialized as its most probable
+// completion. The output is the most probable world of the derived
+// database — the paper's single-imputation repair — and round-trips
+// through relation.ReadCSV.
+type CSVSink struct {
+	w      *csv.Writer
+	schema *relation.Schema
+	row    []string
+	opened bool
+}
+
+// NewCSVSink returns a CSV sink over w.
+func NewCSVSink(w io.Writer, s *relation.Schema) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w), schema: s, row: make([]string, s.NumAttrs())}
+}
+
+// Emit writes the item's most probable completion as one CSV row.
+func (c *CSVSink) Emit(it Item) error {
+	if !c.opened {
+		c.opened = true
+		if err := c.w.Write(c.schema.SortedAttrNames()); err != nil {
+			return fmt.Errorf("derive: csv sink header: %w", err)
+		}
+	}
+	t := it.Tuple
+	if !it.Certain() {
+		t = it.Block.MostProbable().Tuple
+	}
+	for i, v := range t {
+		if v == relation.Missing {
+			c.row[i] = relation.MissingLabel
+		} else {
+			c.row[i] = c.schema.Attrs[i].Domain[v]
+		}
+	}
+	if err := c.w.Write(c.row); err != nil {
+		return fmt.Errorf("derive: csv sink row %d: %w", it.Index, err)
+	}
+	return nil
+}
+
+// Close flushes the writer (writing the header even for an empty stream).
+func (c *CSVSink) Close() error {
+	if !c.opened {
+		c.opened = true
+		if err := c.w.Write(c.schema.SortedAttrNames()); err != nil {
+			return fmt.Errorf("derive: csv sink header: %w", err)
+		}
+	}
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// JSONL record shapes. Field order is fixed by the struct definitions and
+// attribute values are positional (schema order), so the rendering of a
+// given stream is byte-stable.
+
+// jsonlSchema is the first line of a JSONL stream, describing the schema
+// the positional value arrays index into.
+type jsonlSchema struct {
+	Kind  string      `json:"kind"` // "schema"
+	Attrs []jsonlAttr `json:"attrs"`
+}
+
+type jsonlAttr struct {
+	Name   string   `json:"name"`
+	Domain []string `json:"domain"`
+}
+
+// jsonlItem is one streamed item: kind "certain" carries Values, kind
+// "block" carries Base (with "?" for missing) and Alts.
+type jsonlItem struct {
+	Kind   string     `json:"kind"` // "certain" or "block"
+	Index  int        `json:"index"`
+	Values []string   `json:"values,omitempty"`
+	Base   []string   `json:"base,omitempty"`
+	Alts   []jsonlAlt `json:"alts,omitempty"`
+}
+
+type jsonlAlt struct {
+	Values []string `json:"values"`
+	P      float64  `json:"p"`
+}
+
+// JSONLSink writes the stream as NDJSON: one schema record, then one
+// record per item in input order. Certain tuples keep their values, blocks
+// carry every alternative with its probability, so the full derived
+// database — not just a repair — crosses the wire. Each Emit writes one
+// complete line directly to w, which makes the sink suitable for
+// incremental serving over sockets and HTTP responses.
+type JSONLSink struct {
+	w      io.Writer
+	enc    *json.Encoder
+	schema *relation.Schema
+	opened bool
+}
+
+// NewJSONLSink returns a JSONL sink over w.
+func NewJSONLSink(w io.Writer, s *relation.Schema) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w), schema: s}
+}
+
+func (j *JSONLSink) open() error {
+	if j.opened {
+		return nil
+	}
+	j.opened = true
+	rec := jsonlSchema{Kind: "schema", Attrs: make([]jsonlAttr, j.schema.NumAttrs())}
+	for i, a := range j.schema.Attrs {
+		rec.Attrs[i] = jsonlAttr{Name: a.Name, Domain: a.Domain}
+	}
+	return j.enc.Encode(rec)
+}
+
+func (j *JSONLSink) labels(t relation.Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		if v == relation.Missing {
+			out[i] = relation.MissingLabel
+		} else {
+			out[i] = j.schema.Attrs[i].Domain[v]
+		}
+	}
+	return out
+}
+
+// Emit writes the item as one NDJSON line.
+func (j *JSONLSink) Emit(it Item) error {
+	if err := j.open(); err != nil {
+		return err
+	}
+	rec := jsonlItem{Index: it.Index}
+	if it.Certain() {
+		rec.Kind = "certain"
+		rec.Values = j.labels(it.Tuple)
+	} else {
+		rec.Kind = "block"
+		rec.Base = j.labels(it.Block.Base)
+		rec.Alts = make([]jsonlAlt, len(it.Block.Alts))
+		for k, a := range it.Block.Alts {
+			rec.Alts[k] = jsonlAlt{Values: j.labels(a.Tuple), P: a.Prob}
+		}
+	}
+	return j.enc.Encode(rec)
+}
+
+// Close writes the schema record if nothing was emitted yet; every line is
+// already flushed to w as it is encoded.
+func (j *JSONLSink) Close() error { return j.open() }
+
+// TextSink writes the stream as a human-readable text rendering, one
+// item per line (blocks list their alternatives inline). It is the
+// io.Writer streaming sink for logs and terminals.
+type TextSink struct {
+	w      io.Writer
+	schema *relation.Schema
+}
+
+// NewTextSink returns a text sink over w.
+func NewTextSink(w io.Writer, s *relation.Schema) *TextSink {
+	return &TextSink{w: w, schema: s}
+}
+
+// Emit writes the item as one text line.
+func (t *TextSink) Emit(it Item) error {
+	if it.Certain() {
+		_, err := fmt.Fprintf(t.w, "%d certain %s\n", it.Index, it.Tuple.Format(t.schema))
+		return err
+	}
+	if _, err := fmt.Fprintf(t.w, "%d block %s:", it.Index, it.Block.Base.Format(t.schema)); err != nil {
+		return err
+	}
+	for _, a := range it.Block.Alts {
+		if _, err := fmt.Fprintf(t.w, " %.4f %s", a.Prob, a.Tuple.Format(t.schema)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(t.w)
+	return err
+}
+
+// Close is a no-op; every line is written as it is emitted.
+func (t *TextSink) Close() error { return nil }

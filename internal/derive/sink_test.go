@@ -1,0 +1,161 @@
+package derive
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gibbs"
+	"repro/internal/relation"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the sink golden files")
+
+// matchmakingEngine learns from the paper's matchmaking relation and
+// returns a chain-mode engine — every stage is deterministic across
+// processes, which is what makes byte-stable goldens possible.
+func matchmakingEngine(t *testing.T) (*Engine, *relation.Relation) {
+	t.Helper()
+	rel := relation.Matchmaking()
+	rc, _ := rel.Split()
+	m, err := core.Learn(rc, core.Config{SupportThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(m, Config{
+		Method:       bestAveraged(),
+		Gibbs:        gibbs.Config{Samples: 200, BurnIn: 20, Method: bestAveraged(), Seed: 5},
+		GibbsWorkers: 2,
+		VoteWorkers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, rel
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGoldens {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/derive -update to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output is not byte-identical to the golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestCSVSinkGolden streams the matchmaking derivation through the CSV
+// sink, pins the bytes against a golden file, and round-trips the output
+// through ReadCSV: the sink writes the most probable world, so the result
+// must parse as a relation of complete tuples, one per input tuple.
+func TestCSVSinkGolden(t *testing.T) {
+	e, rel := matchmakingEngine(t)
+	var buf bytes.Buffer
+	if err := e.StreamTo(rel, NewCSVSink(&buf, rel.Schema)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "matchmaking_derived.csv.golden", buf.Bytes())
+
+	back, err := relation.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("CSV sink output does not round-trip through ReadCSV: %v", err)
+	}
+	if back.Len() != rel.Len() {
+		t.Errorf("round-trip has %d tuples, want %d", back.Len(), rel.Len())
+	}
+	for i, tu := range back.Tuples {
+		if !tu.IsComplete() {
+			t.Errorf("round-trip tuple %d is incomplete: %v", i, tu)
+		}
+	}
+	// Round-tripping the sink output writes back byte-identically.
+	var again bytes.Buffer
+	if err := relation.WriteCSV(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("ReadCSV/WriteCSV round trip of the sink output is not byte-stable")
+	}
+}
+
+// TestJSONLSinkGolden pins the NDJSON rendering — the serving wire format
+// of cmd/mrslserve — byte for byte.
+func TestJSONLSinkGolden(t *testing.T) {
+	e, rel := matchmakingEngine(t)
+	var buf bytes.Buffer
+	if err := e.StreamTo(rel, NewJSONLSink(&buf, rel.Schema)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "matchmaking_derived.jsonl.golden", buf.Bytes())
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != rel.Len()+1 {
+		t.Errorf("NDJSON has %d lines, want %d (schema + one per tuple)", len(lines), rel.Len()+1)
+	}
+	if !strings.Contains(lines[0], `"kind":"schema"`) {
+		t.Errorf("first line is not the schema record: %s", lines[0])
+	}
+}
+
+// TestTextSinkStreams smoke-tests the human-readable sink: one line per
+// item, blocks listing their alternatives.
+func TestTextSinkStreams(t *testing.T) {
+	e, rel := matchmakingEngine(t)
+	var buf bytes.Buffer
+	if err := e.StreamTo(rel, NewTextSink(&buf, rel.Schema)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != rel.Len() {
+		t.Errorf("text sink wrote %d lines, want %d", len(lines), rel.Len())
+	}
+	if !strings.Contains(buf.String(), "block") || !strings.Contains(buf.String(), "certain") {
+		t.Error("text sink output misses certain/block markers")
+	}
+}
+
+// TestCollectorMatchesStream: the Collector sink materializes exactly what
+// Engine.Derive returns.
+func TestCollectorMatchesStream(t *testing.T) {
+	e, rel := matchmakingEngine(t)
+	c := NewCollector(rel.Schema)
+	if err := e.StreamTo(rel, c); err != nil {
+		t.Fatal(err)
+	}
+	db, err := e.Derive(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, c.Database(), db, "collector vs derive")
+}
+
+// TestEmptyStreamSinks: sinks emit valid headers even for empty streams.
+func TestEmptyStreamSinks(t *testing.T) {
+	e, rel := matchmakingEngine(t)
+	empty := relation.NewRelation(rel.Schema)
+	var csvb, jsonb bytes.Buffer
+	if err := e.StreamTo(empty, NewCSVSink(&csvb, rel.Schema)); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(csvb.String()); got != strings.Join(rel.Schema.SortedAttrNames(), ",") {
+		t.Errorf("empty CSV stream wrote %q, want header only", got)
+	}
+	if err := e.StreamTo(empty, NewJSONLSink(&jsonb, rel.Schema)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonb.String(), `"kind":"schema"`) {
+		t.Errorf("empty JSONL stream wrote %q, want schema record", jsonb.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/relation"
 )
@@ -44,22 +45,13 @@ func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				sub, err := New(s.model, Config{
-					BurnIn:  s.cfg.BurnIn,
-					Samples: s.cfg.Samples,
-					Method:  s.cfg.Method,
-					Seed:    tupleSeed(s.cfg.Seed, distinct[i]),
-				})
-				if err == nil {
-					res.Dists[i], err = sub.InferTuple(distinct[i])
-				}
+				j, pts, err := InferIndependent(s.model, s.cfg, distinct[i])
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
-				if sub != nil {
-					points += sub.PointsSampled
-				}
+				res.Dists[i] = j
+				points += pts
 				mu.Unlock()
 			}
 		}()
@@ -75,6 +67,30 @@ func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (
 	res.PointsSampled = points
 	s.PointsSampled += points
 	return res, nil
+}
+
+// InferIndependent runs the content-seeded independent chain for one
+// incomplete tuple: exactly the estimator ParallelTupleAtATime applies to
+// each distinct workload tuple, exposed as a single-tuple entry point so a
+// serving engine can schedule chains block by block across a stream. The
+// chain's RNG is derived from cfg.Seed and the tuple's canonical evidence
+// key, so the returned joint is bit-identical to the batch path no matter
+// when, where, or alongside which other tuples it is computed. It creates
+// a private sub-sampler per call and shares no state, so it is safe to
+// call from any number of goroutines. The int result is the number of
+// points sampled, including burn-in.
+func InferIndependent(m *core.Model, cfg Config, t relation.Tuple) (*dist.Joint, int, error) {
+	sub, err := New(m, Config{
+		BurnIn:  cfg.BurnIn,
+		Samples: cfg.Samples,
+		Method:  cfg.Method,
+		Seed:    tupleSeed(cfg.Seed, t),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	j, err := sub.InferTuple(t)
+	return j, sub.PointsSampled, err
 }
 
 // tupleSeed derives a well-separated per-tuple seed from the sampler seed

@@ -86,6 +86,66 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 	return rel, nil
 }
 
+// ReadCSVInSchema parses a relation from CSV against a fixed schema
+// instead of inferring domains from the data. The header must name the
+// schema's attributes in schema order, and every non-"?" cell must be a
+// label from its attribute's domain. This is the serving-side reader:
+// inference-time data rarely exercises every domain value, so re-inferring
+// domains would silently re-code values; pinning the schema keeps value
+// codes aligned with the model the relation will be derived under.
+func ReadCSVInSchema(r io.Reader, s *Schema) (*Relation, error) {
+	if s == nil {
+		return nil, fmt.Errorf("relation: nil schema")
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = s.NumAttrs()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv header: %w", err)
+	}
+	for i, name := range header {
+		if name != s.Attrs[i].Name {
+			return nil, fmt.Errorf("relation: header column %d is %q, schema expects %q",
+				i+1, name, s.Attrs[i].Name)
+		}
+	}
+	// Per-column label -> code maps make parsing O(1) per cell.
+	codes := make([]map[string]int, s.NumAttrs())
+	for i, a := range s.Attrs {
+		codes[i] = make(map[string]int, len(a.Domain))
+		for v, label := range a.Domain {
+			codes[i][label] = v
+		}
+	}
+	rel := NewRelation(s)
+	for n := 2; ; n++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading csv row %d: %w", n, err)
+		}
+		t := NewTuple(s.NumAttrs())
+		for i, cell := range row {
+			if cell == MissingLabel {
+				continue
+			}
+			code, ok := codes[i][cell]
+			if !ok {
+				return nil, fmt.Errorf("relation: row %d: %q is not in the domain of %q",
+					n, cell, s.Attrs[i].Name)
+			}
+			t[i] = code
+		}
+		if err := rel.Append(t); err != nil {
+			return nil, fmt.Errorf("relation: row %d: %w", n, err)
+		}
+	}
+	return rel, nil
+}
+
 // WriteCSV writes the relation as CSV with a header row; missing values are
 // written as "?".
 func WriteCSV(w io.Writer, r *Relation) error {

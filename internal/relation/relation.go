@@ -104,6 +104,41 @@ func (s *Schema) DomainSize() int {
 	return n
 }
 
+// Diff compares s with another schema and returns "" when they are
+// attribute-for-attribute identical (same names, same domains, in the same
+// order — the condition under which value codes mean the same thing in
+// both), or a one-line description of the first difference. Domains are
+// positional because codes index them: two schemas listing the same labels
+// in different orders are NOT interchangeable.
+func (s *Schema) Diff(o *Schema) string {
+	if o == nil {
+		return "second schema is nil"
+	}
+	if len(s.Attrs) != len(o.Attrs) {
+		return fmt.Sprintf("%d attributes vs %d", len(s.Attrs), len(o.Attrs))
+	}
+	for i, a := range s.Attrs {
+		b := o.Attrs[i]
+		if a.Name != b.Name {
+			return fmt.Sprintf("attribute %d is %q vs %q", i, a.Name, b.Name)
+		}
+		if len(a.Domain) != len(b.Domain) {
+			return fmt.Sprintf("attribute %q has %d domain values vs %d",
+				a.Name, len(a.Domain), len(b.Domain))
+		}
+		for v := range a.Domain {
+			if a.Domain[v] != b.Domain[v] {
+				return fmt.Sprintf("attribute %q domain value %d is %q vs %q",
+					a.Name, v, a.Domain[v], b.Domain[v])
+			}
+		}
+	}
+	return ""
+}
+
+// Equal reports whether s and o are interchangeable (Diff returns "").
+func (s *Schema) Equal(o *Schema) bool { return s.Diff(o) == "" }
+
 // ValueCode returns the code of label within attribute attr, or an error.
 func (s *Schema) ValueCode(attr int, label string) (int, error) {
 	if attr < 0 || attr >= len(s.Attrs) {

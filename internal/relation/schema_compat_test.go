@@ -1,0 +1,96 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaDiff(t *testing.T) {
+	base := MatchmakingSchema()
+	if d := base.Diff(MatchmakingSchema()); d != "" {
+		t.Errorf("identical schemas diff: %q", d)
+	}
+	if !base.Equal(MatchmakingSchema()) {
+		t.Error("identical schemas are not Equal")
+	}
+	cases := []struct {
+		name  string
+		mutie func() *Schema
+		want  string
+	}{
+		{"nil", func() *Schema { return nil }, "nil"},
+		{"fewer attributes", func() *Schema {
+			return MustSchema(base.Attrs[:2])
+		}, "attributes"},
+		{"renamed attribute", func() *Schema {
+			attrs := append([]Attribute(nil), base.Attrs...)
+			attrs[0] = Attribute{Name: "years", Domain: attrs[0].Domain}
+			return MustSchema(attrs)
+		}, `attribute 0`},
+		{"reordered domain", func() *Schema {
+			attrs := append([]Attribute(nil), base.Attrs...)
+			attrs[1] = Attribute{Name: attrs[1].Name, Domain: []string{"BS", "HS", "MS"}}
+			return MustSchema(attrs)
+		}, `attribute "edu"`},
+		{"extra domain value", func() *Schema {
+			attrs := append([]Attribute(nil), base.Attrs...)
+			attrs[2] = Attribute{Name: attrs[2].Name, Domain: append([]string{"25K"}, attrs[2].Domain...)}
+			return MustSchema(attrs)
+		}, `attribute "inc"`},
+	}
+	for _, tc := range cases {
+		o := tc.mutie()
+		d := base.Diff(o)
+		if d == "" || !strings.Contains(d, tc.want) {
+			t.Errorf("%s: diff = %q, want mention of %q", tc.name, d, tc.want)
+		}
+		if o != nil && o.Equal(base) {
+			t.Errorf("%s: schemas should not be Equal", tc.name)
+		}
+	}
+}
+
+func TestReadCSVInSchema(t *testing.T) {
+	s := MatchmakingSchema()
+	rel, err := ReadCSVInSchema(strings.NewReader("age,edu,inc,nw\n20,HS,?,?\n40,MS,100K,500K\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema != s {
+		t.Error("relation does not carry the pinned schema")
+	}
+	if rel.Len() != 2 || rel.Tuples[0].NumMissing() != 2 || !rel.Tuples[1].IsComplete() {
+		t.Errorf("parsed %v", rel.Tuples)
+	}
+	// Codes index the model domains, not re-inferred ones: HS is code 0 in
+	// the hand-built schema even though sorting would put BS first.
+	if rel.Tuples[0][1] != 0 {
+		t.Errorf("edu=HS parsed to code %d, want 0 (pinned domain order)", rel.Tuples[0][1])
+	}
+
+	fail := func(name, body, want string) {
+		t.Helper()
+		if _, err := ReadCSVInSchema(strings.NewReader(body), s); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: err = %v, want mention of %q", name, err, want)
+		}
+	}
+	fail("wrong header", "years,edu,inc,nw\n", "years")
+	fail("unknown label", "age,edu,inc,nw\n25,HS,50K,100K\n", `"25"`)
+	fail("short row", "age,edu,inc,nw\n20,HS\n", "row")
+	if _, err := ReadCSVInSchema(strings.NewReader(""), s); err == nil {
+		t.Error("empty input should fail (no header)")
+	}
+	if _, err := ReadCSVInSchema(strings.NewReader("age,edu,inc,nw\n"), nil); err == nil {
+		t.Error("nil schema should fail")
+	}
+
+	// A subset of the domains still parses — the serving case ReadCSV
+	// would get wrong by re-inferring smaller domains.
+	sub, err := ReadCSVInSchema(strings.NewReader("age,edu,inc,nw\n20,BS,50K,100K\n"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Tuples[0][1]; got != 1 {
+		t.Errorf("edu=BS parsed to code %d, want 1", got)
+	}
+}

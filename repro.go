@@ -49,6 +49,16 @@ func NewRelation(s *Schema) *Relation { return relation.NewRelation(s) }
 // ReadCSV parses a relation ("?" denotes missing values) and infers domains.
 func ReadCSV(r io.Reader) (*Relation, error) { return relation.ReadCSV(r) }
 
+// ReadCSVInSchema parses a relation against a fixed schema (normally a
+// model's) instead of inferring domains: the header must name the
+// schema's attributes in order and every non-"?" cell must be a domain
+// label. Serving paths should prefer this over ReadCSV — inference-time
+// data rarely exercises every domain value, and re-inferring domains
+// would silently re-code values relative to the model.
+func ReadCSVInSchema(r io.Reader, s *Schema) (*Relation, error) {
+	return relation.ReadCSVInSchema(r, s)
+}
+
 // WriteCSV writes a relation with a header row.
 func WriteCSV(w io.Writer, rel *Relation) error { return relation.WriteCSV(w, rel) }
 
@@ -203,6 +213,110 @@ func (o DeriveOptions) config() derive.Config {
 // tuple's position in the input relation.
 type DeriveItem = derive.Item
 
+// SchemaMismatchError is returned by Derive, DeriveStream, and the Engine
+// methods when the relation's schema is not attribute-for-attribute
+// identical to the model's (same names, same domains, same order — the
+// condition under which value codes mean the same thing in both). It is
+// detected up front, before any inference runs; match it with errors.As.
+type SchemaMismatchError = derive.SchemaMismatchError
+
+// Sink receives a derivation stream: Emit once per item in input order,
+// then Close to flush. See NewCollector, NewCSVSink, NewJSONLSink, and
+// NewTextSink.
+type Sink = derive.Sink
+
+// EngineStats instruments an Engine's shared caches: distinct patterns
+// computed vs tuples served for both the single-missing vote cache and
+// the multi-missing joint cache, Gibbs points drawn, and streams run. All
+// counters are monotonically non-decreasing over the engine's lifetime.
+type EngineStats = derive.Stats
+
+// Pools sizes the worker pools of a single Engine request; zero fields
+// inherit the engine's DeriveOptions. Pool sizes never change the emitted
+// stream, so per-request sharding is always safe.
+type Pools = derive.Pools
+
+// NewCollector returns the in-memory Sink: it materializes the stream
+// into a Database retrievable with its Database method.
+func NewCollector(s *Schema) *derive.Collector { return derive.NewCollector(s) }
+
+// NewCSVSink returns a Sink writing the stream to w as a complete CSV
+// relation: certain tuples pass through, each block is materialized as
+// its most probable completion (the most probable world — the paper's
+// single-imputation repair). The output round-trips through ReadCSV.
+func NewCSVSink(w io.Writer, s *Schema) *derive.CSVSink { return derive.NewCSVSink(w, s) }
+
+// NewJSONLSink returns a Sink writing the stream to w as NDJSON: a schema
+// record, then one record per item carrying either the certain tuple's
+// values or every block alternative with its probability. Each item is
+// written as one complete line immediately, which suits incremental
+// serving over sockets and HTTP (cmd/mrslserve streams this format).
+func NewJSONLSink(w io.Writer, s *Schema) *derive.JSONLSink { return derive.NewJSONLSink(w, s) }
+
+// NewTextSink returns a Sink writing a human-readable line per item.
+func NewTextSink(w io.Writer, s *Schema) *derive.TextSink { return derive.NewTextSink(w, s) }
+
+// Engine is a long-lived derivation service over one model: construct it
+// once with NewEngine and serve any number of DeriveStream/Derive calls,
+// from any number of goroutines. Distinct evidence patterns are inferred
+// once per engine lifetime — the single-missing vote cache and the
+// multi-missing joint cache are shared across requests and persist
+// between them — so overlapping and repeated workloads are served mostly
+// from memory. With opt.Workers > 1 (independent content-seeded chains)
+// every request's output is bit-identical no matter which requests ran
+// before or alongside it. With opt.Workers <= 1 (the paper's tuple-DAG
+// sampler) a multi-missing tuple's cached estimate depends on which
+// request's workload sampled it first, because the DAG estimator is
+// workload-dependent by construction — serving deployments that need
+// request-order-independent answers should use chains. The package-level
+// Derive/DeriveStream helpers construct a throwaway engine per call.
+type Engine struct {
+	eng *derive.Engine
+}
+
+// NewEngine returns a serving engine over the model. opt fixes the voting
+// method, the Gibbs configuration, the estimator for multi-missing tuples
+// (opt.Workers > 1 selects per-block scheduled independent chains;
+// otherwise the workload-level tuple-DAG sampler), and the default pool
+// sizes — which individual requests may override via Pools.
+func NewEngine(m *Model, opt DeriveOptions) (*Engine, error) {
+	e, err := derive.New(m, opt.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: e}, nil
+}
+
+// DeriveStream derives rel and streams the result to emit in input order
+// without materializing it, using the engine's shared caches.
+func (e *Engine) DeriveStream(rel *Relation, emit func(DeriveItem) error) error {
+	return e.eng.Stream(rel, derive.EmitFunc(emit))
+}
+
+// DeriveStreamPools is DeriveStream with per-request pool sizes.
+func (e *Engine) DeriveStreamPools(rel *Relation, pools Pools, emit func(DeriveItem) error) error {
+	return e.eng.StreamPools(rel, pools, derive.EmitFunc(emit))
+}
+
+// DeriveTo derives rel and pushes the stream into sink, closing it on
+// success.
+func (e *Engine) DeriveTo(rel *Relation, sink Sink) error {
+	return e.eng.StreamTo(rel, sink)
+}
+
+// DeriveToPools is DeriveTo with per-request pool sizes.
+func (e *Engine) DeriveToPools(rel *Relation, pools Pools, sink Sink) error {
+	return e.eng.StreamPoolsTo(rel, pools, sink)
+}
+
+// Derive derives rel into a materialized database.
+func (e *Engine) Derive(rel *Relation) (*Database, error) {
+	return e.eng.Derive(rel)
+}
+
+// Stats returns a snapshot of the engine's cache instrumentation.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
 // DeriveStream runs the paper's end-to-end pipeline on rel and streams
 // the derived database to emit in input order, without materializing it:
 // every complete tuple is passed through as a certain item, every
@@ -210,19 +324,22 @@ type DeriveItem = derive.Item
 // distributed according to the inferred Delta_t. Single-missing tuples
 // use ensemble voting sharded across opt.VoteWorkers goroutines with a
 // shared memoization cache; multi-missing tuples use workload-driven
-// Gibbs sampling (tuple-DAG, or parallel per-tuple chains when
+// Gibbs sampling (tuple-DAG, or per-block scheduled parallel chains when
 // opt.Workers > 1). The emitted stream does not depend on pool sizes: it
 // is bit-identical for every VoteWorkers value and for every Workers
 // count above 1 (chains are seeded by tuple content). Only switching
 // between the DAG sampler (Workers <= 1) and parallel chains changes
-// multi-missing estimates — they are different estimators. If emit
-// returns an error the stream stops and DeriveStream returns that error.
+// multi-missing estimates — they are different estimators. The relation's
+// schema must match the model's (else a SchemaMismatchError is returned
+// up front). If emit returns an error the stream stops and DeriveStream
+// returns that error. It runs on a throwaway engine; long-lived callers
+// should construct one Engine and reuse its caches across calls.
 func DeriveStream(m *Model, rel *Relation, opt DeriveOptions, emit func(DeriveItem) error) error {
-	e, err := derive.New(m, opt.config())
+	e, err := NewEngine(m, opt)
 	if err != nil {
 		return err
 	}
-	return e.Stream(rel, derive.EmitFunc(emit))
+	return e.DeriveStream(rel, emit)
 }
 
 // Derive runs the paper's end-to-end pipeline on rel and collects the
@@ -230,9 +347,10 @@ func DeriveStream(m *Model, rel *Relation, opt DeriveOptions, emit func(DeriveIt
 // certain tuple of the output database; every incomplete tuple becomes a
 // block of mutually exclusive completions, both in input order. It is a
 // thin collector over DeriveStream; callers that can persist or serve
-// blocks incrementally should use DeriveStream directly.
+// blocks incrementally should use DeriveStream directly, and long-lived
+// callers should construct an Engine and reuse its caches across calls.
 func Derive(m *Model, rel *Relation, opt DeriveOptions) (*Database, error) {
-	e, err := derive.New(m, opt.config())
+	e, err := NewEngine(m, opt)
 	if err != nil {
 		return nil, err
 	}

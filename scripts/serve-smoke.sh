@@ -1,0 +1,43 @@
+#!/bin/sh
+# serve-smoke: the end-to-end serving gate of `make ci`. Builds mrslserve,
+# learns a model from the checked-in matchmaking relation, boots the
+# server on a kernel-assigned port, POSTs one derivation, and checks the
+# stream and stats endpoints answer. Exits non-zero on any failure.
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/mrslserve" ./cmd/mrslserve
+go run ./cmd/mrsllearn -in testdata/matchmaking.csv -support 0.01 -out "$tmp/model.json"
+
+"$tmp/mrslserve" -model "$tmp/model.json" -addr 127.0.0.1:0 -samples 200 -workers 4 >"$tmp/log" 2>&1 &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/^mrslserve: listening on //p' "$tmp/log" | head -n 1)
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died:"; cat "$tmp/log"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "serve-smoke: server never announced an address"; cat "$tmp/log"; exit 1; }
+
+curl -fsS "http://$addr/healthz" >/dev/null
+curl -fsS -X POST --data-binary @testdata/matchmaking.csv "http://$addr/derive" >"$tmp/out.ndjson"
+
+lines=$(wc -l <"$tmp/out.ndjson")
+# 1 schema record + 17 tuples.
+[ "$lines" -eq 18 ] || { echo "serve-smoke: got $lines NDJSON lines, want 18"; cat "$tmp/out.ndjson"; exit 1; }
+grep -q '"kind":"block"' "$tmp/out.ndjson" || { echo "serve-smoke: no blocks in stream"; exit 1; }
+
+curl -fsS "http://$addr/stats" | grep -q '"requests":1' || { echo "serve-smoke: stats did not count the request"; exit 1; }
+
+echo "serve-smoke: ok ($lines lines from $addr)"
