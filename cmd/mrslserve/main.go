@@ -6,6 +6,13 @@
 // Usage:
 //
 //	mrslserve -model model.json [-addr :8080] [-workers 8] [-samples 800]
+//	          [-cache-entries 65536]
+//
+// The engine's memoization caches (vote blocks, multi-missing joints,
+// local CPDs) are bounded to -cache-entries entries each with CLOCK
+// eviction, so the server runs in fixed memory under unbounded damage
+// pattern diversity; with -workers > 1 (chains mode) eviction never
+// changes responses, it only costs recomputation.
 //
 // Endpoints:
 //
@@ -50,6 +57,7 @@ func main() {
 		workers   = flag.Int("workers", 8, "default Gibbs chain pool size per request (>1 selects per-block chains)")
 		voters    = flag.Int("voteworkers", 0, "default voting pool size per request (0 = GOMAXPROCS)")
 		maxAlts   = flag.Int("maxalts", 0, "cap block alternatives (0 keeps all)")
+		cacheEnts = flag.Int("cache-entries", 1<<16, "bound each engine cache to this many entries, CLOCK-evicted (0 = unbounded vote/joint caches, default-capped CPD memo); eviction never changes results in chains mode")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -73,6 +81,7 @@ func main() {
 		MaxAlternatives: *maxAlts,
 		Workers:         *workers,
 		VoteWorkers:     *voters,
+		CacheEntries:    *cacheEnts,
 		Gibbs: repro.GibbsOptions{
 			Samples: *samples, BurnIn: *burnin, Seed: *seed, Method: repro.BestAveraged(),
 		},
@@ -161,6 +170,8 @@ type statsResponse struct {
 	Engine        repro.EngineStats `json:"engine"`
 	VoteHitRate   float64           `json:"vote_hit_rate"`
 	GibbsHitRate  float64           `json:"gibbs_hit_rate"`
+	CPDHitRate    float64           `json:"cpd_hit_rate"`
+	Evictions     int64             `json:"evictions"`
 	Requests      int64             `json:"requests"`
 	Failed        int64             `json:"failed"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -173,6 +184,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Engine:        st,
 		VoteHitRate:   st.VoteHitRate(),
 		GibbsHitRate:  st.GibbsHitRate(),
+		CPDHitRate:    st.CPDHitRate(),
+		Evictions:     st.Evictions + st.CPDEvictions,
 		Requests:      s.requests.Load(),
 		Failed:        s.failed.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),

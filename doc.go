@@ -55,6 +55,27 @@
 // ReadCSVInSchema parses serving-time inputs against a model schema
 // without re-inferring domains.
 //
+// # Performance architecture
+//
+// Inference matches meta-rules lattice-natively: bodies are compiled into
+// attribute bitmasks at model build time and matching traverses the
+// subsumption Hasse diagram top-down, visiting exactly the matching
+// rules instead of enumerating the 2^k sub-assignments of a tuple's
+// evidence; the most specific voters are read off cover edges. The match
+// path and all cache-hit paths are allocation-free in steady state.
+//
+// Caching is a three-level hierarchy, shared and bounded. Each engine
+// owns one sharded local-CPD cache, shared by every Gibbs chain and by
+// the single-missing vote path, plus two single-flight request caches
+// (vote blocks and multi-missing joints) keyed by canonical evidence.
+// DeriveOptions.CacheEntries caps all of them with CLOCK eviction for
+// fixed-memory serving; EngineStats reports hits, misses, and evictions.
+// Every cached value is a pure function of the model and its key, so
+// sharing and eviction never change chain-mode results — the derived
+// stream stays bit-identical for any worker count, cache bound, and
+// request interleaving. (DAG-mode joints are the documented exception:
+// that estimator is workload-dependent by construction.)
+//
 // The cmd/ directory ships six tools (mrslserve serves streaming
 // derivations over HTTP from one long-lived engine; mrslbench
 // regenerates every table and figure of the paper plus engine ablations;

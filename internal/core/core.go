@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -32,6 +33,16 @@ type MRSL struct {
 	// covers[i] lists indices of the immediate subsumers (Hasse-diagram
 	// parents) of Rules[i]; computed by ComputeSubsumption.
 	covers [][]int
+	// children[i] lists the rules Rules[i] immediately covers — the
+	// inverse of covers — the downward edges the lattice-native matcher
+	// traverses.
+	children [][]int32
+	// compiled[i] is Rules[i].Body in match-ready form (attribute bitmask
+	// plus value array), built once at newMRSL time.
+	compiled []rules.CompiledBody
+	// maskWords is the fixed attribute-bitmask width shared by all
+	// compiled bodies of this lattice.
+	maskWords int
 	// byBody maps a body assignment key to the rule index.
 	byBody map[string]int
 }
@@ -61,7 +72,24 @@ func newMRSL(attr, card int, metas []*rules.MetaRule) (*MRSL, error) {
 		return nil, fmt.Errorf("core: attribute %d lattice lacks a top-level meta-rule", attr)
 	}
 	l.computeSubsumption()
+	l.compile()
 	return l, nil
+}
+
+// compile builds the lattice-native matching structures: each body in
+// match-ready bitmask form, and the downward (child) edges of the Hasse
+// diagram, which AppendMatches traverses top-down.
+func (l *MRSL) compile() {
+	numAttrs := len(l.Rules[0].Body)
+	l.maskWords = rules.MaskWords(numAttrs)
+	l.compiled = make([]rules.CompiledBody, len(l.Rules))
+	l.children = make([][]int32, len(l.Rules))
+	for i, m := range l.Rules {
+		l.compiled[i] = rules.Compile(m.Body, l.maskWords)
+		for _, p := range l.covers[i] {
+			l.children[p] = append(l.children[p], int32(i))
+		}
+	}
 }
 
 // computeSubsumption builds the Hasse diagram of the subsumption order:
@@ -167,15 +195,43 @@ func ParseVoterChoice(s string) (VoterChoice, error) {
 	return 0, fmt.Errorf("core: unknown voter choice %q", s)
 }
 
+// MatchScratch holds the reusable traversal state of lattice-native
+// matching. The zero value is ready to use; reusing one scratch across
+// calls makes AppendMatches allocation-free in steady state. A scratch is
+// not safe for concurrent use, but may be shared across lattices.
+type MatchScratch struct {
+	tmask   []uint64
+	epoch   uint32
+	visited []uint32 // visited[i] == epoch: rule i was tested this call
+	matched []uint32 // matched[i] == epoch: rule i matched this call
+	stack   []int32
+}
+
+// begin sizes the scratch for a lattice of n rules and starts a new epoch,
+// invalidating all marks from earlier calls without clearing memory.
+func (s *MatchScratch) begin(n int) {
+	if len(s.visited) < n {
+		s.visited = append(s.visited, make([]uint32, n-len(s.visited))...)
+		s.matched = append(s.matched, make([]uint32, n-len(s.matched))...)
+	}
+	s.epoch++
+	if s.epoch == 0 { // epoch wrapped: stale marks could alias, wipe them
+		clear(s.visited)
+		clear(s.matched)
+		s.epoch = 1
+	}
+}
+
 // Match returns the meta-rules applicable to tuple t under the given voter
 // choice: rules whose body assignments are all made by t (Algorithm 2's
 // GetMatchingMetaRules). The head attribute's own value in t is ignored.
 // The top-level rule always matches, so the result is never empty.
+//
+// Match allocates its result and a fresh scratch; hot paths should use
+// AppendMatches with a reused MatchScratch instead.
 func (l *MRSL) Match(t relation.Tuple, choice VoterChoice) []*rules.MetaRule {
-	idxs := l.matchIndices(t)
-	if choice == BestVoters {
-		idxs = l.mostSpecific(idxs)
-	}
+	var s MatchScratch
+	idxs := l.AppendMatches(nil, t, choice, &s)
 	out := make([]*rules.MetaRule, len(idxs))
 	for i, idx := range idxs {
 		out[i] = l.Rules[idx]
@@ -183,67 +239,72 @@ func (l *MRSL) Match(t relation.Tuple, choice VoterChoice) []*rules.MetaRule {
 	return out
 }
 
-// matchIndices enumerates the sub-assignments of t's evidence (complete
-// portion excluding the head attribute) and looks each up as a rule body.
-// With k evidence attributes this costs 2^k map probes; benchmark schemas
-// have k <= 9. For wider schemas it falls back to scanning all rules.
-func (l *MRSL) matchIndices(t relation.Tuple) []int {
-	evidence := make([]int, 0, len(t))
-	for a, v := range t {
-		if a != l.Attr && v != relation.Missing {
-			evidence = append(evidence, a)
-		}
+// AppendMatches appends the indices (into Rules, ascending) of the
+// meta-rules applicable to t to dst and returns the extended slice. It is
+// the lattice-native form of Match: a top-down traversal of the Hasse
+// diagram that starts at the top-level rule and descends only into
+// children whose bodies match t. Matching rules form a downward-closed set
+// from the top — a rule's body is a superset of each of its covers' bodies
+// — so the traversal visits every match and prunes every non-matching
+// branch; the cost is O(matches x cover fanout) body tests instead of the
+// 2^k sub-assignment enumeration over t's k evidence attributes.
+//
+// For BestVoters the most specific matches are read off the cover edges —
+// a match is kept iff none of its children matched — replacing the
+// O(matches^2) pairwise subsumption scan.
+//
+// Given a warmed scratch and sufficient dst capacity, AppendMatches does
+// not allocate.
+func (l *MRSL) AppendMatches(dst []int, t relation.Tuple, choice VoterChoice, s *MatchScratch) []int {
+	s.begin(len(l.Rules))
+	words := l.maskWords
+	if w := rules.MaskWords(len(t)); w > words {
+		words = w
 	}
-	const maxEnum = 16
-	if len(evidence) > maxEnum {
-		var out []int
-		for i, m := range l.Rules {
-			if m.Matches(t) {
-				out = append(out, i)
-			}
-		}
-		return out
-	}
-	var out []int
-	sub := relation.NewTuple(len(t))
-	var buf []byte
-	n := len(evidence)
-	for mask := 0; mask < (1 << n); mask++ {
-		for i := range sub {
-			sub[i] = relation.Missing
-		}
-		for b := 0; b < n; b++ {
-			if mask&(1<<b) != 0 {
-				sub[evidence[b]] = t[evidence[b]]
-			}
-		}
-		buf = sub.AppendKey(buf[:0])
-		if idx, ok := l.byBody[string(buf)]; ok {
-			out = append(out, idx)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
+	s.tmask = rules.AppendTupleMask(s.tmask[:0], t, words)
 
-// mostSpecific filters rule indices to those whose body is not a proper
-// subset of another matched rule's body ("meta-rules that do not subsume
-// any other meta-rules among the matches").
-func (l *MRSL) mostSpecific(idxs []int) []int {
-	var out []int
-	for _, i := range idxs {
-		keep := true
-		for _, j := range idxs {
-			if i != j && l.Rules[i].Subsumes(l.Rules[j]) {
-				keep = false
+	// The top-level rule (index 0, empty body) always matches.
+	start := len(dst)
+	s.visited[0] = s.epoch
+	s.matched[0] = s.epoch
+	s.stack = append(s.stack[:0], 0)
+	dst = append(dst, 0)
+	for len(s.stack) > 0 {
+		i := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		for _, c := range l.children[i] {
+			if s.visited[c] == s.epoch {
+				continue
+			}
+			s.visited[c] = s.epoch
+			if l.compiled[c].MatchedBy(t, s.tmask) {
+				s.matched[c] = s.epoch
+				s.stack = append(s.stack, c)
+				dst = append(dst, int(c))
+			}
+		}
+	}
+	slices.Sort(dst[start:])
+	if choice != BestVoters {
+		return dst
+	}
+	// Most specific matches: no matched child. Any match j strictly below a
+	// match i reaches i through a cover chain of matches, so i has a matched
+	// child iff some match is strictly more specific than i.
+	out := dst[start:start]
+	for _, i := range dst[start:] {
+		best := true
+		for _, c := range l.children[i] {
+			if s.matched[c] == s.epoch {
+				best = false
 				break
 			}
 		}
-		if keep {
+		if best {
 			out = append(out, i)
 		}
 	}
-	return out
+	return dst[:start+len(out)]
 }
 
 // Len returns the number of meta-rules in the lattice.

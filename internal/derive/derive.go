@@ -44,6 +44,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/clockcache"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/gibbs"
@@ -76,6 +77,17 @@ type Config struct {
 	// The choice of estimator is engine-level and fixed at construction,
 	// so the engine's cross-request joint cache stays coherent.
 	GibbsWorkers int
+	// CacheEntries bounds each of the engine's memoization caches (the
+	// single-missing vote cache, the multi-missing joint cache, and the
+	// shared local-CPD cache) to that many entries, evicted CLOCK-wise.
+	// <= 0 leaves the vote and joint caches unbounded (they hold one entry
+	// per distinct damage pattern) and caps the CPD cache at its default
+	// (gibbs.DefaultCPDCacheEntries; CPD entries grow with the sampled
+	// state space, not the workload, so they are always bounded).
+	// Evictions never change emitted streams in chains mode — every cached
+	// value is a deterministic function of the model and its key — they
+	// only cost recomputation.
+	CacheEntries int
 }
 
 // chains reports whether the engine uses per-tuple independent chains
@@ -112,6 +124,13 @@ func (e *SchemaMismatchError) Error() string {
 // Exactly one of the two interpretations applies: a complete input tuple
 // is passed through as a certain tuple (Block == nil), an incomplete one
 // arrives with its completion Block.
+//
+// Blocks are shared, not copied: every duplicate of a damage pattern —
+// within a stream, across overlapping streams, and across requests for
+// the engine's lifetime — receives the same *pdb.Block, served from the
+// engine cache. Consumers must treat a received Block (including its
+// alternatives and their tuples) as immutable; callers that need to
+// modify one must copy it first.
 type Item struct {
 	// Index is the position of the source tuple in the input relation.
 	Index int
@@ -154,6 +173,23 @@ type Stats struct {
 	PointsSampled int64
 	// Streams counts completed Stream calls (successful or not).
 	Streams int64
+	// Evictions counts entries dropped from the engine's bounded vote and
+	// joint caches (always 0 when Config.CacheEntries <= 0).
+	Evictions int64
+	// CPDHits, CPDMisses, and CPDEvictions instrument the shared local-CPD
+	// cache: probes served, probes missed, and entries dropped by its
+	// CLOCK sweep.
+	CPDHits, CPDMisses, CPDEvictions int64
+}
+
+// CPDHitRate returns the fraction of local-CPD probes served from the
+// shared cache.
+func (s Stats) CPDHitRate() float64 {
+	total := s.CPDHits + s.CPDMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CPDHits) / float64(total)
 }
 
 // VoteHitRate returns the fraction of single-missing input tuples served
@@ -186,10 +222,15 @@ type Engine struct {
 	model *core.Model
 	cfg   Config
 
+	// cpd is the shared, sharded, bounded local-CPD cache: one per engine,
+	// used by every Gibbs chain (parallel or DAG) and consulted by the
+	// single-missing vote path. It has its own internal locking.
+	cpd *gibbs.CPDCache
+
 	mu     sync.Mutex
-	votes  map[string]*entry      // single-missing joints by evidence key
-	gibbs  map[string]*entry      // multi-missing joints by evidence key (chain mode)
-	joints map[string]*dist.Joint // multi-missing joints by evidence key (DAG mode)
+	votes  *clockcache.Map[*entry]      // single-missing joints by evidence key
+	gibbs  *clockcache.Map[*entry]      // multi-missing joints by evidence key (chain mode)
+	joints *clockcache.Map[*dist.Joint] // multi-missing joints by evidence key (DAG mode)
 	stats  Stats
 
 	// dagMu serializes DAG-mode batches so overlapping streams never
@@ -199,12 +240,27 @@ type Engine struct {
 }
 
 // entry is a single-flight cache slot for one distinct evidence pattern.
-// The claimer computes joint/err and closes ready; everyone else waits on
-// ready.
+// The claimer computes joint/block/err and closes ready; everyone else
+// waits on ready. The expanded completion block is memoized alongside the
+// joint — blocks are immutable once built, so every duplicate of a damage
+// pattern shares one block instead of re-expanding the joint per emission.
 type entry struct {
 	ready chan struct{}
 	joint *dist.Joint
+	block *pdb.Block
 	err   error
+}
+
+// entryDone reports whether an entry's computation has finished — only
+// finished entries may be evicted, so a claimer's pending write is never
+// orphaned into an unreachable slot while waiters still expect the memo.
+func entryDone(en *entry) bool {
+	select {
+	case <-en.ready:
+		return true
+	default:
+		return false
+	}
 }
 
 // New returns an engine over the model.
@@ -212,13 +268,18 @@ func New(model *core.Model, cfg Config) (*Engine, error) {
 	if model == nil {
 		return nil, fmt.Errorf("derive: nil model")
 	}
-	return &Engine{
+	e := &Engine{
 		model:  model,
 		cfg:    cfg,
-		votes:  make(map[string]*entry),
-		gibbs:  make(map[string]*entry),
-		joints: make(map[string]*dist.Joint),
-	}, nil
+		cpd:    gibbs.NewCPDCache(cfg.CacheEntries),
+		votes:  clockcache.New[*entry](cfg.CacheEntries, entryDone),
+		gibbs:  clockcache.New[*entry](cfg.CacheEntries, entryDone),
+		joints: clockcache.New[*dist.Joint](cfg.CacheEntries, nil),
+	}
+	// Every sampler the engine spawns — parallel chains and DAG batches
+	// alike — shares the engine-level CPD memo.
+	e.cfg.Gibbs.Cache = e.cpd
+	return e, nil
 }
 
 // Model returns the model the engine serves.
@@ -226,34 +287,60 @@ func (e *Engine) Model() *core.Model { return e.model }
 
 // Stats returns a snapshot of the engine's cache instrumentation.
 func (e *Engine) Stats() Stats {
+	cpd := e.cpd.Stats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	st.Evictions = e.votes.Evictions() + e.gibbs.Evictions() + e.joints.Evictions()
+	st.CPDHits = cpd.Hits
+	st.CPDMisses = cpd.Misses
+	st.CPDEvictions = cpd.Evictions
+	return st
 }
 
 // lookup returns the cache entry for key in m, creating and claiming it if
 // absent. claimed is true when the caller must compute the entry and close
-// ready. computed points at the stat counting cache misses in m.
-func (e *Engine) lookup(m map[string]*entry, key string, computed *int64) (en *entry, claimed bool) {
+// ready. The nilable counters are bumped under the same lock — computed
+// on a claim, served once per call, hits once per found entry — so
+// resolve paths pay a single lock acquisition. The byte key is copied
+// only when a new entry is claimed; the hit path does not allocate.
+func (e *Engine) lookup(m *clockcache.Map[*entry], key []byte, computed, served, hits *int64) (en *entry, claimed bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if en, ok := m[key]; ok {
+	if served != nil {
+		*served++
+	}
+	if en, ok := m.Get(key); ok {
+		if hits != nil {
+			*hits++
+		}
 		return en, false
 	}
 	en = &entry{ready: make(chan struct{})}
-	m[key] = en
-	*computed++
+	m.Put(key, en)
+	if computed != nil {
+		*computed++
+	}
 	return en, true
 }
 
 // voteJoint runs single-attribute ensemble voting (Algorithm 2) for the
 // one missing attribute of t and lifts the estimate into a 1-attribute
-// joint.
+// joint. It shares the engine's CPD cache with the Gibbs chains: a
+// single-missing tuple's evidence state is exactly a chain state with one
+// attribute under resampling, so whichever path sees the pattern first
+// spares the other the vote.
 func (e *Engine) voteJoint(t relation.Tuple) (*dist.Joint, error) {
 	attr := t.MissingAttrs()[0]
-	d, err := vote.Infer(e.model, t, attr, e.cfg.Method)
-	if err != nil {
-		return nil, err
+	key := gibbs.AppendCPDKey(nil, attr, e.cfg.Method, t)
+	d, ok := e.cpd.Get(key)
+	if !ok {
+		var err error
+		d, err = vote.Infer(e.model, t, attr, e.cfg.Method)
+		if err != nil {
+			return nil, err
+		}
+		e.cpd.Put(key, d)
 	}
 	j, err := dist.NewJoint([]int{attr}, []int{e.model.Schema.Attrs[attr].Card()})
 	if err != nil {
@@ -279,67 +366,68 @@ func (e *Engine) chainJoint(t relation.Tuple) (*dist.Joint, error) {
 // resolveVote returns the memoized vote joint for t, computing it if this
 // caller claims the cache slot and waiting for the in-flight computation
 // otherwise. It is the emitter's fetch path, so it counts served tuples.
-func (e *Engine) resolveVote(t relation.Tuple, key string) (*dist.Joint, error) {
-	e.mu.Lock()
-	e.stats.SingleTuples++
-	e.mu.Unlock()
-	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed)
+func (e *Engine) resolveVote(t relation.Tuple, key []byte) (*pdb.Block, error) {
+	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed, &e.stats.SingleTuples, nil)
 	if claimed {
-		en.joint, en.err = e.voteJoint(t)
-		close(en.ready)
+		e.fillVote(en, t)
 	} else {
 		<-en.ready
 	}
-	return en.joint, en.err
+	return en.block, en.err
 }
 
 // prefetchVote warms the vote cache slot for t without blocking on entries
 // another goroutine already claimed.
-func (e *Engine) prefetchVote(t relation.Tuple, key string) {
-	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed)
+func (e *Engine) prefetchVote(t relation.Tuple, key []byte) {
+	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed, nil, nil)
 	if claimed {
-		en.joint, en.err = e.voteJoint(t)
-		close(en.ready)
+		e.fillVote(en, t)
 	}
+}
+
+// fillVote computes a claimed vote entry: the 1-attribute joint and its
+// expanded block.
+func (e *Engine) fillVote(en *entry, t relation.Tuple) {
+	en.joint, en.err = e.voteJoint(t)
+	if en.err == nil {
+		en.block, en.err = e.block(t, en.joint)
+	}
+	close(en.ready)
 }
 
 // resolveGibbs returns the memoized multi-missing joint for t in chain
 // mode, sampling inline if this caller claims the slot (the emitter steals
 // work the prefetch pool has not reached) and waiting otherwise. It is the
 // emitter's fetch path, so it counts served tuples and cache hits.
-func (e *Engine) resolveGibbs(t relation.Tuple, key string) (*dist.Joint, error) {
-	e.mu.Lock()
-	e.stats.MultiTuples++
-	e.mu.Unlock()
-	en, claimed := e.gibbsClaim(key)
+func (e *Engine) resolveGibbs(t relation.Tuple, key []byte) (*pdb.Block, error) {
+	en, claimed := e.lookup(e.gibbs, key, nil, &e.stats.MultiTuples, &e.stats.GibbsCacheHits)
 	if claimed {
-		en.joint, en.err = e.chainJoint(t)
-		close(en.ready)
+		e.fillGibbs(en, t)
 	} else {
-		e.mu.Lock()
-		e.stats.GibbsCacheHits++
-		e.mu.Unlock()
 		<-en.ready
 	}
-	return en.joint, en.err
+	return en.block, en.err
 }
 
 // prefetchGibbs warms the joint cache slot for t without blocking on
 // entries another goroutine already claimed.
-func (e *Engine) prefetchGibbs(t relation.Tuple, key string) {
-	en, claimed := e.gibbsClaim(key)
+func (e *Engine) prefetchGibbs(t relation.Tuple, key []byte) {
+	en, claimed := e.lookup(e.gibbs, key, nil, nil, nil)
 	if claimed {
-		en.joint, en.err = e.chainJoint(t)
-		close(en.ready)
+		e.fillGibbs(en, t)
 	}
 }
 
-// gibbsClaim is lookup on the chain-mode joint cache. GibbsComputed is
-// counted by chainJoint on success instead of at claim time, so a tuple
-// whose chain failed is not reported as computed.
-func (e *Engine) gibbsClaim(key string) (*entry, bool) {
-	var scratch int64
-	return e.lookup(e.gibbs, key, &scratch)
+// fillGibbs computes a claimed chain-mode entry: the sampled joint and its
+// expanded block. GibbsComputed is counted by chainJoint on success
+// instead of at claim time, so a tuple whose chain failed is not reported
+// as computed.
+func (e *Engine) fillGibbs(en *entry, t relation.Tuple) {
+	en.joint, en.err = e.chainJoint(t)
+	if en.err == nil {
+		en.block, en.err = e.block(t, en.joint)
+	}
+	close(en.ready)
 }
 
 // inferMulti estimates joints for every distinct multi-missing tuple of
@@ -363,7 +451,7 @@ func (e *Engine) inferMulti(workload []relation.Tuple) (map[string]*dist.Joint, 
 		if _, dup := byKey[k]; dup {
 			continue
 		}
-		if j, ok := e.joints[k]; ok {
+		if j, ok := e.joints.GetString(k); ok {
 			byKey[k] = j
 			e.stats.GibbsCacheHits++
 			continue
@@ -387,7 +475,7 @@ func (e *Engine) inferMulti(workload []relation.Tuple) (map[string]*dist.Joint, 
 	for i, t := range res.Tuples {
 		k := t.Key()
 		byKey[k] = res.Dists[i]
-		e.joints[k] = res.Dists[i]
+		e.joints.PutString(k, res.Dists[i])
 	}
 	e.stats.GibbsComputed += int64(len(res.Tuples))
 	e.stats.PointsSampled += int64(res.PointsSampled)
@@ -467,8 +555,9 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 	)
 	if len(multi) > 0 {
 		if e.cfg.chains() {
-			e.spawnPool(&wg, quit, poolSize(pools.GibbsWorkers, e.cfg.GibbsWorkers, len(multi)),
-				distinctTuples(multi), e.prefetchGibbs)
+			distinct := distinctTuples(multi)
+			e.spawnPool(&wg, quit, poolSize(pools.GibbsWorkers, e.cfg.GibbsWorkers, len(distinct)),
+				distinct, e.prefetchGibbs)
 		} else {
 			multiDone = make(chan struct{})
 			go func() {
@@ -479,7 +568,9 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 	}
 
 	// The voting pool prefetches single-missing estimates ahead of the
-	// emitter.
+	// emitter. Only distinct damage patterns are dispatched — duplicates
+	// would be single-probe no-ops, but even those probes cost a channel
+	// handoff and an engine-lock acquisition each.
 	if numSingles > 0 {
 		var singles []relation.Tuple
 		for _, t := range rel.Tuples {
@@ -487,35 +578,34 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 				singles = append(singles, t)
 			}
 		}
-		e.spawnPool(&wg, quit, poolSize(pools.VoteWorkers, e.cfg.VoteWorkers, numSingles),
+		singles = distinctTuples(singles)
+		e.spawnPool(&wg, quit, poolSize(pools.VoteWorkers, e.cfg.VoteWorkers, len(singles)),
 			singles, e.prefetchVote)
 	}
 
 	// Emit in input order. The emitter steals unclaimed work (resolveVote
 	// and resolveGibbs compute inline when a pool has not reached the
-	// entry yet), so it never idles behind the pools.
+	// entry yet), so it never idles behind the pools. Evidence keys are
+	// built into one reused buffer; cache hits never copy them.
 	var err error
+	var keyBuf []byte
 	for i, t := range rel.Tuples {
 		switch {
 		case t.IsComplete():
 			err = emit(Item{Index: i, Tuple: t})
 		case t.NumMissing() == 1:
-			var j *dist.Joint
-			j, err = e.resolveVote(t, t.Key())
+			keyBuf = t.AppendKey(keyBuf[:0])
+			var b *pdb.Block
+			b, err = e.resolveVote(t, keyBuf)
 			if err == nil {
-				var b *pdb.Block
-				if b, err = e.block(t, j); err == nil {
-					err = emit(Item{Index: i, Tuple: t, Block: b})
-				}
+				err = emit(Item{Index: i, Tuple: t, Block: b})
 			}
 		case e.cfg.chains():
-			var j *dist.Joint
-			j, err = e.resolveGibbs(t, t.Key())
+			keyBuf = t.AppendKey(keyBuf[:0])
+			var b *pdb.Block
+			b, err = e.resolveGibbs(t, keyBuf)
 			if err == nil {
-				var b *pdb.Block
-				if b, err = e.block(t, j); err == nil {
-					err = emit(Item{Index: i, Tuple: t, Block: b})
-				}
+				err = emit(Item{Index: i, Tuple: t, Block: b})
 			}
 		default:
 			<-multiDone
@@ -543,16 +633,19 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 }
 
 // spawnPool starts a dispatcher plus workers goroutines that prefetch the
-// given tuples (in order) through warm, until done or quit.
+// given tuples (in order) through warm, until done or quit. Each worker
+// reuses one key buffer across its tuples.
 func (e *Engine) spawnPool(wg *sync.WaitGroup, quit chan struct{}, workers int,
-	tuples []relation.Tuple, warm func(relation.Tuple, string)) {
+	tuples []relation.Tuple, warm func(relation.Tuple, []byte)) {
 	work := make(chan relation.Tuple)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var keyBuf []byte
 			for t := range work {
-				warm(t, t.Key())
+				keyBuf = t.AppendKey(keyBuf[:0])
+				warm(t, keyBuf)
 			}
 		}()
 	}
@@ -571,15 +664,19 @@ func (e *Engine) spawnPool(wg *sync.WaitGroup, quit chan struct{}, workers int,
 }
 
 // poolSize resolves a per-request pool size: a positive request override
-// wins, then the engine default, then GOMAXPROCS; the pool never exceeds
-// the number of work items.
+// wins, then the engine default, then GOMAXPROCS. The pool never exceeds
+// the number of work items, nor GOMAXPROCS — the workers are pure CPU
+// (inference never blocks), so goroutines beyond the processor count only
+// add scheduler churn. Pool sizes affect scheduling only, never results,
+// so the cap is always safe.
 func poolSize(request, engine, items int) int {
 	n := engine
 	if request > 0 {
 		n = request
 	}
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+	p := runtime.GOMAXPROCS(0)
+	if n <= 0 || n > p {
+		n = p
 	}
 	if n > items {
 		n = items
@@ -592,10 +689,11 @@ func poolSize(request, engine, items int) int {
 func distinctTuples(ts []relation.Tuple) []relation.Tuple {
 	seen := make(map[string]bool, len(ts))
 	var out []relation.Tuple
+	var keyBuf []byte
 	for _, t := range ts {
-		k := t.Key()
-		if !seen[k] {
-			seen[k] = true
+		keyBuf = t.AppendKey(keyBuf[:0])
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
 			out = append(out, t)
 		}
 	}

@@ -1,0 +1,140 @@
+package gibbs
+
+import (
+	"sync"
+
+	"repro/internal/clockcache"
+	"repro/internal/dist"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+// DefaultCPDCacheEntries is the default entry cap of a CPDCache: local CPD
+// estimates are one small slice each, so a quarter-million entries stay in
+// the tens of megabytes while covering the evidence states of far larger
+// workloads than the benchmarks'.
+const DefaultCPDCacheEntries = 1 << 18
+
+// cpdShards is the shard count; a power of two so the shard pick is a
+// mask. 32 shards keep lock contention negligible for any realistic
+// chain-pool size.
+const cpdShards = 32
+
+// CPDCache is a sharded, size-bounded, concurrency-safe memo of local CPD
+// estimates keyed by (head attribute, evidence assignment) — the
+// first-class form of the "caching of partial computations" the paper
+// pairs with holistic workload inference. One cache is shared by all Gibbs
+// chains of an engine, across parallel workers and overlapping streams,
+// and by the single-missing vote path, so an evidence state visited by any
+// of them is voted exactly once per cache residency.
+//
+// Sharing is sound because entries are value-deterministic: a local CPD is
+// a pure function of the model and the evidence assignment, so every chain
+// would compute bit-identical values — whichever chain wins the race to
+// insert, readers observe the same distribution, and an eviction merely
+// costs a deterministic recompute. Sampler output is therefore
+// bit-identical for any worker count, cache bound, and request
+// interleaving.
+type CPDCache struct {
+	shards [cpdShards]cpdShard
+}
+
+type cpdShard struct {
+	mu     sync.Mutex
+	m      *clockcache.Map[dist.Dist]
+	hits   int64
+	misses int64
+}
+
+// CPDCacheStats is a point-in-time snapshot of a CPDCache's counters.
+type CPDCacheStats struct {
+	// Hits and Misses count Get probes over the cache's lifetime.
+	Hits, Misses int64
+	// Evictions counts entries dropped by the CLOCK sweep.
+	Evictions int64
+	// Entries is the current number of cached CPDs.
+	Entries int64
+}
+
+// NewCPDCache returns a cache bounded to the given total entry count,
+// split evenly across shards; entries <= 0 selects
+// DefaultCPDCacheEntries.
+func NewCPDCache(entries int) *CPDCache {
+	if entries <= 0 {
+		entries = DefaultCPDCacheEntries
+	}
+	per := (entries + cpdShards - 1) / cpdShards
+	if per < 1 {
+		per = 1
+	}
+	c := &CPDCache{}
+	for i := range c.shards {
+		c.shards[i].m = clockcache.New[dist.Dist](per, nil)
+	}
+	return c
+}
+
+// AppendCPDKey appends the cache key of estimating attr under the given
+// voting method given the evidence assignment of state (attr itself must
+// be Missing in state) to dst and returns it. The key is the voting
+// method, the attribute index, and the tuple's canonical evidence key —
+// all self-delimiting varint sequences, so distinct (method, attr,
+// evidence) triples never collide. Including the method lets one shared
+// cache serve paths configured with different voting methods (e.g. an
+// engine whose single-missing method differs from its Gibbs local-CPD
+// method) without ever returning an estimate computed the other way.
+func AppendCPDKey(dst []byte, attr int, method vote.Method, state relation.Tuple) []byte {
+	dst = append(dst, byte(method.Choice), byte(method.Scheme))
+	for v := uint64(attr); ; v >>= 7 {
+		if v < 0x80 {
+			dst = append(dst, byte(v))
+			break
+		}
+		dst = append(dst, byte(v)|0x80)
+	}
+	return state.AppendKey(dst)
+}
+
+// shard picks the shard for a key (FNV-1a over the key bytes).
+func (c *CPDCache) shard(key []byte) *cpdShard {
+	return &c.shards[fnv64(key)&(cpdShards-1)]
+}
+
+// Get returns the cached CPD for key, if present. The key bytes are not
+// retained and a hit does not allocate.
+func (c *CPDCache) Get(key []byte) (dist.Dist, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	d, ok := s.m.Get(key)
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return d, ok
+}
+
+// Put stores the CPD for key, evicting an older entry when the shard is
+// full. The distribution must not be mutated after insertion.
+func (c *CPDCache) Put(key []byte, d dist.Dist) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m.Put(key, d)
+	s.mu.Unlock()
+}
+
+// Stats sums the per-shard counters into a snapshot.
+func (c *CPDCache) Stats() CPDCacheStats {
+	var st CPDCacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.m.Evictions()
+		st.Entries += int64(s.m.Len())
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -34,6 +34,12 @@ type Config struct {
 	Method vote.Method
 	// Seed seeds the sampler's deterministic RNG.
 	Seed int64
+	// Cache, when non-nil, is a shared memo of local CPD estimates used in
+	// place of the sampler's private map, so concurrent chains (and the
+	// single-missing vote path) reuse each other's work. Local CPDs are
+	// value-deterministic, so sharing — and eviction from a bounded cache —
+	// never changes sampler output.
+	Cache *CPDCache
 }
 
 func (c Config) burnIn() int {
@@ -53,24 +59,32 @@ func (c Config) validate() error {
 // Sampler runs ordered Gibbs chains over an MRSL model. It memoizes local
 // CPD estimates across chains — the "caching of partial computations" the
 // paper pairs with holistic workload inference — so repeated visits to the
-// same evidence state cost one map probe.
+// same evidence state cost one map probe. With Config.Cache set, the memo
+// is the shared engine-level CPDCache instead of a sampler-private map;
+// either way the cache-hit path performs no allocation (the key is built
+// into a reused buffer and probed without a string copy).
 type Sampler struct {
 	model *core.Model
 	cfg   Config
 	rng   *rand.Rand
 
-	cache map[cpdKey]dist.Dist
+	// local is the sampler-private memo, keyed by AppendCPDKey bytes
+	// (method + attribute + canonical evidence assignment). With a shared
+	// cfg.Cache it acts as an unsynchronized first level in front of the
+	// shared cache, so a chain's constant revisits to its own evidence
+	// states never touch a lock.
+	local map[string]dist.Dist
+	// keyBuf is the reused CPD key scratch buffer.
+	keyBuf []byte
+	// scratch backs the allocation-lean voting path on cache misses.
+	scratch *vote.Scratch
 
 	// PointsSampled counts every Gibbs draw, including burn-in — the
 	// "sample size" axis of Fig. 11.
 	PointsSampled int
-	// CacheHits and CacheMisses instrument the CPD memo table.
+	// CacheHits and CacheMisses instrument this sampler's CPD memo probes
+	// (against the shared cache when one is configured).
 	CacheHits, CacheMisses int
-}
-
-type cpdKey struct {
-	attr int
-	env  string
 }
 
 // New returns a sampler over the model.
@@ -82,31 +96,45 @@ func New(model *core.Model, cfg Config) (*Sampler, error) {
 		return nil, err
 	}
 	return &Sampler{
-		model: model,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		cache: make(map[cpdKey]dist.Dist),
+		model:   model,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		local:   make(map[string]dist.Dist),
+		scratch: new(vote.Scratch),
 	}, nil
 }
 
 // localCPD estimates P(attr | state - attr) by voting over the MRSL for
-// attr, with memoization keyed by the evidence assignment.
+// attr, with memoization keyed by the evidence assignment. The estimate is
+// a pure function of the model and the evidence, so the memo — private or
+// shared, bounded or not — never changes what a chain samples.
 func (s *Sampler) localCPD(state relation.Tuple, attr int) (dist.Dist, error) {
 	saved := state[attr]
 	state[attr] = relation.Missing
-	key := cpdKey{attr: attr, env: state.Key()}
-	if d, ok := s.cache[key]; ok {
+	s.keyBuf = AppendCPDKey(s.keyBuf[:0], attr, s.cfg.Method, state)
+	if d, ok := s.local[string(s.keyBuf)]; ok {
 		state[attr] = saved
 		s.CacheHits++
 		return d, nil
 	}
+	if s.cfg.Cache != nil {
+		if d, ok := s.cfg.Cache.Get(s.keyBuf); ok {
+			state[attr] = saved
+			s.local[string(s.keyBuf)] = d
+			s.CacheHits++
+			return d, nil
+		}
+	}
 	s.CacheMisses++
-	d, err := vote.Infer(s.model, state, attr, s.cfg.Method)
+	d, err := vote.InferScratch(s.model, state, attr, s.cfg.Method, s.scratch)
 	state[attr] = saved
 	if err != nil {
 		return nil, err
 	}
-	s.cache[key] = d
+	s.local[string(s.keyBuf)] = d
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Put(s.keyBuf, d)
+	}
 	return d, nil
 }
 

@@ -2,12 +2,14 @@ package gibbs
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/relation"
+	"repro/internal/vote"
 )
 
 // ParallelTupleAtATime runs an independent chain for every distinct tuple
@@ -17,9 +19,11 @@ import (
 // for any worker count — and a tuple's estimate does not depend on which
 // other tuples share the workload. workers <= 0 selects GOMAXPROCS.
 //
-// The per-tuple CPD caches are private to each chain; chains revisit their
-// own finite evidence states constantly, so memoization stays effective
-// without cross-goroutine synchronization.
+// Without a shared Config.Cache, each chain memoizes its local CPDs in a
+// private map; with one, all chains share the engine-level bounded cache,
+// so overlapping evidence states are voted once across the whole pool.
+// Either way the memo holds value-deterministic entries, so the estimates
+// are identical.
 func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (*Result, error) {
 	distinct, err := distinctIncomplete(workload)
 	if err != nil {
@@ -80,18 +84,41 @@ func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (
 // call from any number of goroutines. The int result is the number of
 // points sampled, including burn-in.
 func InferIndependent(m *core.Model, cfg Config, t relation.Tuple) (*dist.Joint, int, error) {
-	sub, err := New(m, Config{
-		BurnIn:  cfg.BurnIn,
-		Samples: cfg.Samples,
-		Method:  cfg.Method,
-		Seed:    tupleSeed(cfg.Seed, t),
-	})
-	if err != nil {
+	if m == nil {
+		return nil, 0, fmt.Errorf("gibbs: nil model")
+	}
+	if err := cfg.validate(); err != nil {
 		return nil, 0, err
+	}
+	subCfg := cfg // keep the shared CPD cache, re-derive only the seed
+	subCfg.Seed = tupleSeed(cfg.Seed, t)
+	// The RNG and vote scratch are pooled: Seed deterministically resets
+	// the full generator state, and the scratch carries no cross-call
+	// meaning, so reuse changes nothing but the allocation count. The
+	// private CPD memo is NOT pooled — its entries are model-specific.
+	st := indepPool.Get().(*indepState)
+	defer indepPool.Put(st)
+	st.rng.Seed(subCfg.Seed)
+	sub := &Sampler{
+		model:   m,
+		cfg:     subCfg,
+		rng:     st.rng,
+		local:   make(map[string]dist.Dist),
+		scratch: st.scratch,
 	}
 	j, err := sub.InferTuple(t)
 	return j, sub.PointsSampled, err
 }
+
+// indepState bundles the pooled per-call resources of InferIndependent.
+type indepState struct {
+	rng     *rand.Rand
+	scratch *vote.Scratch
+}
+
+var indepPool = sync.Pool{New: func() any {
+	return &indepState{rng: rand.New(rand.NewSource(0)), scratch: new(vote.Scratch)}
+}}
 
 // tupleSeed derives a well-separated per-tuple seed from the sampler seed
 // and the tuple's canonical evidence key (FNV-1a over the key bytes, then
@@ -99,13 +126,20 @@ func InferIndependent(m *core.Model, cfg Config, t relation.Tuple) (*dist.Joint,
 // position keeps a tuple's chain identical no matter which other tuples
 // are inferred alongside it.
 func tupleSeed(seed int64, t relation.Tuple) int64 {
-	h := uint64(14695981039346656037) // FNV offset basis
-	for _, b := range t.AppendKey(nil) {
-		h ^= uint64(b)
-		h *= 1099511628211 // FNV prime
-	}
+	h := fnv64(t.AppendKey(nil))
 	z := uint64(seed) + (h|1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return int64((z ^ (z >> 31)) >> 1)
+}
+
+// fnv64 is FNV-1a over b, shared by per-tuple seeding and CPD-cache
+// sharding.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037) // FNV offset basis
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211 // FNV prime
+	}
+	return h
 }

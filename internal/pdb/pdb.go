@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/dist"
 	"repro/internal/relation"
@@ -38,6 +38,10 @@ type Block struct {
 // NewBlock expands an inferred joint distribution over the missing
 // attributes of base into a block of completed tuples. maxAlts > 0 keeps
 // only the most probable alternatives (renormalized); <= 0 keeps all.
+// The returned block is meant to be shared and must be treated as
+// immutable: the alternatives' tuples live on one backing array, and the
+// derivation engine hands one block to every duplicate of a damage
+// pattern.
 func NewBlock(base relation.Tuple, j *dist.Joint, maxAlts int) (*Block, error) {
 	missing := base.MissingAttrs()
 	if len(missing) == 0 {
@@ -51,25 +55,59 @@ func NewBlock(base relation.Tuple, j *dist.Joint, maxAlts int) (*Block, error) {
 			return nil, fmt.Errorf("pdb: joint over %v does not cover missing %v", j.Attrs, missing)
 		}
 	}
-	b := &Block{Base: base.Clone()}
-	vals := make([]int, len(missing))
+	n := 0
+	for _, p := range j.P {
+		if p > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("pdb: joint for %v has no mass", base)
+	}
+	b := &Block{Base: base.Clone(), Alts: make([]Alternative, 0, n)}
+	// One backing array holds every completion; alternatives are never
+	// mutated after construction, so they can share it.
+	backing := make(relation.Tuple, n*len(base))
+	var valsArr [16]int
+	valsN := valsArr[:min(len(missing), len(valsArr))]
+	if len(missing) > len(valsArr) {
+		valsN = make([]int, len(missing))
+	}
 	for idx, p := range j.P {
 		if p <= 0 {
 			continue
 		}
-		j.ValuesInto(idx, vals)
-		tu := base.Clone()
+		j.ValuesInto(idx, valsN)
+		tu := backing[:len(base):len(base)]
+		backing = backing[len(base):]
+		copy(tu, base)
 		for k, a := range missing {
-			tu[a] = vals[k]
+			tu[a] = valsN[k]
 		}
 		b.Alts = append(b.Alts, Alternative{Tuple: tu, Prob: p})
 	}
-	if len(b.Alts) == 0 {
-		return nil, fmt.Errorf("pdb: joint for %v has no mass", base)
-	}
-	sort.SliceStable(b.Alts, func(x, y int) bool { return b.Alts[x].Prob > b.Alts[y].Prob })
+	slices.SortStableFunc(b.Alts, func(x, y Alternative) int {
+		switch {
+		case x.Prob > y.Prob:
+			return -1
+		case x.Prob < y.Prob:
+			return 1
+		}
+		return 0
+	})
 	if maxAlts > 0 && len(b.Alts) > maxAlts {
-		b.Alts = b.Alts[:maxAlts]
+		// Copy the kept alternatives onto right-sized storage: a bare
+		// re-slice would pin the dropped tail and the full backing array
+		// for as long as the block lives (blocks are cached engine-wide).
+		kept := make([]Alternative, maxAlts)
+		keptBacking := make(relation.Tuple, maxAlts*len(base))
+		for i, a := range b.Alts[:maxAlts] {
+			tu := keptBacking[:len(base):len(base)]
+			keptBacking = keptBacking[len(base):]
+			copy(tu, a.Tuple)
+			kept[i] = Alternative{Tuple: tu, Prob: a.Prob}
+		}
+		b.Alts = kept
 		b.renormalize()
 	}
 	return b, nil

@@ -143,6 +143,72 @@ func BuildMetaRules(rules []Rule, card int) ([]*MetaRule, error) {
 	return out, nil
 }
 
+// MaskWords returns the number of 64-bit words a fixed-width attribute
+// bitmask needs for a schema of numAttrs attributes.
+func MaskWords(numAttrs int) int { return (numAttrs + 63) / 64 }
+
+// AppendTupleMask appends the fixed-width attribute bitmask of t — bit a
+// set iff t assigns attribute a — to dst and returns it. words fixes the
+// mask width so masks built for the same schema are directly comparable.
+func AppendTupleMask(dst []uint64, t relation.Tuple, words int) []uint64 {
+	for w := 0; w < words; w++ {
+		dst = append(dst, 0)
+	}
+	base := len(dst) - words
+	for i, v := range t {
+		if v != relation.Missing {
+			dst[base+i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return dst
+}
+
+// CompiledBody is a meta-rule body in match-ready form: the assigned
+// attributes and values as parallel arrays plus a fixed-width attribute
+// bitmask. Matching a tuple becomes a word-wise subset test and a short
+// value comparison, instead of enumerating the tuple's sub-assignments.
+type CompiledBody struct {
+	// Attrs and Vals list the body's assignments in increasing attribute
+	// order.
+	Attrs []int32
+	Vals  []int32
+	// Mask has bit a set for every assigned attribute a, in words 64-bit
+	// words (the lattice's fixed mask width).
+	Mask []uint64
+}
+
+// Compile builds the match-ready form of body with masks of the given
+// fixed width.
+func Compile(body relation.Tuple, words int) CompiledBody {
+	c := CompiledBody{Mask: AppendTupleMask(nil, body, words)}
+	for a, v := range body {
+		if v != relation.Missing {
+			c.Attrs = append(c.Attrs, int32(a))
+			c.Vals = append(c.Vals, int32(v))
+		}
+	}
+	return c
+}
+
+// MatchedBy reports whether every assignment of the compiled body is also
+// made by t. tMask must be t's attribute bitmask at the same fixed width
+// (AppendTupleMask); the mask test rejects bodies mentioning attributes t
+// leaves missing in a few word operations, and values are compared only
+// when the attribute set is a subset.
+func (c *CompiledBody) MatchedBy(t relation.Tuple, tMask []uint64) bool {
+	for w, m := range c.Mask {
+		if m&^tMask[w] != 0 {
+			return false
+		}
+	}
+	for i, a := range c.Attrs {
+		if t[a] != int(c.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // smoothRemainder implements the paper's CPD smoothing: the confidences of
 // the discovered rules sum to at most 1 (values pruned by the support
 // threshold contribute nothing); the remaining mass is distributed equally

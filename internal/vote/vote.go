@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -86,11 +87,37 @@ func Methods() []Method {
 // String renders e.g. "best weighted".
 func (m Method) String() string { return m.Choice.String() + " " + m.Scheme.String() }
 
+// Scratch holds the reusable buffers of the inference hot path: the
+// lattice-traversal state, the matched-rule index and voter slices, and
+// the Median column buffer. A zero value is ready to use; reusing one
+// across calls makes InferScratch allocate only its result. Not safe for
+// concurrent use.
+type Scratch struct {
+	ms     core.MatchScratch
+	idxs   []int
+	voters []*rules.MetaRule
+	col    []float64
+}
+
+// scratchPool recycles Scratch values for the convenience entry points, so
+// every caller of Infer/Combine gets the buffer-reusing path without
+// threading a Scratch through.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
 // Infer estimates the conditional probability distribution of attribute
 // attr in tuple t, which must be missing in t, using the model's MRSL for
 // attr (Algorithm 2). The result is a positive, normalized distribution
 // over the attribute's domain.
 func Infer(m *core.Model, t relation.Tuple, attr int, method Method) (dist.Dist, error) {
+	s := scratchPool.Get().(*Scratch)
+	d, err := InferScratch(m, t, attr, method, s)
+	scratchPool.Put(s)
+	return d, err
+}
+
+// InferScratch is Infer with a caller-owned scratch: in steady state it
+// allocates only the returned distribution.
+func InferScratch(m *core.Model, t relation.Tuple, attr int, method Method, s *Scratch) (dist.Dist, error) {
 	if attr < 0 || attr >= m.Schema.NumAttrs() {
 		return nil, fmt.Errorf("vote: attribute %d out of range", attr)
 	}
@@ -99,28 +126,62 @@ func Infer(m *core.Model, t relation.Tuple, attr int, method Method) (dist.Dist,
 			m.Schema.Attrs[attr].Name, t)
 	}
 	l := m.Lattices[attr]
-	voters := l.Match(t, method.Choice)
-	if len(voters) == 0 {
+	s.idxs = l.AppendMatches(s.idxs[:0], t, method.Choice, &s.ms)
+	s.voters = s.voters[:0]
+	for _, i := range s.idxs {
+		s.voters = append(s.voters, l.Rules[i])
+	}
+	if len(s.voters) == 0 {
 		// Cannot happen with a well-formed lattice (the top-level rule
 		// matches everything), but fail soft with the marginal-free uniform.
 		return dist.New(l.Card), nil
 	}
-	return Combine(voters, method.Scheme, l.Card)
+	out := dist.Zeros(l.Card)
+	if err := combineInto(out, s.voters, method.Scheme, s); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Combine merges the voters' CPDs under the given scheme into a single
 // estimate over card values.
 func Combine(voters []*rules.MetaRule, scheme Scheme, card int) (dist.Dist, error) {
-	if len(voters) == 0 {
-		return nil, fmt.Errorf("vote: no voters")
-	}
 	out := dist.Zeros(card)
+	if err := CombineInto(out, voters, scheme); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CombineInto merges the voters' CPDs under the given scheme into out,
+// whose length fixes the domain cardinality. It overwrites out and, given
+// voters with well-formed CPDs, performs no allocation beyond the Median
+// scratch of the pooled buffers.
+func CombineInto(out dist.Dist, voters []*rules.MetaRule, scheme Scheme) error {
+	s := scratchPool.Get().(*Scratch)
+	err := combineInto(out, voters, scheme, s)
+	scratchPool.Put(s)
+	return err
+}
+
+func combineInto(out dist.Dist, voters []*rules.MetaRule, scheme Scheme, s *Scratch) error {
+	card := len(out)
+	if len(voters) == 0 {
+		return fmt.Errorf("vote: no voters")
+	}
+	// Validate every voter exactly once, up front, for every scheme —
+	// rather than re-checking inside the per-position inner loops.
+	for _, v := range voters {
+		if len(v.CPD) != card {
+			return fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
+		}
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	switch scheme {
 	case Averaged:
 		for _, v := range voters {
-			if len(v.CPD) != card {
-				return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
-			}
 			for i, p := range v.CPD {
 				out[i] += p
 			}
@@ -128,12 +189,9 @@ func Combine(voters []*rules.MetaRule, scheme Scheme, card int) (dist.Dist, erro
 	case Weighted:
 		var totalW float64
 		for _, v := range voters {
-			if len(v.CPD) != card {
-				return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
-			}
 			w := v.Weight
 			if w < 0 {
-				return nil, fmt.Errorf("vote: negative weight %v", w)
+				return fmt.Errorf("vote: negative weight %v", w)
 			}
 			totalW += w
 			for i, p := range v.CPD {
@@ -142,15 +200,15 @@ func Combine(voters []*rules.MetaRule, scheme Scheme, card int) (dist.Dist, erro
 		}
 		if totalW == 0 {
 			// All-zero weights degenerate to plain averaging.
-			return Combine(voters, Averaged, card)
+			return combineInto(out, voters, Averaged, s)
 		}
 	case Median:
-		col := make([]float64, len(voters))
+		if cap(s.col) < len(voters) {
+			s.col = make([]float64, len(voters))
+		}
+		col := s.col[:len(voters)]
 		for i := 0; i < card; i++ {
 			for vi, v := range voters {
-				if len(v.CPD) != card {
-					return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
-				}
 				col[vi] = v.CPD[i]
 			}
 			out[i] = median(col)
@@ -161,18 +219,15 @@ func Combine(voters []*rules.MetaRule, scheme Scheme, card int) (dist.Dist, erro
 		}
 		inv := 1.0 / float64(len(voters))
 		for _, v := range voters {
-			if len(v.CPD) != card {
-				return nil, fmt.Errorf("vote: voter CPD has %d values, want %d", len(v.CPD), card)
-			}
 			for i, p := range v.CPD {
 				if p <= 0 {
-					return nil, fmt.Errorf("vote: logpool needs positive CPDs, got %v", p)
+					return fmt.Errorf("vote: logpool needs positive CPDs, got %v", p)
 				}
 				out[i] *= math.Pow(p, inv)
 			}
 		}
 	default:
-		return nil, fmt.Errorf("vote: unknown scheme %v", scheme)
+		return fmt.Errorf("vote: unknown scheme %v", scheme)
 	}
 	out.Normalize()
 	// Voters' CPDs are positive, so the combination is too; Smooth guards
@@ -180,7 +235,7 @@ func Combine(voters []*rules.MetaRule, scheme Scheme, card int) (dist.Dist, erro
 	if !out.IsPositive() {
 		out.Smooth(dist.SmoothFloor)
 	}
-	return out, nil
+	return nil
 }
 
 // median returns the median of vals; the input slice is reordered.

@@ -192,6 +192,17 @@ type DeriveOptions struct {
 	// voted once through a shared memoization cache, and the derived
 	// database is bit-identical for every pool size.
 	VoteWorkers int
+	// CacheEntries bounds each engine cache (single-missing votes,
+	// multi-missing joints, and the shared local-CPD memo) to that many
+	// entries with CLOCK eviction, so long-lived engines serving unbounded
+	// pattern diversity run in fixed memory. <= 0 leaves the vote and
+	// joint caches unbounded and keeps the CPD memo at its large default
+	// cap. With parallel chains (Workers > 1) eviction never changes the
+	// derived stream — cached values are deterministic functions of the
+	// model and their key — it only costs recomputation; with the DAG
+	// sampler an evicted joint is re-estimated alongside a later workload,
+	// which is a different (workload-dependent) estimate by construction.
+	CacheEntries int
 }
 
 func (o DeriveOptions) config() derive.Config {
@@ -205,12 +216,16 @@ func (o DeriveOptions) config() derive.Config {
 		MaxAlternatives: o.MaxAlternatives,
 		VoteWorkers:     o.VoteWorkers,
 		GibbsWorkers:    gibbsWorkers,
+		CacheEntries:    o.CacheEntries,
 	}
 }
 
 // DeriveItem is one streamed element of a derived database: a certain
 // tuple (Block == nil) or a block of completions, tagged with the source
-// tuple's position in the input relation.
+// tuple's position in the input relation. Blocks are served from the
+// engine's cache and shared between duplicate tuples and across
+// requests; treat a received Block and its alternatives as immutable
+// (copy before modifying).
 type DeriveItem = derive.Item
 
 // SchemaMismatchError is returned by Derive, DeriveStream, and the Engine

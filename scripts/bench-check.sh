@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench-check: guards serving throughput across PRs. Compares the
+# BenchmarkEngineConcurrent tuples/s figures of a fresh run (published by
+# `make bench-serve` into BENCH_engine.json) against the committed
+# baseline (BENCH_baseline.json); exits non-zero when any stream count
+# regresses by more than the tolerance (percent, default 30).
+#
+# Usage: bench-check.sh <baseline.json> <current.json> [tolerance-pct]
+set -eu
+
+base=${1:?usage: bench-check.sh baseline.json current.json [tolerance-pct]}
+cur=${2:?usage: bench-check.sh baseline.json current.json [tolerance-pct]}
+tol=${3:-30}
+
+if [ ! -f "$base" ]; then
+	echo "bench-check: no baseline at $base; skipping"
+	exit 0
+fi
+if [ ! -f "$cur" ]; then
+	echo "bench-check: no current run at $cur" >&2
+	exit 1
+fi
+
+# Pull "streams=N <tuples/s>" pairs out of a go-test -json benchmark log.
+# go test emits the benchmark name and its measurements as separate output
+# events, so pair each name with the next tuples/s line.
+extract() {
+	grep -o '"Output":"[^"]*"' "$1" | sed 's/^"Output":"//; s/"$//' |
+		awk '
+			/^BenchmarkEngineConcurrent\/streams=/ {
+				name = $1
+				sub(/^BenchmarkEngineConcurrent\//, "", name)
+				sub(/-[0-9]+$/, "", name)
+				next
+			}
+			name != "" && /tuples\/s/ {
+				for (i = 2; i <= NF; i++)
+					if ($i ~ /^tuples\/s/) print name, $(i - 1)
+				name = ""
+			}
+		'
+}
+
+extract "$base" > /tmp/bench_base.$$
+extract "$cur" > /tmp/bench_cur.$$
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_cur.$$' EXIT
+
+if [ ! -s /tmp/bench_base.$$ ] || [ ! -s /tmp/bench_cur.$$ ]; then
+	echo "bench-check: could not extract tuples/s figures" >&2
+	exit 1
+fi
+
+awk -v tol="$tol" '
+	NR == FNR { base[$1] = $2; next }
+	{
+		cur[$1] = $2
+		if (!($1 in base)) next
+		floor = base[$1] * (100 - tol) / 100
+		status = ($2 >= floor) ? "ok" : "REGRESSED"
+		printf "bench-check: %-12s baseline %12.0f  current %12.0f  floor %12.0f  %s\n",
+			$1, base[$1], $2, floor, status
+		if ($2 < floor) bad = 1
+	}
+	END {
+		for (k in base) if (!(k in cur)) {
+			printf "bench-check: %s missing from current run\n", k
+			bad = 1
+		}
+		exit bad
+	}
+' /tmp/bench_base.$$ /tmp/bench_cur.$$
