@@ -50,14 +50,18 @@ bench-check: bench-serve
 bench-baseline: bench-serve
 	cp BENCH_engine.json BENCH_baseline.json
 
-# Publish the wider perf trajectory — derivation, lattice matching, and
-# Gibbs benchmarks with allocation counts — alongside the serving figures,
-# so BENCH_derive.json tracks the hot paths across PRs.
+# Publish the wider perf trajectory — derivation, lattice matching,
+# Gibbs, and selective-query benchmarks with allocation counts —
+# alongside the serving figures, so BENCH_derive.json tracks the hot
+# paths across PRs (BenchmarkQuerySelective pits Engine.Query's pruning
+# against derive-then-filter on the same workload).
 bench-publish: bench-serve
-	$(GO) test -run=NONE -bench 'Derive|Match|Gibbs' -benchmem -benchtime=100x -json . ./internal/core ./internal/gibbs > BENCH_derive.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_derive.json | head -12
+	$(GO) test -run=NONE -bench 'Derive|Match|Gibbs|Query' -benchmem -benchtime=100x -json . ./internal/core ./internal/gibbs > BENCH_derive.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_derive.json | head -14
 
-# Short fuzzing pass over the two external input parsers.
+# Short fuzzing pass over the three external input parsers (CSV
+# relations, BN topology DSL, query predicate syntax).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/relation
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/bn
+	$(GO) test -run=NONE -fuzz=FuzzParseQuery -fuzztime=10s ./internal/query

@@ -1,45 +1,55 @@
-// Command mrslquery answers queries over an incomplete CSV relation using
-// a learned MRSL model, with lazy query-targeted inference: probability
-// values are derived only for the tuples a query leaves undecided
-// (the paper's Section VIII future work).
+// Command mrslquery answers probabilistic queries over an incomplete CSV
+// relation using a learned MRSL model. It is a thin client of the
+// engine-native query subsystem (repro.Engine.Query): tuples the query's
+// evidence refutes (and complete tuples) cost nothing, single-missing tuples are
+// decided from the engine's shared CPD cache without expanding a block,
+// and only tuples whose bounds leave the answer open pay for full
+// derivation — with early termination for exists and topk. With the
+// default chain sampler (-workers > 1) answers are bit-identical to
+// deriving the whole database and evaluating naively; -workers 1
+// selects the paper's tuple-DAG sampler, whose multi-missing estimates
+// are workload-dependent by construction.
 //
 // Usage:
 //
-//	mrslquery -model model.json -in data.csv -where age=30,inc=100K [-op count]
-//	mrslquery -model model.json -in data.csv -groupby age
+//	mrslquery -model model.json -in data.csv -where age=30,inc>=100K [-op count]
+//	mrslquery -model model.json -in data.csv -where inc=100K -op exists -minprob 0.9
 //	mrslquery -model model.json -in data.csv -where inc=100K -op topk -k 5
+//	mrslquery -model model.json -in data.csv -groupby age [-where inc=100K]
 //
-// Supported operations: count (expected count, default), topk (most
-// probable matching completions), groupby (expected histogram; uses
-// -groupby instead of -where). topk and groupby evaluate against the
-// derivation stream of a repro.Engine: blocks are aggregated as they are
-// inferred and never materialized as a whole database, and repeated
-// damage patterns are inferred once through the engine's caches.
+// Conditions support =, !=, <, <=, >, >= over domain labels; ordered
+// comparisons compare domain positions (meaningful for discretized
+// numeric buckets). Supported operations: count (expected count, or the
+// number of tuples reaching -minprob), exists (probability that at least
+// one tuple matches), topk (most probable matching completions, ties
+// bit-stable in input order), groupby (expected histogram, optionally
+// filtered by -where).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
-	"sort"
-	"strings"
 
 	"repro"
-	"repro/internal/pdb"
 )
 
 func main() {
 	var (
 		modelPath = flag.String("model", "", "model JSON from mrsllearn (required)")
 		in        = flag.String("in", "", "input CSV relation (required)")
-		where     = flag.String("where", "", "conjunctive conditions attr=value,attr=value")
+		where     = flag.String("where", "", "conjunctive conditions attr=value,attr>=value,...")
 		groupBy   = flag.String("groupby", "", "attribute for a group-by expected histogram")
-		op        = flag.String("op", "count", "operation: count, topk, groupby")
-		k         = flag.Int("k", 10, "result size for -op topk")
-		samples   = flag.Int("samples", 1000, "Gibbs samples per open tuple")
+		op        = flag.String("op", "count", "operation: count, exists, topk, groupby")
+		k         = flag.Int("k", 10, "result size for -op topk (<= 0 keeps all)")
+		minProb   = flag.Float64("minprob", 0, "probability threshold in [0,1]: count tuples reaching it, decide exists against it, drop topk rows below it")
+		samples   = flag.Int("samples", 1000, "Gibbs samples per distinct multi-missing tuple")
 		burnin    = flag.Int("burnin", 100, "Gibbs burn-in sweeps")
 		seed      = flag.Int64("seed", 1, "sampler seed")
+		workers   = flag.Int("workers", 4, "Gibbs chain pool size (> 1 selects content-seeded per-block chains)")
 	)
 	flag.Parse()
 	if *modelPath == "" || *in == "" {
@@ -47,13 +57,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *modelPath, *in, *where, *groupBy, *op, *k, *samples, *burnin, *seed); err != nil {
+	opts := options{
+		Where: *where, GroupBy: *groupBy, Op: *op, K: *k, MinProb: *minProb,
+		Samples: *samples, BurnIn: *burnin, Seed: *seed, Workers: *workers,
+	}
+	if err := run(os.Stdout, *modelPath, *in, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "mrslquery: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burnin int, seed int64) error {
+// options carry the query flags into run.
+type options struct {
+	Where   string
+	GroupBy string
+	Op      string
+	K       int
+	MinProb float64
+	Samples int
+	BurnIn  int
+	Seed    int64
+	Workers int
+}
+
+func run(w io.Writer, modelPath, in string, o options) error {
 	mf, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -76,187 +103,73 @@ func run(w *os.File, modelPath, in, where, groupBy, op string, k, samples, burni
 		return err
 	}
 
-	gibbs := repro.GibbsOptions{
-		Samples: samples, BurnIn: burnin, Seed: seed, Method: repro.BestAveraged(),
+	opCode, err := repro.ParseQueryOp(o.Op)
+	if err != nil {
+		return err
 	}
-	// One serving engine backs the streaming operations; its caches
-	// dedupe repeated damage patterns across the whole run. (count runs
-	// on the lazy query path instead.)
-	newEngine := func() (*repro.Engine, error) { return repro.NewEngine(model, deriveOpts(gibbs)) }
+	spec := repro.QuerySpec{
+		Op:      opCode,
+		Where:   o.Where,
+		GroupBy: o.GroupBy,
+		MinProb: o.MinProb,
+	}
+	if opCode == repro.QueryTopK {
+		spec.K = o.K
+	}
+	q, err := repro.CompileQuery(model.Schema, spec)
+	if err != nil {
+		return err
+	}
 
-	switch op {
-	case "count":
-		q, err := parseWhere(model.Schema, where)
-		if err != nil {
-			return err
+	eng, err := repro.NewEngine(model, repro.DeriveOptions{
+		Method:  repro.BestAveraged(),
+		Workers: o.Workers,
+		Gibbs: repro.GibbsOptions{
+			Samples: o.Samples, BurnIn: o.BurnIn, Seed: o.Seed, Method: repro.BestAveraged(),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := eng.Query(context.Background(), rel, q)
+	if err != nil {
+		return err
+	}
+
+	switch opCode {
+	case repro.QueryCount:
+		if o.MinProb > 0 {
+			fmt.Fprintf(w, "tuples with P >= %g: %d of %d\n", o.MinProb, res.Count, rel.Len())
+		} else {
+			fmt.Fprintf(w, "expected count: %.2f of %d tuples\n", res.Expected, rel.Len())
 		}
-		db, err := repro.NewLazyDB(model, rel, gibbs)
-		if err != nil {
-			return err
+	case repro.QueryExists:
+		answer := "no"
+		if res.Exists {
+			answer = "yes"
 		}
-		count, err := db.ExpectedCount(q)
-		if err != nil {
-			return err
+		if res.EarlyStop && res.Exists {
+			fmt.Fprintf(w, "exists: %s (P >= %.4f, decided early)\n", answer, res.Prob)
+		} else {
+			fmt.Fprintf(w, "exists: %s (P = %.4f)\n", answer, res.Prob)
 		}
-		st := db.Stats()
-		fmt.Fprintf(w, "expected count: %.2f of %d tuples\n", count, rel.Len())
-		fmt.Fprintf(w, "lazy stats: %d refuted, %d entailed, %d CPD lookups, %d Gibbs runs\n",
-			st.Refuted, st.Entailed, st.SingleLookups, st.GibbsRuns)
-		return nil
-	case "topk":
-		q, err := parseWhere(model.Schema, where)
-		if err != nil {
-			return err
-		}
-		eng, err := newEngine()
-		if err != nil {
-			return err
-		}
-		rows, err := streamTopK(eng, rel, q.Predicate(), k)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "top %d matching completions:\n", len(rows))
-		for _, row := range rows {
+	case repro.QueryTopK:
+		fmt.Fprintf(w, "top %d matching completions:\n", len(res.Rows))
+		for _, row := range res.Rows {
 			src := "certain"
-			if row.Block >= 0 {
-				src = fmt.Sprintf("block %d", row.Block)
+			if !row.Certain {
+				src = fmt.Sprintf("tuple %d", row.Index)
 			}
 			fmt.Fprintf(w, "  %.4f  %s  (%s)\n", row.Prob, row.Tuple.Format(model.Schema), src)
 		}
-		return nil
-	case "groupby":
-		if groupBy == "" {
-			return fmt.Errorf("-op groupby requires -groupby")
-		}
-		attr := model.Schema.AttrIndex(groupBy)
-		if attr < 0 {
-			return fmt.Errorf("unknown attribute %q", groupBy)
-		}
-		eng, err := newEngine()
-		if err != nil {
-			return err
-		}
-		stats, err := streamGroupCount(eng, model, rel, attr)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "expected histogram of %s:\n", groupBy)
-		for _, g := range stats {
-			fmt.Fprintf(w, "  %-10s %.2f (±%.2f)\n",
-				model.Schema.Attrs[attr].Domain[g.Value], g.Expected, math.Sqrt(g.Variance))
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown operation %q", op)
-	}
-}
-
-// deriveOpts builds the streaming derivation options shared by topk and
-// groupby; VoteWorkers 0 lets the engine saturate the machine.
-func deriveOpts(gibbs repro.GibbsOptions) repro.DeriveOptions {
-	return repro.DeriveOptions{Gibbs: gibbs, Method: repro.BestAveraged()}
-}
-
-// streamTopK folds the derivation stream into the k most probable
-// matching rows, holding at most k rows at any time — never the database
-// and never the full selection (certain rows carry probability 1; ties
-// keep stream order for determinism). k <= 0 keeps every matching row.
-func streamTopK(eng *repro.Engine, rel *repro.Relation, pred pdb.Predicate, k int) ([]pdb.ResultRow, error) {
-	var rows []pdb.ResultRow // sorted by descending Prob, stream order on ties
-	insert := func(row pdb.ResultRow) {
-		if k > 0 && len(rows) == k && rows[k-1].Prob >= row.Prob {
-			return
-		}
-		// First position with strictly smaller probability: equal-prob
-		// rows keep their stream order, matching a stable sort.
-		pos := sort.Search(len(rows), func(i int) bool { return rows[i].Prob < row.Prob })
-		rows = append(rows, pdb.ResultRow{})
-		copy(rows[pos+1:], rows[pos:])
-		rows[pos] = row
-		if k > 0 && len(rows) > k {
-			rows = rows[:k]
+	case repro.QueryGroupBy:
+		fmt.Fprintf(w, "expected histogram of %s:\n", o.GroupBy)
+		for _, g := range res.Groups {
+			fmt.Fprintf(w, "  %-10s %.2f (±%.2f)\n", g.Label, g.Expected, math.Sqrt(g.Variance))
 		}
 	}
-	blocks := 0
-	err := eng.DeriveStream(rel, func(it repro.DeriveItem) error {
-		if it.Certain() {
-			if pred(it.Tuple) {
-				insert(pdb.ResultRow{Tuple: it.Tuple, Prob: 1, Block: -1})
-			}
-			return nil
-		}
-		for _, a := range it.Block.Alts {
-			if pred(a.Tuple) {
-				insert(pdb.ResultRow{Tuple: a.Tuple, Prob: a.Prob, Block: blocks})
-			}
-		}
-		blocks++
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
-}
-
-// streamGroupCount folds the derivation stream into an expected-count
-// histogram of attr: certain tuples contribute 1 to their group, each
-// block contributes its per-value probability mass (independent Bernoulli
-// variance, as pdb.GroupCount computes on a materialized database).
-func streamGroupCount(eng *repro.Engine, model *repro.Model, rel *repro.Relation, attr int) ([]pdb.GroupStat, error) {
-	card := model.Schema.Attrs[attr].Card()
-	stats := make([]pdb.GroupStat, card)
-	for v := range stats {
-		stats[v].Value = v
-	}
-	perValue := make([]float64, card)
-	err := eng.DeriveStream(rel, func(it repro.DeriveItem) error {
-		if it.Certain() {
-			stats[it.Tuple[attr]].Expected++
-			return nil
-		}
-		for v := range perValue {
-			perValue[v] = 0
-		}
-		for _, a := range it.Block.Alts {
-			perValue[a.Tuple[attr]] += a.Prob
-		}
-		for v, p := range perValue {
-			stats[v].Expected += p
-			stats[v].Variance += p * (1 - p)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return stats, nil
-}
-
-// parseWhere converts "attr=value,attr=value" into a validated query.
-func parseWhere(s *repro.Schema, where string) (pdb.ConjQuery, error) {
-	if where == "" {
-		return nil, fmt.Errorf("-where is required for this operation")
-	}
-	var q pdb.ConjQuery
-	for _, part := range strings.Split(where, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 {
-			return nil, fmt.Errorf("bad condition %q (want attr=value)", part)
-		}
-		attr := s.AttrIndex(kv[0])
-		if attr < 0 {
-			return nil, fmt.Errorf("unknown attribute %q", kv[0])
-		}
-		val, err := s.ValueCode(attr, kv[1])
-		if err != nil {
-			return nil, err
-		}
-		q = append(q, pdb.Cond{Attr: attr, Value: val})
-	}
-	if err := q.Validate(s); err != nil {
-		return nil, err
-	}
-	return q, nil
+	c := res.Counters
+	fmt.Fprintf(w, "query stats: %d scanned, %d pruned, %d bounded, %d derived\n",
+		c.Scanned, c.Pruned, c.Bounded, c.Derived)
+	return nil
 }

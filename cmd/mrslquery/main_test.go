@@ -1,12 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro"
-	"repro/internal/relation"
 )
 
 const queryCSV = `age,inc
@@ -55,65 +56,155 @@ func setup(t *testing.T) (modelPath, dataPath string) {
 	return modelPath, dataPath
 }
 
-func TestParseWhere(t *testing.T) {
-	s := relation.MustSchema([]relation.Attribute{
-		{Name: "age", Domain: []string{"20", "30"}},
-		{Name: "inc", Domain: []string{"50K", "100K"}},
-	})
-	q, err := parseWhere(s, "age=30,inc=100K")
-	if err != nil {
-		t.Fatal(err)
+func opts(mut func(*options)) options {
+	o := options{
+		Op: "count", K: 10, Samples: 200, BurnIn: 20, Seed: 1, Workers: 4,
 	}
-	if len(q) != 2 || q[0].Attr != 0 || q[0].Value != 1 || q[1].Attr != 1 || q[1].Value != 1 {
-		t.Errorf("parsed query = %+v", q)
+	if mut != nil {
+		mut(&o)
 	}
-	bad := []string{"", "age", "bogus=1", "age=99", "age=30,age=20"}
-	for _, s2 := range bad {
-		if _, err := parseWhere(s, s2); err == nil {
-			t.Errorf("where %q should fail", s2)
-		}
-	}
+	return o
 }
 
 func TestRunCount(t *testing.T) {
 	model, data := setup(t)
-	if err := run(os.Stdout, model, data, "inc=100K", "", "count", 10, 200, 20, 1); err != nil {
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) { o.Where = "inc=100K" })); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "expected count:") ||
+		!strings.Contains(out.String(), "query stats:") {
+		t.Errorf("count output missing expected lines:\n%s", out.String())
+	}
+}
+
+func TestRunCountThreshold(t *testing.T) {
+	model, data := setup(t)
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Where, o.MinProb = "inc=100K", 0.5
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tuples with P >= 0.5:") {
+		t.Errorf("thresholded count output:\n%s", out.String())
+	}
+}
+
+func TestRunExists(t *testing.T) {
+	model, data := setup(t)
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Op, o.Where = "exists", "age=30,inc=100K"
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// The fixture holds certain witnesses, so the answer is an exact yes
+	// decided with zero inference.
+	if !strings.Contains(out.String(), "exists: yes") {
+		t.Errorf("exists output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 derived") {
+		t.Errorf("certain witness should prune all derivation:\n%s", out.String())
 	}
 }
 
 func TestRunTopK(t *testing.T) {
 	model, data := setup(t)
-	if err := run(os.Stdout, model, data, "age=30", "", "topk", 3, 200, 20, 1); err != nil {
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Op, o.Where, o.K = "topk", "age=30", 3
+	})); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "top 3 matching completions:") {
+		t.Errorf("topk output:\n%s", out.String())
+	}
+}
+
+// TestTopKTieBreakDeterministic pins topk tie-breaking: rows of equal
+// probability keep input order, so the rendered output is byte-identical
+// for every chain pool size (the three certain age=30 tuples all tie at
+// probability 1 and must appear first, in input order). Workers must stay
+// above 1 — 1 selects the tuple-DAG sampler, a different multi-missing
+// estimator by design.
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	model, data := setup(t)
+	var ref bytes.Buffer
+	if err := run(&ref, model, data, opts(func(o *options) {
+		o.Op, o.Where, o.K, o.Workers = "topk", "age=30", 5, 2
+	})); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(ref.String()), "\n")
+	for i := 1; i <= 3; i++ {
+		if !strings.HasPrefix(lines[i], "  1.0000") || !strings.Contains(lines[i], "certain") {
+			t.Errorf("row %d is not a leading certain tie: %q", i, lines[i])
+		}
+	}
+	for _, workers := range []int{4, 8} {
+		var out bytes.Buffer
+		if err := run(&out, model, data, opts(func(o *options) {
+			o.Op, o.Where, o.K, o.Workers = "topk", "age=30", 5, workers
+		})); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != ref.String() {
+			t.Errorf("topk output differs at %d workers:\n%s\nvs\n%s", workers, out.String(), ref.String())
+		}
 	}
 }
 
 func TestRunGroupBy(t *testing.T) {
 	model, data := setup(t)
-	if err := run(os.Stdout, model, data, "", "age", "groupby", 10, 200, 20, 1); err != nil {
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Op, o.GroupBy = "groupby", "age"
+	})); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(os.Stdout, model, data, "", "", "groupby", 10, 200, 20, 1); err == nil {
+	if !strings.Contains(out.String(), "expected histogram of age:") {
+		t.Errorf("groupby output:\n%s", out.String())
+	}
+	if err := run(&out, model, data, opts(func(o *options) { o.Op = "groupby" })); err == nil {
 		t.Error("groupby without -groupby should fail")
 	}
-	if err := run(os.Stdout, model, data, "", "bogus", "groupby", 10, 200, 20, 1); err == nil {
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Op, o.GroupBy = "groupby", "bogus"
+	})); err == nil {
 		t.Error("unknown groupby attribute should fail")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	model, data := setup(t)
-	if err := run(os.Stdout, model, data, "inc=100K", "", "explode", 10, 200, 20, 1); err == nil {
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Op, o.Where = "explode", "inc=100K"
+	})); err == nil {
 		t.Error("unknown op should fail")
 	}
-	if err := run(os.Stdout, model, data, "", "", "count", 10, 200, 20, 1); err == nil {
+	if err := run(&out, model, data, opts(nil)); err == nil {
 		t.Error("count without -where should fail")
 	}
-	if err := run(os.Stdout, filepath.Join(t.TempDir(), "no.json"), data, "inc=100K", "", "count", 10, 200, 20, 1); err == nil {
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Where = "inc@100K"
+	})); err == nil {
+		t.Error("malformed condition should fail")
+	}
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Where, o.MinProb = "inc=100K", 1.5
+	})); err == nil {
+		t.Error("out-of-range minprob should fail")
+	}
+	if err := run(&out, filepath.Join(t.TempDir(), "no.json"), data, opts(func(o *options) {
+		o.Where = "inc=100K"
+	})); err == nil {
 		t.Error("missing model should fail")
 	}
-	if err := run(os.Stdout, model, filepath.Join(t.TempDir(), "no.csv"), "inc=100K", "", "count", 10, 200, 20, 1); err == nil {
+	if err := run(&out, model, filepath.Join(t.TempDir(), "no.csv"), opts(func(o *options) {
+		o.Where = "inc=100K"
+	})); err == nil {
 		t.Error("missing data should fail")
 	}
 }

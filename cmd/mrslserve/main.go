@@ -1,18 +1,23 @@
-// Command mrslserve serves streaming derivations over HTTP from one
-// long-lived repro.Engine: the model is loaded once, and every request
-// shares the engine's evidence-keyed caches, so repeated damage patterns
-// across requests are inferred exactly once for the life of the process.
+// Command mrslserve serves streaming derivations and probabilistic
+// queries over HTTP from one long-lived repro.Engine: the model is loaded
+// once, and every request shares the engine's evidence-keyed caches, so
+// repeated damage patterns across requests are inferred exactly once for
+// the life of the process.
 //
 // Usage:
 //
 //	mrslserve -model model.json [-addr :8080] [-workers 8] [-samples 800]
-//	          [-cache-entries 65536]
+//	          [-cache-entries 65536] [-max-inflight 0]
 //
 // The engine's memoization caches (vote blocks, multi-missing joints,
 // local CPDs) are bounded to -cache-entries entries each with CLOCK
 // eviction, so the server runs in fixed memory under unbounded damage
 // pattern diversity; with -workers > 1 (chains mode) eviction never
-// changes responses, it only costs recomputation.
+// changes responses, it only costs recomputation. With -max-inflight > 0
+// at most that many derivation/query requests run concurrently; excess
+// requests are rejected immediately with 429 and a Retry-After header
+// instead of queuing without bound. Client disconnects cancel in-flight
+// work: both endpoints evaluate under the request's context.
 //
 // Endpoints:
 //
@@ -24,7 +29,20 @@
 //	               so clients read blocks as they are inferred. Query
 //	               parameters voteworkers and gibbsworkers override the
 //	               request's pool sizes (never the result).
-//	GET  /stats    engine cache counters, hit rates, uptime, requests.
+//	POST /query    body: CSV relation over the model's schema. Query
+//	               parameters: op (count, exists, topk, groupby), where
+//	               (conjunctive conditions "attr=value,attr>=value,..."),
+//	               groupby (histogram attribute), k, minprob, plus the
+//	               same pool overrides as /derive. Streams NDJSON: a
+//	               query record, then one record per result (count,
+//	               exists, row, or group), then a summary record with the
+//	               evaluation's pruning counters. Answers are
+//	               bit-identical to deriving the posted relation through
+//	               /derive and evaluating the stream naively, but
+//	               selective queries infer only the tuples the bounds
+//	               leave undecided.
+//	GET  /stats    engine cache counters, hit rates, query pruning
+//	               totals, admission counters, uptime, requests.
 //	GET  /healthz  liveness probe.
 //
 // With -addr host:0 the kernel picks a free port; the chosen address is
@@ -32,6 +50,7 @@
 package main
 
 import (
+	"cmp"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -58,6 +77,7 @@ func main() {
 		voters    = flag.Int("voteworkers", 0, "default voting pool size per request (0 = GOMAXPROCS)")
 		maxAlts   = flag.Int("maxalts", 0, "cap block alternatives (0 keeps all)")
 		cacheEnts = flag.Int("cache-entries", 1<<16, "bound each engine cache to this many entries, CLOCK-evicted (0 = unbounded vote/joint caches, default-capped CPD memo); eviction never changes results in chains mode")
+		inflight  = flag.Int("max-inflight", 0, "maximum concurrent derivation/query requests; excess requests get 429 with Retry-After (0 = unlimited)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -86,7 +106,7 @@ func main() {
 			Samples: *samples, BurnIn: *burnin, Seed: *seed, Method: repro.BestAveraged(),
 		},
 	}
-	srv, err := newServer(model, opt)
+	srv, err := newServer(model, opt, *inflight)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
 		os.Exit(1)
@@ -110,17 +130,26 @@ type server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	requests atomic.Int64 // derivation requests accepted
-	failed   atomic.Int64 // derivation requests that ended in an error
+	// slots is the admission semaphore (nil = unlimited): a request must
+	// take a slot before running inference and returns it when done.
+	slots chan struct{}
+
+	requests atomic.Int64 // derivation/query requests accepted
+	failed   atomic.Int64 // accepted requests that ended in an error
+	rejected atomic.Int64 // requests turned away at admission (429)
 }
 
-func newServer(model *repro.Model, opt repro.DeriveOptions) (*server, error) {
+func newServer(model *repro.Model, opt repro.DeriveOptions, maxInflight int) (*server, error) {
 	eng, err := repro.NewEngine(model, opt)
 	if err != nil {
 		return nil, err
 	}
 	s := &server{model: model, eng: eng, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("POST /derive", s.handleDerive)
+	if maxInflight > 0 {
+		s.slots = make(chan struct{}, maxInflight)
+	}
+	s.mux.HandleFunc("POST /derive", s.admit(s.handleDerive))
+	s.mux.HandleFunc("POST /query", s.admit(s.handleQuery))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -128,11 +157,32 @@ func newServer(model *repro.Model, opt repro.DeriveOptions) (*server, error) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// admit wraps an inference handler with admission control: when the
+// engine is saturated the request is rejected immediately with 429 and a
+// Retry-After hint, never queued without bound.
+func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.slots != nil {
+			select {
+			case s.slots <- struct{}{}:
+				defer func() { <-s.slots }()
+			default:
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "engine saturated: too many in-flight requests", http.StatusTooManyRequests)
+				return
+			}
+		}
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
 // handleDerive parses the posted CSV against the model schema and streams
 // the derived database back as NDJSON, one line per item as it is
-// inferred.
+// inferred. The stream runs under the request context, so a client
+// disconnect cancels in-flight derivation work.
 func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
 	if err != nil {
 		s.failed.Add(1)
@@ -147,7 +197,7 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	sink := repro.NewJSONLSink(newFlushWriter(w), s.model.Schema)
-	if err := s.eng.DeriveToPools(rel, pools, sink); err != nil {
+	if err := s.eng.DeriveToContext(r.Context(), rel, pools, sink); err != nil {
 		s.failed.Add(1)
 		var mismatch *repro.SchemaMismatchError
 		if errors.As(err, &mismatch) {
@@ -164,31 +214,175 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleQuery compiles the query expressed in the URL parameters,
+// evaluates it over the posted CSV on the engine's caches, and streams
+// the answer as NDJSON: a query record, one record per result, and a
+// summary record with the pruning counters. Evaluation runs under the
+// request context.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pools, err := poolsFromQuery(r)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := queryFromRequest(s.model.Schema, r)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.eng.QueryPools(r.Context(), rel, q, pools)
+	if err != nil {
+		s.failed.Add(1)
+		// Unlike /derive, nothing has been streamed yet, so the failure
+		// can carry a real status code.
+		var mismatch *repro.SchemaMismatchError
+		if errors.As(err, &mismatch) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	ew := &errWriter{w: newFlushWriter(w)}
+	enc := json.NewEncoder(ew)
+	enc.Encode(map[string]any{"kind": "query", "op": q.Op().String(), "query": q.String()})
+	switch q.Op() {
+	case repro.QueryCount:
+		if q.MinProb() > 0 {
+			enc.Encode(map[string]any{"kind": "count", "count": res.Count, "minprob": q.MinProb()})
+		} else {
+			enc.Encode(map[string]any{"kind": "count", "expected": res.Expected})
+		}
+	case repro.QueryExists:
+		enc.Encode(map[string]any{
+			"kind": "exists", "exists": res.Exists, "p": res.Prob, "early_stop": res.EarlyStop,
+		})
+	case repro.QueryTopK:
+		for _, row := range res.Rows {
+			enc.Encode(map[string]any{
+				"kind": "row", "index": row.Index, "values": s.labels(row.Tuple),
+				"p": row.Prob, "certain": row.Certain,
+			})
+		}
+	case repro.QueryGroupBy:
+		for _, g := range res.Groups {
+			enc.Encode(map[string]any{
+				"kind": "group", "value": g.Label, "expected": g.Expected, "variance": g.Variance,
+			})
+		}
+	}
+	c := res.Counters
+	enc.Encode(map[string]any{
+		"kind": "summary", "scanned": c.Scanned, "pruned": c.Pruned,
+		"bounded": c.Bounded, "derived": c.Derived,
+	})
+	if ew.err != nil {
+		// The client went away mid-stream: the response is truncated, so
+		// the request did not succeed.
+		s.failed.Add(1)
+	}
+}
+
+// errWriter records the first write error and drops everything after it,
+// so a disconnected client stops the stream instead of being encoded to
+// in vain.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
+// labels renders a complete tuple's value codes as domain labels.
+func (s *server) labels(t repro.Tuple) []string {
+	out := make([]string, len(t))
+	for a, v := range t {
+		out[a] = s.model.Schema.Attrs[a].Domain[v]
+	}
+	return out
+}
+
+// queryFromRequest builds a compiled query from the request's URL
+// parameters.
+func queryFromRequest(schema *repro.Schema, r *http.Request) (*repro.CompiledQuery, error) {
+	vals := r.URL.Query()
+	op, err := repro.ParseQueryOp(cmp.Or(vals.Get("op"), "count"))
+	if err != nil {
+		return nil, err
+	}
+	spec := repro.QuerySpec{
+		Op:      op,
+		Where:   vals.Get("where"),
+		GroupBy: vals.Get("groupby"),
+	}
+	if v := vals.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			// k >= 1 keeps served topk results (and server memory) bounded;
+			// the unbounded k <= 0 form stays a library/CLI affordance.
+			return nil, fmt.Errorf("query parameter k must be a positive integer, got %q", v)
+		}
+		spec.K = n
+	} else if op == repro.QueryTopK {
+		spec.K = 10
+	}
+	if v := vals.Get("minprob"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query parameter minprob must be a number, got %q", v)
+		}
+		spec.MinProb = p
+	}
+	return repro.CompileQuery(schema, spec)
+}
+
 // statsResponse is the /stats payload: the engine's cache counters plus
 // serving-level bookkeeping.
 type statsResponse struct {
-	Engine        repro.EngineStats `json:"engine"`
-	VoteHitRate   float64           `json:"vote_hit_rate"`
-	GibbsHitRate  float64           `json:"gibbs_hit_rate"`
-	CPDHitRate    float64           `json:"cpd_hit_rate"`
-	Evictions     int64             `json:"evictions"`
-	Requests      int64             `json:"requests"`
-	Failed        int64             `json:"failed"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
+	Engine         repro.EngineStats `json:"engine"`
+	VoteHitRate    float64           `json:"vote_hit_rate"`
+	GibbsHitRate   float64           `json:"gibbs_hit_rate"`
+	CPDHitRate     float64           `json:"cpd_hit_rate"`
+	Evictions      int64             `json:"evictions"`
+	BoundTightness float64           `json:"query_bound_tightness"`
+	Requests       int64             `json:"requests"`
+	Failed         int64             `json:"failed"`
+	Rejected       int64             `json:"rejected"`
+	UptimeSeconds  float64           `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statsResponse{
-		Engine:        st,
-		VoteHitRate:   st.VoteHitRate(),
-		GibbsHitRate:  st.GibbsHitRate(),
-		CPDHitRate:    st.CPDHitRate(),
-		Evictions:     st.Evictions + st.CPDEvictions,
-		Requests:      s.requests.Load(),
-		Failed:        s.failed.Load(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Engine:         st,
+		VoteHitRate:    st.VoteHitRate(),
+		GibbsHitRate:   st.GibbsHitRate(),
+		CPDHitRate:     st.CPDHitRate(),
+		Evictions:      st.Evictions + st.CPDEvictions,
+		BoundTightness: st.QueryBoundTightness(),
+		Requests:       s.requests.Load(),
+		Failed:         s.failed.Load(),
+		Rejected:       s.rejected.Load(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
 	})
 }
 

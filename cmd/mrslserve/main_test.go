@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
@@ -51,14 +53,19 @@ func matchmakingFixture(t *testing.T) (*repro.Model, *repro.Relation, []byte) {
 }
 
 func startServer(t *testing.T, model *repro.Model) *httptest.Server {
+	ts, _ := startServerInflight(t, model, 0)
+	return ts
+}
+
+func startServerInflight(t *testing.T, model *repro.Model, maxInflight int) (*httptest.Server, *server) {
 	t.Helper()
-	srv, err := newServer(model, serveOptions())
+	srv, err := newServer(model, serveOptions(), maxInflight)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv) // random port
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, srv
 }
 
 func postDerive(t *testing.T, ts *httptest.Server, body []byte, query string) []byte {
@@ -185,6 +192,152 @@ func TestServeRepeatedRequestsShareCaches(t *testing.T) {
 	}
 	if st.Engine.GibbsComputed == 0 || st.Engine.MultiTuples != 2*st.Engine.GibbsComputed {
 		t.Errorf("gibbs cache did not dedup across requests: %+v", st.Engine)
+	}
+}
+
+// TestServeQueryEndpoint posts a count and a topk query and checks the
+// streamed NDJSON against evaluating the same query on a fresh local
+// engine with the same options — the serving path adds transport, not
+// semantics — and that the summary reports genuine pruning.
+func TestServeQueryEndpoint(t *testing.T) {
+	model, rel, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	post := func(params string) []map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query?"+params, "text/csv", bytes.NewReader(csvBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /query: status %d: %s", resp.StatusCode, out)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+		}
+		var recs []map[string]any
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			var r map[string]any
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+			recs = append(recs, r)
+		}
+		return recs
+	}
+
+	attr := model.Schema.Attrs[0]
+	where := attr.Name + "=" + attr.Domain[0]
+
+	// Local reference on a fresh engine with the same options.
+	eng, err := repro.NewEngine(model, serveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := repro.CompileQuery(model.Schema, repro.QuerySpec{Op: repro.QueryCount, Where: where})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Query(context.Background(), rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := post("op=count&where=" + url.QueryEscape(where))
+	if recs[0]["kind"] != "query" || recs[0]["op"] != "count" {
+		t.Fatalf("first record = %v, want query/count header", recs[0])
+	}
+	count := recs[1]
+	if count["kind"] != "count" || count["expected"].(float64) != want.Expected {
+		t.Errorf("count record = %v, want expected %v (bit-identical)", count, want.Expected)
+	}
+	summary := recs[len(recs)-1]
+	if summary["kind"] != "summary" {
+		t.Fatalf("last record = %v, want summary", summary)
+	}
+	if summary["pruned"].(float64) == 0 {
+		t.Errorf("selective query pruned nothing: %v", summary)
+	}
+
+	recs = post("op=topk&k=3&where=" + url.QueryEscape(where))
+	var rows int
+	for _, r := range recs {
+		if r["kind"] == "row" {
+			rows++
+			if len(r["values"].([]any)) != model.Schema.NumAttrs() {
+				t.Errorf("row values %v do not cover the schema", r["values"])
+			}
+		}
+	}
+	if rows == 0 || rows > 3 {
+		t.Errorf("topk streamed %d rows, want 1..3", rows)
+	}
+
+	// Bad queries are rejected up front with 400.
+	for _, params := range []string{"op=explode", "op=count", "op=count&where=bogus%3D1", "op=topk&where=x&k=banana"} {
+		resp, err := http.Post(ts.URL+"/query?"+params, "text/csv", bytes.NewReader(csvBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST /query?%s: status %d, want 400", params, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeAdmissionControl fills the admission semaphore and checks that
+// the next request is rejected with 429 + Retry-After instead of queuing,
+// and that /stats surfaces the accepted/rejected split.
+func TestServeAdmissionControl(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts, srv := startServerInflight(t, model, 1)
+
+	first := postDerive(t, ts, csvBody, "") // take the measure of a served request
+	if len(first) == 0 {
+		t.Fatal("admitted request returned nothing")
+	}
+
+	srv.slots <- struct{}{} // occupy the only slot
+	for _, path := range []string{"/derive", "/query?op=count&where=x"} {
+		resp, err := http.Post(ts.URL+path, "text/csv", bytes.NewReader(csvBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("POST %s while saturated: status %d, want 429", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("POST %s while saturated: missing Retry-After", path)
+		}
+	}
+	<-srv.slots
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.Rejected != 2 {
+		t.Errorf("stats: requests=%d rejected=%d, want 1 accepted / 2 rejected", st.Requests, st.Rejected)
+	}
+
+	// The slot is free again: the server admits new work.
+	second := postDerive(t, ts, csvBody, "")
+	if !bytes.Equal(first, second) {
+		t.Error("request after saturation is not byte-identical to the first")
 	}
 }
 

@@ -76,12 +76,56 @@
 // request interleaving. (DAG-mode joints are the documented exception:
 // that estimator is workload-dependent by construction.)
 //
+// # Querying
+//
+// The derived database exists to be queried, and queries rarely need all
+// of it. The engine-native query subsystem (internal/query, surfaced as
+// CompileQuery and Engine.Query) evaluates conjunctive predicates —
+// equality and domain-order comparisons, several per attribute — under
+// four operators: count (expected satisfying count, or the number of
+// tuples reaching a probability threshold), exists (probability that at
+// least one tuple satisfies, under block independence), topk (the most
+// probable satisfying completions, ties bit-stable in input order), and
+// groupby (the expected histogram of one attribute, optionally
+// filtered):
+//
+//	q, _ := repro.CompileQuery(model.Schema, repro.QuerySpec{
+//		Op: repro.QueryTopK, Where: "age=30,inc>=100K", K: 5,
+//	})
+//	res, _ := eng.Query(ctx, rel, q)
+//
+// Evaluation is extensional and exact with pruning: on a chains-mode
+// engine (Workers > 1; the tuple-DAG sampler keeps its documented
+// workload-dependence) every answer is bit-identical to deriving the
+// full database through the same engine and evaluating the stream
+// naively, yet selective queries infer only a fraction of the tuples. Tuples whose evidence refutes the predicates
+// (or whose compiled satisfying set is empty) are pruned with no
+// inference; complete tuples are decided by evidence; single-missing
+// tuples are decided from the voted marginal CPD served by the engine's
+// shared CPD cache — the same estimate full derivation would expand into
+// a block, summed in block-alternative order so not even the last bit
+// differs — and only multi-missing tuples, whose voted marginals are an
+// approximation rather than a bound, are scheduled for full derivation.
+// Exists stops at the first certain witness or once its accumulated
+// probability crosses the threshold; topk stops once k certain rows make
+// every later row undeniably worse. EngineStats reports the achieved
+// pruning (QueryTuples, QueryPruned, QueryBounded, QueryDerived, and
+// QueryBoundTightness), and cmd/mrslserve exposes the same evaluation
+// over HTTP as POST /query (NDJSON: a query record, one record per
+// result, a summary with the pruning counters).
+//
+// Engine streams and queries accept a context (DeriveStreamContext,
+// DeriveToContext, Query): cancellation stops scheduling and waiting
+// immediately, while work already claimed is completed into the caches,
+// never abandoned half-done — so a disconnected HTTP client cancels its
+// in-flight derivation without poisoning anything shared.
+//
 // The cmd/ directory ships six tools (mrslserve serves streaming
-// derivations over HTTP from one long-lived engine; mrslbench
-// regenerates every table and figure of the paper plus engine ablations;
-// mrslquery answers count/topk/groupby queries over incomplete CSV data
-// via lazy or streaming derivation; mrsllearn, mrslinfer, and bngen
-// operate on CSV data), and examples/ contains runnable walkthroughs,
-// starting with the paper's own matchmaking relation in
-// examples/quickstart.
+// derivations and queries over HTTP from one long-lived engine;
+// mrslbench regenerates every table and figure of the paper plus engine
+// ablations; mrslquery answers count/exists/topk/groupby queries over
+// incomplete CSV data through the engine's pruning evaluator; mrsllearn,
+// mrslinfer, and bngen operate on CSV data), and examples/ contains
+// runnable walkthroughs, starting with the paper's own matchmaking
+// relation in examples/quickstart.
 package repro

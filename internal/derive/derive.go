@@ -40,6 +40,7 @@
 package derive
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -180,6 +181,43 @@ type Stats struct {
 	// cache: probes served, probes missed, and entries dropped by its
 	// CLOCK sweep.
 	CPDHits, CPDMisses, CPDEvictions int64
+
+	// Query counters, reported by the extensional query evaluator
+	// (internal/query) through RecordQuery. They partition the tuples a
+	// query scanned by how much inference each one cost.
+
+	// Queries counts completed query evaluations against the engine.
+	Queries int64
+	// QueryTuples counts input tuples scanned by queries.
+	QueryTuples int64
+	// QueryPruned counts tuples decided with no inference at all:
+	// complete tuples, tuples whose known values (or a structurally
+	// empty satisfying set) refuted the predicates outright, and tuples
+	// early termination made irrelevant.
+	QueryPruned int64
+	// QueryBounded counts tuples decided from per-attribute marginal
+	// bounds served by the shared CPD cache — a vote, but never a block
+	// expansion or a Gibbs chain.
+	QueryBounded int64
+	// QueryDerived counts tuples queries sent to full block derivation.
+	QueryDerived int64
+	// QueryBoundWidth accumulates the width of the probability bound
+	// interval each scanned tuple ended with before it was decided or
+	// scheduled: 0 for evidence- or CPD-decided tuples, 1 for tuples whose
+	// bounds stayed vacuous and had to be derived.
+	QueryBoundWidth float64
+}
+
+// QueryBoundTightness returns 1 minus the average bound-interval width
+// over all query-scanned tuples that were classified (pruned, bounded, or
+// derived) — 1 when bounds alone decided every tuple, 0 when every tuple
+// needed full derivation.
+func (s Stats) QueryBoundTightness() float64 {
+	classified := s.QueryPruned + s.QueryBounded + s.QueryDerived
+	if classified == 0 {
+		return 0
+	}
+	return 1 - s.QueryBoundWidth/float64(classified)
 }
 
 // CPDHitRate returns the fraction of local-CPD probes served from the
@@ -285,6 +323,12 @@ func New(model *core.Model, cfg Config) (*Engine, error) {
 // Model returns the model the engine serves.
 func (e *Engine) Model() *core.Model { return e.model }
 
+// MaxAlternatives returns the engine's block-alternative cap (<= 0 keeps
+// every completion). The query evaluator consults it: only uncapped
+// blocks equal the marginal CPD, so bound-based pruning is sound only
+// when it is <= 0.
+func (e *Engine) MaxAlternatives() int { return e.cfg.MaxAlternatives }
+
 // Stats returns a snapshot of the engine's cache instrumentation.
 func (e *Engine) Stats() Stats {
 	cpd := e.cpd.Stats()
@@ -324,6 +368,46 @@ func (e *Engine) lookup(m *clockcache.Map[*entry], key []byte, computed, served,
 	return en, true
 }
 
+// RecordQuery folds one query evaluation's pruning counters into the
+// engine stats. internal/query calls it once per completed evaluation.
+func (e *Engine) RecordQuery(tuples, pruned, bounded, derived int64, boundWidth float64) {
+	e.mu.Lock()
+	e.stats.Queries++
+	e.stats.QueryTuples += tuples
+	e.stats.QueryPruned += pruned
+	e.stats.QueryBounded += bounded
+	e.stats.QueryDerived += derived
+	e.stats.QueryBoundWidth += boundWidth
+	e.mu.Unlock()
+}
+
+// MarginalCPD returns the voted distribution of attribute attr — which
+// must be missing in t — given t's known values, through the engine's
+// shared local-CPD cache: the same estimate, from the same cache slot, the
+// single-missing derivation path uses. hit reports whether it was served
+// from cache. The returned distribution is shared and must not be mutated.
+//
+// For a single-missing tuple this marginal is exactly the derived block's
+// distribution, so query evaluation can decide such tuples without ever
+// expanding a block. For multi-missing tuples the voted marginal is a
+// different estimator than the Gibbs joint's marginal — an approximation,
+// not a bound — so exact evaluation must not prune on it.
+func (e *Engine) MarginalCPD(t relation.Tuple, attr int) (d dist.Dist, hit bool, err error) {
+	if attr < 0 || attr >= len(t) || t[attr] != relation.Missing {
+		return nil, false, fmt.Errorf("derive: attribute %d is not missing in %v", attr, t)
+	}
+	key := gibbs.AppendCPDKey(nil, attr, e.cfg.Method, t)
+	if d, ok := e.cpd.Get(key); ok {
+		return d, true, nil
+	}
+	d, err = vote.Infer(e.model, t, attr, e.cfg.Method)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cpd.Put(key, d)
+	return d, false, nil
+}
+
 // voteJoint runs single-attribute ensemble voting (Algorithm 2) for the
 // one missing attribute of t and lifts the estimate into a 1-attribute
 // joint. It shares the engine's CPD cache with the Gibbs chains: a
@@ -332,15 +416,9 @@ func (e *Engine) lookup(m *clockcache.Map[*entry], key []byte, computed, served,
 // spares the other the vote.
 func (e *Engine) voteJoint(t relation.Tuple) (*dist.Joint, error) {
 	attr := t.MissingAttrs()[0]
-	key := gibbs.AppendCPDKey(nil, attr, e.cfg.Method, t)
-	d, ok := e.cpd.Get(key)
-	if !ok {
-		var err error
-		d, err = vote.Infer(e.model, t, attr, e.cfg.Method)
-		if err != nil {
-			return nil, err
-		}
-		e.cpd.Put(key, d)
+	d, _, err := e.MarginalCPD(t, attr)
+	if err != nil {
+		return nil, err
 	}
 	j, err := dist.NewJoint([]int{attr}, []int{e.model.Schema.Attrs[attr].Card()})
 	if err != nil {
@@ -365,15 +443,28 @@ func (e *Engine) chainJoint(t relation.Tuple) (*dist.Joint, error) {
 
 // resolveVote returns the memoized vote joint for t, computing it if this
 // caller claims the cache slot and waiting for the in-flight computation
-// otherwise. It is the emitter's fetch path, so it counts served tuples.
-func (e *Engine) resolveVote(t relation.Tuple, key []byte) (*pdb.Block, error) {
+// otherwise (or until ctx is canceled). It is the emitter's fetch path, so
+// it counts served tuples. hit reports whether the entry already existed.
+func (e *Engine) resolveVote(ctx context.Context, t relation.Tuple, key []byte) (b *pdb.Block, hit bool, err error) {
 	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed, &e.stats.SingleTuples, nil)
 	if claimed {
 		e.fillVote(en, t)
-	} else {
-		<-en.ready
+	} else if err := waitReady(ctx, en.ready); err != nil {
+		return nil, true, err
 	}
-	return en.block, en.err
+	return en.block, !claimed, en.err
+}
+
+// waitReady blocks until ready closes or ctx is canceled. A canceled wait
+// never abandons a claimed computation — the claimer always finishes and
+// closes the entry, so the cache is never poisoned by cancellation.
+func waitReady(ctx context.Context, ready <-chan struct{}) error {
+	select {
+	case <-ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // prefetchVote warms the vote cache slot for t without blocking on entries
@@ -397,16 +488,108 @@ func (e *Engine) fillVote(en *entry, t relation.Tuple) {
 
 // resolveGibbs returns the memoized multi-missing joint for t in chain
 // mode, sampling inline if this caller claims the slot (the emitter steals
-// work the prefetch pool has not reached) and waiting otherwise. It is the
-// emitter's fetch path, so it counts served tuples and cache hits.
-func (e *Engine) resolveGibbs(t relation.Tuple, key []byte) (*pdb.Block, error) {
+// work the prefetch pool has not reached) and waiting otherwise (or until
+// ctx is canceled). It is the emitter's fetch path, so it counts served
+// tuples and cache hits.
+func (e *Engine) resolveGibbs(ctx context.Context, t relation.Tuple, key []byte) (b *pdb.Block, hit bool, err error) {
 	en, claimed := e.lookup(e.gibbs, key, nil, &e.stats.MultiTuples, &e.stats.GibbsCacheHits)
 	if claimed {
 		e.fillGibbs(en, t)
-	} else {
-		<-en.ready
+	} else if err := waitReady(ctx, en.ready); err != nil {
+		return nil, true, err
 	}
-	return en.block, en.err
+	return en.block, !claimed, en.err
+}
+
+// resolveDAG serves a multi-missing tuple on a DAG-mode engine: from the
+// cross-request joint cache when its estimate is already there, otherwise
+// by running a single-tuple DAG batch (deterministic per tuple — a
+// one-tuple workload has no subsumption partners to share samples with).
+// Which workload a shared tuple was first sampled alongside still decides
+// its cached estimate; that DAG-mode caveat is unchanged. Cancellation is
+// batch-grained: ctx is honored before a batch starts (including after
+// the wait on the engine's DAG serialization), but a batch already
+// sampling runs to completion, exactly like StreamContext's background
+// DAG batch.
+func (e *Engine) resolveDAG(ctx context.Context, t relation.Tuple) (*pdb.Block, bool, error) {
+	k := t.Key()
+	e.mu.Lock()
+	e.stats.MultiTuples++
+	j, hit := e.joints.GetString(k)
+	if hit {
+		e.stats.GibbsCacheHits++
+	}
+	e.mu.Unlock()
+	if !hit {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		byKey, err := e.inferMulti(ctx, []relation.Tuple{t})
+		if err != nil {
+			return nil, false, err
+		}
+		j = byKey[k]
+	}
+	b, err := e.block(t, j)
+	return b, hit, err
+}
+
+// ResolveBlock returns the completion block of one incomplete tuple
+// through the engine's caches, exactly as a Stream over a relation
+// containing t would emit it: single-missing tuples via the shared vote
+// path, multi-missing tuples via the engine's estimator (content-seeded
+// chains, or a single-tuple DAG batch on a DAG-mode engine). hit reports
+// whether the answer was served from a cache rather than inferred by this
+// call. It is the per-tuple entry point of the query evaluator and the
+// lazy database; the returned block is shared and must be treated as
+// immutable.
+func (e *Engine) ResolveBlock(ctx context.Context, t relation.Tuple) (b *pdb.Block, hit bool, err error) {
+	switch {
+	case t.IsComplete():
+		return nil, false, fmt.Errorf("derive: tuple %v is complete", t)
+	case t.NumMissing() == 1:
+		return e.resolveVote(ctx, t, t.AppendKey(nil))
+	case e.cfg.chains():
+		return e.resolveGibbs(ctx, t, t.AppendKey(nil))
+	default:
+		return e.resolveDAG(ctx, t)
+	}
+}
+
+// PrefetchBlocks warms the engine's caches for the given incomplete
+// tuples across the request's worker pools, in order, until every tuple is
+// claimed or ctx is canceled. Pool sizes affect scheduling only — a
+// subsequent ResolveBlock serves bit-identical results whether or not the
+// prefetch ran. Complete tuples are skipped; on a DAG-mode engine
+// multi-missing tuples are skipped too (DAG batches are serialized on the
+// engine, so there is nothing to shard). It blocks until its workers have
+// drained.
+func (e *Engine) PrefetchBlocks(ctx context.Context, tuples []relation.Tuple, pools Pools) {
+	var singles, multis []relation.Tuple
+	for _, t := range tuples {
+		switch {
+		case t.IsComplete():
+		case t.NumMissing() == 1:
+			singles = append(singles, t)
+		case e.cfg.chains():
+			multis = append(multis, t)
+		}
+	}
+	// quit is never closed here: the dispatchers run to the end of their
+	// tuple lists unless ctx cancels them.
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	if len(singles) > 0 {
+		singles = distinctTuples(singles)
+		e.spawnPool(ctx, &wg, quit, poolSize(pools.VoteWorkers, e.cfg.VoteWorkers, len(singles)),
+			singles, e.prefetchVote)
+	}
+	if len(multis) > 0 {
+		multis = distinctTuples(multis)
+		e.spawnPool(ctx, &wg, quit, poolSize(pools.GibbsWorkers, e.cfg.GibbsWorkers, len(multis)),
+			multis, e.prefetchGibbs)
+	}
+	wg.Wait()
 }
 
 // prefetchGibbs warms the joint cache slot for t without blocking on
@@ -439,10 +622,15 @@ func (e *Engine) fillGibbs(en *entry, t relation.Tuple) {
 // overwrite each other's cached joints. (Which workload a shared tuple
 // is sampled alongside still depends on arrival order — the DAG
 // estimator is workload-dependent by construction, which is why serving
-// deployments should prefer chains.)
-func (e *Engine) inferMulti(workload []relation.Tuple) (map[string]*dist.Joint, error) {
+// deployments should prefer chains.) ctx is consulted once more after
+// the dagMu wait, so a request canceled while queued behind another
+// batch never starts sampling; a started batch runs to completion.
+func (e *Engine) inferMulti(ctx context.Context, workload []relation.Tuple) (map[string]*dist.Joint, error) {
 	e.dagMu.Lock()
 	defer e.dagMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	byKey := make(map[string]*dist.Joint)
 	var todo []relation.Tuple
 	e.mu.Lock()
@@ -493,31 +681,45 @@ func (e *Engine) block(t relation.Tuple, j *dist.Joint) (*pdb.Block, error) {
 
 // Stream derives the probabilistic database of rel and emits it item by
 // item, in input order, with the engine's default pool sizes. See
-// StreamPools.
+// StreamContext.
 func (e *Engine) Stream(rel *relation.Relation, emit EmitFunc) error {
-	return e.StreamPools(rel, Pools{}, emit)
+	return e.StreamContext(context.Background(), rel, Pools{}, emit)
 }
 
-// StreamPools derives the probabilistic database of rel and emits it item
-// by item, in input order: complete tuples pass through as certain items,
-// incomplete tuples arrive as blocks. Single-missing voting runs on a
-// per-request worker pool concurrently with emission. Multi-missing
+// StreamPools is Stream with per-request pool sizes.
+func (e *Engine) StreamPools(rel *relation.Relation, pools Pools, emit EmitFunc) error {
+	return e.StreamContext(context.Background(), rel, pools, emit)
+}
+
+// StreamContext derives the probabilistic database of rel and emits it
+// item by item, in input order: complete tuples pass through as certain
+// items, incomplete tuples arrive as blocks. Single-missing voting runs on
+// a per-request worker pool concurrently with emission. Multi-missing
 // sampling is scheduled per block on its own per-request pool in chain
 // mode, so each block becomes available as soon as its own chain has run;
 // in DAG mode it runs as one background batch and the emitter blocks on
 // it only when it reaches the first multi-missing tuple. If emit returns
-// an error the stream stops and StreamPools returns that error after
-// draining its workers. Overlapping calls from multiple goroutines are
-// safe and share the engine's caches.
-func (e *Engine) StreamPools(rel *relation.Relation, pools Pools, emit EmitFunc) error {
-	err := e.stream(rel, pools, emit)
+// an error the stream stops and StreamContext returns that error after
+// draining its workers.
+//
+// Canceling ctx stops the stream: the dispatchers stop scheduling new
+// work, the emitter stops waiting for in-flight entries, and
+// StreamContext returns ctx.Err() once the pool workers have drained
+// their current items. Work already claimed when the cancel lands is
+// always completed (and cached) rather than abandoned, so cancellation
+// never poisons the shared caches; a DAG-mode background batch, which has
+// no per-tuple grain, finishes in the background after StreamContext
+// returns. Overlapping calls from multiple goroutines are safe and share
+// the engine's caches.
+func (e *Engine) StreamContext(ctx context.Context, rel *relation.Relation, pools Pools, emit EmitFunc) error {
+	err := e.stream(ctx, rel, pools, emit)
 	e.mu.Lock()
 	e.stats.Streams++
 	e.mu.Unlock()
 	return err
 }
 
-func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) error {
+func (e *Engine) stream(ctx context.Context, rel *relation.Relation, pools Pools, emit EmitFunc) error {
 	if rel == nil {
 		return fmt.Errorf("derive: nil relation")
 	}
@@ -556,13 +758,15 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 	if len(multi) > 0 {
 		if e.cfg.chains() {
 			distinct := distinctTuples(multi)
-			e.spawnPool(&wg, quit, poolSize(pools.GibbsWorkers, e.cfg.GibbsWorkers, len(distinct)),
+			e.spawnPool(ctx, &wg, quit, poolSize(pools.GibbsWorkers, e.cfg.GibbsWorkers, len(distinct)),
 				distinct, e.prefetchGibbs)
 		} else {
 			multiDone = make(chan struct{})
 			go func() {
 				defer close(multiDone)
-				multiJoints, multiErr = e.inferMulti(multi)
+				// The holistic batch deliberately outlives a canceled
+				// stream (see StreamContext), so it does not take ctx.
+				multiJoints, multiErr = e.inferMulti(context.Background(), multi)
 			}()
 		}
 	}
@@ -579,7 +783,7 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 			}
 		}
 		singles = distinctTuples(singles)
-		e.spawnPool(&wg, quit, poolSize(pools.VoteWorkers, e.cfg.VoteWorkers, len(singles)),
+		e.spawnPool(ctx, &wg, quit, poolSize(pools.VoteWorkers, e.cfg.VoteWorkers, len(singles)),
 			singles, e.prefetchVote)
 	}
 
@@ -590,26 +794,33 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 	var err error
 	var keyBuf []byte
 	for i, t := range rel.Tuples {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		switch {
 		case t.IsComplete():
 			err = emit(Item{Index: i, Tuple: t})
 		case t.NumMissing() == 1:
 			keyBuf = t.AppendKey(keyBuf[:0])
 			var b *pdb.Block
-			b, err = e.resolveVote(t, keyBuf)
+			b, _, err = e.resolveVote(ctx, t, keyBuf)
 			if err == nil {
 				err = emit(Item{Index: i, Tuple: t, Block: b})
 			}
 		case e.cfg.chains():
 			keyBuf = t.AppendKey(keyBuf[:0])
 			var b *pdb.Block
-			b, err = e.resolveGibbs(t, keyBuf)
+			b, _, err = e.resolveGibbs(ctx, t, keyBuf)
 			if err == nil {
 				err = emit(Item{Index: i, Tuple: t, Block: b})
 			}
 		default:
-			<-multiDone
-			err = multiErr
+			select {
+			case <-multiDone:
+				err = multiErr
+			case <-ctx.Done():
+				err = ctx.Err()
+			}
 			if err == nil {
 				e.mu.Lock()
 				e.stats.MultiTuples++
@@ -626,16 +837,18 @@ func (e *Engine) stream(rel *relation.Relation, pools Pools, emit EmitFunc) erro
 	}
 	close(quit)
 	wg.Wait()
-	if multiDone != nil {
+	if multiDone != nil && ctx.Err() == nil {
+		// A canceled stream does not wait for the holistic DAG batch; it
+		// completes in the background and lands in the joint cache.
 		<-multiDone
 	}
 	return err
 }
 
 // spawnPool starts a dispatcher plus workers goroutines that prefetch the
-// given tuples (in order) through warm, until done or quit. Each worker
-// reuses one key buffer across its tuples.
-func (e *Engine) spawnPool(wg *sync.WaitGroup, quit chan struct{}, workers int,
+// given tuples (in order) through warm, until done, quit closes, or ctx is
+// canceled. Each worker reuses one key buffer across its tuples.
+func (e *Engine) spawnPool(ctx context.Context, wg *sync.WaitGroup, quit chan struct{}, workers int,
 	tuples []relation.Tuple, warm func(relation.Tuple, []byte)) {
 	work := make(chan relation.Tuple)
 	for w := 0; w < workers; w++ {
@@ -657,6 +870,8 @@ func (e *Engine) spawnPool(wg *sync.WaitGroup, quit chan struct{}, workers int,
 			select {
 			case work <- t:
 			case <-quit:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}

@@ -1,6 +1,7 @@
 package derive
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -33,6 +34,16 @@ func (e *Engine) StreamTo(rel *relation.Relation, sink Sink) error {
 // StreamPoolsTo is StreamTo with per-request pool sizes.
 func (e *Engine) StreamPoolsTo(rel *relation.Relation, pools Pools, sink Sink) error {
 	if err := e.StreamPools(rel, pools, sink.Emit); err != nil {
+		return err
+	}
+	return sink.Close()
+}
+
+// StreamToContext is StreamTo with a cancellation context and per-request
+// pool sizes: canceling ctx stops the stream (see StreamContext) and the
+// sink is not closed, so a partial output is never flushed as complete.
+func (e *Engine) StreamToContext(ctx context.Context, rel *relation.Relation, pools Pools, sink Sink) error {
+	if err := e.StreamContext(ctx, rel, pools, sink.Emit); err != nil {
 		return err
 	}
 	return sink.Close()

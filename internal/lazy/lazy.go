@@ -6,15 +6,25 @@
 // tuple against the query's conditions: tuples whose known values already
 // refute or entail the query cost nothing, tuples with one open condition
 // are resolved by a single voted CPD lookup, and only tuples with several
-// open conditions pay for Gibbs sampling. Inferred distributions are
-// memoized, so repeated queries amortize — the partial materialization the
-// paper anticipates.
+// open conditions pay for Gibbs sampling.
+//
+// Since the engine-native query subsystem (internal/query) landed, a DB
+// is a thin adapter over a private derive.Engine: the voted-CPD and joint
+// memos that used to live here are the engine's shared caches, so the
+// partial materialization the paper anticipates is the same storage the
+// serving and query paths amortize into. Unlike internal/query — whose
+// contract is bit-identity with full derivation — TupleProb keeps this
+// package's historical approximate semantics: a tuple with exactly one
+// open condition attribute is answered from the voted marginal CPD even
+// when other, unqueried attributes are missing too.
 package lazy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/derive"
 	"repro/internal/dist"
 	"repro/internal/gibbs"
 	"repro/internal/pdb"
@@ -44,24 +54,20 @@ type Stats struct {
 	SingleLookups int
 	// GibbsRuns counts multi-attribute Gibbs inferences.
 	GibbsRuns int
-	// CacheHits counts memoized reuses of previously inferred
-	// distributions.
+	// CacheHits counts reuses of previously inferred distributions,
+	// served from the underlying engine's shared caches.
 	CacheHits int
 }
 
 // DB is a lazily derived probabilistic database over an incomplete
-// relation.
+// relation, backed by a derivation engine whose caches persist across
+// queries.
 type DB struct {
 	model *core.Model
 	rel   *relation.Relation
 	cfg   Config
 
-	sampler *gibbs.Sampler
-
-	// singles memoizes voted CPDs keyed by tuple key + attribute.
-	singles map[string]dist.Dist
-	// joints memoizes Gibbs joints keyed by tuple key.
-	joints map[string]*dist.Joint
+	eng *derive.Engine
 
 	stats Stats
 }
@@ -79,23 +85,22 @@ func New(m *core.Model, rel *relation.Relation, cfg Config) (*DB, error) {
 	if samples <= 0 {
 		samples = 1000
 	}
-	s, err := gibbs.New(m, gibbs.Config{
-		Samples: samples,
-		BurnIn:  cfg.BurnIn,
-		Method:  cfg.Method,
-		Seed:    cfg.Seed,
+	// Per-tuple content-seeded chains (GibbsWorkers 1), so a joint's
+	// estimate does not depend on which query resolved it first.
+	eng, err := derive.New(m, derive.Config{
+		Method: cfg.Method,
+		Gibbs: gibbs.Config{
+			Samples: samples,
+			BurnIn:  cfg.BurnIn,
+			Method:  cfg.Method,
+			Seed:    cfg.Seed,
+		},
+		GibbsWorkers: 1,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
-		model:   m,
-		rel:     rel,
-		cfg:     cfg,
-		sampler: s,
-		singles: make(map[string]dist.Dist),
-		joints:  make(map[string]*dist.Joint),
-	}, nil
+	return &DB{model: m, rel: rel, cfg: cfg, eng: eng}, nil
 }
 
 // Stats returns the accumulated work counters.
@@ -133,72 +138,62 @@ func (db *DB) TupleProb(t relation.Tuple, q pdb.ConjQuery) (float64, error) {
 		db.stats.Entailed++
 		return 1, nil
 	}
-	// Open: probability that the open attributes take the queried values.
-	want := make(map[int]int, len(q))
-	for _, c := range q {
-		want[c.Attr] = c.Value
-	}
 	if len(openAttrs) == 1 {
 		attr := openAttrs[0]
 		d, err := db.singleCPD(t, attr)
 		if err != nil {
 			return 0, err
 		}
-		return d[want[attr]], nil
+		for _, c := range q {
+			if c.Attr == attr {
+				return d[c.Value], nil
+			}
+		}
 	}
-	j, err := db.jointDist(t)
+	// Several open conditions: only the joint over the missing attributes
+	// decides; the engine's block is its expanded form.
+	b, err := db.block(t)
 	if err != nil {
 		return 0, err
 	}
-	// Sum joint mass over outcomes where every open attribute matches.
+	pred := q.Predicate()
 	var p float64
-	vals := make([]int, len(j.Attrs))
-	for idx, mass := range j.P {
-		j.ValuesInto(idx, vals)
-		ok := true
-		for i, a := range j.Attrs {
-			if wantVal, queried := want[a]; queried && vals[i] != wantVal {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			p += mass
+	for _, a := range b.Alts {
+		if pred(a.Tuple) {
+			p += a.Prob
 		}
 	}
 	return p, nil
 }
 
-// singleCPD memoizes vote.Infer per (tuple, attribute).
+// singleCPD resolves the voted CPD of one missing attribute through the
+// engine's shared local-CPD cache.
 func (db *DB) singleCPD(t relation.Tuple, attr int) (dist.Dist, error) {
-	key := fmt.Sprintf("%s#%d", t.Key(), attr)
-	if d, ok := db.singles[key]; ok {
-		db.stats.CacheHits++
-		return d, nil
-	}
-	d, err := vote.Infer(db.model, t, attr, db.cfg.Method)
+	d, hit, err := db.eng.MarginalCPD(t, attr)
 	if err != nil {
 		return nil, err
 	}
-	db.stats.SingleLookups++
-	db.singles[key] = d
+	if hit {
+		db.stats.CacheHits++
+	} else {
+		db.stats.SingleLookups++
+	}
 	return d, nil
 }
 
-// jointDist memoizes Gibbs joints per tuple.
-func (db *DB) jointDist(t relation.Tuple) (*dist.Joint, error) {
-	key := t.Key()
-	if j, ok := db.joints[key]; ok {
-		db.stats.CacheHits++
-		return j, nil
-	}
-	j, err := db.sampler.InferTuple(t)
+// block resolves the completion block of a multi-missing tuple through
+// the engine's joint cache.
+func (db *DB) block(t relation.Tuple) (*pdb.Block, error) {
+	b, hit, err := db.eng.ResolveBlock(context.Background(), t)
 	if err != nil {
 		return nil, err
 	}
-	db.stats.GibbsRuns++
-	db.joints[key] = j
-	return j, nil
+	if hit {
+		db.stats.CacheHits++
+	} else {
+		db.stats.GibbsRuns++
+	}
+	return b, nil
 }
 
 // Materialize eagerly derives the block for one incomplete tuple (the
@@ -222,10 +217,28 @@ func (db *DB) Materialize(t relation.Tuple, maxAlts int) (*pdb.Block, error) {
 		copy(j.P, d)
 		return pdb.NewBlock(t, j, maxAlts)
 	default:
-		j, err := db.jointDist(t)
+		b, err := db.block(t)
 		if err != nil {
 			return nil, err
 		}
-		return pdb.NewBlock(t, j, maxAlts)
+		return capBlock(b, maxAlts), nil
 	}
+}
+
+// capBlock keeps the maxAlts most probable alternatives of an engine
+// block, renormalized, without mutating the shared original.
+func capBlock(b *pdb.Block, maxAlts int) *pdb.Block {
+	if maxAlts <= 0 || len(b.Alts) <= maxAlts {
+		return b
+	}
+	kept := make([]pdb.Alternative, maxAlts)
+	copy(kept, b.Alts[:maxAlts])
+	var s float64
+	for _, a := range kept {
+		s += a.Prob
+	}
+	for i := range kept {
+		kept[i].Prob /= s // alternatives always carry positive mass
+	}
+	return &pdb.Block{Base: b.Base, Alts: kept}
 }

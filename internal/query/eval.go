@@ -1,0 +1,580 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/derive"
+	"repro/internal/dist"
+	"repro/internal/pdb"
+	"repro/internal/relation"
+)
+
+// Row is one TopK result: a satisfying completion, its probability, and
+// its provenance. Rows of equal probability keep input order (and, within
+// one source tuple, the block's alternative order), so TopK output is
+// bit-stable for every worker count.
+type Row struct {
+	// Index is the source tuple's position in the input relation.
+	Index int
+	// Tuple is the satisfying completion.
+	Tuple relation.Tuple
+	// Prob is the completion's probability (1 for certain tuples).
+	Prob float64
+	// Certain reports a complete input tuple (no inference involved).
+	Certain bool
+}
+
+// Group is one bucket of a GroupBy histogram: the expected number of
+// satisfying tuples taking the value, with the variance of that count
+// (blocks contribute independent Bernoulli mass, certain tuples are
+// constant).
+type Group struct {
+	Value    int
+	Label    string
+	Expected float64
+	Variance float64
+}
+
+// Counters partition the tuples one evaluation scanned by how much
+// inference each cost. Scanned = Pruned + Bounded + Derived.
+type Counters struct {
+	// Scanned is the number of input tuples considered.
+	Scanned int64
+	// Pruned tuples cost no inference at all: complete tuples, tuples
+	// refuted by evidence or structure, and tuples skipped once early
+	// termination made their contribution irrelevant.
+	Pruned int64
+	// Bounded tuples were decided from the per-attribute marginal served
+	// by the engine's shared CPD cache — a vote at most, never a block
+	// expansion or a Gibbs chain.
+	Bounded int64
+	// Derived tuples were sent to full block derivation.
+	Derived int64
+	// BoundWidth accumulates the final bound-interval width per scanned
+	// tuple: 0 for pruned/bounded tuples (their probability was pinned
+	// exactly), 1 for derived tuples (their bounds stayed vacuous).
+	BoundWidth float64
+}
+
+// Result is the answer of one evaluation. The populated fields depend on
+// the operator; Counters is always set.
+type Result struct {
+	// Op echoes the evaluated operator.
+	Op Op
+
+	// Expected is the expected satisfying-tuple count (Count, no
+	// threshold).
+	Expected float64
+	// Count is the number of tuples whose satisfaction probability
+	// reached the threshold (Count with MinProb > 0).
+	Count int64
+
+	// Prob is the existence probability (Exists). When EarlyStop is set
+	// it is the partial accumulation at the moment the threshold was
+	// crossed — a sound lower bound, not the full product.
+	Prob float64
+	// Exists is the Exists decision: Prob > 0, or Prob >= MinProb when a
+	// threshold was given.
+	Exists bool
+	// EarlyStop reports that evaluation ended before the full scan
+	// because the answer could no longer change.
+	EarlyStop bool
+
+	// Rows are the TopK results, most probable first.
+	Rows []Row
+
+	// Groups is the GroupBy histogram, one entry per domain value.
+	Groups []Group
+
+	// Counters report the pruning achieved.
+	Counters Counters
+}
+
+// action is the per-tuple plan decided by the classification pass.
+type action uint8
+
+const (
+	// actSkip: no completion can satisfy the predicates — the tuple
+	// contributes exactly nothing.
+	actSkip action = iota
+	// actOne: a complete tuple satisfying every predicate — probability
+	// exactly 1, no inference.
+	actOne
+	// actBound: a single-missing tuple decidable from the voted marginal
+	// CPD, bit-identically to its derived block.
+	actBound
+	// actDerive: only the completion block decides the tuple.
+	actDerive
+)
+
+// plan classifies every input tuple into an action and collects the
+// prefetchable worklist: tuples to derive, plus bounded tuples — warming
+// a single-missing tuple's vote entry fills the very CPD slot
+// MarginalCPD reads, so full-scan operators shard the voting work across
+// the pools instead of voting sequentially in the fold loop.
+// Single-missing tuples take the CPD path only when the engine keeps
+// full blocks (MaxAlternatives <= 0): a capped block is renormalized, so
+// only the block itself reproduces the derived answer.
+func (q *Query) plan(eng *derive.Engine, rel *relation.Relation) (acts []action, work []relation.Tuple) {
+	useBounds := eng.MaxAlternatives() <= 0
+	acts = make([]action, len(rel.Tuples))
+	var buf []int
+	for i, t := range rel.Tuples {
+		c, open := q.classify(t, buf)
+		if open != nil {
+			buf = open[:0]
+		}
+		switch {
+		case c == refuted:
+			acts[i] = actSkip
+		case t.IsComplete():
+			acts[i] = actOne
+		case useBounds && t.NumMissing() == 1:
+			acts[i] = actBound
+			work = append(work, t)
+		default:
+			acts[i] = actDerive
+			work = append(work, t)
+		}
+	}
+	return acts, work
+}
+
+// satisfies reports whether the complete tuple u passes every predicate.
+func (q *Query) satisfies(u relation.Tuple) bool {
+	for _, a := range q.constrained {
+		if !q.sat[a].contains(u[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// altsProb sums the probability of the satisfying alternatives, in block
+// order — exactly the naive evaluation of a derived block.
+func (q *Query) altsProb(alts []pdb.Alternative) float64 {
+	var s float64
+	for _, a := range alts {
+		if q.satisfies(a.Tuple) {
+			s += a.Prob
+		}
+	}
+	return s
+}
+
+// valueMass is one positive-mass completion value of a marginal CPD.
+type valueMass struct {
+	v int
+	p float64
+}
+
+// orderedMass lists d's positive-mass values in the exact order
+// pdb.NewBlock would emit them as alternatives: built in value order,
+// stable-sorted by descending probability (so equal-probability values
+// keep value order). Replicating the order matters — float sums are
+// order-sensitive, and the evaluator's contract is bit-identity with the
+// derived block.
+func orderedMass(d dist.Dist) []valueMass {
+	ord := make([]valueMass, 0, len(d))
+	for v, p := range d {
+		if p > 0 {
+			ord = append(ord, valueMass{v: v, p: p})
+		}
+	}
+	slices.SortStableFunc(ord, func(x, y valueMass) int {
+		switch {
+		case x.p > y.p:
+			return -1
+		case x.p < y.p:
+			return 1
+		}
+		return 0
+	})
+	return ord
+}
+
+// distProb is the satisfaction probability of a single-missing tuple
+// whose missing attribute attr completes according to d: the sum of the
+// satisfying completions' mass, in block-alternative order, bit-identical
+// to altsProb over the block the derivation path would expand.
+func (q *Query) distProb(attr int, d dist.Dist) float64 {
+	set := q.sat[attr]
+	var s float64
+	for _, vm := range orderedMass(d) {
+		if set == nil || set.contains(vm.v) {
+			s += vm.p
+		}
+	}
+	return s
+}
+
+// distAlts expands the marginal CPD of a single-missing tuple into the
+// same completions, in the same order, as the derived block's
+// alternatives.
+func distAlts(t relation.Tuple, attr int, d dist.Dist) []pdb.Alternative {
+	ord := orderedMass(d)
+	alts := make([]pdb.Alternative, len(ord))
+	for i, vm := range ord {
+		tu := t.Clone()
+		tu[attr] = vm.v
+		alts[i] = pdb.Alternative{Tuple: tu, Prob: vm.p}
+	}
+	return alts
+}
+
+// Eval evaluates q over rel through eng with the engine's default pool
+// sizes. See EvalPools.
+func Eval(ctx context.Context, eng *derive.Engine, rel *relation.Relation, q *Query) (*Result, error) {
+	return EvalPools(ctx, eng, rel, q, derive.Pools{})
+}
+
+// EvalPools evaluates the compiled query over rel, extensionally, on top
+// of the engine's shared caches. Every answer is bit-identical to
+// deriving the full probabilistic database through the same engine and
+// evaluating naively over the stream, for every worker count — yet
+// selective queries touch only a fraction of the tuples:
+//
+//   - Tuples whose evidence refutes the predicates (or whose compiled
+//     satisfying set is empty) are pruned with no inference: every
+//     completion fails, so their contribution is exactly zero.
+//   - Complete tuples are decided by evidence alone.
+//   - Single-missing tuples are decided from the voted marginal CPD,
+//     served by the engine's shared CPD cache — the same estimate, from
+//     the same cache slot, full derivation would expand into the block —
+//     summed in block-alternative order so the answer is bit-identical
+//     without the block ever being built. (On an engine that caps block
+//     alternatives the cap renormalizes probabilities, so these tuples
+//     fall back to full derivation instead.)
+//   - Multi-missing tuples are the deliberate limit of pruning: their
+//     voted marginals are a different estimator than the Gibbs joint —
+//     an approximation, not a bound — so exactness demands scheduling
+//     them for full derivation through the engine's joint cache.
+//   - Exists stops at the first certain witness (a complete satisfying
+//     tuple pins the answer to exactly 1), and, under a probability
+//     threshold, as soon as the accumulated existence probability —
+//     which never decreases — reaches it. TopK stops once it holds k
+//     rows of probability 1: later rows tie at best, and ties keep input
+//     order.
+//
+// Count and GroupBy scan everything, so their worklist — bounded and
+// derived tuples alike — is prefetched through the request pools (sizes
+// affect scheduling only, never the answer); Exists under a threshold
+// resolves sequentially so early termination can cut the work short,
+// and TopK does the same exactly when its early stop can actually fire
+// (k > 0 with at least k complete satisfying tuples), prefetching
+// otherwise. Canceling ctx aborts evaluation with ctx.Err().
+//
+// The bit-identity contract holds on chains-mode engines (GibbsWorkers >
+// 0), whose multi-missing estimates are content-seeded per tuple. On a
+// DAG-mode engine the evaluator resolves each multi-missing tuple as a
+// single-tuple DAG batch, while full derivation samples the workload
+// holistically — the DAG estimator is workload-dependent by
+// construction, the same caveat derivation itself documents — so
+// DAG-mode answers match the oracle only for tuples already in the
+// joint cache.
+//
+// On success the evaluation's counters are folded into the engine's
+// stats (EngineStats' Query* fields).
+func EvalPools(ctx context.Context, eng *derive.Engine, rel *relation.Relation, q *Query, pools derive.Pools) (*Result, error) {
+	if eng == nil || rel == nil || q == nil {
+		return nil, fmt.Errorf("query: nil engine, relation, or query")
+	}
+	if d := eng.Model().Schema.Diff(rel.Schema); d != "" {
+		return nil, &derive.SchemaMismatchError{Model: eng.Model().Schema, Data: rel.Schema, Diff: d}
+	}
+	if d := eng.Model().Schema.Diff(q.schema); d != "" {
+		return nil, fmt.Errorf("query: compiled against a different schema: %s", d)
+	}
+	var (
+		res *Result
+		err error
+	)
+	switch q.op {
+	case Count:
+		res, err = q.evalCount(ctx, eng, rel, pools)
+	case Exists:
+		res, err = q.evalExists(ctx, eng, rel, pools)
+	case TopK:
+		res, err = q.evalTopK(ctx, eng, rel, pools)
+	case GroupBy:
+		res, err = q.evalGroupBy(ctx, eng, rel, pools)
+	default:
+		return nil, fmt.Errorf("query: unknown operation %v", q.op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &res.Counters
+	c.Scanned = int64(len(rel.Tuples))
+	c.Pruned = c.Scanned - c.Bounded - c.Derived
+	c.BoundWidth = float64(c.Derived)
+	eng.RecordQuery(c.Scanned, c.Pruned, c.Bounded, c.Derived, c.BoundWidth)
+	return res, nil
+}
+
+// tupleProb resolves the satisfaction probability of one planned tuple,
+// bumping the evaluation counters.
+func (q *Query) tupleProb(ctx context.Context, eng *derive.Engine, t relation.Tuple, act action, c *Counters) (float64, error) {
+	switch act {
+	case actSkip:
+		return 0, nil
+	case actOne:
+		return 1, nil
+	case actBound:
+		c.Bounded++
+		attr := t.MissingAttrs()[0]
+		d, _, err := eng.MarginalCPD(t, attr)
+		if err != nil {
+			return 0, err
+		}
+		return q.distProb(attr, d), nil
+	default:
+		c.Derived++
+		b, _, err := eng.ResolveBlock(ctx, t)
+		if err != nil {
+			return 0, err
+		}
+		return q.altsProb(b.Alts), nil
+	}
+}
+
+// evalCount folds per-tuple satisfaction probabilities in input order:
+// the expected count, or — with a threshold — the number of tuples whose
+// probability reaches it. The derivation worklist is prefetched in
+// parallel first; the fold then serves from warm caches.
+func (q *Query) evalCount(ctx context.Context, eng *derive.Engine, rel *relation.Relation, pools derive.Pools) (*Result, error) {
+	acts, work := q.plan(eng, rel)
+	if len(work) > 0 {
+		eng.PrefetchBlocks(ctx, work, pools)
+	}
+	res := &Result{Op: Count}
+	for i, t := range rel.Tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if acts[i] == actSkip {
+			continue // contributes exactly 0, and 0 is never >= a positive threshold
+		}
+		p, err := q.tupleProb(ctx, eng, t, acts[i], &res.Counters)
+		if err != nil {
+			return nil, err
+		}
+		if q.minProb > 0 {
+			if p >= q.minProb {
+				res.Count++
+			}
+		} else {
+			res.Expected += p
+		}
+	}
+	return res, nil
+}
+
+// evalExists computes the probability that at least one tuple satisfies
+// the predicates, 1 - prod(1 - p_t) under block independence. A complete
+// satisfying tuple is a certain witness: the product has an exactly-zero
+// factor, so the answer is exactly 1 with no inference at all. With a
+// threshold, evaluation runs sequentially and stops as soon as the
+// accumulated probability — which never decreases — reaches it; without
+// one, the remaining worklist is prefetched in parallel and folded fully.
+func (q *Query) evalExists(ctx context.Context, eng *derive.Engine, rel *relation.Relation, pools derive.Pools) (*Result, error) {
+	acts, work := q.plan(eng, rel)
+	res := &Result{Op: Exists}
+	for _, act := range acts {
+		if act == actOne {
+			res.Prob, res.Exists, res.EarlyStop = 1, true, true
+			return res, nil
+		}
+	}
+	miss := 1.0 // probability that no tuple satisfies
+	if q.minProb > 0 {
+		for i, t := range rel.Tuples {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if acts[i] == actSkip {
+				continue // factor 1 - 0: multiplying by 1 is exact
+			}
+			p, err := q.tupleProb(ctx, eng, t, acts[i], &res.Counters)
+			if err != nil {
+				return nil, err
+			}
+			miss *= 1 - p
+			if 1-miss >= q.minProb {
+				res.Prob, res.Exists, res.EarlyStop = 1-miss, true, true
+				return res, nil
+			}
+		}
+		res.Prob = 1 - miss
+		res.Exists = res.Prob >= q.minProb
+		return res, nil
+	}
+	if len(work) > 0 {
+		eng.PrefetchBlocks(ctx, work, pools)
+	}
+	for i, t := range rel.Tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if acts[i] == actSkip {
+			continue
+		}
+		p, err := q.tupleProb(ctx, eng, t, acts[i], &res.Counters)
+		if err != nil {
+			return nil, err
+		}
+		miss *= 1 - p
+	}
+	res.Prob = 1 - miss
+	res.Exists = res.Prob > 0
+	return res, nil
+}
+
+// evalTopK folds the satisfying completions into the k most probable
+// rows, holding at most k rows at any time. Insertion order is input
+// order and equal-probability rows keep it, so the result is exactly the
+// stable descending sort of the full selection cut to k — and once k
+// rows of probability 1 are held, no later row can displace anything, so
+// the scan stops. When early termination is guaranteed to fire (k > 0
+// and at least k complete satisfying tuples exist — each inserts a
+// probability-1 row) evaluation stays sequential so the scan really does
+// stop early; otherwise the full scan is inevitable and the worklist is
+// prefetched in parallel like Count's.
+func (q *Query) evalTopK(ctx context.Context, eng *derive.Engine, rel *relation.Relation, pools derive.Pools) (*Result, error) {
+	res := &Result{Op: TopK}
+	acts, work := q.plan(eng, rel)
+	certains := 0
+	for _, a := range acts {
+		if a == actOne {
+			certains++
+		}
+	}
+	if (q.k <= 0 || certains < q.k) && len(work) > 0 {
+		eng.PrefetchBlocks(ctx, work, pools)
+	}
+	insert := func(r Row) {
+		if q.minProb > 0 && r.Prob < q.minProb {
+			return
+		}
+		if q.k > 0 && len(res.Rows) == q.k && res.Rows[q.k-1].Prob >= r.Prob {
+			return
+		}
+		pos := sort.Search(len(res.Rows), func(i int) bool { return res.Rows[i].Prob < r.Prob })
+		res.Rows = append(res.Rows, Row{})
+		copy(res.Rows[pos+1:], res.Rows[pos:])
+		res.Rows[pos] = r
+		if q.k > 0 && len(res.Rows) > q.k {
+			res.Rows = res.Rows[:q.k]
+		}
+	}
+	for i, t := range rel.Tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if q.k > 0 && len(res.Rows) == q.k && res.Rows[q.k-1].Prob >= 1 {
+			res.EarlyStop = true
+			break
+		}
+		switch acts[i] {
+		case actSkip:
+		case actOne:
+			insert(Row{Index: i, Tuple: t, Prob: 1, Certain: true})
+		case actBound:
+			res.Counters.Bounded++
+			attr := t.MissingAttrs()[0]
+			d, _, err := eng.MarginalCPD(t, attr)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range distAlts(t, attr, d) {
+				if q.satisfies(a.Tuple) {
+					insert(Row{Index: i, Tuple: a.Tuple, Prob: a.Prob})
+				}
+			}
+		default:
+			res.Counters.Derived++
+			b, _, err := eng.ResolveBlock(ctx, t)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range b.Alts {
+				if q.satisfies(a.Tuple) {
+					insert(Row{Index: i, Tuple: a.Tuple, Prob: a.Prob})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// evalGroupBy folds the satisfying probability mass into an expected
+// histogram of the group attribute: certain tuples contribute 1 to their
+// group, every uncertain tuple contributes its per-value satisfying mass
+// (independent Bernoulli variance per block). The derivation worklist is
+// prefetched in parallel first.
+func (q *Query) evalGroupBy(ctx context.Context, eng *derive.Engine, rel *relation.Relation, pools derive.Pools) (*Result, error) {
+	acts, work := q.plan(eng, rel)
+	if len(work) > 0 {
+		eng.PrefetchBlocks(ctx, work, pools)
+	}
+	g := q.groupAttr
+	card := q.schema.Attrs[g].Card()
+	res := &Result{Op: GroupBy, Groups: make([]Group, card)}
+	for v := range res.Groups {
+		res.Groups[v] = Group{Value: v, Label: q.schema.Attrs[g].Domain[v]}
+	}
+	perValue := make([]float64, card)
+	fold := func() {
+		for v, p := range perValue {
+			res.Groups[v].Expected += p
+			res.Groups[v].Variance += p * (1 - p)
+		}
+	}
+	for i, t := range rel.Tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		switch acts[i] {
+		case actSkip:
+		case actOne:
+			res.Groups[t[g]].Expected++
+		case actBound:
+			res.Counters.Bounded++
+			attr := t.MissingAttrs()[0]
+			d, _, err := eng.MarginalCPD(t, attr)
+			if err != nil {
+				return nil, err
+			}
+			clear(perValue)
+			set := q.sat[attr]
+			for _, vm := range orderedMass(d) {
+				if set != nil && !set.contains(vm.v) {
+					continue
+				}
+				gv := t[g]
+				if attr == g {
+					gv = vm.v
+				}
+				perValue[gv] += vm.p
+			}
+			fold()
+		default:
+			res.Counters.Derived++
+			b, _, err := eng.ResolveBlock(ctx, t)
+			if err != nil {
+				return nil, err
+			}
+			clear(perValue)
+			for _, a := range b.Alts {
+				if q.satisfies(a.Tuple) {
+					perValue[a.Tuple[g]] += a.Prob
+				}
+			}
+			fold()
+		}
+	}
+	return res, nil
+}

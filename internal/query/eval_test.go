@@ -1,0 +1,543 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bn"
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/gibbs"
+	"repro/internal/relation"
+	"repro/internal/vote"
+)
+
+func bestAveraged() vote.Method {
+	return vote.Method{Choice: core.BestVoters, Scheme: vote.Averaged}
+}
+
+func engineConfig(voteWorkers, gibbsWorkers int) derive.Config {
+	return derive.Config{
+		Method:       bestAveraged(),
+		Gibbs:        gibbs.Config{Samples: 120, BurnIn: 20, Method: bestAveraged(), Seed: 7},
+		VoteWorkers:  voteWorkers,
+		GibbsWorkers: gibbsWorkers,
+	}
+}
+
+// fixture learns a model over a catalog network and builds a mixed
+// relation of complete, single-missing, and multi-missing tuples with
+// repeated damage patterns.
+func fixture(t testing.TB, seed int64) (*core.Model, *relation.Relation) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	top, err := bn.ByID("BN8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, 6000)
+	m, err := core.Learn(train, core.Config{SupportThreshold: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nAttrs := train.Schema.NumAttrs()
+	rel := relation.NewRelation(train.Schema)
+	for i := 0; i < 160; i++ {
+		tu := inst.Sample(rng)
+		switch {
+		case i%4 == 1:
+			tu[rng.Intn(nAttrs)] = relation.Missing
+		case i%4 == 2:
+			perm := rng.Perm(nAttrs)
+			tu[perm[0]] = relation.Missing
+			tu[perm[1]] = relation.Missing
+		}
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, rel
+}
+
+// deriveAll materializes the full derivation stream of a fresh engine —
+// the oracle's input.
+func deriveAll(t testing.TB, m *core.Model, rel *relation.Relation, cfg derive.Config) []derive.Item {
+	t.Helper()
+	eng, err := derive.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []derive.Item
+	if err := eng.Stream(rel, func(it derive.Item) error {
+		items = append(items, it)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+// holdsAll evaluates the raw predicates on a complete tuple — on purpose
+// independent of the compiled satisfying sets, so the oracle also checks
+// compilation.
+func holdsAll(preds []Pred, u relation.Tuple) bool {
+	for _, p := range preds {
+		if !p.Cmp.holds(u[p.Attr], p.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// naiveProb is the oracle's per-item satisfaction probability: evidence
+// for certain items, the plain sum over satisfying alternatives (in
+// block order) for blocks.
+func naiveProb(preds []Pred, it derive.Item) float64 {
+	if it.Certain() {
+		if holdsAll(preds, it.Tuple) {
+			return 1
+		}
+		return 0
+	}
+	var s float64
+	for _, a := range it.Block.Alts {
+		if holdsAll(preds, a.Tuple) {
+			s += a.Prob
+		}
+	}
+	return s
+}
+
+// oracleCount folds the naive expected count (or thresholded count) over
+// the full stream, in input order.
+func oracleCount(preds []Pred, items []derive.Item, minProb float64) (expected float64, count int64) {
+	for _, it := range items {
+		p := naiveProb(preds, it)
+		if minProb > 0 {
+			if p >= minProb {
+				count++
+			}
+		} else {
+			expected += p
+		}
+	}
+	return expected, count
+}
+
+// oracleExists folds 1 - prod(1 - p) over the full stream.
+func oracleExists(preds []Pred, items []derive.Item) float64 {
+	miss := 1.0
+	for _, it := range items {
+		miss *= 1 - naiveProb(preds, it)
+	}
+	return 1 - miss
+}
+
+// oracleTopK is the naive selection: every satisfying row in stream
+// order, stable-sorted by descending probability, thresholded and cut.
+func oracleTopK(preds []Pred, items []derive.Item, k int, minProb float64) []Row {
+	var rows []Row
+	add := func(r Row) {
+		if minProb > 0 && r.Prob < minProb {
+			return
+		}
+		rows = append(rows, r)
+	}
+	for _, it := range items {
+		if it.Certain() {
+			if holdsAll(preds, it.Tuple) {
+				add(Row{Index: it.Index, Tuple: it.Tuple, Prob: 1, Certain: true})
+			}
+			continue
+		}
+		for _, a := range it.Block.Alts {
+			if holdsAll(preds, a.Tuple) {
+				add(Row{Index: it.Index, Tuple: a.Tuple, Prob: a.Prob})
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Prob > rows[j].Prob })
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// oracleGroupBy folds the naive satisfying-mass histogram of attribute g.
+func oracleGroupBy(preds []Pred, items []derive.Item, s *relation.Schema, g int) []Group {
+	card := s.Attrs[g].Card()
+	groups := make([]Group, card)
+	for v := range groups {
+		groups[v] = Group{Value: v, Label: s.Attrs[g].Domain[v]}
+	}
+	perValue := make([]float64, card)
+	for _, it := range items {
+		if it.Certain() {
+			if holdsAll(preds, it.Tuple) {
+				groups[it.Tuple[g]].Expected++
+			}
+			continue
+		}
+		for v := range perValue {
+			perValue[v] = 0
+		}
+		for _, a := range it.Block.Alts {
+			if holdsAll(preds, a.Tuple) {
+				perValue[a.Tuple[g]] += a.Prob
+			}
+		}
+		for v, p := range perValue {
+			groups[v].Expected += p
+			groups[v].Variance += p * (1 - p)
+		}
+	}
+	return groups
+}
+
+// randomSpec draws a query with 1-2 random predicates.
+func randomSpec(rng *rand.Rand, s *relation.Schema, op Op) Spec {
+	n := 1 + rng.Intn(2)
+	preds := make([]Pred, 0, n)
+	for i := 0; i < n; i++ {
+		attr := rng.Intn(s.NumAttrs())
+		preds = append(preds, Pred{
+			Attr:  attr,
+			Cmp:   Cmp(rng.Intn(6)),
+			Value: rng.Intn(s.Attrs[attr].Card()),
+		})
+	}
+	spec := Spec{Op: op, Preds: preds}
+	if op == TopK {
+		// k <= 0 keeps every row (and prefetches its worklist instead of
+		// terminating early) — exercised alongside bounded ks.
+		spec.K = rng.Intn(9)
+	}
+	if op == GroupBy {
+		spec.GroupBy = s.Attrs[rng.Intn(s.NumAttrs())].Name
+	}
+	if op != GroupBy && rng.Intn(2) == 0 {
+		spec.MinProb = rng.Float64()
+	}
+	return spec
+}
+
+func requireRowsEqual(t *testing.T, label string, got, want []Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Prob != want[i].Prob || got[i].Index != want[i].Index ||
+			got[i].Certain != want[i].Certain || !got[i].Tuple.Equal(want[i].Tuple) {
+			t.Fatalf("%s: row %d = %+v, want bit-identical %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func requireGroupsEqual(t *testing.T, label string, got, want []Group) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: group %d = %+v, want bit-identical %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// checkOracle compares one evaluation against the naive full-derivation
+// oracle, demanding bit identity.
+func checkOracle(t *testing.T, label string, q *Query, res *Result, items []derive.Item, s *relation.Schema) {
+	t.Helper()
+	preds := q.preds
+	switch q.op {
+	case Count:
+		expected, count := oracleCount(preds, items, q.minProb)
+		if res.Expected != expected || res.Count != count {
+			t.Fatalf("%s: count = (%v, %d), want bit-identical (%v, %d)",
+				label, res.Expected, res.Count, expected, count)
+		}
+	case Exists:
+		prob := oracleExists(preds, items)
+		wantExists := prob > 0
+		if q.minProb > 0 {
+			wantExists = prob >= q.minProb
+		}
+		if res.Exists != wantExists {
+			t.Fatalf("%s: exists = %v (P=%v), oracle %v (P=%v)",
+				label, res.Exists, res.Prob, wantExists, prob)
+		}
+		// The probability is bit-identical whenever evaluation ran to
+		// completion; an early stop under a threshold yields a sound
+		// lower bound instead.
+		if !res.EarlyStop && res.Prob != prob {
+			t.Fatalf("%s: P(exists) = %v, want bit-identical %v", label, res.Prob, prob)
+		}
+		if res.EarlyStop && q.minProb > 0 && res.Prob > prob {
+			t.Fatalf("%s: early-stop bound %v exceeds exact %v", label, res.Prob, prob)
+		}
+	case TopK:
+		requireRowsEqual(t, label, res.Rows, oracleTopK(preds, items, q.k, q.minProb))
+	case GroupBy:
+		requireGroupsEqual(t, label, res.Groups, oracleGroupBy(preds, items, s, q.groupAttr))
+	}
+	c := res.Counters
+	if c.Scanned != int64(len(items)) || c.Pruned+c.Bounded+c.Derived != c.Scanned {
+		t.Fatalf("%s: counters do not partition the scan: %+v", label, c)
+	}
+}
+
+// TestEvalMatchesOracle is the subsystem's core property: for randomized
+// models, relations, and queries across every operator — with and
+// without probability thresholds — evaluation through the engine is
+// bit-identical to deriving the full database and evaluating naively,
+// at every worker count (chains mode; pool sizes never change answers).
+func TestEvalMatchesOracle(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{11, 12, 13} {
+		model, rel := fixture(t, seed)
+		items := deriveAll(t, model, rel, engineConfig(4, 4))
+
+		var engines []*derive.Engine
+		for _, w := range [][2]int{{1, 2}, {2, 4}, {8, 8}} {
+			eng, err := derive.New(model, engineConfig(w[0], w[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines = append(engines, eng)
+		}
+
+		rng := rand.New(rand.NewSource(seed * 101))
+		for _, op := range []Op{Count, Exists, TopK, GroupBy} {
+			for round := 0; round < 4; round++ {
+				spec := randomSpec(rng, model.Schema, op)
+				q, err := Compile(model.Schema, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for wi, eng := range engines {
+					res, err := Eval(ctx, eng, rel, q)
+					if err != nil {
+						t.Fatalf("%v round %d workers %d: %v", op, round, wi, err)
+					}
+					checkOracle(t, q.String(), q, res, items, model.Schema)
+				}
+			}
+		}
+
+		// The engines recorded every evaluation.
+		st := engines[0].Stats()
+		if st.Queries == 0 || st.QueryTuples != st.Queries*int64(rel.Len()) {
+			t.Errorf("engine stats did not record queries: %+v", st)
+		}
+		if tight := st.QueryBoundTightness(); tight < 0 || tight > 1 {
+			t.Errorf("bound tightness %v outside [0,1]", tight)
+		}
+	}
+}
+
+// TestThresholdTouchesTupleProbability pins the edge where a bound
+// exactly equals the decision threshold: a tuple with satisfaction
+// probability p counts against MinProb == p (>=, not >), identically in
+// the evaluator and the oracle.
+func TestThresholdTouchesTupleProbability(t *testing.T) {
+	model, rel := fixture(t, 21)
+	items := deriveAll(t, model, rel, engineConfig(4, 4))
+	preds := []Pred{{Attr: 0, Cmp: Eq, Value: 1}}
+
+	// Find an inferred, strictly fractional tuple probability.
+	var touch float64
+	for _, it := range items {
+		if p := naiveProb(preds, it); p > 0 && p < 1 {
+			touch = p
+			break
+		}
+	}
+	if touch == 0 {
+		t.Fatal("fixture has no fractional tuple probability")
+	}
+
+	eng, err := derive.New(model, engineConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(model.Schema, Spec{Op: Count, Preds: preds, MinProb: touch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := oracleCount(preds, items, touch)
+	if res.Count != want {
+		t.Fatalf("count at touching threshold %v: %d, want %d", touch, res.Count, want)
+	}
+	if want == 0 {
+		t.Fatal("touching threshold excluded the touching tuple")
+	}
+
+	// Exists at a threshold exactly equal to the full existence
+	// probability still answers yes.
+	full := oracleExists(preds, items)
+	q, err = Compile(model.Schema, Spec{Op: Exists, Preds: preds, MinProb: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exists {
+		t.Fatalf("exists at touching threshold %v answered no", full)
+	}
+}
+
+// TestSelectiveQueriesPrune is the subsystem's reason to exist: selective
+// exists and topk queries must derive strictly fewer blocks than full
+// derivation while still answering exactly.
+func TestSelectiveQueriesPrune(t *testing.T) {
+	model, rel := fixture(t, 31)
+	items := deriveAll(t, model, rel, engineConfig(4, 4))
+	var incomplete int64
+	for _, tu := range rel.Tuples {
+		if !tu.IsComplete() {
+			incomplete++
+		}
+	}
+	if incomplete == 0 {
+		t.Fatal("fixture has no incomplete tuples")
+	}
+
+	// An exists query with a certain witness in the data: answered with
+	// zero inference.
+	var witness relation.Tuple
+	for _, tu := range rel.Tuples {
+		if tu.IsComplete() {
+			witness = tu
+			break
+		}
+	}
+	preds := []Pred{
+		{Attr: 0, Cmp: Eq, Value: witness[0]},
+		{Attr: 1, Cmp: Eq, Value: witness[1]},
+	}
+	eng, err := derive.New(model, engineConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(model.Schema, Spec{Op: Exists, Preds: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exists || res.Prob != 1 || !res.EarlyStop {
+		t.Fatalf("certain witness not detected: %+v", res)
+	}
+	if res.Counters.Derived != 0 || res.Counters.Bounded != 0 {
+		t.Fatalf("certain witness still paid for inference: %+v", res.Counters)
+	}
+	if oracleExists(preds, items) != 1 {
+		t.Fatal("oracle disagrees with the certain witness")
+	}
+
+	// A selective topk query: refuted tuples are never derived.
+	q, err = Compile(model.Schema, Spec{Op: TopK, Preds: preds, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRowsEqual(t, "selective topk", res.Rows, oracleTopK(preds, items, 3, 0))
+	if res.Counters.Pruned == 0 {
+		t.Fatalf("selective topk pruned nothing: %+v", res.Counters)
+	}
+	if res.Counters.Derived >= incomplete {
+		t.Fatalf("topk derived %d of %d incomplete tuples — no better than full derivation",
+			res.Counters.Derived, incomplete)
+	}
+
+	st := eng.Stats()
+	if st.QueryPruned == 0 || st.Queries != 2 {
+		t.Errorf("engine stats did not record the pruning: %+v", st)
+	}
+}
+
+// TestCappedEngineFallsBackToDerivation: with a block-alternative cap the
+// marginal CPD no longer equals the (renormalized) block, so bound-based
+// pruning must be disabled — and answers must still match the naive
+// oracle over the capped stream.
+func TestCappedEngineFallsBackToDerivation(t *testing.T) {
+	model, rel := fixture(t, 41)
+	cfg := engineConfig(4, 4)
+	cfg.MaxAlternatives = 2
+	items := deriveAll(t, model, rel, cfg)
+
+	eng, err := derive.New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []Pred{{Attr: 0, Cmp: Ge, Value: 1}}
+	q, err := Compile(model.Schema, Spec{Op: Count, Preds: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bounded != 0 {
+		t.Fatalf("capped engine still used CPD bounds: %+v", res.Counters)
+	}
+	expected, _ := oracleCount(preds, items, 0)
+	if res.Expected != expected {
+		t.Fatalf("capped count = %v, want bit-identical %v", res.Expected, expected)
+	}
+}
+
+// TestEvalValidation covers the evaluator's own error paths.
+func TestEvalValidation(t *testing.T) {
+	model, rel := fixture(t, 51)
+	eng, err := derive.New(model, engineConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(model.Schema, Spec{Op: Count, Preds: []Pred{{Attr: 0, Cmp: Eq, Value: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Eval(context.Background(), nil, rel, q); err == nil {
+		t.Error("nil engine should fail")
+	}
+	if _, err := Eval(context.Background(), eng, nil, q); err == nil {
+		t.Error("nil relation should fail")
+	}
+	if _, err := Eval(context.Background(), eng, rel, nil); err == nil {
+		t.Error("nil query should fail")
+	}
+
+	other := relation.NewRelation(relation.MustSchema([]relation.Attribute{
+		{Name: "z", Domain: []string{"0", "1"}},
+	}))
+	if _, err := Eval(context.Background(), eng, other, q); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Eval(ctx, eng, rel, q); err != context.Canceled {
+		t.Errorf("canceled context: err = %v, want context.Canceled", err)
+	}
+}

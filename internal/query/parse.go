@@ -1,0 +1,88 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// ParseWhere parses the textual conjunction syntax shared by the
+// mrslquery CLI and the mrslserve /query endpoint: comma-separated
+// conditions of the form
+//
+//	attr=value  attr!=value  attr<value  attr<=value  attr>value  attr>=value
+//
+// where attr is an attribute name of the schema and value one of its
+// domain labels. Ordered comparisons compare domain positions, which is
+// meaningful for domains listed in semantic order (discretized numeric
+// buckets are). Whitespace around conditions is ignored; attribute
+// names and labels are matched exactly. Several conditions may
+// constrain the same attribute (a range); a contradictory conjunction
+// such as "age=30,age=20" is valid — as in SQL, it simply selects
+// nothing.
+func ParseWhere(s *relation.Schema, where string) ([]Pred, error) {
+	if s == nil {
+		return nil, fmt.Errorf("query: nil schema")
+	}
+	if strings.TrimSpace(where) == "" {
+		return nil, fmt.Errorf("query: empty where clause")
+	}
+	var preds []Pred
+	for _, part := range strings.Split(where, ",") {
+		part = strings.TrimSpace(part)
+		name, cmp, label, err := splitCond(part)
+		if err != nil {
+			return nil, err
+		}
+		attr := s.AttrIndex(name)
+		if attr < 0 {
+			return nil, fmt.Errorf("query: unknown attribute %q", name)
+		}
+		val, err := s.ValueCode(attr, label)
+		if err != nil {
+			return nil, fmt.Errorf("query: %v", err)
+		}
+		preds = append(preds, Pred{Attr: attr, Cmp: cmp, Value: val})
+	}
+	return preds, nil
+}
+
+// condOps lists the comparison tokens, longest first so that "<=" is
+// never lexed as "<" followed by "=value".
+var condOps = []struct {
+	token string
+	cmp   Cmp
+}{
+	{"!=", Ne}, {"<=", Le}, {">=", Ge}, {"=", Eq}, {"<", Lt}, {">", Gt},
+}
+
+// splitCond lexes one condition into name, comparison, and value label.
+// The operator is the first comparison token appearing in the string, so
+// labels may themselves contain comparison characters (e.g. ">=100K" as
+// a bucket label) as long as the attribute name does not.
+func splitCond(cond string) (name string, cmp Cmp, label string, err error) {
+	at := -1
+	var atOp int
+	for i, op := range condOps {
+		j := strings.Index(cond, op.token)
+		if j < 0 {
+			continue
+		}
+		// Prefer the earliest operator; on a tie the longer token wins
+		// (condOps order breaks the tie: "!=", "<=", ">=" come first).
+		if at < 0 || j < at {
+			at, atOp = j, i
+		}
+	}
+	if at < 0 {
+		return "", 0, "", fmt.Errorf("query: bad condition %q (want attr<op>value)", cond)
+	}
+	op := condOps[atOp]
+	name = strings.TrimSpace(cond[:at])
+	label = strings.TrimSpace(cond[at+len(op.token):])
+	if name == "" || label == "" {
+		return "", 0, "", fmt.Errorf("query: bad condition %q (want attr<op>value)", cond)
+	}
+	return name, op.cmp, label, nil
+}

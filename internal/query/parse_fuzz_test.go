@@ -1,0 +1,75 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// FuzzParseQuery guards the predicate parser — external input on both
+// the mrslquery CLI (-where) and the mrslserve /query endpoint — against
+// panics, and checks that anything it accepts is valid against the
+// schema, deterministic, and compilable.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"age=30",
+		"age=30,inc>=100K",
+		"inc!=50K",
+		"age<40",
+		"age<=20",
+		"inc>50K",
+		"age>20,age<40",
+		" age = 30 , inc = 50K ",
+		"age=30,age!=30", // contradictory but well-formed
+		"edu=MS,edu=MS",  // duplicate condition
+		"",               // empty clause
+		",",              // empty condition
+		"age",            // no operator
+		"age=",           // no value
+		"=30",            // no attribute
+		"age==30",        // double operator: label "=30" is out of domain
+		"age<>30",        // "<" with label ">30"
+		"bogus=30",       // unknown attribute
+		"age=99",         // out-of-domain label
+		"age\x00=30",     // control bytes in the attribute
+		"年齢=30",          // non-ASCII attribute
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := relation.MustSchema([]relation.Attribute{
+		{Name: "age", Domain: []string{"20", "30", "40"}},
+		{Name: "inc", Domain: []string{"50K", "100K"}},
+		{Name: "edu", Domain: []string{"HS", "BS", "MS"}},
+	})
+	f.Fuzz(func(t *testing.T, where string) {
+		preds, err := ParseWhere(schema, where)
+		again, err2 := ParseWhere(schema, where)
+		if (err == nil) != (err2 == nil) || !reflect.DeepEqual(preds, again) {
+			t.Fatalf("ParseWhere is not deterministic on %q: (%v, %v) vs (%v, %v)",
+				where, preds, err, again, err2)
+		}
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		if len(preds) == 0 {
+			t.Fatalf("ParseWhere(%q) accepted an empty conjunction", where)
+		}
+		for _, p := range preds {
+			if p.Attr < 0 || p.Attr >= schema.NumAttrs() {
+				t.Fatalf("ParseWhere(%q) produced out-of-range attribute %d", where, p.Attr)
+			}
+			if p.Value < 0 || p.Value >= schema.Attrs[p.Attr].Card() {
+				t.Fatalf("ParseWhere(%q) produced out-of-range value %d", where, p.Value)
+			}
+		}
+		// Every accepted conjunction compiles (possibly to an empty
+		// satisfying set — a query that is simply always false).
+		q, err := Compile(schema, Spec{Op: Count, Preds: preds})
+		if err != nil {
+			t.Fatalf("accepted predicates %v fail to compile: %v", preds, err)
+		}
+		_ = q.String()
+	})
+}

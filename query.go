@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/query"
+)
+
+// This file exposes the engine-native probabilistic query subsystem
+// (internal/query) through the root package: compiled conjunctive
+// queries over a model's schema, evaluated extensionally on top of an
+// Engine's shared caches with bound-based pruning and early termination.
+// Answers are bit-identical to deriving the full probabilistic database
+// through the same engine and evaluating naively, yet selective queries
+// derive only a fraction of the tuples; see EngineStats' Query* counters
+// for the achieved pruning.
+
+// Query types re-exported from the query package.
+type (
+	// QueryOp is a query operator: QueryCount, QueryExists, QueryTopK, or
+	// QueryGroupBy.
+	QueryOp = query.Op
+	// QueryCmp is a predicate comparison (QueryEq, QueryNe, QueryLt,
+	// QueryLe, QueryGt, QueryGe). Ordered comparisons compare domain
+	// positions, which is meaningful for domains listed in semantic order
+	// (discretized numeric buckets are).
+	QueryCmp = query.Cmp
+	// QueryPred is one predicate: Attr Cmp Value, Value a domain code.
+	QueryPred = query.Pred
+	// QuerySpec is the uncompiled form of a query, as CLI flags and HTTP
+	// parameters express it.
+	QuerySpec = query.Spec
+	// CompiledQuery is a validated, compiled query over one schema.
+	CompiledQuery = query.Query
+	// QueryResult is the answer of one evaluation, including the pruning
+	// counters achieved.
+	QueryResult = query.Result
+	// QueryRow is one TopK result row.
+	QueryRow = query.Row
+	// QueryGroup is one GroupBy histogram bucket.
+	QueryGroup = query.Group
+	// QueryCounters partition one evaluation's scanned tuples by the
+	// inference each cost.
+	QueryCounters = query.Counters
+)
+
+// Query operators.
+const (
+	QueryCount   = query.Count
+	QueryExists  = query.Exists
+	QueryTopK    = query.TopK
+	QueryGroupBy = query.GroupBy
+)
+
+// Predicate comparisons.
+const (
+	QueryEq = query.Eq
+	QueryNe = query.Ne
+	QueryLt = query.Lt
+	QueryLe = query.Le
+	QueryGt = query.Gt
+	QueryGe = query.Ge
+)
+
+// ParseQueryOp converts a wire name ("count", "exists", "topk",
+// "groupby") into a QueryOp.
+func ParseQueryOp(s string) (QueryOp, error) { return query.ParseOp(s) }
+
+// ParseQueryWhere parses the textual conjunction syntax shared by the
+// mrslquery CLI and the mrslserve /query endpoint — comma-separated
+// conditions "attr=value", "attr!=value", "attr<value", "attr<=value",
+// "attr>value", "attr>=value" — against the schema.
+func ParseQueryWhere(s *Schema, where string) ([]QueryPred, error) {
+	return query.ParseWhere(s, where)
+}
+
+// CompileQuery validates spec against the schema (normally a model's) and
+// compiles it for evaluation. Count, Exists, and TopK require at least
+// one predicate; GroupBy requires a group attribute and accepts zero
+// predicates (the unfiltered histogram).
+func CompileQuery(s *Schema, spec QuerySpec) (*CompiledQuery, error) {
+	return query.Compile(s, spec)
+}
+
+// Query evaluates a compiled query over rel on the engine's shared
+// caches: tuples decided by evidence cost nothing, single-missing tuples
+// are decided from the shared local-CPD cache without expanding a block,
+// and only tuples whose bounds leave the answer open are scheduled for
+// full derivation — with early termination for Exists and TopK once the
+// remaining tuples cannot change the answer. On a chains-mode engine
+// (DeriveOptions.Workers > 1) the answer is bit-identical to deriving
+// rel completely through this engine and evaluating the stream naively,
+// for every worker count; with the tuple-DAG sampler (Workers <= 1)
+// multi-missing estimates are workload-dependent by construction — the
+// same caveat derivation itself carries — so query-time single-tuple
+// estimates can differ from a full derivation's. Canceling ctx aborts
+// the evaluation.
+func (e *Engine) Query(ctx context.Context, rel *Relation, q *CompiledQuery) (*QueryResult, error) {
+	return query.Eval(ctx, e.eng, rel, q)
+}
+
+// QueryPools is Query with per-request worker pool sizes for the
+// prefetched derivation worklist (sizes affect scheduling only, never
+// the answer).
+func (e *Engine) QueryPools(ctx context.Context, rel *Relation, q *CompiledQuery, pools Pools) (*QueryResult, error) {
+	return query.EvalPools(ctx, e.eng, rel, q, pools)
+}

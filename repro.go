@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -313,6 +314,16 @@ func (e *Engine) DeriveStreamPools(rel *Relation, pools Pools, emit func(DeriveI
 	return e.eng.StreamPools(rel, pools, derive.EmitFunc(emit))
 }
 
+// DeriveStreamContext is DeriveStream with a cancellation context and
+// per-request pool sizes. Canceling ctx stops the stream: dispatchers
+// stop scheduling, the emitter stops waiting, and the call returns
+// ctx.Err() once in-flight workers have drained. Work already claimed
+// when the cancel lands is completed and cached rather than abandoned,
+// so cancellation never poisons the shared caches.
+func (e *Engine) DeriveStreamContext(ctx context.Context, rel *Relation, pools Pools, emit func(DeriveItem) error) error {
+	return e.eng.StreamContext(ctx, rel, pools, derive.EmitFunc(emit))
+}
+
 // DeriveTo derives rel and pushes the stream into sink, closing it on
 // success.
 func (e *Engine) DeriveTo(rel *Relation, sink Sink) error {
@@ -322,6 +333,13 @@ func (e *Engine) DeriveTo(rel *Relation, sink Sink) error {
 // DeriveToPools is DeriveTo with per-request pool sizes.
 func (e *Engine) DeriveToPools(rel *Relation, pools Pools, sink Sink) error {
 	return e.eng.StreamPoolsTo(rel, pools, sink)
+}
+
+// DeriveToContext is DeriveTo with a cancellation context and per-request
+// pool sizes (see DeriveStreamContext). On cancellation the sink is not
+// closed, so a partial output is never flushed as complete.
+func (e *Engine) DeriveToContext(ctx context.Context, rel *Relation, pools Pools, sink Sink) error {
+	return e.eng.StreamToContext(ctx, rel, pools, sink)
 }
 
 // Derive derives rel into a materialized database.

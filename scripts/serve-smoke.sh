@@ -38,6 +38,12 @@ lines=$(wc -l <"$tmp/out.ndjson")
 [ "$lines" -eq 18 ] || { echo "serve-smoke: got $lines NDJSON lines, want 18"; cat "$tmp/out.ndjson"; exit 1; }
 grep -q '"kind":"block"' "$tmp/out.ndjson" || { echo "serve-smoke: no blocks in stream"; exit 1; }
 
-curl -fsS "http://$addr/stats" | grep -q '"requests":1' || { echo "serve-smoke: stats did not count the request"; exit 1; }
+curl -fsS -X POST --data-binary @testdata/matchmaking.csv \
+	"http://$addr/query?op=count&where=age%3D20" >"$tmp/query.ndjson"
+grep -q '"kind":"query"' "$tmp/query.ndjson" || { echo "serve-smoke: no query header record"; cat "$tmp/query.ndjson"; exit 1; }
+grep -q '"kind":"count"' "$tmp/query.ndjson" || { echo "serve-smoke: no count record"; cat "$tmp/query.ndjson"; exit 1; }
+grep -q '"kind":"summary"' "$tmp/query.ndjson" || { echo "serve-smoke: no summary record"; cat "$tmp/query.ndjson"; exit 1; }
+
+curl -fsS "http://$addr/stats" | grep -q '"requests":2' || { echo "serve-smoke: stats did not count the requests"; exit 1; }
 
 echo "serve-smoke: ok ($lines lines from $addr)"
