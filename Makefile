@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci vet test race bench-smoke serve-smoke bench-serve bench-check bench-baseline bench-publish fuzz-smoke build
+.PHONY: ci vet test race bench-smoke serve-smoke bench-serve bench-planner bench-check bench-baseline bench-publish fuzz-smoke build
 
 ci: vet race bench-smoke serve-smoke bench-serve bench-check
 
@@ -41,14 +41,24 @@ bench-serve:
 	$(GO) test -run=NONE -bench=BenchmarkEngineConcurrent -benchtime=5x -json . > BENCH_engine.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_engine.json | head -3
 
-# Fail ci when serving throughput regresses >30% against the committed
-# baseline (BENCH_baseline.json; refresh it deliberately with
-# `make bench-baseline` when a PR legitimately moves the needle).
-bench-check: bench-serve
-	sh scripts/bench-check.sh BENCH_baseline.json BENCH_engine.json 30
+# Publish the query-planner benchmark (classification, selectivity
+# ordering, memoized dissociation intervals) so planning latency is
+# tracked run over run.
+bench-planner:
+	$(GO) test -run=NONE -bench=BenchmarkQueryPlanner -benchtime=1000x -json . > BENCH_planner.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_planner.json | head -2
 
-bench-baseline: bench-serve
+# Fail ci when serving throughput or planning latency regresses >30%
+# against the committed baselines (BENCH_baseline.json /
+# BENCH_planner_baseline.json; refresh them deliberately with
+# `make bench-baseline` when a PR legitimately moves the needle).
+bench-check: bench-serve bench-planner
+	sh scripts/bench-check.sh BENCH_baseline.json BENCH_engine.json 30
+	sh scripts/planner-check.sh BENCH_planner_baseline.json BENCH_planner.json 30
+
+bench-baseline: bench-serve bench-planner
 	cp BENCH_engine.json BENCH_baseline.json
+	cp BENCH_planner.json BENCH_planner_baseline.json
 
 # Publish the wider perf trajectory — derivation, lattice matching,
 # Gibbs, and selective-query benchmarks with allocation counts —

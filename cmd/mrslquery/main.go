@@ -16,6 +16,15 @@
 //	mrslquery -model model.json -in data.csv -where inc=100K -op exists -minprob 0.9
 //	mrslquery -model model.json -in data.csv -where inc=100K -op topk -k 5
 //	mrslquery -model model.json -in data.csv -groupby age [-where inc=100K]
+//	mrslquery -model model.json -in data.csv -where inc=100K -minprob 0.8 -explain
+//
+// -explain prints the chosen evaluation plan before the answer: the
+// selectivity-ordered predicates, the per-tier tuple counts (refuted /
+// certain / single-missing / bounded / derive), and whether dissociation
+// bounds were in play. Multi-missing tuples whose sound [lo, hi] bound
+// interval already decides the threshold (or cannot reach topk's rank
+// k) are answered without any sampling; the trailing stats line reports
+// how many tuples each tier resolved.
 //
 // Conditions support =, !=, <, <=, >, >= over domain labels; ordered
 // comparisons compare domain positions (meaningful for discretized
@@ -44,8 +53,9 @@ func main() {
 		where     = flag.String("where", "", "conjunctive conditions attr=value,attr>=value,...")
 		groupBy   = flag.String("groupby", "", "attribute for a group-by expected histogram")
 		op        = flag.String("op", "count", "operation: count, exists, topk, groupby")
-		k         = flag.Int("k", 10, "result size for -op topk (<= 0 keeps all)")
+		k         = flag.Int("k", 10, "result size for -op topk (must be positive)")
 		minProb   = flag.Float64("minprob", 0, "probability threshold in [0,1]: count tuples reaching it, decide exists against it, drop topk rows below it")
+		explain   = flag.Bool("explain", false, "print the chosen evaluation plan (predicate order, resolution tiers, bound usage)")
 		samples   = flag.Int("samples", 1000, "Gibbs samples per distinct multi-missing tuple")
 		burnin    = flag.Int("burnin", 100, "Gibbs burn-in sweeps")
 		seed      = flag.Int64("seed", 1, "sampler seed")
@@ -60,6 +70,7 @@ func main() {
 	opts := options{
 		Where: *where, GroupBy: *groupBy, Op: *op, K: *k, MinProb: *minProb,
 		Samples: *samples, BurnIn: *burnin, Seed: *seed, Workers: *workers,
+		Explain: *explain,
 	}
 	if err := run(os.Stdout, *modelPath, *in, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "mrslquery: %v\n", err)
@@ -78,9 +89,19 @@ type options struct {
 	BurnIn  int
 	Seed    int64
 	Workers int
+	Explain bool
 }
 
 func run(w io.Writer, modelPath, in string, o options) error {
+	// Validate the decision flags up front with actionable messages:
+	// out-of-range thresholds and non-positive topk sizes would otherwise
+	// surface as library errors (or, for -k, silently unbounded results).
+	if !(o.MinProb >= 0 && o.MinProb <= 1) { // also rejects NaN
+		return fmt.Errorf("-minprob must be a probability in [0,1], got %v", o.MinProb)
+	}
+	if o.Op == "topk" && o.K <= 0 {
+		return fmt.Errorf("-k must be a positive result size for -op topk, got %d", o.K)
+	}
 	mf, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -136,6 +157,9 @@ func run(w io.Writer, modelPath, in string, o options) error {
 		return err
 	}
 
+	if o.Explain && res.Plan != nil {
+		fmt.Fprint(w, res.Plan.String())
+	}
 	switch opCode {
 	case repro.QueryCount:
 		if o.MinProb > 0 {
@@ -169,7 +193,7 @@ func run(w io.Writer, modelPath, in string, o options) error {
 		}
 	}
 	c := res.Counters
-	fmt.Fprintf(w, "query stats: %d scanned, %d pruned, %d bounded, %d derived\n",
-		c.Scanned, c.Pruned, c.Bounded, c.Derived)
+	fmt.Fprintf(w, "query stats: %d scanned, %d pruned, %d bounded, %d derived, %d bound-refuted\n",
+		c.Scanned, c.Pruned, c.Bounded, c.Derived, c.BoundRefutes)
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -173,6 +174,59 @@ func TestRunGroupBy(t *testing.T) {
 		o.Op, o.GroupBy = "groupby", "bogus"
 	})); err == nil {
 		t.Error("unknown groupby attribute should fail")
+	}
+}
+
+// TestRunExplain: -explain prints the evaluation plan (predicate order,
+// tiers, bound usage) ahead of the answer.
+func TestRunExplain(t *testing.T) {
+	model, data := setup(t)
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.Where, o.MinProb, o.Explain = "inc=100K", 0.5, true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan:", "predicate order:", "tiers:", "dissociation bounds:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "tuples with P >= 0.5:") {
+		t.Errorf("explain must not replace the answer:\n%s", out.String())
+	}
+}
+
+// TestRunFlagValidation: decision flags are validated up front with
+// actionable errors instead of silently producing empty or unbounded
+// results.
+func TestRunFlagValidation(t *testing.T) {
+	model, data := setup(t)
+	var out bytes.Buffer
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"minprob above 1", func(o *options) { o.Where, o.MinProb = "inc=100K", 1.5 }, "-minprob"},
+		{"minprob below 0", func(o *options) { o.Where, o.MinProb = "inc=100K", -0.5 }, "-minprob"},
+		{"minprob NaN", func(o *options) { o.Where, o.MinProb = "inc=100K", math.NaN() }, "-minprob"},
+		{"topk k zero", func(o *options) { o.Op, o.Where, o.K = "topk", "inc=100K", 0 }, "-k"},
+		{"topk k negative", func(o *options) { o.Op, o.Where, o.K = "topk", "inc=100K", -3 }, "-k"},
+	}
+	for _, c := range cases {
+		err := run(&out, model, data, opts(c.mut))
+		if err == nil {
+			t.Errorf("%s: run should fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name the flag %q", c.name, err, c.want)
+		}
+	}
+	// A negative -k on non-topk ops stays ignored, as before.
+	if err := run(&out, model, data, opts(func(o *options) { o.Where, o.K = "inc=100K", -1 })); err != nil {
+		t.Errorf("count with unused -k: %v", err)
 	}
 }
 

@@ -34,15 +34,23 @@
 //	               (conjunctive conditions "attr=value,attr>=value,..."),
 //	               groupby (histogram attribute), k, minprob, plus the
 //	               same pool overrides as /derive. Streams NDJSON: a
-//	               query record, then one record per result (count,
-//	               exists, row, or group), then a summary record with the
-//	               evaluation's pruning counters. Answers are
-//	               bit-identical to deriving the posted relation through
-//	               /derive and evaluating the stream naively, but
-//	               selective queries infer only the tuples the bounds
-//	               leave undecided.
-//	GET  /stats    engine cache counters, hit rates, query pruning
-//	               totals, admission counters, uptime, requests.
+//	               query record, then result records, then a summary
+//	               record with the chosen plan (selectivity-ordered
+//	               predicates, resolution-tier counts) and the
+//	               evaluation's pruning/bound counters. count and exists
+//	               emit one result record; topk and groupby stream
+//	               incrementally as blocks resolve — in-flight snapshots
+//	               are marked "partial":true (topk re-emits the current
+//	               rows when they move, groupby emits only the buckets
+//	               that changed) and the settled results follow with
+//	               "final":true. Answers are bit-identical to deriving
+//	               the posted relation through /derive and evaluating
+//	               the stream naively, but selective queries infer only
+//	               the tuples the bounds leave undecided — multi-missing
+//	               tuples whose dissociation interval already decides
+//	               the threshold are never sampled.
+//	GET  /stats    engine cache counters, hit rates, query pruning and
+//	               bound totals, admission counters, uptime, requests.
 //	GET  /healthz  liveness probe.
 //
 // With -addr host:0 the kernel picks a free port; the chosen address is
@@ -217,8 +225,17 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 // handleQuery compiles the query expressed in the URL parameters,
 // evaluates it over the posted CSV on the engine's caches, and streams
 // the answer as NDJSON: a query record, one record per result, and a
-// summary record with the pruning counters. Evaluation runs under the
-// request context.
+// summary record with the chosen plan and the pruning counters.
+// Evaluation runs under the request context.
+//
+// Count and exists fold scalars, so their evaluation completes before
+// the first byte is written (and failures carry real status codes).
+// TopK and groupby stream incrementally: as blocks resolve, the current
+// rows (and the group buckets that changed) are flushed as records
+// marked "partial":true, and the settled results follow with
+// "final":true before the summary — so a client watching a long
+// evaluation sees the answer take shape instead of waiting for the
+// buffer.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
 	if err != nil {
@@ -236,6 +253,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.failed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if q.Op() == repro.QueryTopK || q.Op() == repro.QueryGroupBy {
+		s.streamQuery(w, r, rel, q, pools)
 		return
 	}
 	res, err := s.eng.QueryPools(r.Context(), rel, q, pools)
@@ -266,30 +287,123 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		enc.Encode(map[string]any{
 			"kind": "exists", "exists": res.Exists, "p": res.Prob, "early_stop": res.EarlyStop,
 		})
-	case repro.QueryTopK:
-		for _, row := range res.Rows {
-			enc.Encode(map[string]any{
-				"kind": "row", "index": row.Index, "values": s.labels(row.Tuple),
-				"p": row.Prob, "certain": row.Certain,
-			})
-		}
-	case repro.QueryGroupBy:
-		for _, g := range res.Groups {
-			enc.Encode(map[string]any{
-				"kind": "group", "value": g.Label, "expected": g.Expected, "variance": g.Variance,
-			})
-		}
 	}
-	c := res.Counters
-	enc.Encode(map[string]any{
-		"kind": "summary", "scanned": c.Scanned, "pruned": c.Pruned,
-		"bounded": c.Bounded, "derived": c.Derived,
-	})
+	s.writeSummary(enc, res)
 	if ew.err != nil {
 		// The client went away mid-stream: the response is truncated, so
 		// the request did not succeed.
 		s.failed.Add(1)
 	}
+}
+
+// streamQuery runs a topk or groupby evaluation with incremental NDJSON
+// output: partial records as blocks resolve, final records once the
+// evaluation settles, then the summary. The stream is already under way
+// when inference runs, so evaluation errors append a terminal error
+// record instead of a status code; a disconnected client aborts the
+// evaluation through the progress callback.
+func (s *server) streamQuery(w http.ResponseWriter, r *http.Request,
+	rel *repro.Relation, q *repro.CompiledQuery, pools repro.Pools) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	ew := &errWriter{w: newFlushWriter(w)}
+	enc := json.NewEncoder(ew)
+	enc.Encode(map[string]any{"kind": "query", "op": q.Op().String(), "query": q.String()})
+
+	var (
+		lastRows   []repro.QueryRow
+		lastGroups []repro.QueryGroup
+	)
+	progress := func(res *repro.QueryResult) error {
+		switch q.Op() {
+		case repro.QueryTopK:
+			if slicesEqualRows(res.Rows, lastRows) {
+				break
+			}
+			lastRows = append(lastRows[:0], res.Rows...)
+			for rank, row := range res.Rows {
+				enc.Encode(map[string]any{
+					"kind": "row", "partial": true, "rank": rank, "index": row.Index,
+					"values": s.labels(row.Tuple), "p": row.Prob, "certain": row.Certain,
+				})
+			}
+		case repro.QueryGroupBy:
+			for i, g := range res.Groups {
+				if i < len(lastGroups) && g == lastGroups[i] {
+					continue
+				}
+				enc.Encode(map[string]any{
+					"kind": "group", "partial": true, "value": g.Label,
+					"expected": g.Expected, "variance": g.Variance,
+				})
+			}
+			lastGroups = append(lastGroups[:0], res.Groups...)
+		}
+		return ew.err
+	}
+	res, err := s.eng.QueryStream(r.Context(), rel, q, pools, progress)
+	if err != nil {
+		s.failed.Add(1)
+		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+		return
+	}
+	switch q.Op() {
+	case repro.QueryTopK:
+		for rank, row := range res.Rows {
+			enc.Encode(map[string]any{
+				"kind": "row", "final": true, "rank": rank, "index": row.Index,
+				"values": s.labels(row.Tuple), "p": row.Prob, "certain": row.Certain,
+			})
+		}
+	case repro.QueryGroupBy:
+		for _, g := range res.Groups {
+			enc.Encode(map[string]any{
+				"kind": "group", "final": true, "value": g.Label,
+				"expected": g.Expected, "variance": g.Variance,
+			})
+		}
+	}
+	s.writeSummary(enc, res)
+	if ew.err != nil {
+		s.failed.Add(1)
+	}
+}
+
+// slicesEqualRows reports whether two row snapshots are identical, so
+// the streamer only re-emits partial rows that actually moved.
+func slicesEqualRows(a, b []repro.QueryRow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Prob != b[i].Prob || a[i].Index != b[i].Index || a[i].Certain != b[i].Certain ||
+			!a[i].Tuple.Equal(b[i].Tuple) {
+			return false
+		}
+	}
+	return true
+}
+
+// writeSummary emits the terminal summary record: pruning counters,
+// bound usage, and the chosen plan.
+func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
+	c := res.Counters
+	summary := map[string]any{
+		"kind": "summary", "scanned": c.Scanned, "pruned": c.Pruned,
+		"bounded": c.Bounded, "derived": c.Derived,
+		"bound_refuted": c.BoundRefutes, "bound_width": c.BoundWidth,
+	}
+	if p := res.Plan; p != nil {
+		summary["plan"] = map[string]any{
+			"pred_order":  p.PredOrder,
+			"selectivity": p.Selectivity,
+			"tiers": map[string]int{
+				"refuted": p.Refuted, "certain": p.Certain, "single_missing": p.SingleMissing,
+				"bounded": p.Bounded, "derive": p.Derive,
+			},
+			"bounds_used": p.BoundsUsed,
+		}
+	}
+	enc.Encode(summary)
 }
 
 // errWriter records the first write error and drops everything after it,
@@ -361,8 +475,10 @@ type statsResponse struct {
 	VoteHitRate    float64           `json:"vote_hit_rate"`
 	GibbsHitRate   float64           `json:"gibbs_hit_rate"`
 	CPDHitRate     float64           `json:"cpd_hit_rate"`
+	BoundHitRate   float64           `json:"bound_hit_rate"`
 	Evictions      int64             `json:"evictions"`
 	BoundTightness float64           `json:"query_bound_tightness"`
+	BoundRefutes   int64             `json:"bound_refutes"`
 	Requests       int64             `json:"requests"`
 	Failed         int64             `json:"failed"`
 	Rejected       int64             `json:"rejected"`
@@ -377,8 +493,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		VoteHitRate:    st.VoteHitRate(),
 		GibbsHitRate:   st.GibbsHitRate(),
 		CPDHitRate:     st.CPDHitRate(),
+		BoundHitRate:   st.BoundHitRate(),
 		Evictions:      st.Evictions + st.CPDEvictions,
 		BoundTightness: st.QueryBoundTightness(),
+		BoundRefutes:   st.BoundRefutes,
 		Requests:       s.requests.Load(),
 		Failed:         s.failed.Load(),
 		Rejected:       s.rejected.Load(),

@@ -267,7 +267,7 @@ func TestServeQueryEndpoint(t *testing.T) {
 	recs = post("op=topk&k=3&where=" + url.QueryEscape(where))
 	var rows int
 	for _, r := range recs {
-		if r["kind"] == "row" {
+		if r["kind"] == "row" && r["final"] == true {
 			rows++
 			if len(r["values"].([]any)) != model.Schema.NumAttrs() {
 				t.Errorf("row values %v do not cover the schema", r["values"])
@@ -275,7 +275,11 @@ func TestServeQueryEndpoint(t *testing.T) {
 		}
 	}
 	if rows == 0 || rows > 3 {
-		t.Errorf("topk streamed %d rows, want 1..3", rows)
+		t.Errorf("topk streamed %d final rows, want 1..3", rows)
+	}
+	summary = recs[len(recs)-1]
+	if summary["kind"] != "summary" || summary["plan"] == nil {
+		t.Errorf("topk summary missing the plan: %v", summary)
 	}
 
 	// Bad queries are rejected up front with 400.
@@ -289,6 +293,122 @@ func TestServeQueryEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("POST /query?%s: status %d, want 400", params, resp.StatusCode)
 		}
+	}
+}
+
+// TestServeQueryStreamsIncrementally checks the incremental NDJSON
+// contract of topk and groupby: partial records precede the final ones,
+// the final records agree with a buffered evaluation on a fresh local
+// engine, and the summary carries the plan and bound counters.
+func TestServeQueryStreamsIncrementally(t *testing.T) {
+	model, rel, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	post := func(params string) []map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query?"+params, "text/csv", bytes.NewReader(csvBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /query: status %d: %s", resp.StatusCode, out)
+		}
+		var recs []map[string]any
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			var r map[string]any
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+			recs = append(recs, r)
+		}
+		return recs
+	}
+
+	// An unselective groupby forces block resolution, so partial group
+	// records must appear before the final histogram.
+	attr := model.Schema.Attrs[0].Name
+	recs := post("op=groupby&groupby=" + url.QueryEscape(attr))
+	var partials, finals int
+	lastPartial, firstFinal := -1, -1
+	finalGroups := map[string]float64{}
+	for i, r := range recs {
+		switch {
+		case r["kind"] == "group" && r["partial"] == true:
+			partials++
+			lastPartial = i
+		case r["kind"] == "group" && r["final"] == true:
+			finals++
+			if firstFinal < 0 {
+				firstFinal = i
+			}
+			finalGroups[r["value"].(string)] = r["expected"].(float64)
+		}
+	}
+	if partials == 0 {
+		t.Fatalf("groupby streamed no partial records:\n%v", recs)
+	}
+	if finals != model.Schema.Attrs[0].Card() {
+		t.Fatalf("groupby streamed %d final groups, want %d", finals, model.Schema.Attrs[0].Card())
+	}
+	if lastPartial > firstFinal {
+		t.Fatalf("partial record at %d after final record at %d", lastPartial, firstFinal)
+	}
+	if recs[len(recs)-1]["kind"] != "summary" {
+		t.Fatalf("last record is not the summary: %v", recs[len(recs)-1])
+	}
+
+	// The final histogram is bit-identical to a buffered evaluation on a
+	// fresh engine with the same options.
+	eng, err := repro.NewEngine(model, serveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := repro.CompileQuery(model.Schema, repro.QuerySpec{Op: repro.QueryGroupBy, GroupBy: attr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Query(context.Background(), rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range want.Groups {
+		if got, ok := finalGroups[g.Label]; !ok || got != g.Expected {
+			t.Errorf("final group %q = %v, want bit-identical %v", g.Label, got, g.Expected)
+		}
+	}
+
+	// TopK: partial row snapshots stream ahead of the finals.
+	recs = post("op=topk&k=4&where=" + url.QueryEscape(attr+"!="+model.Schema.Attrs[0].Domain[0]))
+	var rowPartials, rowFinals int
+	for _, r := range recs {
+		switch {
+		case r["kind"] == "row" && r["partial"] == true:
+			rowPartials++
+		case r["kind"] == "row" && r["final"] == true:
+			rowFinals++
+		}
+	}
+	if rowFinals == 0 || rowFinals > 4 {
+		t.Fatalf("topk streamed %d final rows, want 1..4", rowFinals)
+	}
+	if rowPartials == 0 {
+		t.Fatalf("topk streamed no partial rows:\n%v", recs)
+	}
+	summary := recs[len(recs)-1]
+	if summary["kind"] != "summary" {
+		t.Fatalf("last record is not the summary: %v", summary)
+	}
+	if _, ok := summary["bound_refuted"]; !ok {
+		t.Errorf("summary missing bound counters: %v", summary)
+	}
+	plan, ok := summary["plan"].(map[string]any)
+	if !ok || plan["tiers"] == nil {
+		t.Errorf("summary missing plan tiers: %v", summary)
 	}
 }
 

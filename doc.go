@@ -94,25 +94,51 @@
 //	})
 //	res, _ := eng.Query(ctx, rel, q)
 //
-// Evaluation is extensional and exact with pruning: on a chains-mode
-// engine (Workers > 1; the tuple-DAG sampler keeps its documented
-// workload-dependence) every answer is bit-identical to deriving the
-// full database through the same engine and evaluating the stream
-// naively, yet selective queries infer only a fraction of the tuples. Tuples whose evidence refutes the predicates
-// (or whose compiled satisfying set is empty) are pruned with no
-// inference; complete tuples are decided by evidence; single-missing
-// tuples are decided from the voted marginal CPD served by the engine's
-// shared CPD cache — the same estimate full derivation would expand into
-// a block, summed in block-alternative order so not even the last bit
-// differs — and only multi-missing tuples, whose voted marginals are an
-// approximation rather than a bound, are scheduled for full derivation.
-// Exists stops at the first certain witness or once its accumulated
-// probability crosses the threshold; topk stops once k certain rows make
-// every later row undeniably worse. EngineStats reports the achieved
-// pruning (QueryTuples, QueryPruned, QueryBounded, QueryDerived, and
-// QueryBoundTightness), and cmd/mrslserve exposes the same evaluation
-// over HTTP as POST /query (NDJSON: a query record, one record per
-// result, a summary with the pruning counters).
+// Evaluation runs through a plan/executor pipeline and is extensional
+// and exact with pruning: on a chains-mode engine (Workers > 1; the
+// tuple-DAG sampler keeps its documented workload-dependence) every
+// answer is bit-identical to deriving the full database through the
+// same engine and evaluating the stream naively, yet selective queries
+// infer only a fraction of the tuples.
+//
+// # Query planning & bounds
+//
+// The planner orders predicate evaluation by estimated selectivity
+// (satisfying mass under each attribute's evidence-free voted marginal,
+// memoized in the shared CPD cache) and classifies every tuple into a
+// resolution tier of increasing cost — and, like the executor, honors
+// context cancellation while doing so:
+// refuted and certain tuples are decided by evidence for free;
+// single-missing tuples are decided from the voted marginal CPD served
+// by the engine's shared CPD cache — the same estimate full derivation
+// would expand into a block, summed in block-alternative order so not
+// even the last bit differs; multi-missing tuples receive a sound
+// dissociation-style [lo, hi] interval from Engine.BoundCPD, built from
+// per-attribute conditional-CPD envelopes (min/max satisfying mass over
+// every local CPD the tuple's chain could draw from, memoized in the
+// same sharded CLOCK-bounded CPD cache) combined with Frechet bounds
+// and widened by an explicit concentration-plus-smoothing margin; and
+// only tuples whose interval straddles the decision are derived. The
+// executor consumes the tiers in cost order: a thresholded count counts
+// a tuple in when lo clears MinProb and out when hi stays below; a
+// thresholded exists folds the lo sides into a derivation-free lower
+// bound that can cross the threshold without sampling anything (and
+// still stops at the first certain witness); topk visits candidates in
+// decreasing upper-bound order and stops once rank k is held at a
+// probability no remaining bound can beat. One-sided decisions imply
+// the oracle's comparison, so bit-identity survives — property-tested
+// against the derive-everything oracle, including bound soundness
+// itself, across worker counts and cache bounds. Expected counts,
+// unthresholded exists, and groupby need exact masses and scan fully.
+//
+// QueryResult.Plan carries the compiled plan summary (mrslquery
+// -explain prints it), and EngineStats reports the achieved pruning
+// (QueryTuples, QueryPruned, QueryBounded, QueryDerived, BoundRefutes,
+// BoundsComputed/BoundHits, and QueryBoundTightness over the real
+// interval widths). cmd/mrslserve exposes the same evaluation over HTTP
+// as POST /query (NDJSON: a query record, result records — streamed
+// incrementally with partial/final markers for topk and groupby — and a
+// summary with the plan and the pruning counters).
 //
 // Engine streams and queries accept a context (DeriveStreamContext,
 // DeriveToContext, Query): cancellation stops scheduling and waiting

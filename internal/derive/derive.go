@@ -182,6 +182,11 @@ type Stats struct {
 	// CLOCK sweep.
 	CPDHits, CPDMisses, CPDEvictions int64
 
+	// BoundsComputed counts dissociation-bound envelopes (BoundCPD)
+	// actually enumerated; BoundHits counts envelope probes served from
+	// the shared CPD cache instead.
+	BoundsComputed, BoundHits int64
+
 	// Query counters, reported by the extensional query evaluator
 	// (internal/query) through RecordQuery. They partition the tuples a
 	// query scanned by how much inference each one cost.
@@ -195,16 +200,22 @@ type Stats struct {
 	// empty satisfying set) refuted the predicates outright, and tuples
 	// early termination made irrelevant.
 	QueryPruned int64
-	// QueryBounded counts tuples decided from per-attribute marginal
-	// bounds served by the shared CPD cache — a vote, but never a block
-	// expansion or a Gibbs chain.
+	// QueryBounded counts tuples decided without a block expansion or a
+	// Gibbs chain: single-missing tuples answered from the shared CPD
+	// cache, and multi-missing tuples decided by a dissociation bound
+	// interval.
 	QueryBounded int64
 	// QueryDerived counts tuples queries sent to full block derivation.
 	QueryDerived int64
-	// QueryBoundWidth accumulates the width of the probability bound
-	// interval each scanned tuple ended with before it was decided or
-	// scheduled: 0 for evidence- or CPD-decided tuples, 1 for tuples whose
-	// bounds stayed vacuous and had to be derived.
+	// BoundRefutes counts query tuples excluded by a bound interval's
+	// upper side (Hi below the decision threshold) — selectivity the
+	// bound engine delivered without sampling.
+	BoundRefutes int64
+	// QueryBoundWidth accumulates the width of the final probability
+	// bound interval of each scanned tuple: 0 for evidence- or
+	// CPD-decided tuples, the real dissociation-interval width for
+	// multi-missing tuples that received one (decided or not), and 1 only
+	// for tuples whose bounds stayed vacuous and had to be derived.
 	QueryBoundWidth float64
 }
 
@@ -218,6 +229,16 @@ func (s Stats) QueryBoundTightness() float64 {
 		return 0
 	}
 	return 1 - s.QueryBoundWidth/float64(classified)
+}
+
+// BoundHitRate returns the fraction of dissociation-envelope probes
+// served from the shared CPD cache rather than enumerated afresh.
+func (s Stats) BoundHitRate() float64 {
+	total := s.BoundHits + s.BoundsComputed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BoundHits) / float64(total)
 }
 
 // CPDHitRate returns the fraction of local-CPD probes served from the
@@ -368,16 +389,29 @@ func (e *Engine) lookup(m *clockcache.Map[*entry], key []byte, computed, served,
 	return en, true
 }
 
+// QueryRecord carries one query evaluation's pruning counters into
+// RecordQuery. Tuples = Pruned + Bounded + Derived.
+type QueryRecord struct {
+	Tuples, Pruned, Bounded, Derived int64
+	// BoundRefutes counts tuples excluded by a bound interval's upper
+	// side (a subset of Bounded).
+	BoundRefutes int64
+	// BoundWidth accumulates the final bound-interval width per scanned
+	// tuple (see Stats.QueryBoundWidth).
+	BoundWidth float64
+}
+
 // RecordQuery folds one query evaluation's pruning counters into the
 // engine stats. internal/query calls it once per completed evaluation.
-func (e *Engine) RecordQuery(tuples, pruned, bounded, derived int64, boundWidth float64) {
+func (e *Engine) RecordQuery(r QueryRecord) {
 	e.mu.Lock()
 	e.stats.Queries++
-	e.stats.QueryTuples += tuples
-	e.stats.QueryPruned += pruned
-	e.stats.QueryBounded += bounded
-	e.stats.QueryDerived += derived
-	e.stats.QueryBoundWidth += boundWidth
+	e.stats.QueryTuples += r.Tuples
+	e.stats.QueryPruned += r.Pruned
+	e.stats.QueryBounded += r.Bounded
+	e.stats.QueryDerived += r.Derived
+	e.stats.BoundRefutes += r.BoundRefutes
+	e.stats.QueryBoundWidth += r.BoundWidth
 	e.mu.Unlock()
 }
 
@@ -534,6 +568,39 @@ func (e *Engine) resolveDAG(ctx context.Context, t relation.Tuple) (*pdb.Block, 
 	return b, hit, err
 }
 
+// resolveTier names the engine path that resolves one incomplete tuple.
+// The same classification schedules prefetch pools and serves
+// ResolveBlock, so the query executor's tier ordering and the streaming
+// path always agree on where a tuple's work happens.
+type resolveTier uint8
+
+const (
+	// tierComplete: nothing to resolve.
+	tierComplete resolveTier = iota
+	// tierVote: single-missing, decided by the shared vote path.
+	tierVote
+	// tierChain: multi-missing on a chains-mode engine — one
+	// content-seeded chain per distinct tuple, shardable across pools.
+	tierChain
+	// tierDAG: multi-missing on a DAG-mode engine — holistic batches,
+	// serialized on the engine, nothing to shard.
+	tierDAG
+)
+
+// tier classifies t onto its resolution path.
+func (e *Engine) tier(t relation.Tuple) resolveTier {
+	switch {
+	case t.IsComplete():
+		return tierComplete
+	case t.NumMissing() == 1:
+		return tierVote
+	case e.cfg.chains():
+		return tierChain
+	default:
+		return tierDAG
+	}
+}
+
 // ResolveBlock returns the completion block of one incomplete tuple
 // through the engine's caches, exactly as a Stream over a relation
 // containing t would emit it: single-missing tuples via the shared vote
@@ -544,12 +611,12 @@ func (e *Engine) resolveDAG(ctx context.Context, t relation.Tuple) (*pdb.Block, 
 // lazy database; the returned block is shared and must be treated as
 // immutable.
 func (e *Engine) ResolveBlock(ctx context.Context, t relation.Tuple) (b *pdb.Block, hit bool, err error) {
-	switch {
-	case t.IsComplete():
+	switch e.tier(t) {
+	case tierComplete:
 		return nil, false, fmt.Errorf("derive: tuple %v is complete", t)
-	case t.NumMissing() == 1:
+	case tierVote:
 		return e.resolveVote(ctx, t, t.AppendKey(nil))
-	case e.cfg.chains():
+	case tierChain:
 		return e.resolveGibbs(ctx, t, t.AppendKey(nil))
 	default:
 		return e.resolveDAG(ctx, t)
@@ -567,11 +634,10 @@ func (e *Engine) ResolveBlock(ctx context.Context, t relation.Tuple) (b *pdb.Blo
 func (e *Engine) PrefetchBlocks(ctx context.Context, tuples []relation.Tuple, pools Pools) {
 	var singles, multis []relation.Tuple
 	for _, t := range tuples {
-		switch {
-		case t.IsComplete():
-		case t.NumMissing() == 1:
+		switch e.tier(t) {
+		case tierVote:
 			singles = append(singles, t)
-		case e.cfg.chains():
+		case tierChain:
 			multis = append(multis, t)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/bn"
@@ -504,6 +505,318 @@ func TestCappedEngineFallsBackToDerivation(t *testing.T) {
 	expected, _ := oracleCount(preds, items, 0)
 	if res.Expected != expected {
 		t.Fatalf("capped count = %v, want bit-identical %v", res.Expected, expected)
+	}
+}
+
+// rareValues finds, for two distinct attributes, the value with the
+// smallest positive frequency in a reference sample — the most selective
+// equality predicates the fixture supports.
+func rareValues(t *testing.T, inst *bn.Instance, rng *rand.Rand, s *relation.Schema) (a1, v1, a2, v2 int) {
+	t.Helper()
+	n := s.NumAttrs()
+	freq := make([][]int, n)
+	for a := range freq {
+		freq[a] = make([]int, s.Attrs[a].Card())
+	}
+	for i := 0; i < 2000; i++ {
+		tu := inst.Sample(rng)
+		for a, v := range tu {
+			freq[a][v]++
+		}
+	}
+	type rare struct{ attr, val, count int }
+	best := make([]rare, 0, n)
+	for a := range freq {
+		r := rare{attr: a, val: 0, count: freq[a][0]}
+		for v, c := range freq[a] {
+			if c > 0 && (freq[a][r.val] == 0 || c < r.count) {
+				r.val, r.count = v, c
+			}
+		}
+		best = append(best, r)
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i].count < best[j].count })
+	return best[0].attr, best[0].val, best[1].attr, best[1].val
+}
+
+// TestBoundsPruneMultiMissing is the bound engine's acceptance bar: on a
+// multi-missing-heavy workload with enough samples for tight intervals,
+// a selective thresholded count decides at least half its multi-missing
+// tuples from dissociation bounds alone (PR 4 derived every one), and a
+// thresholded exists crosses its threshold on the derivation-free
+// lower-bound pass without sampling a single chain — both bit-identical
+// to the derive-everything oracle.
+func TestBoundsPruneMultiMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	top, err := bn.ByID("BN8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := inst.SampleRelation(rng, 6000)
+	model, err := core.Learn(train, core.Config{SupportThreshold: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.Schema
+	a1, v1, a2, v2 := rareValues(t, inst, rng, s)
+
+	cfg := derive.Config{
+		Method:       bestAveraged(),
+		Gibbs:        gibbs.Config{Samples: 800, BurnIn: 50, Method: bestAveraged(), Seed: 7},
+		VoteWorkers:  2,
+		GibbsWorkers: 4,
+	}
+
+	// A multi-missing-heavy relation: half the tuples miss both predicate
+	// attributes (sometimes a third), drawn from a limited pattern pool so
+	// the oracle derivation stays cheap.
+	nAttrs := s.NumAttrs()
+	patterns := make([]relation.Tuple, 12)
+	for i := range patterns {
+		tu := inst.Sample(rng)
+		tu[a1], tu[a2] = relation.Missing, relation.Missing
+		if i%3 == 0 {
+			for _, a := range rng.Perm(nAttrs) {
+				if a != a1 && a != a2 {
+					tu[a] = relation.Missing
+					break
+				}
+			}
+		}
+		patterns[i] = tu
+	}
+	rel := relation.NewRelation(s)
+	for i := 0; i < 160; i++ {
+		var tu relation.Tuple
+		if i%2 == 0 {
+			tu = inst.Sample(rng)
+		} else {
+			tu = patterns[rng.Intn(len(patterns))].Clone()
+		}
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items := deriveAll(t, model, rel, cfg)
+
+	// Selective thresholded count: every multi-missing tuple's interval
+	// should fall cleanly below the threshold.
+	preds := []Pred{{Attr: a1, Cmp: Eq, Value: v1}, {Attr: a2, Cmp: Eq, Value: v2}}
+	q, err := Compile(s, Spec{Op: Count, Preds: preds, MinProb: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := derive.New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, "bounded count", q, res, items, s)
+	var multiOpen int64
+	for _, tu := range rel.Tuples {
+		if c, _ := q.classify(tu, nil); c == openMulti {
+			multiOpen++
+		}
+	}
+	if multiOpen < 20 {
+		t.Fatalf("fixture is not multi-missing-heavy: %d open multi tuples", multiOpen)
+	}
+	if res.Counters.Derived*2 > multiOpen {
+		t.Fatalf("bounds decided too little: derived %d of %d open multi-missing tuples (PR 4 derived all)",
+			res.Counters.Derived, multiOpen)
+	}
+	if res.Counters.BoundRefutes == 0 {
+		t.Fatalf("no tuple was refuted by its upper bound: %+v", res.Counters)
+	}
+	if res.Plan == nil || res.Plan.Bounded == 0 {
+		t.Fatalf("plan did not record bound-tier tuples: %+v", res.Plan)
+	}
+
+	// Thresholded exists over an all-incomplete relation (no certain
+	// witness): the lower-bound pass alone must cross the threshold.
+	rel2 := relation.NewRelation(s)
+	for i := 0; i < 60; i++ {
+		if err := rel2.Append(patterns[i%len(patterns)].Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items2 := deriveAll(t, model, rel2, cfg)
+	q2, err := Compile(s, Spec{Op: Exists, Preds: []Pred{{Attr: a1, Cmp: Ne, Value: v1}}, MinProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Eval(context.Background(), eng, rel2, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, "bounded exists", q2, res2, items2, s)
+	if !res2.Exists || !res2.EarlyStop {
+		t.Fatalf("exists did not decide early: %+v", res2)
+	}
+	if res2.Counters.Derived != 0 {
+		t.Fatalf("exists lower-bound pass still derived %d tuples", res2.Counters.Derived)
+	}
+
+	st := eng.Stats()
+	if st.BoundsComputed == 0 || st.BoundRefutes == 0 {
+		t.Fatalf("engine stats did not record bound work: %+v", st)
+	}
+}
+
+// TestPlanInfo pins the planner's public summary: tier counts partition
+// the scan, and the predicate order is sorted by estimated selectivity.
+func TestPlanInfo(t *testing.T) {
+	model, rel := fixture(t, 61)
+	eng, err := derive.New(model, engineConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(model.Schema, Spec{
+		Op:      Count,
+		Preds:   []Pred{{Attr: 0, Cmp: Ge, Value: 1}, {Attr: 1, Cmp: Eq, Value: 0}},
+		MinProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Plan
+	if p == nil {
+		t.Fatal("no plan attached to the result")
+	}
+	if got := p.Refuted + p.Certain + p.SingleMissing + p.Bounded + p.Derive; got != rel.Len() {
+		t.Fatalf("plan tiers cover %d of %d tuples: %+v", got, rel.Len(), p)
+	}
+	if len(p.PredOrder) != 2 || len(p.Selectivity) != 2 {
+		t.Fatalf("plan predicate order incomplete: %+v", p)
+	}
+	if p.Selectivity[0] > p.Selectivity[1] {
+		t.Fatalf("predicates not ordered by selectivity: %+v", p)
+	}
+	if !p.BoundsUsed {
+		t.Fatalf("thresholded count should plan with bounds: %+v", p)
+	}
+	if s := p.String(); !strings.Contains(s, "tiers:") || !strings.Contains(s, "predicate order:") {
+		t.Fatalf("explain rendering incomplete:\n%s", s)
+	}
+
+	// The same query without a threshold cannot use bounds.
+	q2, err := Compile(model.Schema, Spec{Op: Count, Preds: q.preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Eval(context.Background(), eng, rel, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Plan.BoundsUsed || res2.Plan.Bounded != 0 {
+		t.Fatalf("expected-count plan should not use bounds: %+v", res2.Plan)
+	}
+}
+
+// TestTopKCertainCutSkipsCheapTiers: once k certain rows fill the cut,
+// trailing single-missing tuples must cost nothing — the pre-planner
+// evaluator's early stop, which the tiered executor must preserve.
+func TestTopKCertainCutSkipsCheapTiers(t *testing.T) {
+	model, _ := fixture(t, 91)
+	rng := rand.New(rand.NewSource(93))
+	top, err := bn.ByID("BN8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := relation.NewRelation(model.Schema)
+	w := inst.Sample(rng)
+	for i := 0; i < 2; i++ { // two certain witnesses up front
+		if err := rel.Append(w.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ { // trailing single-missing tuples
+		tu := w.Clone()
+		tu[1+i%3] = relation.Missing
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := derive.New(model, engineConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(model.Schema, Spec{Op: TopK, Preds: []Pred{{Attr: 0, Cmp: Eq, Value: w[0]}}, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || !res.Rows[0].Certain || !res.Rows[1].Certain || !res.EarlyStop {
+		t.Fatalf("certain cut not taken: %+v", res)
+	}
+	if res.Counters.Bounded != 0 || res.Counters.Derived != 0 {
+		t.Fatalf("trailing single-missing tuples still paid for inference: %+v", res.Counters)
+	}
+}
+
+// TestCappedTopKTieAtProbabilityOne: on an alternative-capped engine a
+// renormalized block holds a completion with probability exactly 1 —
+// the vacuous upper bound is attainable. The rank-k cut must not skip a
+// candidate from an earlier input index whose tied completion wins the
+// (probability, input order) tie-break against a held certain row.
+func TestCappedTopKTieAtProbabilityOne(t *testing.T) {
+	model, _ := fixture(t, 81)
+	cfg := engineConfig(2, 2)
+	cfg.MaxAlternatives = 1
+
+	rng := rand.New(rand.NewSource(83))
+	top, err := bn.ByID("BN8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bn.Instantiate(top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := inst.Sample(rng)
+	open := w.Clone()
+	open[1] = relation.Missing // unconstrained attribute: the tuple satisfies via every completion
+	rel := relation.NewRelation(model.Schema)
+	for _, tu := range []relation.Tuple{open, w} {
+		if err := rel.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items := deriveAll(t, model, rel, cfg)
+
+	eng, err := derive.New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(model.Schema, Spec{Op: TopK, Preds: []Pred{{Attr: 0, Cmp: Eq, Value: w[0]}}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRowsEqual(t, "capped topk tie", res.Rows, oracleTopK(q.preds, items, 1, 0))
+	if len(res.Rows) != 1 || res.Rows[0].Index != 0 {
+		t.Fatalf("rank-1 row is %+v; the probability-1 completion at input index 0 must win the tie", res.Rows)
 	}
 }
 

@@ -1,0 +1,236 @@
+// Planner: the first stage of the query pipeline. It compiles one
+// evaluation's Plan against a concrete engine and relation — ordering
+// predicate evaluation by estimated selectivity, classifying every input
+// tuple into a resolution tier, and attaching a sound dissociation bound
+// interval to each multi-missing tuple the executor could decide without
+// sampling. Planning never runs a Gibbs chain: its only inference cost
+// is the per-attribute CPD envelopes behind derive.Engine.BoundCPD,
+// which are memoized in the engine's shared CPD cache.
+package query
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/derive"
+	"repro/internal/relation"
+)
+
+// tupleTier is the planner's resolution tier for one input tuple, in
+// increasing cost order.
+type tupleTier uint8
+
+const (
+	// tierSkip: no completion can satisfy the predicates — the tuple
+	// contributes exactly 0.
+	tierSkip tupleTier = iota
+	// tierCertain: a complete tuple satisfying every predicate —
+	// probability exactly 1, no inference.
+	tierCertain
+	// tierVote: a single-missing tuple decidable from the voted marginal
+	// CPD, bit-identically to its derived block.
+	tierVote
+	// tierBound: a multi-missing tuple carrying a non-vacuous
+	// dissociation interval; the executor decides it from the interval
+	// when the operator's threshold allows, deriving only otherwise.
+	tierBound
+	// tierDerive: only full block derivation decides the tuple.
+	tierDerive
+)
+
+// planned is one tuple's plan entry: its tier, plus the bound interval
+// for tierBound tuples (vacuous for tierDerive ones).
+type planned struct {
+	tier tupleTier
+	iv   derive.Interval
+}
+
+// PlanInfo is the public summary of one evaluation's plan, surfaced on
+// Result.Plan for explain output and serving telemetry.
+type PlanInfo struct {
+	// PredOrder lists the constrained attribute names in evaluation
+	// order, most selective first.
+	PredOrder []string
+	// Selectivity is the estimated satisfying fraction per PredOrder
+	// entry: the satisfying mass under the attribute's evidence-free
+	// voted marginal (one vote, memoized in the engine's shared CPD
+	// cache), falling back to satisfying-set cardinality over domain
+	// cardinality if the vote fails.
+	Selectivity []float64
+	// Tier counts over the scanned relation.
+	Refuted, Certain, SingleMissing, Bounded, Derive int
+	// BoundsUsed reports that the operator could exploit dissociation
+	// intervals, so the planner asked the engine for them.
+	BoundsUsed bool
+}
+
+// String renders the plan as the multi-line explain block the mrslquery
+// -explain flag prints.
+func (p *PlanInfo) String() string {
+	var b strings.Builder
+	b.WriteString("plan:\n")
+	if len(p.PredOrder) > 0 {
+		b.WriteString("  predicate order:")
+		for i, name := range p.PredOrder {
+			fmt.Fprintf(&b, " %s(sel %.2f)", name, p.Selectivity[i])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  tiers: %d refuted, %d certain, %d single-missing, %d bounded, %d derive\n",
+		p.Refuted, p.Certain, p.SingleMissing, p.Bounded, p.Derive)
+	fmt.Fprintf(&b, "  dissociation bounds: %v\n", p.BoundsUsed)
+	return b.String()
+}
+
+// plan is one evaluation's compiled plan: per-tuple tiers and intervals
+// plus the selectivity-ordered predicate list.
+type plan struct {
+	q *Query
+	// acts aligns with the relation's tuples.
+	acts []planned
+	// order lists the constrained attributes most selective first;
+	// satisfies consults it so refutation short-circuits as early as the
+	// estimates allow.
+	order []int
+	info  *PlanInfo
+}
+
+// usesBounds reports whether the operator can turn a [lo, hi] interval
+// into a decision: thresholded count and exists compare against MinProb,
+// and topk cuts against MinProb or the rank-k probability. Plain
+// expected counts, unthresholded exists, and groupby need exact masses,
+// so bounding them would be wasted planning work.
+func (q *Query) usesBounds() bool {
+	switch q.op {
+	case Count, Exists:
+		return q.minProb > 0
+	case TopK:
+		return q.k > 0 || q.minProb > 0
+	default:
+		return false
+	}
+}
+
+// newPlan compiles the evaluation plan of q over rel on eng. Canceling
+// ctx aborts planning — the dissociation envelopes can cost real votes
+// on a cold cache, so the planner is as cancellable as the executor.
+func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.Relation) (*plan, error) {
+	p := &plan{q: q, acts: make([]planned, len(rel.Tuples))}
+	info := &PlanInfo{BoundsUsed: q.usesBounds()}
+
+	// Order predicate evaluation by estimated selectivity: the compiled
+	// satisfying fraction, sharpened by the attribute's evidence-free
+	// voted marginal — one vote against the top of the lattice, computed
+	// through (and memoized in) the engine's shared CPD cache, so every
+	// plan after the first is served from the same slot. Ordering
+	// changes evaluation cost only, never answers — satisfies is a
+	// conjunction.
+	p.order = append([]int(nil), q.constrained...)
+	if len(p.order) > 0 {
+		sel := make(map[int]float64, len(p.order))
+		allMissing := relation.NewTuple(q.schema.NumAttrs())
+		for _, a := range p.order {
+			set := q.sat[a]
+			frac := float64(set.n) / float64(len(set.ok))
+			if d, _, err := eng.MarginalCPD(allMissing, a); err == nil && len(d) == len(set.ok) {
+				var mass float64
+				for v, in := range set.ok {
+					if in {
+						mass += d[v]
+					}
+				}
+				frac = mass
+			}
+			sel[a] = frac
+		}
+		sort.SliceStable(p.order, func(i, j int) bool { return sel[p.order[i]] < sel[p.order[j]] })
+		for _, a := range p.order {
+			info.PredOrder = append(info.PredOrder, q.schema.Attrs[a].Name)
+			info.Selectivity = append(info.Selectivity, sel[a])
+		}
+	}
+
+	// Single-missing tuples take the CPD path only when the engine keeps
+	// full blocks: a capped block is renormalized, so only the block
+	// itself reproduces the derived answer. The same cap disables
+	// dissociation bounds inside BoundCPD.
+	useVote := eng.MaxAlternatives() <= 0
+
+	// sat in the [][]bool shape BoundCPD consumes, built once per plan.
+	var satBools [][]bool
+	if info.BoundsUsed {
+		satBools = make([][]bool, q.schema.NumAttrs())
+		for _, a := range q.constrained {
+			satBools[a] = q.sat[a].ok
+		}
+	}
+
+	var buf []int
+	for i, t := range rel.Tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, open := q.classify(t, buf)
+		if open != nil {
+			buf = open[:0]
+		}
+		switch {
+		case c == refuted:
+			p.acts[i] = planned{tier: tierSkip}
+			info.Refuted++
+		case t.IsComplete():
+			p.acts[i] = planned{tier: tierCertain, iv: derive.Interval{Lo: 1, Hi: 1}}
+			info.Certain++
+		case useVote && t.NumMissing() == 1:
+			p.acts[i] = planned{tier: tierVote}
+			info.SingleMissing++
+		default:
+			iv := derive.VacuousInterval
+			if info.BoundsUsed && t.NumMissing() > 1 {
+				var err error
+				if iv, err = eng.BoundCPD(t, satBools); err != nil {
+					return nil, err
+				}
+			}
+			if iv.Vacuous() {
+				p.acts[i] = planned{tier: tierDerive, iv: derive.VacuousInterval}
+				info.Derive++
+			} else {
+				p.acts[i] = planned{tier: tierBound, iv: iv}
+				info.Bounded++
+			}
+		}
+	}
+	p.info = info
+	return p, nil
+}
+
+// Plan compiles the evaluation plan of q over rel on eng without
+// executing it: the selectivity-ordered predicates, the resolution-tier
+// classification of every tuple, and the dissociation intervals behind
+// the bound tier (whose envelope votes do run, memoized in the engine's
+// shared CPD cache — so planning honors ctx). It is the -explain
+// primitive and the planner's benchmark surface.
+func Plan(ctx context.Context, eng *derive.Engine, rel *relation.Relation, q *Query) (*PlanInfo, error) {
+	if err := validate(eng, rel, q); err != nil {
+		return nil, err
+	}
+	pl, err := q.newPlan(ctx, eng, rel)
+	if err != nil {
+		return nil, err
+	}
+	return pl.info, nil
+}
+
+// satisfies reports whether the complete tuple u passes every predicate,
+// checking the most selective attributes first.
+func (p *plan) satisfies(u relation.Tuple) bool {
+	for _, a := range p.order {
+		if !p.q.sat[a].contains(u[a]) {
+			return false
+		}
+	}
+	return true
+}

@@ -2,13 +2,24 @@
 // subsystem: a compiled representation of conjunctive predicates
 // (equality and domain-order comparisons) under the operators count,
 // exists, topk, and groupby — each with an optional probability
-// threshold — and an extensional evaluator that runs on top of
-// derive.Engine (eval.go).
+// threshold — evaluated through a plan/executor pipeline on top of
+// derive.Engine.
 //
-// The evaluator's contract is exactness with pruning: every answer is
+// Evaluation is two-staged. The planner (planner.go) compiles one
+// evaluation's Plan against a concrete engine and relation: it orders
+// predicate evaluation by estimated selectivity (satisfying-set
+// cardinality refined by marginal mass from the engine's shared CPD
+// cache) and classifies every tuple into a resolution tier — refuted,
+// certain, single-missing, bounded, or derive — attaching a sound
+// dissociation-style [lo, hi] probability interval (derive.Engine's
+// BoundCPD) to each multi-missing tuple. The executor (executor.go)
+// consumes the tiers in increasing cost order, deciding as much as the
+// bounds allow and deriving only the remainder.
+//
+// The pipeline's contract is exactness with pruning: every answer is
 // bit-identical to deriving the full probabilistic database and
 // evaluating naively, yet selective queries derive only a fraction of
-// the tuples. Pruning comes from three sound sources, in increasing
+// the tuples. Pruning comes from four sound sources, in increasing
 // cost:
 //
 //   - Evidence: a tuple whose known values refute the predicates has
@@ -19,22 +30,31 @@
 //     pruned to 1: its block's probability mass need not sum to exactly
 //     1.0 in floats, so pinning it would break bit-identity — it is
 //     resolved like any open tuple instead.)
-//   - Bounds: a single-missing tuple's completion distribution is the
-//     voted CPD itself, served from the engine's shared local-CPD cache —
-//     the same estimate, from the same cache slot, full derivation would
-//     use — so its satisfaction probability is an exact point bound and
-//     the tuple never needs a block expansion.
+//   - Point bounds: a single-missing tuple's completion distribution is
+//     the voted CPD itself, served from the engine's shared local-CPD
+//     cache — the same estimate, from the same cache slot, full
+//     derivation would use — so its satisfaction probability is an exact
+//     point bound and the tuple never needs a block expansion.
+//   - Dissociation intervals: a multi-missing tuple's satisfying mass is
+//     bracketed by combining per-attribute conditional-CPD envelopes
+//     with Frechet bounds (derive.Engine.BoundCPD) — sound for the very
+//     chain estimate derivation would produce. A thresholded count
+//     counts the tuple in when Lo clears the threshold and out when Hi
+//     stays below; exists folds the Lo sides into a derivation-free
+//     lower bound that can cross its threshold without any sampling;
+//     topk skips every candidate whose Hi cannot reach the held rank-k
+//     probability. One-sided decisions imply the oracle's comparison, so
+//     bit-identity survives.
 //   - Early termination: exists stops at the first sure witness (or once
-//     the accumulated existence probability crosses the threshold, which
-//     it can never fall back below), and topk stops once k rows of
-//     probability 1 make every later row undeniably worse.
+//     the accumulated probability crosses the threshold, which it can
+//     never fall back below), and topk stops once the best remaining
+//     upper bound cannot displace rank k.
 //
-// Multi-missing tuples are the deliberate limit of pruning: their voted
-// per-attribute marginals are a different estimator than the Gibbs
-// joint's marginals — an approximation, not a bound — so the evaluator
-// refuses to prune on them and schedules full derivation instead,
-// keeping answers exact. (Sound dissociation-style bounds for the
-// multi-missing case are a ROADMAP follow-up.)
+// Expected counts, unthresholded exists, and groupby need every open
+// tuple's exact mass, so they scan fully — the deliberate limit of
+// interval pruning. (Intensional, lineage-based evaluation for
+// joins/projections and cross-block correlations remain ROADMAP
+// follow-ups.)
 package query
 
 import (

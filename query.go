@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 
+	"repro/internal/derive"
 	"repro/internal/query"
 )
 
@@ -42,6 +43,16 @@ type (
 	// QueryCounters partition one evaluation's scanned tuples by the
 	// inference each cost.
 	QueryCounters = query.Counters
+	// QueryPlanInfo summarizes the compiled plan an evaluation executed:
+	// selectivity-ordered predicates, per-tier tuple counts, and whether
+	// dissociation bounds were in play. Attached to QueryResult.Plan.
+	QueryPlanInfo = query.PlanInfo
+	// QueryProgressFunc observes a TopK or GroupBy evaluation in flight;
+	// see Engine.QueryStream.
+	QueryProgressFunc = query.ProgressFunc
+	// BoundInterval is a sound [Lo, Hi] probability interval from the
+	// engine's dissociation bound engine.
+	BoundInterval = derive.Interval
 )
 
 // Query operators.
@@ -82,19 +93,24 @@ func CompileQuery(s *Schema, spec QuerySpec) (*CompiledQuery, error) {
 	return query.Compile(s, spec)
 }
 
-// Query evaluates a compiled query over rel on the engine's shared
-// caches: tuples decided by evidence cost nothing, single-missing tuples
-// are decided from the shared local-CPD cache without expanding a block,
-// and only tuples whose bounds leave the answer open are scheduled for
-// full derivation — with early termination for Exists and TopK once the
-// remaining tuples cannot change the answer. On a chains-mode engine
-// (DeriveOptions.Workers > 1) the answer is bit-identical to deriving
-// rel completely through this engine and evaluating the stream naively,
-// for every worker count; with the tuple-DAG sampler (Workers <= 1)
-// multi-missing estimates are workload-dependent by construction — the
-// same caveat derivation itself carries — so query-time single-tuple
-// estimates can differ from a full derivation's. Canceling ctx aborts
-// the evaluation.
+// Query evaluates a compiled query over rel through the plan/executor
+// pipeline on the engine's shared caches: the planner orders predicate
+// evaluation by estimated selectivity and classifies every tuple into a
+// resolution tier (attaching sound dissociation bound intervals to
+// multi-missing tuples — see Engine.BoundCPD), and the executor consumes
+// the tiers in increasing cost order — tuples decided by evidence cost
+// nothing, single-missing tuples are decided from the shared local-CPD
+// cache without expanding a block, multi-missing tuples whose interval
+// clears or refutes the threshold (or cannot reach TopK's rank k) are
+// decided without sampling, and only the remainder is scheduled for full
+// derivation. On a chains-mode engine (DeriveOptions.Workers > 1) the
+// answer is bit-identical to deriving rel completely through this engine
+// and evaluating the stream naively, for every worker count; with the
+// tuple-DAG sampler (Workers <= 1) multi-missing estimates are
+// workload-dependent by construction — the same caveat derivation itself
+// carries — so query-time single-tuple estimates can differ from a full
+// derivation's (and bounds stay disabled). The compiled plan summary is
+// attached to QueryResult.Plan. Canceling ctx aborts the evaluation.
 func (e *Engine) Query(ctx context.Context, rel *Relation, q *CompiledQuery) (*QueryResult, error) {
 	return query.Eval(ctx, e.eng, rel, q)
 }
@@ -104,4 +120,40 @@ func (e *Engine) Query(ctx context.Context, rel *Relation, q *CompiledQuery) (*Q
 // the answer).
 func (e *Engine) QueryPools(ctx context.Context, rel *Relation, q *CompiledQuery, pools Pools) (*QueryResult, error) {
 	return query.EvalPools(ctx, e.eng, rel, q, pools)
+}
+
+// QueryStream is QueryPools with a progress observer: for TopK and
+// GroupBy evaluations, progress is called after each resolved uncertain
+// tuple with the live, partially filled result, so serving paths can
+// stream partial rows and group histograms as blocks resolve. Read the
+// result synchronously inside the callback and do not retain it; a
+// progress error aborts the evaluation. Other operators fold scalars and
+// report nothing incremental.
+func (e *Engine) QueryStream(ctx context.Context, rel *Relation, q *CompiledQuery, pools Pools, progress QueryProgressFunc) (*QueryResult, error) {
+	return query.EvalPoolsProgress(ctx, e.eng, rel, q, pools, progress)
+}
+
+// PlanQuery compiles the evaluation plan of q over rel on this engine
+// without executing it: the selectivity-ordered predicates, the
+// per-tier tuple counts, and (for bound-capable operators) the
+// dissociation intervals' tier assignment. Planning can pay for
+// envelope votes on a cold cache, so it honors ctx like Query does.
+// Useful for explain tooling and planner benchmarks; Engine.Query runs
+// the same planner internally and attaches the summary to
+// QueryResult.Plan.
+func (e *Engine) PlanQuery(ctx context.Context, rel *Relation, q *CompiledQuery) (*QueryPlanInfo, error) {
+	return query.Plan(ctx, e.eng, rel, q)
+}
+
+// BoundCPD computes a sound dissociation-style probability interval for
+// a multi-missing tuple: the probability that every missing attribute
+// completes into its satisfying set (sat[a] per value code, nil =
+// unconstrained) is bracketed by [Lo, Hi] relative to the very block
+// this engine's derivation would produce. Built from per-attribute
+// conditional-CPD envelopes memoized in the engine's shared CPD cache;
+// degrades to the vacuous [0, 1] on DAG-mode or alternative-capped
+// engines. This is the primitive behind the query planner's
+// multi-missing pruning.
+func (e *Engine) BoundCPD(t Tuple, sat [][]bool) (BoundInterval, error) {
+	return e.eng.BoundCPD(t, sat)
 }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# planner-check: guards query-planning latency across PRs. Compares the
+# BenchmarkQueryPlanner ns/op figure of a fresh run (published by
+# `make bench-planner` into BENCH_planner.json) against the committed
+# baseline (BENCH_planner_baseline.json); exits non-zero when planning
+# slowed down by more than the tolerance (percent, default 30).
+#
+# Usage: planner-check.sh <baseline.json> <current.json> [tolerance-pct]
+set -eu
+
+base=${1:?usage: planner-check.sh baseline.json current.json [tolerance-pct]}
+cur=${2:?usage: planner-check.sh baseline.json current.json [tolerance-pct]}
+tol=${3:-30}
+
+if [ ! -f "$base" ]; then
+	echo "planner-check: no baseline at $base; skipping"
+	exit 0
+fi
+if [ ! -f "$cur" ]; then
+	echo "planner-check: no current run at $cur" >&2
+	exit 1
+fi
+
+# Pull the ns/op figure out of a go-test -json benchmark log. The name
+# and its measurements usually share one output line; tolerate the split
+# form go test emits for sub-benchmarks too.
+extract() {
+	grep -o '"Output":"[^"]*"' "$1" | sed 's/^"Output":"//; s/"$//' |
+		awk '
+			/^BenchmarkQueryPlanner/ {
+				for (i = 2; i <= NF; i++)
+					if ($i ~ /^ns\/op/) { print $(i - 1); exit }
+				pending = 1
+				next
+			}
+			pending && /ns\/op/ {
+				for (i = 2; i <= NF; i++)
+					if ($i ~ /^ns\/op/) { print $(i - 1); exit }
+			}
+		'
+}
+
+b=$(extract "$base")
+c=$(extract "$cur")
+if [ -z "$b" ] || [ -z "$c" ]; then
+	echo "planner-check: could not extract ns/op figures" >&2
+	exit 1
+fi
+
+awk -v b="$b" -v c="$c" -v tol="$tol" 'BEGIN {
+	ceil = b * (100 + tol) / 100
+	status = (c <= ceil) ? "ok" : "REGRESSED"
+	printf "planner-check: baseline %12.0f ns/op  current %12.0f ns/op  ceiling %12.0f  %s\n",
+		b, c, ceil, status
+	exit (c > ceil) ? 1 : 0
+}'
