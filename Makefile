@@ -69,9 +69,10 @@ bench-publish: bench-serve
 	$(GO) test -run=NONE -bench 'Derive|Match|Gibbs|Query' -benchmem -benchtime=100x -json . ./internal/core ./internal/gibbs > BENCH_derive.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_derive.json | head -14
 
-# Short fuzzing pass over the three external input parsers (CSV
-# relations, BN topology DSL, query predicate syntax).
+# Short fuzzing pass over the four external input parsers (CSV
+# relations, BN topology DSL, query predicate syntax, /observe bodies).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/relation
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/bn
 	$(GO) test -run=NONE -fuzz=FuzzParseQuery -fuzztime=10s ./internal/query
+	$(GO) test -run=NONE -fuzz=FuzzParseObserve -fuzztime=10s ./cmd/mrslserve

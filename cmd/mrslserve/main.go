@@ -28,7 +28,11 @@
 //	               alternatives with probabilities) — flushing each line,
 //	               so clients read blocks as they are inferred. Query
 //	               parameters voteworkers and gibbsworkers override the
-//	               request's pool sizes (never the result).
+//	               request's pool sizes (never the result). With
+//	               dataset=<id> the body is ignored and the registered
+//	               dataset's conditioned database is derived instead:
+//	               observed tuples emit their Bayesian posterior blocks,
+//	               the rest resolve exactly as a batch derivation would.
 //	POST /query    body: CSV relation over the model's schema. Query
 //	               parameters: op (count, exists, topk, groupby), where
 //	               (conjunctive conditions "attr=value,attr>=value,..."),
@@ -48,9 +52,32 @@
 //	               the stream naively, but selective queries infer only
 //	               the tuples the bounds leave undecided — multi-missing
 //	               tuples whose dissociation interval already decides
-//	               the threshold are never sampled.
+//	               the threshold are never sampled. With dataset=<id>
+//	               the body is ignored and the query evaluates over the
+//	               dataset's conditioned snapshot; adding watch=1 turns
+//	               it into a subscription: the connection stays open and
+//	               after every /observe delta only the result records
+//	               the delta actually changed are re-emitted, marked
+//	               "partial":true and stamped with the dataset version,
+//	               until the client disconnects or the dataset is
+//	               dropped (which appends an "end" record).
+//	POST /datasets register the posted CSV relation as a live dataset;
+//	               returns {"kind":"dataset","id":...} whose id the
+//	               dataset= parameters and /observe address. DELETE
+//	               /datasets/{id} drops it, ending its watch streams.
+//	POST /observe  apply evidence deltas to a registered dataset. Body:
+//	               {"dataset":"ds1","observations":[{"index":7,
+//	               "attr":"income","value":"50K"}]} with attributes and
+//	               values as schema labels. Deltas apply in order;
+//	               conditioning is exact Bayesian filtering of the
+//	               tuple's block, and the engine invalidates exactly the
+//	               superseded conditioned entry — nothing else. A
+//	               conflicting or zero-remaining-mass delta stops the
+//	               batch with 409 and reports how many applied.
 //	GET  /stats    engine cache counters, hit rates, query pruning and
-//	               bound totals, admission counters, uptime, requests.
+//	               bound totals, live-evidence counters (observations,
+//	               invalidated entries, watchers, datasets), admission
+//	               counters (requests = accepted + rejected), uptime.
 //	GET  /healthz  liveness probe.
 //
 // With -addr host:0 the kernel picks a free port; the chosen address is
@@ -142,7 +169,8 @@ type server struct {
 	// take a slot before running inference and returns it when done.
 	slots chan struct{}
 
-	requests atomic.Int64 // derivation/query requests accepted
+	requests atomic.Int64 // inference requests offered (= accepted + rejected)
+	accepted atomic.Int64 // requests admitted past the semaphore
 	failed   atomic.Int64 // accepted requests that ended in an error
 	rejected atomic.Int64 // requests turned away at admission (429)
 }
@@ -158,6 +186,9 @@ func newServer(model *repro.Model, opt repro.DeriveOptions, maxInflight int) (*s
 	}
 	s.mux.HandleFunc("POST /derive", s.admit(s.handleDerive))
 	s.mux.HandleFunc("POST /query", s.admit(s.handleQuery))
+	s.mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("DELETE /datasets/{id}", s.handleDropDataset)
+	s.mux.HandleFunc("POST /observe", s.admit(s.handleObserve))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -170,6 +201,10 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Retry-After hint, never queued without bound.
 func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Count the request when it is offered, before the admission
+		// decision, so requests == accepted + rejected always holds — a
+		// rejected request is still offered load.
+		s.requests.Add(1)
 		if s.slots != nil {
 			select {
 			case s.slots <- struct{}{}:
@@ -181,7 +216,7 @@ func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 		}
-		s.requests.Add(1)
+		s.accepted.Add(1)
 		h(w, r)
 	}
 }
@@ -191,13 +226,36 @@ func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
 // inferred. The stream runs under the request context, so a client
 // disconnect cancels in-flight derivation work.
 func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
-	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
+	pools, err := poolsFromQuery(r)
 	if err != nil {
 		s.failed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	pools, err := poolsFromQuery(r)
+	if id := r.URL.Query().Get("dataset"); id != "" {
+		// Registered dataset: derive the conditioned snapshot instead of a
+		// posted relation. The body is ignored.
+		ds, ok := s.eng.Dataset(id)
+		if !ok {
+			s.failed.Add(1)
+			http.Error(w, "unknown dataset "+id, http.StatusNotFound)
+			return
+		}
+		snap, err := ds.Snapshot(r.Context())
+		if err != nil {
+			s.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink := repro.NewJSONLSink(newFlushWriter(w), s.model.Schema)
+		if err := s.eng.DeriveSnapshot(r.Context(), snap, pools, sink); err != nil {
+			s.failed.Add(1)
+			json.NewEncoder(w).Encode(map[string]string{"kind": "error", "error": err.Error()})
+		}
+		return
+	}
+	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
 	if err != nil {
 		s.failed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -237,12 +295,6 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 // evaluation sees the answer take shape instead of waiting for the
 // buffer.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
-	if err != nil {
-		s.failed.Add(1)
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 	pools, err := poolsFromQuery(r)
 	if err != nil {
 		s.failed.Add(1)
@@ -255,11 +307,51 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// eval abstracts the evaluation source: a posted relation (batch) or
+	// a registered dataset's conditioned snapshot. Both run the same
+	// plan/executor pipeline and stream the same records.
+	var eval func(progress repro.QueryProgressFunc) (*repro.QueryResult, error)
+	if id := r.URL.Query().Get("dataset"); id != "" {
+		ds, ok := s.eng.Dataset(id)
+		if !ok {
+			s.failed.Add(1)
+			http.Error(w, "unknown dataset "+id, http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("watch") == "1" {
+			s.watchQuery(w, r, ds, q, pools)
+			return
+		}
+		snap, err := ds.Snapshot(r.Context())
+		if err != nil {
+			s.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		eval = func(progress repro.QueryProgressFunc) (*repro.QueryResult, error) {
+			return s.eng.QuerySnapshot(r.Context(), snap, q, pools, progress)
+		}
+	} else {
+		if r.URL.Query().Get("watch") == "1" {
+			s.failed.Add(1)
+			http.Error(w, "watch=1 requires dataset=<id>: only registered datasets receive evidence", http.StatusBadRequest)
+			return
+		}
+		rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
+		if err != nil {
+			s.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		eval = func(progress repro.QueryProgressFunc) (*repro.QueryResult, error) {
+			return s.eng.QueryStream(r.Context(), rel, q, pools, progress)
+		}
+	}
 	if q.Op() == repro.QueryTopK || q.Op() == repro.QueryGroupBy {
-		s.streamQuery(w, r, rel, q, pools)
+		s.streamQuery(w, q, eval)
 		return
 	}
-	res, err := s.eng.QueryPools(r.Context(), rel, q, pools)
+	res, err := eval(nil)
 	if err != nil {
 		s.failed.Add(1)
 		// Unlike /derive, nothing has been streamed yet, so the failure
@@ -302,8 +394,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // when inference runs, so evaluation errors append a terminal error
 // record instead of a status code; a disconnected client aborts the
 // evaluation through the progress callback.
-func (s *server) streamQuery(w http.ResponseWriter, r *http.Request,
-	rel *repro.Relation, q *repro.CompiledQuery, pools repro.Pools) {
+func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
+	eval func(repro.QueryProgressFunc) (*repro.QueryResult, error)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	ew := &errWriter{w: newFlushWriter(w)}
 	enc := json.NewEncoder(ew)
@@ -340,7 +432,7 @@ func (s *server) streamQuery(w http.ResponseWriter, r *http.Request,
 		}
 		return ew.err
 	}
-	res, err := s.eng.QueryStream(r.Context(), rel, q, pools, progress)
+	res, err := eval(progress)
 	if err != nil {
 		s.failed.Add(1)
 		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
@@ -383,6 +475,285 @@ func slicesEqualRows(a, b []repro.QueryRow) bool {
 	return true
 }
 
+// handleRegisterDataset registers the posted CSV relation as a live
+// dataset and returns its handle id. Registration itself runs no
+// inference, so it bypasses admission control.
+func (s *server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ds, err := s.eng.RegisterDataset(rel)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"kind": "dataset", "id": ds.ID(), "tuples": len(rel.Tuples),
+	})
+}
+
+// handleDropDataset unregisters a dataset: its watch streams end with
+// an "end" record and its conditioned cache entries are invalidated.
+func (s *server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.eng.DropDataset(id) {
+		http.Error(w, "unknown dataset "+id, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"kind": "dropped", "id": id})
+}
+
+// observeDelta is one wire observation resolved against the schema:
+// tuple index, attribute index, domain code.
+type observeDelta struct {
+	Index, Attr, Val int
+}
+
+// parseObserveRequest decodes and resolves a POST /observe body against
+// the schema: attributes by name, values by domain label. It validates
+// shape and vocabulary only — tuple-index range and evidence
+// consistency are the dataset's to judge.
+func parseObserveRequest(schema *repro.Schema, body io.Reader) (string, []observeDelta, error) {
+	var req struct {
+		Dataset      string `json:"dataset"`
+		Observations []struct {
+			Index int    `json:"index"`
+			Attr  string `json:"attr"`
+			Value string `json:"value"`
+		} `json:"observations"`
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", nil, fmt.Errorf("observe: decoding body: %w", err)
+	}
+	if req.Dataset == "" {
+		return "", nil, fmt.Errorf("observe: missing dataset id")
+	}
+	if len(req.Observations) == 0 {
+		return "", nil, fmt.Errorf("observe: no observations")
+	}
+	deltas := make([]observeDelta, 0, len(req.Observations))
+	for i, o := range req.Observations {
+		attr := schema.AttrIndex(o.Attr)
+		if attr < 0 {
+			return "", nil, fmt.Errorf("observe: observation %d: unknown attribute %q", i, o.Attr)
+		}
+		val, err := schema.ValueCode(attr, o.Value)
+		if err != nil {
+			return "", nil, fmt.Errorf("observe: observation %d: %w", i, err)
+		}
+		if o.Index < 0 {
+			return "", nil, fmt.Errorf("observe: observation %d: negative tuple index %d", i, o.Index)
+		}
+		deltas = append(deltas, observeDelta{Index: o.Index, Attr: attr, Val: val})
+	}
+	return req.Dataset, deltas, nil
+}
+
+// handleObserve applies a batch of evidence deltas to a registered
+// dataset, in order. Each delta conditions the tuple's block exactly
+// and invalidates exactly the superseded conditioned cache entry. A
+// delta the evidence rules out (conflict or zero remaining mass) stops
+// the batch with 409, reporting how many deltas applied before it —
+// those stay applied; deltas are not a transaction.
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	id, deltas, err := parseObserveRequest(s.model.Schema, r.Body)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ds, ok := s.eng.Dataset(id)
+	if !ok {
+		s.failed.Add(1)
+		http.Error(w, "unknown dataset "+id, http.StatusNotFound)
+		return
+	}
+	n := len(ds.Relation().Tuples)
+	results := make([]map[string]any, 0, len(deltas))
+	var version uint64
+	for applied, d := range deltas {
+		if d.Index >= n {
+			s.failed.Add(1)
+			http.Error(w, fmt.Sprintf("observe: tuple index %d out of range [0, %d)", d.Index, n),
+				http.StatusBadRequest)
+			return
+		}
+		res, err := ds.Observe(r.Context(), d.Index, d.Attr, d.Val)
+		if err != nil {
+			// The evidence is inconsistent with the block's remaining mass
+			// (or the dataset was dropped mid-batch): a conflict, not a bad
+			// request shape.
+			s.failed.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{
+				"kind": "error", "error": err.Error(), "applied": applied,
+			})
+			return
+		}
+		version = res.Version
+		results = append(results, map[string]any{
+			"index": res.Index, "noop": res.Noop, "collapsed": res.Collapsed,
+			"alternatives": res.Alternatives, "epoch": res.Epoch,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"kind": "observed", "dataset": id, "applied": len(results),
+		"version": version, "results": results,
+	})
+}
+
+// watchQuery serves /query?dataset=<id>&watch=1: a long-lived
+// subscription that evaluates the query over the dataset's conditioned
+// snapshot, emits the full result once, then re-evaluates after every
+// observation and re-emits ONLY the records the delta actually changed,
+// marked "partial":true and stamped with the dataset version. The
+// stream ends when the client disconnects or the dataset is dropped
+// (an "end" record). Observation signals are coalesced: a burst of
+// deltas may surface as one re-evaluation of the latest snapshot.
+func (s *server) watchQuery(w http.ResponseWriter, r *http.Request,
+	ds *repro.Dataset, q *repro.CompiledQuery, pools repro.Pools) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	ew := &errWriter{w: newFlushWriter(w)}
+	enc := json.NewEncoder(ew)
+	enc.Encode(map[string]any{
+		"kind": "query", "op": q.Op().String(), "query": q.String(),
+		"dataset": ds.ID(), "watch": true,
+	})
+
+	var st watchState
+	reval := func() error {
+		snap, err := ds.Snapshot(r.Context())
+		if err != nil {
+			return err
+		}
+		res, err := s.eng.QuerySnapshot(r.Context(), snap, q, pools, nil)
+		if err != nil {
+			return err
+		}
+		s.emitWatchDiff(enc, q, res, snap.Version, &st)
+		return ew.err
+	}
+	if err := reval(); err != nil {
+		s.failed.Add(1)
+		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+		return
+	}
+	ch, cancel := ds.Subscribe()
+	defer cancel()
+	// An observe between the first evaluation and the subscription would
+	// be missed; re-check once now that the signal channel is live.
+	if err := reval(); err != nil {
+		s.failed.Add(1)
+		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return // client disconnected; nothing left to tell it
+		case <-ds.Done():
+			enc.Encode(map[string]any{"kind": "end", "reason": "dataset dropped", "dataset": ds.ID()})
+			return
+		case <-ch:
+			if err := reval(); err != nil {
+				s.failed.Add(1)
+				enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+				return
+			}
+		}
+	}
+}
+
+// watchState is the last emitted result of a watch stream, diffed
+// against each re-evaluation so unchanged records are never re-sent.
+type watchState struct {
+	init     bool
+	count    float64 // Expected, or Count when thresholded
+	exists   bool
+	prob     float64
+	earlyCut bool
+	rows     []repro.QueryRow
+	groups   []repro.QueryGroup
+}
+
+// emitWatchDiff emits the result records of res that differ from the
+// previous evaluation in st, marked partial and stamped with the
+// dataset version, then updates st. The first call emits everything.
+func (s *server) emitWatchDiff(enc *json.Encoder, q *repro.CompiledQuery,
+	res *repro.QueryResult, version uint64, st *watchState) {
+	first := !st.init
+	st.init = true
+	switch q.Op() {
+	case repro.QueryCount:
+		val := res.Expected
+		if q.MinProb() > 0 {
+			val = float64(res.Count)
+		}
+		if first || val != st.count {
+			st.count = val
+			rec := map[string]any{"kind": "count", "partial": true, "version": version}
+			if q.MinProb() > 0 {
+				rec["count"] = res.Count
+				rec["minprob"] = q.MinProb()
+			} else {
+				rec["expected"] = res.Expected
+			}
+			enc.Encode(rec)
+		}
+	case repro.QueryExists:
+		if first || res.Exists != st.exists || res.Prob != st.prob || res.EarlyStop != st.earlyCut {
+			st.exists, st.prob, st.earlyCut = res.Exists, res.Prob, res.EarlyStop
+			enc.Encode(map[string]any{
+				"kind": "exists", "partial": true, "version": version,
+				"exists": res.Exists, "p": res.Prob, "early_stop": res.EarlyStop,
+			})
+		}
+	case repro.QueryTopK:
+		for rank, row := range res.Rows {
+			if !first && rank < len(st.rows) {
+				p := st.rows[rank]
+				if p.Prob == row.Prob && p.Index == row.Index && p.Certain == row.Certain &&
+					p.Tuple.Equal(row.Tuple) {
+					continue
+				}
+			}
+			enc.Encode(map[string]any{
+				"kind": "row", "partial": true, "version": version, "rank": rank,
+				"index": row.Index, "values": s.labels(row.Tuple),
+				"p": row.Prob, "certain": row.Certain,
+			})
+		}
+		// Evidence can disqualify rows: retract ranks past the new end.
+		for rank := len(res.Rows); rank < len(st.rows); rank++ {
+			enc.Encode(map[string]any{
+				"kind": "row", "partial": true, "version": version, "rank": rank, "removed": true,
+			})
+		}
+		st.rows = append(st.rows[:0], res.Rows...)
+	case repro.QueryGroupBy:
+		// Groups cover the grouping attribute's domain in order, so the
+		// diff is positional, like the batch streamer's.
+		for i, g := range res.Groups {
+			if !first && i < len(st.groups) && g == st.groups[i] {
+				continue
+			}
+			enc.Encode(map[string]any{
+				"kind": "group", "partial": true, "version": version,
+				"value": g.Label, "expected": g.Expected, "variance": g.Variance,
+			})
+		}
+		st.groups = append(st.groups[:0], res.Groups...)
+	}
+}
+
 // writeSummary emits the terminal summary record: pruning counters,
 // bound usage, and the chosen plan.
 func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
@@ -398,7 +769,7 @@ func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
 			"selectivity": p.Selectivity,
 			"tiers": map[string]int{
 				"refuted": p.Refuted, "certain": p.Certain, "single_missing": p.SingleMissing,
-				"bounded": p.Bounded, "derive": p.Derive,
+				"bounded": p.Bounded, "derive": p.Derive, "observed": p.Observed,
 			},
 			"bounds_used": p.BoundsUsed,
 		}
@@ -479,28 +850,42 @@ type statsResponse struct {
 	Evictions      int64             `json:"evictions"`
 	BoundTightness float64           `json:"query_bound_tightness"`
 	BoundRefutes   int64             `json:"bound_refutes"`
-	Requests       int64             `json:"requests"`
-	Failed         int64             `json:"failed"`
-	Rejected       int64             `json:"rejected"`
-	UptimeSeconds  float64           `json:"uptime_seconds"`
+	// Live-evidence counters: observations applied across all datasets,
+	// conditioned cache entries invalidated (eagerly or by epoch
+	// mismatch), and the current watcher and dataset gauges.
+	Observations       int64 `json:"observations"`
+	InvalidatedEntries int64 `json:"invalidated_entries"`
+	Watchers           int64 `json:"watchers"`
+	Datasets           int64 `json:"datasets"`
+	// Requests counts offered inference requests: accepted + rejected.
+	Requests      int64   `json:"requests"`
+	Accepted      int64   `json:"accepted"`
+	Failed        int64   `json:"failed"`
+	Rejected      int64   `json:"rejected"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statsResponse{
-		Engine:         st,
-		VoteHitRate:    st.VoteHitRate(),
-		GibbsHitRate:   st.GibbsHitRate(),
-		CPDHitRate:     st.CPDHitRate(),
-		BoundHitRate:   st.BoundHitRate(),
-		Evictions:      st.Evictions + st.CPDEvictions,
-		BoundTightness: st.QueryBoundTightness(),
-		BoundRefutes:   st.BoundRefutes,
-		Requests:       s.requests.Load(),
-		Failed:         s.failed.Load(),
-		Rejected:       s.rejected.Load(),
-		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Engine:             st,
+		VoteHitRate:        st.VoteHitRate(),
+		GibbsHitRate:       st.GibbsHitRate(),
+		CPDHitRate:         st.CPDHitRate(),
+		BoundHitRate:       st.BoundHitRate(),
+		Evictions:          st.Evictions + st.CPDEvictions,
+		BoundTightness:     st.QueryBoundTightness(),
+		BoundRefutes:       st.BoundRefutes,
+		Observations:       st.Observations,
+		InvalidatedEntries: st.InvalidatedEntries,
+		Watchers:           st.Watchers,
+		Datasets:           st.Datasets,
+		Requests:           s.requests.Load(),
+		Accepted:           s.accepted.Load(),
+		Failed:             s.failed.Load(),
+		Rejected:           s.rejected.Load(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
 	})
 }
 

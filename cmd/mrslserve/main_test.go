@@ -34,7 +34,7 @@ func serveOptions() repro.DeriveOptions {
 // learns a model from the CSV-read form, exactly as a real deployment
 // (mrsllearn on a CSV file) would — so the model's schema is the inferred
 // one the server validates requests against.
-func matchmakingFixture(t *testing.T) (*repro.Model, *repro.Relation, []byte) {
+func matchmakingFixture(t testing.TB) (*repro.Model, *repro.Relation, []byte) {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := repro.WriteCSV(&buf, relation.Matchmaking()); err != nil {
@@ -450,8 +450,11 @@ func TestServeAdmissionControl(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Requests != 1 || st.Rejected != 2 {
-		t.Errorf("stats: requests=%d rejected=%d, want 1 accepted / 2 rejected", st.Requests, st.Rejected)
+	// Offered = accepted + rejected: the rejected requests still count as
+	// offered load, so the split always adds up.
+	if st.Requests != 3 || st.Accepted != 1 || st.Rejected != 2 {
+		t.Errorf("stats: requests=%d accepted=%d rejected=%d, want 3 = 1 + 2",
+			st.Requests, st.Accepted, st.Rejected)
 	}
 
 	// The slot is free again: the server admits new work.

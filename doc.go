@@ -146,6 +146,42 @@
 // never abandoned half-done — so a disconnected HTTP client cancels its
 // in-flight derivation without poisoning anything shared.
 //
+// # Live evidence
+//
+// The database need not stay immutable per request. A relation
+// registered as a Dataset accepts evidence deltas — "tuple 7's income
+// is 50K" — as exact Bayesian conditioning: the tuple's block is
+// filtered to the consistent alternatives and renormalized, and every
+// later snapshot, derivation, or query over the dataset sees the
+// posterior instead of the prior:
+//
+//	ds, _ := eng.RegisterDataset(rel)
+//	res, _ := ds.Observe(ctx, 7, incAttr, fiftyK) // res.Collapsed, res.Epoch
+//	snap, _ := ds.Snapshot(ctx)
+//	ans, _ := eng.QuerySnapshot(ctx, snap, q, repro.Pools{}, nil)
+//	err := eng.DeriveSnapshot(ctx, snap, repro.Pools{}, sink)
+//
+// Coherence is exact, not TTL-approximate. The engine's vote, joint,
+// and CPD caches are keyed by tuple content — pure functions of the
+// model that no observation can make stale — so they need no
+// invalidation at all; the one per-dataset artifact, a tuple's
+// conditioned posterior block, lives in a bounded engine cache tagged
+// with the tuple's observation epoch. Observe invalidates exactly the
+// superseded entry, a racing reader treats an epoch mismatch as a miss
+// and recomputes deterministically (resolve the base block, replay the
+// observation log), and eviction never changes answers. The query
+// planner classifies conditioned tuples into an "observed" tier whose
+// satisfying mass is exact and free. After any sequence of deltas,
+// answers are bit-identical to a fresh engine evaluating the
+// conditioned database naively — the property the live-evidence tests
+// re-check after every delta, on chains, DAG, and always-evicting
+// engines. Dataset.Subscribe delivers a coalesced signal per applied
+// observation (the primitive behind mrslserve's watch queries), and
+// EngineStats adds Observations, InvalidatedEntries, Watchers, and
+// Datasets. Over HTTP: POST /datasets registers, POST /observe
+// mutates, dataset=<id> selects the conditioned snapshot on /derive
+// and /query, and watch=1 subscribes.
+//
 // The cmd/ directory ships six tools (mrslserve serves streaming
 // derivations and queries over HTTP from one long-lived engine;
 // mrslbench regenerates every table and figure of the paper plus engine

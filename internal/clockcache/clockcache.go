@@ -15,14 +15,22 @@ package clockcache
 
 // Map is a bounded string-keyed map with CLOCK eviction. The zero Map is
 // not usable; construct with New.
+//
+// Entries optionally carry a caller-chosen tag (an epoch, a version): a
+// tagged lookup treats a tag mismatch as proof the entry is stale,
+// removes it, and reports a miss. Together with Invalidate this gives
+// callers exact invalidation — eager when the invalidating event names
+// the key, lazy when only the reader knows the current epoch.
 type Map[V any] struct {
-	cap       int
-	pos       map[string]int
-	keys      []string
-	vals      []V
-	ref       []bool
-	hand      int
-	evictions int64
+	cap           int
+	pos           map[string]int
+	keys          []string
+	vals          []V
+	ref           []bool
+	tags          []uint64
+	hand          int
+	evictions     int64
+	invalidations int64
 	// evictable, when non-nil, guards slots from eviction (e.g. in-flight
 	// single-flight entries the computing goroutine will still write).
 	evictable func(V) bool
@@ -67,10 +75,13 @@ func (m *Map[V]) GetString(key string) (V, bool) {
 func (m *Map[V]) Put(key []byte, v V) { m.PutString(string(key), v) }
 
 // PutString is Put with a string key.
-func (m *Map[V]) PutString(key string, v V) {
+func (m *Map[V]) PutString(key string, v V) { m.putString(key, v, 0) }
+
+func (m *Map[V]) putString(key string, v V, tag uint64) {
 	if i, ok := m.pos[key]; ok {
 		m.vals[i] = v
 		m.ref[i] = true
+		m.tags[i] = tag
 		return
 	}
 	if m.cap > 0 && len(m.keys) >= m.cap {
@@ -96,6 +107,7 @@ func (m *Map[V]) PutString(key string, v V) {
 			m.keys[h] = key
 			m.vals[h] = v
 			m.ref[h] = true
+			m.tags[h] = tag
 			m.pos[key] = h
 			return
 		}
@@ -104,6 +116,74 @@ func (m *Map[V]) PutString(key string, v V) {
 	m.keys = append(m.keys, key)
 	m.vals = append(m.vals, v)
 	m.ref = append(m.ref, true)
+	m.tags = append(m.tags, tag)
+}
+
+// PutTagged stores v under key with an epoch tag. A later GetTagged with
+// a different tag treats the entry as invalidated. Untagged Put stores
+// tag 0, so mixing tagged and untagged access on one key is equivalent to
+// tagging with epoch 0.
+func (m *Map[V]) PutTagged(key string, v V, tag uint64) { m.putString(key, v, tag) }
+
+// GetTagged returns the value stored under key if its tag equals tag. A
+// present entry with a different tag is stale by definition — it was
+// written before the epoch advanced — so GetTagged removes it, counts an
+// invalidation, and reports a miss. This is the lazy half of exact
+// invalidation: even if the eager Invalidate call was skipped (or raced),
+// a stale entry can never be served.
+func (m *Map[V]) GetTagged(key string, tag uint64) (V, bool) {
+	var zero V
+	i, ok := m.pos[key]
+	if !ok {
+		return zero, false
+	}
+	if m.tags[i] != tag {
+		m.remove(i)
+		m.invalidations++
+		return zero, false
+	}
+	m.ref[i] = true
+	return m.vals[i], true
+}
+
+// Invalidate removes the entry stored under key, reporting whether one
+// was present. Unlike eviction, invalidation is a correctness event — the
+// entry's value no longer reflects the world — and is counted separately.
+func (m *Map[V]) Invalidate(key string) bool {
+	i, ok := m.pos[key]
+	if !ok {
+		return false
+	}
+	m.remove(i)
+	m.invalidations++
+	return true
+}
+
+// remove deletes slot i by moving the last slot into the hole. The hand
+// is reset into range if it walked off the shrunk slot array; CLOCK is an
+// approximation, so the small second-chance perturbation is harmless.
+func (m *Map[V]) remove(i int) {
+	delete(m.pos, m.keys[i])
+	last := len(m.keys) - 1
+	if i != last {
+		m.keys[i] = m.keys[last]
+		m.vals[i] = m.vals[last]
+		m.ref[i] = m.ref[last]
+		m.tags[i] = m.tags[last]
+		m.pos[m.keys[i]] = i
+	}
+	var zero V
+	m.keys[last] = ""
+	m.vals[last] = zero
+	m.ref[last] = false
+	m.tags[last] = 0
+	m.keys = m.keys[:last]
+	m.vals = m.vals[:last]
+	m.ref = m.ref[:last]
+	m.tags = m.tags[:last]
+	if m.hand >= last {
+		m.hand = 0
+	}
 }
 
 // Len returns the number of stored entries.
@@ -114,6 +194,12 @@ func (m *Map[V]) Cap() int { return m.cap }
 
 // Evictions returns the number of entries evicted over the map's lifetime.
 func (m *Map[V]) Evictions() int64 { return m.evictions }
+
+// Invalidations returns the number of entries removed for correctness
+// (explicit Invalidate calls plus tag-mismatch removals in GetTagged)
+// over the map's lifetime. Disjoint from Evictions, which counts
+// capacity-pressure drops.
+func (m *Map[V]) Invalidations() int64 { return m.invalidations }
 
 // Range calls f for every entry until f returns false. Iteration order is
 // slot order, not insertion order.

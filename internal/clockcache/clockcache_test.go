@@ -104,3 +104,106 @@ func TestRange(t *testing.T) {
 		t.Fatalf("Range sum = %d, want 3", sum)
 	}
 }
+
+func TestTaggedHitAndStale(t *testing.T) {
+	m := New[int](4, nil)
+	m.PutTagged("k", 1, 3)
+	if v, ok := m.GetTagged("k", 3); !ok || v != 1 {
+		t.Fatalf("GetTagged same epoch = %d, %v", v, ok)
+	}
+	// Epoch advanced: the entry is stale, must be removed and counted.
+	if _, ok := m.GetTagged("k", 4); ok {
+		t.Fatal("stale entry served across epochs")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("stale entry retained: Len = %d", m.Len())
+	}
+	if m.Invalidations() != 1 {
+		t.Fatalf("Invalidations = %d, want 1", m.Invalidations())
+	}
+	if m.Evictions() != 0 {
+		t.Fatalf("tag mismatch counted as eviction")
+	}
+	// A fresh put at the new epoch works.
+	m.PutTagged("k", 2, 4)
+	if v, ok := m.GetTagged("k", 4); !ok || v != 2 {
+		t.Fatalf("re-put after invalidation = %d, %v", v, ok)
+	}
+}
+
+func TestInvalidateRemovesExactly(t *testing.T) {
+	m := New[int](0, nil)
+	for i := 0; i < 8; i++ {
+		m.PutTagged(string(rune('a'+i)), i, uint64(i))
+	}
+	if !m.Invalidate("c") {
+		t.Fatal("Invalidate missed a present key")
+	}
+	if m.Invalidate("c") {
+		t.Fatal("Invalidate found an absent key")
+	}
+	if m.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", m.Len())
+	}
+	// Every other entry survives under its own tag.
+	for i := 0; i < 8; i++ {
+		k := string(rune('a' + i))
+		v, ok := m.GetTagged(k, uint64(i))
+		if k == "c" {
+			if ok {
+				t.Fatal("invalidated entry still present")
+			}
+			continue
+		}
+		if !ok || v != i {
+			t.Fatalf("entry %q lost by unrelated invalidation: %d, %v", k, v, ok)
+		}
+	}
+	if m.Invalidations() != 1 {
+		t.Fatalf("Invalidations = %d, want 1", m.Invalidations())
+	}
+}
+
+// TestRemoveKeepsClockConsistent exercises the move-last-into-hole delete
+// against subsequent eviction sweeps: positions stay correct and the map
+// keeps honoring its capacity.
+func TestRemoveKeepsClockConsistent(t *testing.T) {
+	m := New[int](4, nil)
+	for i := 0; i < 4; i++ {
+		m.PutTagged(string(rune('a'+i)), i, 1)
+	}
+	m.Invalidate("a") // moves "d" into slot 0
+	if v, ok := m.GetTagged("d", 1); !ok || v != 3 {
+		t.Fatalf("moved entry lost: %d, %v", v, ok)
+	}
+	// Fill back to capacity and beyond: sweeps must still terminate and
+	// keep Len at cap.
+	for i := 0; i < 20; i++ {
+		m.PutTagged(string(rune('A'+i)), 100+i, 2)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+	for i := 0; i < 4; i++ {
+		m.Invalidate(string(rune('a' + i))) // mostly absent; must not corrupt
+	}
+	m.PutTagged("z", 999, 9)
+	if v, ok := m.GetTagged("z", 9); !ok || v != 999 {
+		t.Fatalf("post-churn put lost: %d, %v", v, ok)
+	}
+}
+
+// TestUntaggedPutResetsTag: overwriting a tagged entry through the
+// untagged API drops it to epoch 0, so a tagged reader at a later epoch
+// treats it as stale rather than current.
+func TestUntaggedPutResetsTag(t *testing.T) {
+	m := New[int](0, nil)
+	m.PutTagged("k", 1, 5)
+	m.PutString("k", 2)
+	if _, ok := m.GetTagged("k", 5); ok {
+		t.Fatal("untagged overwrite kept the old epoch")
+	}
+	if v, ok := m.GetString("k"); ok {
+		t.Fatalf("tag-mismatch removal should have dropped the entry, got %d", v)
+	}
+}

@@ -150,7 +150,8 @@ func (it Item) Certain() bool { return it.Block == nil }
 // Stream returns that error.
 type EmitFunc func(Item) error
 
-// Stats instruments the engine's caches. All counters are monotonically
+// Stats instruments the engine's caches. With the exception of the live
+// gauges (Watchers, Datasets), all counters are monotonically
 // non-decreasing over the engine's lifetime; concurrent requests update
 // them atomically under the engine lock.
 type Stats struct {
@@ -186,6 +187,21 @@ type Stats struct {
 	// actually enumerated; BoundHits counts envelope probes served from
 	// the shared CPD cache instead.
 	BoundsComputed, BoundHits int64
+
+	// Live-evidence counters (see dataset.go).
+
+	// Observations counts evidence deltas applied to live datasets
+	// (no-ops and rejected observations excluded).
+	Observations int64
+	// InvalidatedEntries counts conditioned-block cache entries removed
+	// for correctness: superseded by a newer observation epoch (eagerly on
+	// observe, lazily on a tag-mismatch read) or dropped with their
+	// dataset. Disjoint from Evictions.
+	InvalidatedEntries int64
+	// Watchers is the number of live watch subscriptions (a gauge).
+	Watchers int64
+	// Datasets is the number of registered live datasets (a gauge).
+	Datasets int64
 
 	// Query counters, reported by the extensional query evaluator
 	// (internal/query) through RecordQuery. They partition the tuples a
@@ -290,7 +306,16 @@ type Engine struct {
 	votes  *clockcache.Map[*entry]      // single-missing joints by evidence key
 	gibbs  *clockcache.Map[*entry]      // multi-missing joints by evidence key (chain mode)
 	joints *clockcache.Map[*dist.Joint] // multi-missing joints by evidence key (DAG mode)
-	stats  Stats
+	// observed caches conditioned posterior blocks of live datasets, keyed
+	// "dataset\x00index" and tagged with the block's observation epoch;
+	// see dataset.go for the coherence story.
+	observed *clockcache.Map[*pdb.Block]
+	stats    Stats
+
+	// dsMu guards the live-dataset registry. Never held together with mu.
+	dsMu     sync.Mutex
+	datasets map[string]*Dataset
+	dsSeq    int
 
 	// dagMu serializes DAG-mode batches so overlapping streams never
 	// re-sample or overwrite each other's cached joints. Never acquired
@@ -328,12 +353,14 @@ func New(model *core.Model, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("derive: nil model")
 	}
 	e := &Engine{
-		model:  model,
-		cfg:    cfg,
-		cpd:    gibbs.NewCPDCache(cfg.CacheEntries),
-		votes:  clockcache.New[*entry](cfg.CacheEntries, entryDone),
-		gibbs:  clockcache.New[*entry](cfg.CacheEntries, entryDone),
-		joints: clockcache.New[*dist.Joint](cfg.CacheEntries, nil),
+		model:    model,
+		cfg:      cfg,
+		cpd:      gibbs.NewCPDCache(cfg.CacheEntries),
+		votes:    clockcache.New[*entry](cfg.CacheEntries, entryDone),
+		gibbs:    clockcache.New[*entry](cfg.CacheEntries, entryDone),
+		joints:   clockcache.New[*dist.Joint](cfg.CacheEntries, nil),
+		observed: clockcache.New[*pdb.Block](cfg.CacheEntries, nil),
+		datasets: make(map[string]*Dataset),
 	}
 	// Every sampler the engine spawns — parallel chains and DAG batches
 	// alike — shares the engine-level CPD memo.
@@ -354,12 +381,16 @@ func (e *Engine) MaxAlternatives() int { return e.cfg.MaxAlternatives }
 func (e *Engine) Stats() Stats {
 	cpd := e.cpd.Stats()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := e.stats
-	st.Evictions = e.votes.Evictions() + e.gibbs.Evictions() + e.joints.Evictions()
+	st.Evictions = e.votes.Evictions() + e.gibbs.Evictions() + e.joints.Evictions() + e.observed.Evictions()
+	st.InvalidatedEntries = e.observed.Invalidations()
 	st.CPDHits = cpd.Hits
 	st.CPDMisses = cpd.Misses
 	st.CPDEvictions = cpd.Evictions
+	e.mu.Unlock()
+	e.dsMu.Lock()
+	st.Datasets = int64(len(e.datasets))
+	e.dsMu.Unlock()
 	return st
 }
 

@@ -87,10 +87,31 @@ func EvalPools(ctx context.Context, eng *derive.Engine, rel *relation.Relation, 
 // consumers (nil disables it); see ProgressFunc.
 func EvalPoolsProgress(ctx context.Context, eng *derive.Engine, rel *relation.Relation, q *Query,
 	pools derive.Pools, progress ProgressFunc) (*Result, error) {
+	return evalOverrides(ctx, eng, rel, nil, q, pools, progress)
+}
+
+// EvalSnapshot evaluates q over a live dataset snapshot
+// (derive.Dataset.Snapshot): the snapshot's effective tuples are scanned
+// like any relation, except that tuples with applied evidence resolve
+// from their conditioned posterior blocks — exactly, for free, and
+// without touching the engine's estimators. The answer is bit-identical
+// to a fresh engine deriving the conditioned database and evaluating
+// naively (the conditioned blocks are deterministic replays, and their
+// satisfying mass folds in block order like every other tier's).
+func EvalSnapshot(ctx context.Context, eng *derive.Engine, snap *derive.DatasetSnapshot, q *Query,
+	pools derive.Pools, progress ProgressFunc) (*Result, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("query: nil snapshot")
+	}
+	return evalOverrides(ctx, eng, snap.Rel, snap.Overrides, q, pools, progress)
+}
+
+func evalOverrides(ctx context.Context, eng *derive.Engine, rel *relation.Relation, overrides map[int]*pdb.Block,
+	q *Query, pools derive.Pools, progress ProgressFunc) (*Result, error) {
 	if err := validate(eng, rel, q); err != nil {
 		return nil, err
 	}
-	pl, err := q.newPlan(ctx, eng, rel)
+	pl, err := q.newPlan(ctx, eng, rel, overrides)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +260,11 @@ func (ex *executor) exactProb(ctx context.Context, i int, c *Counters) (float64,
 		return 0, nil
 	case tierCertain:
 		return 1, nil
+	case tierObserved:
+		// The conditioned posterior is already materialized; the exact
+		// satisfying mass was folded at plan time (in block order). Free:
+		// counts as pruned.
+		return act.iv.Lo, nil
 	case tierVote:
 		c.Bounded++
 		attr := t.MissingAttrs()[0]
@@ -379,12 +405,18 @@ func (ex *executor) evalExists(ctx context.Context) (*Result, error) {
 		crossed := false
 		for i := range ex.rel.Tuples {
 			act := ex.plan.acts[i]
-			if act.tier != tierBound {
+			switch act.tier {
+			case tierBound:
+				c.Bounded++
+				c.BoundWidth += act.iv.Width()
+				miss *= 1 - act.iv.Lo
+			case tierObserved:
+				// An observed tuple's mass is exact and free; fold it into
+				// the derivation-free bound like the interval lows.
+				miss *= 1 - act.iv.Lo
+			default:
 				continue
 			}
-			c.Bounded++
-			c.BoundWidth += act.iv.Width()
-			miss *= 1 - act.iv.Lo
 			if 1-miss >= ex.q.minProb {
 				crossed = true
 				break
@@ -503,6 +535,12 @@ func (ex *executor) insert(res *Result, r Row) {
 func (ex *executor) insertResolved(ctx context.Context, res *Result, i int) error {
 	t := ex.rel.Tuples[i]
 	switch act := ex.plan.acts[i]; act.tier {
+	case tierObserved:
+		for _, a := range act.blk.Alts {
+			if ex.plan.satisfies(a.Tuple) {
+				ex.insert(res, Row{Index: i, Tuple: a.Tuple, Prob: a.Prob})
+			}
+		}
 	case tierVote:
 		res.Counters.Bounded++
 		attr := t.MissingAttrs()[0]
@@ -595,7 +633,7 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 		switch ex.plan.acts[i].tier {
 		case tierCertain:
 			ex.insert(res, Row{Index: i, Tuple: ex.rel.Tuples[i], Prob: 1, Certain: true})
-		case tierVote:
+		case tierVote, tierObserved:
 			if err := ex.insertResolved(ctx, res, i); err != nil {
 				return nil, err
 			}
@@ -719,6 +757,14 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 		case tierCertain:
 			res.Groups[t[g]].Expected++
 			continue
+		case tierObserved:
+			clear(perValue)
+			for _, a := range ex.plan.acts[i].blk.Alts {
+				if ex.plan.satisfies(a.Tuple) {
+					perValue[a.Tuple[g]] += a.Prob
+				}
+			}
+			fold()
 		case tierVote:
 			res.Counters.Bounded++
 			attr := t.MissingAttrs()[0]

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/derive"
+	"repro/internal/pdb"
 	"repro/internal/relation"
 )
 
@@ -38,13 +39,24 @@ const (
 	tierBound
 	// tierDerive: only full block derivation decides the tuple.
 	tierDerive
+	// tierObserved: a live-dataset tuple with applied evidence. Its
+	// conditioned posterior block is already materialized in the snapshot,
+	// so its satisfying mass is exact and free — no vote, no bound, no
+	// derivation. Observed tuples never consult BoundCPD or the marginal
+	// CPD: those are estimators over the prior evidence, and reusing them
+	// against conditioned state is exactly the staleness this tier exists
+	// to rule out.
+	tierObserved
 )
 
 // planned is one tuple's plan entry: its tier, plus the bound interval
-// for tierBound tuples (vacuous for tierDerive ones).
+// for tierBound tuples (vacuous for tierDerive ones; degenerate exact
+// [p, p] for tierObserved ones) and the conditioned block for
+// tierObserved ones.
 type planned struct {
 	tier tupleTier
 	iv   derive.Interval
+	blk  *pdb.Block
 }
 
 // PlanInfo is the public summary of one evaluation's plan, surfaced on
@@ -59,8 +71,10 @@ type PlanInfo struct {
 	// cache), falling back to satisfying-set cardinality over domain
 	// cardinality if the vote fails.
 	Selectivity []float64
-	// Tier counts over the scanned relation.
-	Refuted, Certain, SingleMissing, Bounded, Derive int
+	// Tier counts over the scanned relation. Observed counts live-dataset
+	// tuples decided from their conditioned posterior blocks (exact, no
+	// inference); always 0 for batch evaluations.
+	Refuted, Certain, SingleMissing, Bounded, Derive, Observed int
 	// BoundsUsed reports that the operator could exploit dissociation
 	// intervals, so the planner asked the engine for them.
 	BoundsUsed bool
@@ -78,8 +92,12 @@ func (p *PlanInfo) String() string {
 		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "  tiers: %d refuted, %d certain, %d single-missing, %d bounded, %d derive\n",
+	fmt.Fprintf(&b, "  tiers: %d refuted, %d certain, %d single-missing, %d bounded, %d derive",
 		p.Refuted, p.Certain, p.SingleMissing, p.Bounded, p.Derive)
+	if p.Observed > 0 {
+		fmt.Fprintf(&b, ", %d observed", p.Observed)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  dissociation bounds: %v\n", p.BoundsUsed)
 	return b.String()
 }
@@ -113,10 +131,16 @@ func (q *Query) usesBounds() bool {
 	}
 }
 
-// newPlan compiles the evaluation plan of q over rel on eng. Canceling
-// ctx aborts planning — the dissociation envelopes can cost real votes
-// on a cold cache, so the planner is as cancellable as the executor.
-func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.Relation) (*plan, error) {
+// newPlan compiles the evaluation plan of q over rel on eng. overrides
+// (nil for batch evaluations) maps tuple index -> conditioned posterior
+// block of a live-dataset snapshot; overridden incomplete tuples are
+// classified tierObserved with an exact [p, p] interval, computed by
+// summing their satisfying alternatives in block order — the identical
+// float operations naive evaluation of the conditioned database
+// performs, preserving bit-identity. Canceling ctx aborts planning — the
+// dissociation envelopes can cost real votes on a cold cache, so the
+// planner is as cancellable as the executor.
+func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.Relation, overrides map[int]*pdb.Block) (*plan, error) {
 	p := &plan{q: q, acts: make([]planned, len(rel.Tuples))}
 	info := &PlanInfo{BoundsUsed: q.usesBounds()}
 
@@ -183,6 +207,17 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 		case t.IsComplete():
 			p.acts[i] = planned{tier: tierCertain, iv: derive.Interval{Lo: 1, Hi: 1}}
 			info.Certain++
+		case overrides[i] != nil:
+			// A conditioned tuple's posterior is already materialized; its
+			// satisfying mass is exact, summed in block-alternative order.
+			var mass float64
+			for _, a := range overrides[i].Alts {
+				if p.satisfies(a.Tuple) {
+					mass += a.Prob
+				}
+			}
+			p.acts[i] = planned{tier: tierObserved, iv: derive.Interval{Lo: mass, Hi: mass}, blk: overrides[i]}
+			info.Observed++
 		case useVote && t.NumMissing() == 1:
 			p.acts[i] = planned{tier: tierVote}
 			info.SingleMissing++
@@ -217,7 +252,24 @@ func Plan(ctx context.Context, eng *derive.Engine, rel *relation.Relation, q *Qu
 	if err := validate(eng, rel, q); err != nil {
 		return nil, err
 	}
-	pl, err := q.newPlan(ctx, eng, rel)
+	pl, err := q.newPlan(ctx, eng, rel, nil)
+	if err != nil {
+		return nil, err
+	}
+	return pl.info, nil
+}
+
+// PlanSnapshot compiles the evaluation plan of q over a live dataset
+// snapshot: like Plan, with the snapshot's conditioned blocks classified
+// into the observed tier instead of the inference tiers.
+func PlanSnapshot(ctx context.Context, eng *derive.Engine, snap *derive.DatasetSnapshot, q *Query) (*PlanInfo, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("query: nil snapshot")
+	}
+	if err := validate(eng, snap.Rel, q); err != nil {
+		return nil, err
+	}
+	pl, err := q.newPlan(ctx, eng, snap.Rel, snap.Overrides)
 	if err != nil {
 		return nil, err
 	}

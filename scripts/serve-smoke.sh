@@ -1,8 +1,10 @@
 #!/bin/sh
 # serve-smoke: the end-to-end serving gate of `make ci`. Builds mrslserve,
 # learns a model from the checked-in matchmaking relation, boots the
-# server on a kernel-assigned port, POSTs one derivation, and checks the
-# stream and stats endpoints answer. Exits non-zero on any failure.
+# server on a kernel-assigned port, POSTs one derivation and one query,
+# then drives the live-evidence loop — register a dataset, query it,
+# observe a delta, re-query — and checks the stream and stats endpoints
+# answer. Exits non-zero on any failure.
 set -eu
 
 tmp=$(mktemp -d)
@@ -44,6 +46,32 @@ grep -q '"kind":"query"' "$tmp/query.ndjson" || { echo "serve-smoke: no query he
 grep -q '"kind":"count"' "$tmp/query.ndjson" || { echo "serve-smoke: no count record"; cat "$tmp/query.ndjson"; exit 1; }
 grep -q '"kind":"summary"' "$tmp/query.ndjson" || { echo "serve-smoke: no summary record"; cat "$tmp/query.ndjson"; exit 1; }
 
-curl -fsS "http://$addr/stats" | grep -q '"requests":2' || { echo "serve-smoke: stats did not count the requests"; exit 1; }
+# Live evidence round trip: register the relation as a dataset, query
+# it, apply one observation, and re-query — the re-query's plan must
+# route the observed tuple through the exact conditioned tier.
+sid=$(curl -fsS -X POST --data-binary @testdata/matchmaking.csv "http://$addr/datasets" \
+	| sed 's/.*"id":"\([^"]*\)".*/\1/')
+[ -n "$sid" ] || { echo "serve-smoke: dataset registration returned no id"; exit 1; }
 
-echo "serve-smoke: ok ($lines lines from $addr)"
+curl -fsS -X POST "http://$addr/query?op=count&where=inc%3D50K&dataset=$sid" >"$tmp/pre.ndjson"
+grep -q '"kind":"count"' "$tmp/pre.ndjson" || { echo "serve-smoke: no count record from dataset query"; cat "$tmp/pre.ndjson"; exit 1; }
+
+# Tuple 0 (stream line 2, after the schema record) is "20 HS ? ?": its
+# most probable income completion is consistent evidence by construction.
+obsval=$(sed -n '2p' "$tmp/out.ndjson" | grep -o '"values":\[[^]]*\]' | head -n 1 | cut -d'"' -f8)
+[ -n "$obsval" ] || { echo "serve-smoke: could not read tuple 0 income from the derive stream"; exit 1; }
+curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d "{\"dataset\":\"$sid\",\"observations\":[{\"index\":0,\"attr\":\"inc\",\"value\":\"$obsval\"}]}" \
+	"http://$addr/observe" | grep -q '"kind":"observed"' || { echo "serve-smoke: observe failed"; exit 1; }
+
+curl -fsS -X POST "http://$addr/query?op=count&where=inc%3D50K&dataset=$sid" >"$tmp/post.ndjson"
+grep -q '"observed":1' "$tmp/post.ndjson" || { echo "serve-smoke: re-query did not use the observed tier"; cat "$tmp/post.ndjson"; exit 1; }
+
+curl -fsS "http://$addr/stats" >"$tmp/stats.json"
+# 5 offered inference requests: derive, batch query, pre-query, observe,
+# re-query (dataset registration runs no inference and is not counted).
+grep -q '"requests":5' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the requests"; cat "$tmp/stats.json"; exit 1; }
+grep -q '"observations":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the observation"; cat "$tmp/stats.json"; exit 1; }
+grep -q '"datasets":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the dataset"; cat "$tmp/stats.json"; exit 1; }
+
+echo "serve-smoke: ok ($lines lines from $addr, dataset $sid observed inc=$obsval)"
