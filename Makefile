@@ -41,12 +41,13 @@ bench-serve:
 	$(GO) test -run=NONE -bench=BenchmarkEngineConcurrent -benchtime=5x -json . > BENCH_engine.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_engine.json | head -3
 
-# Publish the query-planner benchmark (classification, selectivity
-# ordering, memoized dissociation intervals) so planning latency is
-# tracked run over run.
+# Publish the query benchmarks — planning (classification, selectivity
+# ordering, memoized dissociation intervals) plus the per-statement SPJ
+# paths (safe hierarchical join, dissociated exists) — so query serving
+# latency is tracked run over run.
 bench-planner:
-	$(GO) test -run=NONE -bench=BenchmarkQueryPlanner -benchtime=1000x -json . > BENCH_planner.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_planner.json | head -2
+	$(GO) test -run=NONE -bench='BenchmarkQueryPlanner|BenchmarkQuerySafeJoin|BenchmarkQueryDissociated' -benchtime=1000x -json . > BENCH_planner.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_planner.json | head -4
 
 # Fail ci when serving throughput or planning latency regresses >30%
 # against the committed baselines (BENCH_baseline.json /

@@ -262,3 +262,135 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing data should fail")
 	}
 }
+
+const peopleCSV = `age,pid
+20,p1
+20,p1
+30,p2
+30,p2
+40,p3
+?,p1
+30,?
+20,p9
+`
+
+const financeCSV = `pid,inc
+p1,?
+p2,100K
+p3,50K
+`
+
+// setupSPJ reuses the single-relation model (its schema is exactly the
+// people ⋈ finance join) and writes the two base CSVs: p1 is shared by
+// three rows and misses inc, p9 dangles, and one row misses its FK.
+func setupSPJ(t *testing.T) (modelPath, relsSpec string) {
+	t.Helper()
+	modelPath, _ = setup(t)
+	dir := t.TempDir()
+	people := filepath.Join(dir, "people.csv")
+	finance := filepath.Join(dir, "finance.csv")
+	if err := os.WriteFile(people, []byte(peopleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(finance, []byte(financeCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return modelPath, "people=" + people + ",finance=" + finance
+}
+
+func TestRunSQLCount(t *testing.T) {
+	model, rels := setupSPJ(t)
+	var out bytes.Buffer
+	if err := run(&out, model, "", opts(func(o *options) {
+		o.SQL, o.Rels = "from people join finance on pid=pid where age=30", rels
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "expected count:") ||
+		!strings.Contains(out.String(), "query stats:") {
+		t.Errorf("sql count output:\n%s", out.String())
+	}
+}
+
+// TestRunSQLExistsDissociated: the shared uncertain finance tuple makes
+// the plan unsafe, so exists reports the dissociated mass with its sound
+// interval.
+func TestRunSQLExistsDissociated(t *testing.T) {
+	model, rels := setupSPJ(t)
+	var out bytes.Buffer
+	if err := run(&out, model, "", opts(func(o *options) {
+		o.Op = "exists"
+		o.SQL, o.Rels = "from people join finance on pid=pid where inc=100K", rels
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "exists: yes") ||
+		!strings.Contains(out.String(), "dissociated lineage") {
+		t.Errorf("dissociated exists output:\n%s", out.String())
+	}
+}
+
+// TestRunSQLProjection: a select list switches to distinct-answer mode;
+// rows render in the projected answer schema.
+func TestRunSQLProjection(t *testing.T) {
+	model, rels := setupSPJ(t)
+	var out bytes.Buffer
+	if err := run(&out, model, "", opts(func(o *options) {
+		o.Op, o.K = "topk", 2
+		o.SQL, o.Rels = "select age from people join finance on pid=pid where inc=100K", rels
+	})); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "top 2 matching completions") {
+		t.Errorf("projected topk output:\n%s", s)
+	}
+	// Projected rows carry a single attribute — no comma-joined full
+	// tuples in the rendered rows.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "  0.") || strings.HasPrefix(line, "  1.") {
+			if strings.Contains(line, ",") {
+				t.Errorf("projected row renders a full tuple: %q", line)
+			}
+		}
+	}
+}
+
+// TestRunSQLExplain: -explain over a statement includes the join order
+// and the safety verdict.
+func TestRunSQLExplain(t *testing.T) {
+	model, rels := setupSPJ(t)
+	var out bytes.Buffer
+	if err := run(&out, model, "", opts(func(o *options) {
+		o.Op, o.Explain = "exists", true
+		o.SQL, o.Rels = "from people join finance on pid=pid where inc=100K", rels
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"join order: people ⋈ finance", "safety: unsafe"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("sql explain missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSQLValidation(t *testing.T) {
+	model, rels := setupSPJ(t)
+	_, data := setup(t)
+	var out bytes.Buffer
+	if err := run(&out, model, data, opts(func(o *options) {
+		o.SQL, o.Rels = "from people join finance on pid=pid", rels
+	})); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-sql with -in: err = %v", err)
+	}
+	if err := run(&out, model, "", opts(func(o *options) {
+		o.SQL, o.Rels = "from people join finance on pid=pid", "people=nope"
+	})); err == nil {
+		t.Error("bad -rels entry should fail")
+	}
+	if err := run(&out, model, "", opts(func(o *options) {
+		o.SQL, o.Rels = "from people join towns on pid=pid", rels
+	})); err == nil || !strings.Contains(err.Error(), "towns") {
+		t.Errorf("unbound relation: err = %v", err)
+	}
+}

@@ -61,9 +61,31 @@
 //	               "partial":true and stamped with the dataset version,
 //	               until the client disconnects or the dataset is
 //	               dropped (which appends an "end" record).
+//
+//	               With sql=<statement> (URL parameter, or an "sql"
+//	               field of a multipart/form-data body) the query is
+//	               intensional: the SQL-ish statement "[select cols|*]
+//	               from R [join S on a=b]... [where conds]" names its
+//	               input relations, each resolved from a multipart file
+//	               field with the relation's name (a CSV under its own
+//	               header) or, failing that, from a parameter
+//	               <name>=<dataset id> naming a registered dataset.
+//	               The op/k/minprob parameters apply unchanged (the
+//	               statement's where tail replaces the where parameter),
+//	               keepkeys=1 keeps join-key columns. The join chain is
+//	               folded with per-row lineage and analyzed for safety:
+//	               safe (hierarchical) plans answer exactly; unsafe
+//	               plans stay exact for linear operators, while exists
+//	               reports the dissociated mass with its sound [lo, hi]
+//	               interval and the summary carries the join order and
+//	               verdict. sql is incompatible with dataset=/watch=1.
 //	POST /datasets register the posted CSV relation as a live dataset;
 //	               returns {"kind":"dataset","id":...} whose id the
-//	               dataset= parameters and /observe address. DELETE
+//	               dataset= parameters and /observe address. With
+//	               schema=own the CSV keeps its own header and domains
+//	               and registers as a join-input dataset: usable only
+//	               as a named input of sql= queries, not observable or
+//	               derivable. DELETE
 //	               /datasets/{id} drops it, ending its watch streams.
 //	POST /observe  apply evidence deltas to a registered dataset. Body:
 //	               {"dataset":"ds1","observations":[{"index":7,
@@ -95,6 +117,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -241,6 +264,11 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "unknown dataset "+id, http.StatusNotFound)
 			return
 		}
+		if ds.JoinInput() {
+			s.failed.Add(1)
+			http.Error(w, "dataset "+id+" is a join input (schema=own): bind it in an sql= query instead", http.StatusBadRequest)
+			return
+		}
 		snap, err := ds.Snapshot(r.Context())
 		if err != nil {
 			s.failed.Add(1)
@@ -301,6 +329,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Intensional SQL statements (sql= URL parameter, or an sql field of
+	// a multipart body) take a different front half — multi-relation
+	// inputs, SPJ compilation, safety analysis — and share the back half.
+	sqlText := r.URL.Query().Get("sql")
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "multipart/form-data") {
+		if err := r.ParseMultipartForm(32 << 20); err != nil {
+			s.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if v := r.PostFormValue("sql"); v != "" {
+			sqlText = v
+		}
+		if sqlText == "" {
+			s.failed.Add(1)
+			http.Error(w, "multipart /query requires an sql statement (sql field or URL parameter)", http.StatusBadRequest)
+			return
+		}
+	}
+	if sqlText != "" {
+		s.handleSQLQuery(w, r, sqlText, pools)
+		return
+	}
 	q, err := queryFromRequest(s.model.Schema, r)
 	if err != nil {
 		s.failed.Add(1)
@@ -316,6 +367,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			s.failed.Add(1)
 			http.Error(w, "unknown dataset "+id, http.StatusNotFound)
+			return
+		}
+		if ds.JoinInput() {
+			s.failed.Add(1)
+			http.Error(w, "dataset "+id+" is a join input (schema=own): bind it in an sql= query instead", http.StatusBadRequest)
 			return
 		}
 		if r.URL.Query().Get("watch") == "1" {
@@ -347,8 +403,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return s.eng.QueryStream(r.Context(), rel, q, pools, progress)
 		}
 	}
+	head := map[string]any{"kind": "query", "op": q.Op().String(), "query": q.String()}
 	if q.Op() == repro.QueryTopK || q.Op() == repro.QueryGroupBy {
-		s.streamQuery(w, q, eval)
+		s.streamQuery(w, q, s.model.Schema, head, eval)
 		return
 	}
 	res, err := eval(nil)
@@ -367,7 +424,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	ew := &errWriter{w: newFlushWriter(w)}
 	enc := json.NewEncoder(ew)
-	enc.Encode(map[string]any{"kind": "query", "op": q.Op().String(), "query": q.String()})
+	enc.Encode(head)
+	writeScalar(enc, q, res)
+	s.writeSummary(enc, res)
+	if ew.err != nil {
+		// The client went away mid-stream: the response is truncated, so
+		// the request did not succeed.
+		s.failed.Add(1)
+	}
+}
+
+// writeScalar emits the single result record of a count or exists
+// evaluation. A dissociated exists answer (unsafe SPJ plan) carries the
+// flag and the sound [lo, hi] interval around the intensional mass;
+// extensional queries never set either.
+func writeScalar(enc *json.Encoder, q *repro.CompiledQuery, res *repro.QueryResult) {
 	switch q.Op() {
 	case repro.QueryCount:
 		if q.MinProb() > 0 {
@@ -376,16 +447,139 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			enc.Encode(map[string]any{"kind": "count", "expected": res.Expected})
 		}
 	case repro.QueryExists:
-		enc.Encode(map[string]any{
+		rec := map[string]any{
 			"kind": "exists", "exists": res.Exists, "p": res.Prob, "early_stop": res.EarlyStop,
-		})
+		}
+		if res.Dissociated {
+			rec["dissociated"] = true
+		}
+		if res.Bounds != nil {
+			rec["lo"], rec["hi"] = res.Bounds.Lo, res.Bounds.Hi
+		}
+		enc.Encode(rec)
 	}
+}
+
+// handleSQLQuery serves POST /query with an sql= statement — the
+// intensional multi-relation path. Each relation the statement names
+// resolves from a multipart file field with that name (a CSV under its
+// own header), then from a <name>=<dataset id> parameter naming a
+// registered dataset. The statement binds to the same operator
+// parameters as extensional queries, compiles through CompileSPJ
+// (join-chain fold with per-row lineage, safety analysis), and streams
+// the same record kinds; the summary carries the join order and safety
+// verdict, and unsafe exists answers are flagged dissociated with their
+// sound interval.
+func (s *server) handleSQLQuery(w http.ResponseWriter, r *http.Request, sqlText string, pools repro.Pools) {
+	if r.URL.Query().Get("watch") == "1" {
+		s.failed.Add(1)
+		http.Error(w, "watch=1 applies to single-relation dataset queries, not sql statements", http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("dataset") != "" {
+		s.failed.Add(1)
+		http.Error(w, "sql statements name their inputs (<relation>=<dataset id>); dataset= applies to single-relation queries", http.StatusBadRequest)
+		return
+	}
+	stmt, err := repro.ParseSPJ(sqlText)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := specFromRequest(r)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	inputs := make(map[string]*repro.Relation)
+	for _, name := range stmt.Relations() {
+		if _, ok := inputs[name]; ok {
+			continue
+		}
+		rel, err := s.resolveSQLInput(r, name)
+		if err != nil {
+			s.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		inputs[name] = rel
+	}
+	spjSpec, err := stmt.Bind(inputs, spec, r.FormValue("keepkeys") == "1")
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spj, err := repro.CompileSPJ(s.model.Schema, spjSpec)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := spj.Query()
+	// Projected queries answer in the projection's schema, not the
+	// model's; rows must be labeled accordingly.
+	schema := s.model.Schema
+	if as := spj.AnswerSchema(); as != nil {
+		schema = as
+	}
+	head := map[string]any{
+		"kind": "query", "op": q.Op().String(), "query": q.String(),
+		"sql": sqlText, "safe": spj.Safe(),
+	}
+	eval := func(progress repro.QueryProgressFunc) (*repro.QueryResult, error) {
+		return s.eng.QuerySPJStream(r.Context(), spj, pools, progress)
+	}
+	if q.Op() == repro.QueryTopK || q.Op() == repro.QueryGroupBy {
+		s.streamQuery(w, q, schema, head, eval)
+		return
+	}
+	res, err := eval(nil)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	ew := &errWriter{w: newFlushWriter(w)}
+	enc := json.NewEncoder(ew)
+	enc.Encode(head)
+	writeScalar(enc, q, res)
 	s.writeSummary(enc, res)
 	if ew.err != nil {
-		// The client went away mid-stream: the response is truncated, so
-		// the request did not succeed.
 		s.failed.Add(1)
 	}
+}
+
+// resolveSQLInput resolves one statement relation name against the
+// request: a multipart file field with that name takes precedence, then
+// a <name>=<id> parameter naming a registered dataset (join-input or
+// model-schema), whose relation is used by reference.
+func (s *server) resolveSQLInput(r *http.Request, name string) (*repro.Relation, error) {
+	if r.MultipartForm != nil {
+		if fhs := r.MultipartForm.File[name]; len(fhs) > 0 {
+			f, err := fhs[0].Open()
+			if err != nil {
+				return nil, fmt.Errorf("relation %s: %w", name, err)
+			}
+			defer f.Close()
+			rel, err := repro.ReadCSV(f)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s: %w", name, err)
+			}
+			return rel, nil
+		}
+	}
+	if id := r.FormValue(name); id != "" {
+		ds, ok := s.eng.Dataset(id)
+		if !ok {
+			return nil, fmt.Errorf("relation %s: unknown dataset %s", name, id)
+		}
+		return ds.Relation(), nil
+	}
+	return nil, fmt.Errorf("relation %s has no input: attach a multipart CSV file field %q or name a registered dataset (%s=<id>)", name, name, name)
 }
 
 // streamQuery runs a topk or groupby evaluation with incremental NDJSON
@@ -395,11 +589,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // record instead of a status code; a disconnected client aborts the
 // evaluation through the progress callback.
 func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
+	schema *repro.Schema, head map[string]any,
 	eval func(repro.QueryProgressFunc) (*repro.QueryResult, error)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	ew := &errWriter{w: newFlushWriter(w)}
 	enc := json.NewEncoder(ew)
-	enc.Encode(map[string]any{"kind": "query", "op": q.Op().String(), "query": q.String()})
+	enc.Encode(head)
 
 	var (
 		lastRows   []repro.QueryRow
@@ -415,7 +610,7 @@ func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
 			for rank, row := range res.Rows {
 				enc.Encode(map[string]any{
 					"kind": "row", "partial": true, "rank": rank, "index": row.Index,
-					"values": s.labels(row.Tuple), "p": row.Prob, "certain": row.Certain,
+					"values": labelsIn(schema, row.Tuple), "p": row.Prob, "certain": row.Certain,
 				})
 			}
 		case repro.QueryGroupBy:
@@ -443,7 +638,7 @@ func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
 		for rank, row := range res.Rows {
 			enc.Encode(map[string]any{
 				"kind": "row", "final": true, "rank": rank, "index": row.Index,
-				"values": s.labels(row.Tuple), "p": row.Prob, "certain": row.Certain,
+				"values": labelsIn(schema, row.Tuple), "p": row.Prob, "certain": row.Certain,
 			})
 		}
 	case repro.QueryGroupBy:
@@ -476,22 +671,36 @@ func slicesEqualRows(a, b []repro.QueryRow) bool {
 }
 
 // handleRegisterDataset registers the posted CSV relation as a live
-// dataset and returns its handle id. Registration itself runs no
-// inference, so it bypasses admission control.
+// dataset and returns its handle id. With schema=own the CSV keeps its
+// own header and inferred domains and registers as a join-input dataset,
+// usable only as a named input of sql= queries. Registration itself runs
+// no inference, so it bypasses admission control.
 func (s *server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
-	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var (
+		rel        *repro.Relation
+		ds         *repro.Dataset
+		err        error
+		schemaMode = cmp.Or(r.URL.Query().Get("schema"), "model")
+	)
+	switch schemaMode {
+	case "model":
+		if rel, err = repro.ReadCSVInSchema(r.Body, s.model.Schema); err == nil {
+			ds, err = s.eng.RegisterDataset(rel)
+		}
+	case "own":
+		if rel, err = repro.ReadCSV(r.Body); err == nil {
+			ds, err = s.eng.RegisterJoinInput(rel)
+		}
+	default:
+		err = fmt.Errorf("query parameter schema must be model or own, got %q", schemaMode)
 	}
-	ds, err := s.eng.RegisterDataset(rel)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"kind": "dataset", "id": ds.ID(), "tuples": len(rel.Tuples),
+		"kind": "dataset", "id": ds.ID(), "tuples": len(rel.Tuples), "schema": schemaMode,
 	})
 }
 
@@ -727,7 +936,7 @@ func (s *server) emitWatchDiff(enc *json.Encoder, q *repro.CompiledQuery,
 			}
 			enc.Encode(map[string]any{
 				"kind": "row", "partial": true, "version": version, "rank": rank,
-				"index": row.Index, "values": s.labels(row.Tuple),
+				"index": row.Index, "values": labelsIn(s.model.Schema, row.Tuple),
 				"p": row.Prob, "certain": row.Certain,
 			})
 		}
@@ -755,7 +964,9 @@ func (s *server) emitWatchDiff(enc *json.Encoder, q *repro.CompiledQuery,
 }
 
 // writeSummary emits the terminal summary record: pruning counters,
-// bound usage, and the chosen plan.
+// bound usage, and the chosen plan. SPJ evaluations add the join order,
+// conditions, and safety verdict, plus the dissociation flag and bounds
+// when the answer was computed over a dissociated lineage.
 func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
 	c := res.Counters
 	summary := map[string]any{
@@ -763,8 +974,14 @@ func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
 		"bounded": c.Bounded, "derived": c.Derived,
 		"bound_refuted": c.BoundRefutes, "bound_width": c.BoundWidth,
 	}
+	if res.Dissociated {
+		summary["dissociated"] = true
+	}
+	if res.Bounds != nil {
+		summary["bounds"] = map[string]float64{"lo": res.Bounds.Lo, "hi": res.Bounds.Hi}
+	}
 	if p := res.Plan; p != nil {
-		summary["plan"] = map[string]any{
+		plan := map[string]any{
 			"pred_order":  p.PredOrder,
 			"selectivity": p.Selectivity,
 			"tiers": map[string]int{
@@ -773,6 +990,17 @@ func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
 			},
 			"bounds_used": p.BoundsUsed,
 		}
+		if j := p.Join; j != nil {
+			join := map[string]any{
+				"relations": j.Relations, "conditions": j.Conditions,
+				"safe": j.Safe, "shared_uncertain": j.SharedUncertain, "verdict": j.Verdict,
+			}
+			if len(j.Projection) > 0 {
+				join["projection"] = j.Projection
+			}
+			plan["join"] = join
+		}
+		summary["plan"] = plan
 	}
 	enc.Encode(summary)
 }
@@ -796,22 +1024,25 @@ func (e *errWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// labels renders a complete tuple's value codes as domain labels.
-func (s *server) labels(t repro.Tuple) []string {
+// labelsIn renders a complete tuple's value codes as domain labels of
+// the given schema — the model's for extensional rows, the answer
+// schema for projected SPJ rows.
+func labelsIn(schema *repro.Schema, t repro.Tuple) []string {
 	out := make([]string, len(t))
 	for a, v := range t {
-		out[a] = s.model.Schema.Attrs[a].Domain[v]
+		out[a] = schema.Attrs[a].Domain[v]
 	}
 	return out
 }
 
-// queryFromRequest builds a compiled query from the request's URL
-// parameters.
-func queryFromRequest(schema *repro.Schema, r *http.Request) (*repro.CompiledQuery, error) {
+// specFromRequest reads the operator parameters shared by extensional
+// and intensional queries — op, where, groupby, k, minprob — into an
+// uncompiled spec.
+func specFromRequest(r *http.Request) (repro.QuerySpec, error) {
 	vals := r.URL.Query()
 	op, err := repro.ParseQueryOp(cmp.Or(vals.Get("op"), "count"))
 	if err != nil {
-		return nil, err
+		return repro.QuerySpec{}, err
 	}
 	spec := repro.QuerySpec{
 		Op:      op,
@@ -823,7 +1054,7 @@ func queryFromRequest(schema *repro.Schema, r *http.Request) (*repro.CompiledQue
 		if err != nil || n < 1 {
 			// k >= 1 keeps served topk results (and server memory) bounded;
 			// the unbounded k <= 0 form stays a library/CLI affordance.
-			return nil, fmt.Errorf("query parameter k must be a positive integer, got %q", v)
+			return spec, fmt.Errorf("query parameter k must be a positive integer, got %q", v)
 		}
 		spec.K = n
 	} else if op == repro.QueryTopK {
@@ -832,9 +1063,19 @@ func queryFromRequest(schema *repro.Schema, r *http.Request) (*repro.CompiledQue
 	if v := vals.Get("minprob"); v != "" {
 		p, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			return nil, fmt.Errorf("query parameter minprob must be a number, got %q", v)
+			return spec, fmt.Errorf("query parameter minprob must be a number, got %q", v)
 		}
 		spec.MinProb = p
+	}
+	return spec, nil
+}
+
+// queryFromRequest builds a compiled single-relation query from the
+// request's URL parameters.
+func queryFromRequest(schema *repro.Schema, r *http.Request) (*repro.CompiledQuery, error) {
+	spec, err := specFromRequest(r)
+	if err != nil {
+		return nil, err
 	}
 	return repro.CompileQuery(schema, spec)
 }
@@ -850,6 +1091,9 @@ type statsResponse struct {
 	Evictions      int64             `json:"evictions"`
 	BoundTightness float64           `json:"query_bound_tightness"`
 	BoundRefutes   int64             `json:"bound_refutes"`
+	// QueriesDissociated counts completed queries answered over a
+	// dissociated lineage (unsafe SPJ plans, exists or projection).
+	QueriesDissociated int64 `json:"queries_dissociated"`
 	// Live-evidence counters: observations applied across all datasets,
 	// conditioned cache entries invalidated (eagerly or by epoch
 	// mismatch), and the current watcher and dataset gauges.
@@ -877,6 +1121,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Evictions:          st.Evictions + st.CPDEvictions,
 		BoundTightness:     st.QueryBoundTightness(),
 		BoundRefutes:       st.BoundRefutes,
+		QueriesDissociated: st.QueriesDissociated,
 		Observations:       st.Observations,
 		InvalidatedEntries: st.InvalidatedEntries,
 		Watchers:           st.Watchers,

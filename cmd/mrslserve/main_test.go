@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -506,5 +507,316 @@ func TestServeRejectsBadInput(t *testing.T) {
 	body, _ := io.ReadAll(hz.Body)
 	if hz.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Errorf("healthz: status %d body %q", hz.StatusCode, body)
+	}
+}
+
+// SPJ join-input fixtures: the matchmaking schema (age, edu, inc, nw)
+// split into two relations under their own headers, joined on a pid key
+// the model does not know. p1 is shared by two people rows and its
+// finance tuple is missing inc, so inc-dependent plans are unsafe; p9
+// dangles and one people row has a missing foreign key.
+const (
+	servePeopleCSV = `age,edu,pid
+20,HS,p1
+20,BS,p1
+30,?,p2
+30,MS,p2
+40,BS,p3
+?,HS,p4
+20,HS,?
+40,?,p9
+20,BS,p5
+30,HS,p3
+`
+	serveFinanceCSV = `pid,inc,nw
+p1,?,100K
+p2,100K,?
+p3,50K,500K
+p4,?,?
+p5,100K,500K
+`
+)
+
+// spjReference evaluates the statement locally on a fresh engine with
+// the server's options, from the same CSV inputs.
+func spjReference(t *testing.T, model *repro.Model, stmt string, spec repro.QuerySpec) *repro.QueryResult {
+	t.Helper()
+	st, err := repro.ParseSPJ(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*repro.Relation{}
+	for name, csv := range map[string]string{"people": servePeopleCSV, "finance": serveFinanceCSV} {
+		rel, err := repro.ReadCSV(strings.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[name] = rel
+	}
+	spjSpec, err := st.Bind(inputs, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spj, err := repro.CompileSPJ(model.Schema, spjSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(model, serveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.QuerySPJ(context.Background(), spj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// postSQL posts a multipart /query with an sql field and the named CSV
+// file fields (or plain form values mapping relations to dataset ids)
+// and decodes the NDJSON records.
+func postSQL(t *testing.T, ts *httptest.Server, params string, fields, files map[string]string) (int, []map[string]any) {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for name, val := range fields {
+		if err := mw.WriteField(name, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, csv := range files {
+		fw, err := mw.CreateFormFile(name, name+".csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.WriteString(fw, csv)
+	}
+	mw.Close()
+	resp, err := http.Post(ts.URL+"/query"+params, mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, []map[string]any{{"error": string(out)}}
+	}
+	var recs []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		var r map[string]any
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	return resp.StatusCode, recs
+}
+
+// TestServeSQLQuery covers the intensional /query path end to end:
+// multipart join inputs, bit-identity with a local SPJ evaluation,
+// dissociated exists records with bounds, projected rows in the answer
+// schema, and the join/safety block of the summary.
+func TestServeSQLQuery(t *testing.T) {
+	model, _, _ := matchmakingFixture(t)
+	ts := startServer(t, model)
+	files := map[string]string{"people": servePeopleCSV, "finance": serveFinanceCSV}
+
+	// Expected count, bit-identical to the local reference.
+	stmt := "from people join finance on pid=pid where age=20"
+	code, recs := postSQL(t, ts, "?op=count", map[string]string{"sql": stmt}, files)
+	if code != http.StatusOK {
+		t.Fatalf("sql count: status %d: %v", code, recs)
+	}
+	head := recs[0]
+	if head["kind"] != "query" || head["sql"] != stmt {
+		t.Fatalf("head record = %v, want kind=query with the sql statement", head)
+	}
+	want := spjReference(t, model, stmt, repro.QuerySpec{Op: repro.QueryCount})
+	if recs[1]["kind"] != "count" || recs[1]["expected"].(float64) != want.Expected {
+		t.Errorf("count record = %v, want bit-identical expected %v", recs[1], want.Expected)
+	}
+	summary := recs[len(recs)-1]
+	plan, _ := summary["plan"].(map[string]any)
+	if plan == nil || plan["join"] == nil {
+		t.Fatalf("summary misses the join plan: %v", summary)
+	}
+
+	// Unsafe exists: p1 is shared and missing inc, so the record is
+	// flagged dissociated and carries the sound interval.
+	stmt = "from people join finance on pid=pid where inc=100K"
+	code, recs = postSQL(t, ts, "?op=exists", map[string]string{"sql": stmt}, files)
+	if code != http.StatusOK {
+		t.Fatalf("sql exists: status %d: %v", code, recs)
+	}
+	if safe, ok := recs[0]["safe"].(bool); !ok || safe {
+		t.Errorf("head record = %v, want safe=false", recs[0])
+	}
+	want = spjReference(t, model, stmt, repro.QuerySpec{Op: repro.QueryExists})
+	ex := recs[1]
+	if ex["kind"] != "exists" || ex["dissociated"] != true {
+		t.Fatalf("exists record = %v, want dissociated=true", ex)
+	}
+	if ex["p"].(float64) != want.Prob {
+		t.Errorf("exists p = %v, want bit-identical %v", ex["p"], want.Prob)
+	}
+	lo, hasLo := ex["lo"].(float64)
+	hi, hasHi := ex["hi"].(float64)
+	if !hasLo || !hasHi || !(lo <= hi) {
+		t.Errorf("exists record misses the [lo, hi] interval: %v", ex)
+	}
+	summary = recs[len(recs)-1]
+	if summary["dissociated"] != true || summary["bounds"] == nil {
+		t.Errorf("summary misses dissociation: %v", summary)
+	}
+	plan, _ = summary["plan"].(map[string]any)
+	join, _ := plan["join"].(map[string]any)
+	if join == nil || join["safe"] != false || join["verdict"] == nil {
+		t.Errorf("summary join block = %v, want unsafe verdict", join)
+	}
+
+	// Projection answers in the answer schema: one value per row.
+	stmt = "select edu from people join finance on pid=pid where inc=100K"
+	code, recs = postSQL(t, ts, "?op=topk&k=3", map[string]string{"sql": stmt}, files)
+	if code != http.StatusOK {
+		t.Fatalf("sql projection: status %d: %v", code, recs)
+	}
+	want = spjReference(t, model, stmt, repro.QuerySpec{Op: repro.QueryTopK, K: 3})
+	var finals []map[string]any
+	for _, r := range recs {
+		if r["kind"] == "row" && r["final"] == true {
+			finals = append(finals, r)
+		}
+	}
+	if len(finals) != len(want.Rows) {
+		t.Fatalf("projection streamed %d final rows, want %d", len(finals), len(want.Rows))
+	}
+	for i, r := range finals {
+		vals := r["values"].([]any)
+		if len(vals) != 1 {
+			t.Errorf("projected row %d has %d values, want 1 (edu)", i, len(vals))
+		}
+		if r["p"].(float64) != want.Rows[i].Prob {
+			t.Errorf("projected row %d p = %v, want bit-identical %v", i, r["p"], want.Rows[i].Prob)
+		}
+	}
+
+	// The engine counted the dissociated answers.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesDissociated == 0 {
+		t.Errorf("stats: queries_dissociated = 0 after dissociated answers")
+	}
+}
+
+// TestServeSQLDatasetInputs registers the join inputs as schema=own
+// datasets and runs the same statement with <name>=<id> mappings — no
+// multipart upload — plus the guardrails: join-input datasets reject
+// /derive, single-relation /query, and /observe.
+func TestServeSQLDatasetInputs(t *testing.T) {
+	model, _, _ := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	register := func(csv string) string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/datasets?schema=own", "text/csv", strings.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rec map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || rec["schema"] != "own" {
+			t.Fatalf("register schema=own: status %d record %v", resp.StatusCode, rec)
+		}
+		return rec["id"].(string)
+	}
+	peopleID := register(servePeopleCSV)
+	financeID := register(serveFinanceCSV)
+
+	stmt := "from people join finance on pid=pid where age=20"
+	params := "?op=count&sql=" + url.QueryEscape(stmt) +
+		"&people=" + peopleID + "&finance=" + financeID
+	resp, err := http.Post(ts.URL+"/query"+params, "text/csv", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sql over datasets: status %d: %s", resp.StatusCode, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	var count map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &count); err != nil {
+		t.Fatal(err)
+	}
+	want := spjReference(t, model, stmt, repro.QuerySpec{Op: repro.QueryCount})
+	if count["expected"].(float64) != want.Expected {
+		t.Errorf("dataset-input count = %v, want bit-identical %v", count["expected"], want.Expected)
+	}
+
+	// Join-input datasets serve sql= queries only.
+	for _, req := range []struct{ path, want string }{
+		{"/derive?dataset=" + peopleID, "400"},
+		{"/query?op=count&where=age%3D20&dataset=" + peopleID, "400"},
+	} {
+		resp, err := http.Post(ts.URL+req.path, "text/csv", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s: status %d, want 400", req.path, resp.StatusCode)
+		}
+	}
+	obs := `{"dataset":"` + financeID + `","observations":[{"index":0,"attr":"inc","value":"100K"}]}`
+	resp2, err := http.Post(ts.URL+"/observe", "application/json", strings.NewReader(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("observe on join input: status %d, want 409", resp2.StatusCode)
+	}
+}
+
+// TestServeSQLRejectsBadStatements covers the intensional 4xx paths.
+func TestServeSQLRejectsBadStatements(t *testing.T) {
+	model, _, _ := matchmakingFixture(t)
+	ts := startServer(t, model)
+	files := map[string]string{"people": servePeopleCSV, "finance": serveFinanceCSV}
+
+	cases := []struct {
+		name   string
+		params string
+		fields map[string]string
+		files  map[string]string
+	}{
+		{"parse error", "?op=count", map[string]string{"sql": "join finance on a=b"}, files},
+		{"missing input", "?op=count", map[string]string{"sql": "from people join towns on pid=pid where age=20"}, files},
+		{"multipart without sql", "?op=count", map[string]string{}, files},
+		{"sql with dataset", "?op=count&dataset=ds1", map[string]string{"sql": "from people where age=20"}, files},
+		{"sql with watch", "?op=count&watch=1", map[string]string{"sql": "from people where age=20"}, files},
+		{"double where", "?op=count&where=age%3D20", map[string]string{"sql": "from people join finance on pid=pid where age=20"}, files},
+	}
+	for _, tc := range cases {
+		code, recs := postSQL(t, ts, tc.params, tc.fields, tc.files)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", tc.name, code, recs)
+		}
 	}
 }

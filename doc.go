@@ -140,6 +140,44 @@
 // incrementally with partial/final markers for topk and groupby — and a
 // summary with the plan and the pruning counters).
 //
+// # Intensional SPJ queries
+//
+// Queries also run over joins of several relations. ParseSPJ parses a
+// SQL-ish select-project-join statement ("select a,b from R join S on
+// k=k where a=v"), SPJStatement.Bind attaches the named input
+// relations, and CompileSPJ folds the join chain while tracking
+// lineage — which base-tuple events each joined answer row reads. Join
+// columns stay in the inputs' own schemas; the remaining attributes
+// are recoded into the model's domains and the joined rows aligned to
+// the model schema, so the same plan/executor/bounds pipeline
+// evaluates the result:
+//
+//	st, _ := repro.ParseSPJ("from people join finance on pid=pid where age=20")
+//	spec, _ := st.Bind(map[string]*repro.Relation{"people": p, "finance": f},
+//		repro.QuerySpec{Op: repro.QueryCount}, false)
+//	spj, _ := repro.CompileSPJ(model.Schema, spec)
+//	res, _ := eng.QuerySPJ(ctx, spj)
+//
+// Compilation runs a safety analysis in the spirit of Gatterbauer &
+// Suciu's dissociation: extensional evaluation over independent blocks
+// is exact precisely when the plan is hierarchical — no
+// relevantly-uncertain base tuple is read by two or more surviving
+// joined rows. PlanInfo.Join carries the verdict (mrslquery -explain
+// prints it). Safe plans answer bit-identically to a
+// join-then-derive-everything oracle (property-tested). Unsafe plans
+// still answer the linear operators (count, topk, groupby) exactly —
+// expectations are linear in tuple probabilities — while exists and
+// projected answers that merge shared lineage are flagged
+// QueryResult.Dissociated and carry a sound [lo, hi] interval
+// (QueryResult.Bounds) guaranteed to contain the true intensional
+// mass, so thresholded decisions resolve without sampling whenever the
+// interval clears. EngineStats.QueriesDissociated counts the flagged
+// answers. The same surface is exposed on cmd/mrslquery (-sql, -rels)
+// and on POST /query (sql= with multipart CSV file fields or
+// registered join-input datasets; POST /datasets?schema=own registers
+// a relation under its own schema for joining — such datasets accept
+// no observations and cannot be derived or queried alone).
+//
 // Engine streams and queries accept a context (DeriveStreamContext,
 // DeriveToContext, Query): cancellation stops scheduling and waiting
 // immediately, while work already claimed is completed into the caches,

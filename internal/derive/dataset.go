@@ -54,9 +54,10 @@ type Obs struct {
 // Dataset is a registered relation with live evidence. Create with
 // Engine.RegisterDataset; safe for concurrent use.
 type Dataset struct {
-	id  string
-	eng *Engine
-	rel *relation.Relation
+	id        string
+	eng       *Engine
+	rel       *relation.Relation
+	joinInput bool // registered under its own schema; SPJ input only
 
 	mu      sync.Mutex
 	obs     map[int][]Obs // observation log per source tuple index
@@ -114,19 +115,37 @@ func (e *Engine) RegisterDataset(rel *relation.Relation) (*Dataset, error) {
 	if d := e.model.Schema.Diff(rel.Schema); d != "" {
 		return nil, &SchemaMismatchError{Model: e.model.Schema, Data: rel.Schema, Diff: d}
 	}
+	return e.register(rel, false), nil
+}
+
+// RegisterJoinInput registers rel as a join-input dataset: its schema is
+// kept as-is instead of being validated against the model, so it may
+// carry key columns the model does not know. Join-input datasets exist
+// to be bound as input relations of intensional SPJ queries; they accept
+// no evidence (conditioning is defined over the model's schema) and
+// cannot be derived or queried on their own.
+func (e *Engine) RegisterJoinInput(rel *relation.Relation) (*Dataset, error) {
+	if rel == nil {
+		return nil, fmt.Errorf("derive: nil relation")
+	}
+	return e.register(rel, true), nil
+}
+
+func (e *Engine) register(rel *relation.Relation, joinInput bool) *Dataset {
 	e.dsMu.Lock()
 	defer e.dsMu.Unlock()
 	e.dsSeq++
 	ds := &Dataset{
-		id:   "ds" + strconv.Itoa(e.dsSeq),
-		eng:  e,
-		rel:  rel,
-		obs:  make(map[int][]Obs),
-		subs: make(map[int]chan struct{}),
-		done: make(chan struct{}),
+		id:        "ds" + strconv.Itoa(e.dsSeq),
+		eng:       e,
+		rel:       rel,
+		joinInput: joinInput,
+		obs:       make(map[int][]Obs),
+		subs:      make(map[int]chan struct{}),
+		done:      make(chan struct{}),
 	}
 	e.datasets[ds.id] = ds
-	return ds, nil
+	return ds
 }
 
 // Dataset returns the registered dataset with the given id.
@@ -162,6 +181,11 @@ func (d *Dataset) ID() string { return d.id }
 // Relation returns the source relation (the priors, without evidence).
 // Shared; callers must not mutate it.
 func (d *Dataset) Relation() *relation.Relation { return d.rel }
+
+// JoinInput reports whether the dataset was registered under its own
+// schema (Engine.RegisterJoinInput) and so serves only as an SPJ query
+// input.
+func (d *Dataset) JoinInput() bool { return d.joinInput }
 
 // Version returns the number of observations applied so far.
 func (d *Dataset) Version() uint64 {
@@ -210,6 +234,9 @@ func (d *Dataset) key(index int) string {
 // observation is an error and changes nothing.
 func (d *Dataset) Observe(ctx context.Context, index, attr, val int) (ObserveResult, error) {
 	var res ObserveResult
+	if d.joinInput {
+		return res, fmt.Errorf("derive: dataset %s is a join input (own schema) and accepts no evidence", d.id)
+	}
 	if index < 0 || index >= len(d.rel.Tuples) {
 		return res, fmt.Errorf("derive: tuple index %d out of range [0, %d)", index, len(d.rel.Tuples))
 	}

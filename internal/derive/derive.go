@@ -233,6 +233,11 @@ type Stats struct {
 	// multi-missing tuples that received one (decided or not), and 1 only
 	// for tuples whose bounds stayed vacuous and had to be derived.
 	QueryBoundWidth float64
+	// QueriesDissociated counts the completed queries whose answer was
+	// computed over a dissociated lineage: an unsafe SPJ plan evaluated
+	// extensionally, reporting a sound upper bound instead of the exact
+	// intensional mass.
+	QueriesDissociated int64
 }
 
 // QueryBoundTightness returns 1 minus the average bound-interval width
@@ -430,6 +435,9 @@ type QueryRecord struct {
 	// BoundWidth accumulates the final bound-interval width per scanned
 	// tuple (see Stats.QueryBoundWidth).
 	BoundWidth float64
+	// Dissociated marks an evaluation whose answer dissociated an unsafe
+	// SPJ lineage (see Stats.QueriesDissociated).
+	Dissociated bool
 }
 
 // RecordQuery folds one query evaluation's pruning counters into the
@@ -443,6 +451,9 @@ func (e *Engine) RecordQuery(r QueryRecord) {
 	e.stats.QueryDerived += r.Derived
 	e.stats.BoundRefutes += r.BoundRefutes
 	e.stats.QueryBoundWidth += r.BoundWidth
+	if r.Dissociated {
+		e.stats.QueriesDissociated++
+	}
 	e.mu.Unlock()
 }
 

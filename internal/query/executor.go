@@ -116,31 +116,42 @@ func evalOverrides(ctx context.Context, eng *derive.Engine, rel *relation.Relati
 		return nil, err
 	}
 	ex := &executor{q: q, eng: eng, rel: rel, plan: pl, pools: pools, progress: progress}
-	var res *Result
-	switch q.op {
-	case Count:
-		res, err = ex.evalCount(ctx)
-	case Exists:
-		res, err = ex.evalExists(ctx)
-	case TopK:
-		res, err = ex.evalTopK(ctx)
-	case GroupBy:
-		res, err = ex.evalGroupBy(ctx)
-	default:
-		return nil, fmt.Errorf("query: unknown operation %v", q.op)
-	}
+	res, err := ex.dispatch(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res.Plan = pl.info
+	return ex.finish(res, false), nil
+}
+
+// dispatch runs the operator's evaluator over the compiled plan.
+func (ex *executor) dispatch(ctx context.Context) (*Result, error) {
+	switch ex.q.op {
+	case Count:
+		return ex.evalCount(ctx)
+	case Exists:
+		return ex.evalExists(ctx)
+	case TopK:
+		return ex.evalTopK(ctx)
+	case GroupBy:
+		return ex.evalGroupBy(ctx)
+	default:
+		return nil, fmt.Errorf("query: unknown operation %v", ex.q.op)
+	}
+}
+
+// finish attaches the plan summary, closes the counter partition, and
+// folds the evaluation into the engine's stats.
+func (ex *executor) finish(res *Result, dissociated bool) *Result {
+	res.Plan = ex.plan.info
+	res.Dissociated = dissociated
 	c := &res.Counters
-	c.Scanned = int64(len(rel.Tuples))
+	c.Scanned = int64(len(ex.rel.Tuples))
 	c.Pruned = c.Scanned - c.Bounded - c.Derived
-	eng.RecordQuery(derive.QueryRecord{
+	ex.eng.RecordQuery(derive.QueryRecord{
 		Tuples: c.Scanned, Pruned: c.Pruned, Bounded: c.Bounded, Derived: c.Derived,
-		BoundRefutes: c.BoundRefutes, BoundWidth: c.BoundWidth,
+		BoundRefutes: c.BoundRefutes, BoundWidth: c.BoundWidth, Dissociated: dissociated,
 	})
-	return res, nil
+	return res
 }
 
 // validate rejects nil arguments and schema mismatches before any

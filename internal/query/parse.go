@@ -29,19 +29,26 @@ func ParseWhere(s *relation.Schema, where string) ([]Pred, error) {
 		return nil, fmt.Errorf("query: empty where clause")
 	}
 	var preds []Pred
-	for _, part := range strings.Split(where, ",") {
+	parts := strings.Split(where, ",")
+	for i, part := range parts {
 		part = strings.TrimSpace(part)
+		// Name the offending clause by position: a trailing comma in
+		// "age=30," would otherwise fail with an unanchored complaint
+		// about an empty condition.
+		clause := func(err error) error {
+			return fmt.Errorf("query: clause %d of %d (%q): %w", i+1, len(parts), part, err)
+		}
 		name, cmp, label, err := splitCond(part)
 		if err != nil {
-			return nil, err
+			return nil, clause(err)
 		}
 		attr := s.AttrIndex(name)
 		if attr < 0 {
-			return nil, fmt.Errorf("query: unknown attribute %q", name)
+			return nil, clause(fmt.Errorf("unknown attribute %q", name))
 		}
 		val, err := s.ValueCode(attr, label)
 		if err != nil {
-			return nil, fmt.Errorf("query: %v", err)
+			return nil, clause(err)
 		}
 		preds = append(preds, Pred{Attr: attr, Cmp: cmp, Value: val})
 	}
@@ -76,13 +83,13 @@ func splitCond(cond string) (name string, cmp Cmp, label string, err error) {
 		}
 	}
 	if at < 0 {
-		return "", 0, "", fmt.Errorf("query: bad condition %q (want attr<op>value)", cond)
+		return "", 0, "", fmt.Errorf("bad condition (want attr<op>value)")
 	}
 	op := condOps[atOp]
 	name = strings.TrimSpace(cond[:at])
 	label = strings.TrimSpace(cond[at+len(op.token):])
 	if name == "" || label == "" {
-		return "", 0, "", fmt.Errorf("query: bad condition %q (want attr<op>value)", cond)
+		return "", 0, "", fmt.Errorf("bad condition (want attr<op>value)")
 	}
 	return name, op.cmp, label, nil
 }

@@ -21,19 +21,23 @@ func FuzzParseQuery(f *testing.F) {
 		"inc>50K",
 		"age>20,age<40",
 		" age = 30 , inc = 50K ",
-		"age=30,age!=30", // contradictory but well-formed
-		"edu=MS,edu=MS",  // duplicate condition
-		"",               // empty clause
-		",",              // empty condition
-		"age",            // no operator
-		"age=",           // no value
-		"=30",            // no attribute
-		"age==30",        // double operator: label "=30" is out of domain
-		"age<>30",        // "<" with label ">30"
-		"bogus=30",       // unknown attribute
-		"age=99",         // out-of-domain label
-		"age\x00=30",     // control bytes in the attribute
-		"年齢=30",          // non-ASCII attribute
+		"age=30,age!=30",   // contradictory but well-formed
+		"edu=MS,edu=MS",    // duplicate condition
+		"",                 // empty clause
+		",",                // empty condition
+		"age=30,",          // trailing comma: empty second clause
+		"age=30,,inc=50K",  // empty middle clause
+		",age=30",          // leading comma
+		"age=30, ,inc=50K", // whitespace-only clause
+		"age",              // no operator
+		"age=",             // no value
+		"=30",              // no attribute
+		"age==30",          // double operator: label "=30" is out of domain
+		"age<>30",          // "<" with label ">30"
+		"bogus=30",         // unknown attribute
+		"age=99",           // out-of-domain label
+		"age\x00=30",       // control bytes in the attribute
+		"年齢=30",            // non-ASCII attribute
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -78,6 +78,35 @@ type PlanInfo struct {
 	// BoundsUsed reports that the operator could exploit dissociation
 	// intervals, so the planner asked the engine for them.
 	BoundsUsed bool
+	// Join summarizes the intensional SPJ layer when the evaluation ran
+	// over a compiled join: the join order, conditions, projection, and
+	// the safety verdict. Nil for plain single-relation queries.
+	Join *JoinPlanInfo
+}
+
+// JoinPlanInfo is the SPJ portion of a plan summary: how the joined
+// relation was assembled and whether its lineage admits exact
+// extensional evaluation.
+type JoinPlanInfo struct {
+	// Relations lists the input relations in join order, base first.
+	Relations []string
+	// Conditions renders each equi-join, e.g. "people.city = cities.city",
+	// aligned with Relations[1:].
+	Conditions []string
+	// Projection lists the projected attribute names (distinct-answer
+	// mode); empty when the query selects whole tuples.
+	Projection []string
+	// Safe reports a hierarchical plan: no two non-refuted joined rows
+	// share an uncertain base tuple whose missing attributes the query
+	// depends on, so per-row lineage is read-once and extensional
+	// evaluation is exact.
+	Safe bool
+	// SharedUncertain counts the base tuples that break the hierarchy:
+	// relevantly-uncertain tuples shared by at least two non-refuted
+	// joined rows.
+	SharedUncertain int
+	// Verdict is the one-line human rendering of the safety analysis.
+	Verdict string
 }
 
 // String renders the plan as the multi-line explain block the mrslquery
@@ -99,6 +128,17 @@ func (p *PlanInfo) String() string {
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  dissociation bounds: %v\n", p.BoundsUsed)
+	if j := p.Join; j != nil {
+		fmt.Fprintf(&b, "  join order: %s", strings.Join(j.Relations, " ⋈ "))
+		if len(j.Conditions) > 0 {
+			fmt.Fprintf(&b, " on %s", strings.Join(j.Conditions, ", "))
+		}
+		b.WriteByte('\n')
+		if len(j.Projection) > 0 {
+			fmt.Fprintf(&b, "  projection: %s (distinct answers)\n", strings.Join(j.Projection, ", "))
+		}
+		fmt.Fprintf(&b, "  safety: %s\n", j.Verdict)
+	}
 	return b.String()
 }
 
@@ -121,6 +161,9 @@ type plan struct {
 // expected counts, unthresholded exists, and groupby need exact masses,
 // so bounding them would be wasted planning work.
 func (q *Query) usesBounds() bool {
+	if q.boundsOff {
+		return false
+	}
 	switch q.op {
 	case Count, Exists:
 		return q.minProb > 0

@@ -227,6 +227,11 @@ type Query struct {
 	k           int
 	minProb     float64
 	preds       []Pred // the original predicates, for String
+	// boundsOff disables dissociation-interval planning regardless of the
+	// operator. The projected (distinct-answer) SPJ mode sets it: every
+	// non-refuted row needs its exact per-completion masses, so intervals
+	// would be computed and then ignored.
+	boundsOff bool
 }
 
 // Compile validates spec against the schema and compiles it. Count,

@@ -50,10 +50,38 @@ func TestParseWhere(t *testing.T) {
 
 	for _, bad := range []string{
 		"", "  ", ",", "age", "age=", "=30", "bogus=30", "age=99",
-		"age=30,,inc=50K", "age<>30", "age=30,bogus<1",
+		"age=30,,inc=50K", "age<>30", "age=30,bogus<1", "age=30,",
 	} {
 		if _, err := ParseWhere(s, bad); err == nil {
 			t.Errorf("where %q should fail", bad)
+		}
+	}
+}
+
+// TestParseWhereErrorNamesClause: a malformed clause is reported by its
+// 1-based position and text, so "age=30," doesn't fail with an unanchored
+// complaint about an invisible empty condition.
+func TestParseWhereErrorNamesClause(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		where string
+		want  []string
+	}{
+		{"age=30,", []string{"clause 2 of 2"}},
+		{"age=30,,inc=50K", []string{"clause 2 of 3"}},
+		{"age=30,bogus<1", []string{"clause 2 of 2", `"bogus<1"`, "unknown attribute"}},
+		{"age=99", []string{"clause 1 of 1", `"age=99"`}},
+	}
+	for _, c := range cases {
+		_, err := ParseWhere(s, c.where)
+		if err == nil {
+			t.Errorf("where %q should fail", c.where)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("ParseWhere(%q) error %q missing %q", c.where, err, w)
+			}
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package query
 
-import "repro/internal/relation"
+import (
+	"repro/internal/derive"
+	"repro/internal/relation"
+)
 
 // Row is one TopK result: a satisfying completion, its probability, and
 // its provenance. Rows of equal probability keep input order (and, within
@@ -92,4 +95,21 @@ type Result struct {
 	// Plan summarizes the compiled plan the evaluation executed: the
 	// selectivity-ordered predicates and the per-tier tuple counts.
 	Plan *PlanInfo
+
+	// Dissociated reports that the answer was computed over a dissociated
+	// lineage: the SPJ plan was unsafe (joined rows share uncertain base
+	// tuples) and the operator is sensitive to that correlation, so the
+	// reported value treats the shared tuples as independent copies — an
+	// upper bound on the intensional existence probability (Gatterbauer &
+	// Suciu). Linear operators (expected counts, per-row topk masses,
+	// groupby histograms) are exact even over unsafe plans and never set
+	// it.
+	Dissociated bool
+	// Bounds is the sound [lo, hi] interval around the dissociated
+	// existence mass for unsafe exists plans: lo is the best single-row
+	// lower bound, hi folds every row's interval upper side. When the
+	// interval alone decided the threshold (EarlyStop with no derivation),
+	// Prob is the deciding side. Nil for safe plans and non-exists
+	// operators.
+	Bounds *derive.Interval
 }

@@ -1,0 +1,159 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// ParseSPJ parses the SQL-ish statement surface of intensional queries,
+// shared by the mrslquery -sql flag and the mrslserve /query sql
+// parameter:
+//
+//	[select <cols>|*] from <rel> [join <rel> on <left>=<right>]... [where <conds>]
+//
+// Keywords are case-insensitive; relation and attribute names are
+// matched verbatim. The projection list is comma-separated ("select
+// city, coast"); "select *" (or omitting select) selects whole tuples.
+// The where tail uses the same conjunction syntax as ParseWhere —
+// "age=30, inc>=100K" — and is kept raw here, to be compiled against the
+// model schema by CompileSPJ. The operator (count/exists/topk/groupby)
+// and its parameters stay outside the statement, as before.
+func ParseSPJ(s string) (*SPJText, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("query: empty statement")
+	}
+	t := &SPJText{}
+	i := 0
+	kw := func(word string) bool {
+		return i < len(fields) && strings.EqualFold(fields[i], word)
+	}
+	anyKw := func() bool {
+		for _, w := range []string{"select", "from", "join", "on", "where"} {
+			if kw(w) {
+				return true
+			}
+		}
+		return false
+	}
+	// collect joins tokens from i until the next keyword.
+	collect := func() string {
+		var parts []string
+		for i < len(fields) && !anyKw() {
+			parts = append(parts, fields[i])
+			i++
+		}
+		return strings.Join(parts, " ")
+	}
+
+	if kw("select") {
+		i++
+		cols := collect()
+		if cols == "" {
+			return nil, fmt.Errorf("query: select without columns")
+		}
+		if cols != "*" {
+			for ci, c := range strings.Split(cols, ",") {
+				c = strings.TrimSpace(c)
+				if c == "" {
+					return nil, fmt.Errorf("query: empty projection column %d in %q", ci+1, cols)
+				}
+				t.Project = append(t.Project, c)
+			}
+		}
+	}
+	if !kw("from") {
+		return nil, fmt.Errorf("query: expected 'from', got %q", strings.Join(fields[i:], " "))
+	}
+	i++
+	t.Base = collect()
+	if t.Base == "" || strings.ContainsAny(t.Base, " ") {
+		return nil, fmt.Errorf("query: 'from' needs exactly one relation name, got %q", t.Base)
+	}
+	for kw("join") {
+		i++
+		rel := collect()
+		if rel == "" || strings.ContainsAny(rel, " ") {
+			return nil, fmt.Errorf("query: 'join' needs exactly one relation name, got %q", rel)
+		}
+		if !kw("on") {
+			return nil, fmt.Errorf("query: join %q without 'on' condition", rel)
+		}
+		i++
+		cond := strings.ReplaceAll(collect(), " ", "")
+		lhs, rhs, ok := strings.Cut(cond, "=")
+		if !ok || lhs == "" || rhs == "" {
+			return nil, fmt.Errorf("query: join condition %q (want left=right)", cond)
+		}
+		t.Joins = append(t.Joins, SPJTextJoin{Rel: rel, LeftAttr: lhs, RightAttr: rhs})
+	}
+	if kw("where") {
+		i++
+		t.Where = strings.Join(fields[i:], " ")
+		if strings.TrimSpace(t.Where) == "" {
+			return nil, fmt.Errorf("query: 'where' without conditions")
+		}
+		i = len(fields)
+	}
+	if i != len(fields) {
+		return nil, fmt.Errorf("query: unexpected %q after %q", strings.Join(fields[i:], " "), t.Base)
+	}
+	return t, nil
+}
+
+// SPJText is the parsed form of an SQL-ish statement: relation and
+// attribute references by name, the where tail still raw.
+type SPJText struct {
+	// Project lists the projected column names; nil for "*" / no select.
+	Project []string
+	// Base names the first (left-most) relation.
+	Base string
+	// Joins chain further relations onto the base, in statement order.
+	Joins []SPJTextJoin
+	// Where is the raw conjunction tail ("" when absent).
+	Where string
+}
+
+// SPJTextJoin is one "join <rel> on <left>=<right>" clause.
+type SPJTextJoin struct {
+	Rel       string
+	LeftAttr  string
+	RightAttr string
+}
+
+// Relations returns every relation name the statement references, base
+// first, in statement order (duplicates preserved for self-joins).
+func (t *SPJText) Relations() []string {
+	names := []string{t.Base}
+	for _, j := range t.Joins {
+		names = append(names, j.Rel)
+	}
+	return names
+}
+
+// Bind resolves the statement's relation names against concrete
+// relations and assembles the SPJSpec: spec supplies the operator and
+// its parameters, the statement supplies projection, join chain, and —
+// unless spec already carries one — the where conjunction.
+func (t *SPJText) Bind(inputs map[string]*relation.Relation, spec Spec, keepKeys bool) (SPJSpec, error) {
+	out := SPJSpec{Spec: spec, Project: t.Project, KeepKeys: keepKeys}
+	if t.Where != "" {
+		if spec.Where != "" {
+			return out, fmt.Errorf("query: where given both in the statement and separately")
+		}
+		out.Spec.Where = t.Where
+	}
+	for _, name := range t.Relations() {
+		rel, ok := inputs[name]
+		if !ok || rel == nil {
+			return out, fmt.Errorf("query: statement references relation %q, but no input with that name was provided", name)
+		}
+		out.Inputs = append(out.Inputs, SPJInput{Name: name, Rel: rel})
+	}
+	for _, j := range t.Joins {
+		out.Joins = append(out.Joins, SPJJoin{LeftAttr: j.LeftAttr, RightAttr: j.RightAttr})
+	}
+	return out, nil
+}

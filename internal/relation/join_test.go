@@ -72,15 +72,29 @@ func TestJoinKeepKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// age + city + coast + size.
-	if out.Schema.NumAttrs() != 4 {
+	// age + city (FK) + city (PK, prefixed) + coast + size: KeepKeys keeps
+	// BOTH key columns, so the right PK survives under a prefixed name.
+	if out.Schema.NumAttrs() != 5 {
 		t.Fatalf("attrs = %v", out.Schema.SortedAttrNames())
 	}
 	if out.Schema.AttrIndex("city") != 1 {
 		t.Errorf("city position = %d", out.Schema.AttrIndex("city"))
 	}
-	if !out.Tuples[0].Equal(Tuple{0, 1, 0, 0}) {
+	pk := out.Schema.AttrIndex("right.city")
+	if pk != 2 {
+		t.Fatalf("right.city position = %d (attrs %v)", pk, out.Schema.SortedAttrNames())
+	}
+	// Matched row: PK equals FK.
+	if !out.Tuples[0].Equal(Tuple{0, 1, 1, 0, 0}) {
 		t.Errorf("row 0 = %v", out.Tuples[0])
+	}
+	// Missing FK: kept PK is missing like the rest of the right side.
+	if !out.Tuples[2].Equal(Tuple{0, Missing, Missing, Missing, Missing}) {
+		t.Errorf("row 2 = %v", out.Tuples[2])
+	}
+	// Dangling FK (chi): FK survives, right side incl. PK missing.
+	if !out.Tuples[3].Equal(Tuple{1, 0, Missing, Missing, Missing}) {
+		t.Errorf("row 3 = %v", out.Tuples[3])
 	}
 }
 
@@ -107,6 +121,78 @@ func TestJoinNameCollision(t *testing.T) {
 	names := out.Schema.SortedAttrNames()
 	if names[0] != "x" || names[1] != "right.x" {
 		t.Errorf("names = %v", names)
+	}
+}
+
+// A relation may already contain a prefixed name like "right.x"; one round
+// of prefixing then still collides, so addAttr must loop until unique.
+func TestJoinNameCollisionAlreadyPrefixed(t *testing.T) {
+	shared := []string{"k1", "k2"}
+	left := NewRelation(MustSchema([]Attribute{
+		{Name: "id", Domain: shared},
+		{Name: "x", Domain: []string{"a", "b"}},
+		{Name: "right.x", Domain: []string{"p", "q"}},
+	}))
+	right := NewRelation(MustSchema([]Attribute{
+		{Name: "id", Domain: shared},
+		{Name: "x", Domain: []string{"c", "d"}},
+	}))
+	if err := left.Append(Tuple{0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Append(Tuple{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Join(left, right, JoinSpec{LeftKey: 0, RightKey: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.NumAttrs() != 3 {
+		t.Fatalf("attrs = %v", out.Schema.SortedAttrNames())
+	}
+	want := map[string]bool{"x": true, "right.x": true, "right.right.x": true}
+	for _, a := range out.Schema.Attrs {
+		if !want[a.Name] {
+			t.Errorf("unexpected attr %q (attrs %v)", a.Name, out.Schema.SortedAttrNames())
+		}
+		delete(want, a.Name)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing attrs %v", want)
+	}
+}
+
+// Custom prefixes let the SPJ layer surface collisions under relation
+// names instead of the generic left/right.
+func TestJoinCustomPrefixes(t *testing.T) {
+	left, right := joinFixture(t)
+	out, err := Join(left, right, JoinSpec{
+		LeftKey: 1, RightKey: 0, KeepKeys: true,
+		LeftPrefix: "people", RightPrefix: "cities",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.AttrIndex("cities.city") < 0 {
+		t.Errorf("want cities.city in %v", out.Schema.SortedAttrNames())
+	}
+}
+
+func TestJoinTraceProvenance(t *testing.T) {
+	left, right := joinFixture(t)
+	out, trace, err := JoinTrace(left, right, JoinSpec{LeftKey: 1, RightKey: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != len(trace) {
+		t.Fatalf("len mismatch: %d rows, %d trace entries", out.Len(), len(trace))
+	}
+	// nyc -> right row 0, sfo -> right row 1, missing FK -> -1, dangling chi -> -1.
+	want := []int{0, 1, -1, -1}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Errorf("trace[%d] = %d, want %d", i, trace[i], w)
+		}
 	}
 }
 

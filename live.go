@@ -49,6 +49,17 @@ func (e *Engine) RegisterDataset(rel *Relation) (*Dataset, error) {
 	return e.eng.RegisterDataset(rel)
 }
 
+// RegisterJoinInput registers rel as a join-input dataset: the relation
+// keeps its own schema (typically a fragment of the model's attributes
+// plus join-key columns the model does not know), so it can be bound as
+// a named input of an intensional SPJ query — over HTTP, a registered
+// join input stands in for a multipart CSV upload. Join-input datasets
+// accept no evidence and cannot be derived or queried on their own;
+// Dataset.JoinInput reports the flavor.
+func (e *Engine) RegisterJoinInput(rel *Relation) (*Dataset, error) {
+	return e.eng.RegisterJoinInput(rel)
+}
+
 // Dataset returns the registered dataset with the given id.
 func (e *Engine) Dataset(id string) (*Dataset, bool) { return e.eng.Dataset(id) }
 

@@ -145,6 +145,76 @@ func (e *Engine) PlanQuery(ctx context.Context, rel *Relation, q *CompiledQuery)
 	return query.Plan(ctx, e.eng, rel, q)
 }
 
+// Intensional SPJ types re-exported from the query package.
+type (
+	// QuerySPJInput is one named input relation of a multi-relation query.
+	QuerySPJInput = query.SPJInput
+	// QuerySPJJoin is one PK-FK equi-join condition in an SPJ chain.
+	QuerySPJJoin = query.SPJJoin
+	// QuerySPJSpec is the uncompiled multi-relation query: the
+	// single-relation QuerySpec plus inputs, join chain, and optional
+	// projection (distinct-answer mode, count/topk only).
+	QuerySPJSpec = query.SPJSpec
+	// CompiledSPJ is a compiled SPJ query: the joined, model-aligned
+	// relation with per-row lineage, the compiled query over it, and the
+	// safety verdict.
+	CompiledSPJ = query.SPJ
+	// SPJStatement is a parsed SQL-ish statement (see ParseSPJ); Bind
+	// resolves its relation names against concrete inputs.
+	SPJStatement = query.SPJText
+	// QueryJoinPlanInfo is the join/safety section of a plan summary:
+	// join order, conditions, projection, and the safety verdict.
+	QueryJoinPlanInfo = query.JoinPlanInfo
+)
+
+// ParseSPJ parses the SQL-ish statement surface of intensional queries:
+//
+//	[select <cols>|*] from <rel> [join <rel> on <left>=<right>]... [where <conds>]
+//
+// Keywords are case-insensitive; the where tail uses the ParseQueryWhere
+// conjunction syntax. The operator and its parameters stay outside the
+// statement (CLI flags, HTTP parameters). Bind the result to concrete
+// input relations with SPJStatement.Bind, then compile with CompileSPJ.
+func ParseSPJ(s string) (*SPJStatement, error) { return query.ParseSPJ(s) }
+
+// CompileSPJ validates and compiles a multi-relation query against the
+// model schema: inputs are cloned and re-encoded into model domains, the
+// PK-FK join chain is folded with per-row lineage, the joined relation is
+// aligned to the model schema, and the safety analyzer classifies the
+// plan. Safe (hierarchical) plans evaluate extensionally with exact
+// answers; unsafe plans stay exact for linear operators and surface
+// dissociation bounds for exists (see Engine.QuerySPJ).
+func CompileSPJ(s *Schema, spec QuerySPJSpec) (*CompiledSPJ, error) {
+	return query.CompileSPJ(s, spec)
+}
+
+// QuerySPJ evaluates a compiled SPJ query on this engine. Safe plans and
+// linear operators (count, topk, groupby) answer bit-identically to
+// joining the inputs and deriving every tuple through this engine. For
+// unsafe exists plans the answer is the dissociated existence mass — a
+// sound upper bound on the intensional probability — flagged on
+// QueryResult.Dissociated with a sound [lo, hi] interval on
+// QueryResult.Bounds; a thresholded exists whose interval clears or
+// refutes the threshold is decided without any derivation. Projected
+// (distinct-answer) queries return one row per distinct projected value.
+func (e *Engine) QuerySPJ(ctx context.Context, spj *CompiledSPJ) (*QueryResult, error) {
+	return query.EvalSPJ(ctx, e.eng, spj, derive.Pools{}, nil)
+}
+
+// QuerySPJStream is QuerySPJ with per-request pools and a progress
+// observer (unprojected TopK/GroupBy only, like Engine.QueryStream).
+func (e *Engine) QuerySPJStream(ctx context.Context, spj *CompiledSPJ, pools Pools, progress QueryProgressFunc) (*QueryResult, error) {
+	return query.EvalSPJ(ctx, e.eng, spj, pools, progress)
+}
+
+// PlanSPJ compiles the evaluation plan of an SPJ query without executing
+// it: the single-relation plan over the joined relation plus the join
+// order, conditions, projection, and safety verdict — the -explain
+// primitive for SQL statements.
+func (e *Engine) PlanSPJ(ctx context.Context, spj *CompiledSPJ) (*QueryPlanInfo, error) {
+	return query.PlanSPJ(ctx, e.eng, spj)
+}
+
 // BoundCPD computes a sound dissociation-style probability interval for
 // a multi-missing tuple: the probability that every missing attribute
 // completes into its satisfying set (sat[a] per value code, nil =

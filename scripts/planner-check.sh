@@ -1,9 +1,11 @@
 #!/bin/sh
-# planner-check: guards query-planning latency across PRs. Compares the
-# BenchmarkQueryPlanner ns/op figure of a fresh run (published by
+# planner-check: guards query-serving latency across PRs. Compares the
+# ns/op figures of the query benchmarks in a fresh run (published by
 # `make bench-planner` into BENCH_planner.json) against the committed
-# baseline (BENCH_planner_baseline.json); exits non-zero when planning
-# slowed down by more than the tolerance (percent, default 30).
+# baseline (BENCH_planner_baseline.json); exits non-zero when any of
+# them slowed down by more than the tolerance (percent, default 30).
+# A benchmark absent from the baseline (e.g. freshly added) is skipped
+# with a note; refresh the baseline with `make bench-baseline`.
 #
 # Usage: planner-check.sh <baseline.json> <current.json> [tolerance-pct]
 set -eu
@@ -11,6 +13,8 @@ set -eu
 base=${1:?usage: planner-check.sh baseline.json current.json [tolerance-pct]}
 cur=${2:?usage: planner-check.sh baseline.json current.json [tolerance-pct]}
 tol=${3:-30}
+
+BENCHES="BenchmarkQueryPlanner BenchmarkQuerySafeJoin BenchmarkQueryDissociated"
 
 if [ ! -f "$base" ]; then
 	echo "planner-check: no baseline at $base; skipping"
@@ -21,13 +25,13 @@ if [ ! -f "$cur" ]; then
 	exit 1
 fi
 
-# Pull the ns/op figure out of a go-test -json benchmark log. The name
+# Pull one benchmark's ns/op figure out of a go-test -json log. The name
 # and its measurements usually share one output line; tolerate the split
 # form go test emits for sub-benchmarks too.
 extract() {
 	grep -o '"Output":"[^"]*"' "$1" | sed 's/^"Output":"//; s/"$//' |
-		awk '
-			/^BenchmarkQueryPlanner/ {
+		awk -v name="$2" '
+			$1 ~ ("^" name "(-[0-9]+)?$") {
 				for (i = 2; i <= NF; i++)
 					if ($i ~ /^ns\/op/) { print $(i - 1); exit }
 				pending = 1
@@ -40,17 +44,25 @@ extract() {
 		'
 }
 
-b=$(extract "$base")
-c=$(extract "$cur")
-if [ -z "$b" ] || [ -z "$c" ]; then
-	echo "planner-check: could not extract ns/op figures" >&2
-	exit 1
-fi
-
-awk -v b="$b" -v c="$c" -v tol="$tol" 'BEGIN {
-	ceil = b * (100 + tol) / 100
-	status = (c <= ceil) ? "ok" : "REGRESSED"
-	printf "planner-check: baseline %12.0f ns/op  current %12.0f ns/op  ceiling %12.0f  %s\n",
-		b, c, ceil, status
-	exit (c > ceil) ? 1 : 0
-}'
+status=0
+for name in $BENCHES; do
+	c=$(extract "$cur" "$name")
+	if [ -z "$c" ]; then
+		echo "planner-check: $name missing from current run" >&2
+		status=1
+		continue
+	fi
+	b=$(extract "$base" "$name")
+	if [ -z "$b" ]; then
+		echo "planner-check: $name has no baseline figure; skipping (refresh with make bench-baseline)"
+		continue
+	fi
+	awk -v name="$name" -v b="$b" -v c="$c" -v tol="$tol" 'BEGIN {
+		ceil = b * (100 + tol) / 100
+		ok = (c <= ceil)
+		printf "planner-check: %-28s baseline %12.0f ns/op  current %12.0f ns/op  ceiling %12.0f  %s\n",
+			name, b, c, ceil, ok ? "ok" : "REGRESSED"
+		exit ok ? 0 : 1
+	}' || status=1
+done
+exit $status

@@ -2,9 +2,10 @@
 # serve-smoke: the end-to-end serving gate of `make ci`. Builds mrslserve,
 # learns a model from the checked-in matchmaking relation, boots the
 # server on a kernel-assigned port, POSTs one derivation and one query,
-# then drives the live-evidence loop — register a dataset, query it,
-# observe a delta, re-query — and checks the stream and stats endpoints
-# answer. Exits non-zero on any failure.
+# drives the live-evidence loop — register a dataset, query it, observe
+# a delta, re-query — runs one intensional join query (multipart sql=
+# statement over two CSV fragments), and checks the stream and stats
+# endpoints answer. Exits non-zero on any failure.
 set -eu
 
 tmp=$(mktemp -d)
@@ -67,10 +68,43 @@ curl -fsS -X POST -H 'Content-Type: application/json' \
 curl -fsS -X POST "http://$addr/query?op=count&where=inc%3D50K&dataset=$sid" >"$tmp/post.ndjson"
 grep -q '"observed":1' "$tmp/post.ndjson" || { echo "serve-smoke: re-query did not use the observed tier"; cat "$tmp/post.ndjson"; exit 1; }
 
+# Intensional round trip: one SQL join query over HTTP, shipping both
+# input fragments as multipart CSV files. The summary must carry the
+# join plan block with the safety verdict.
+cat >"$tmp/people.csv" <<'EOF'
+age,edu,pid
+20,HS,p1
+20,BS,p1
+30,?,p2
+30,MS,p2
+40,BS,p3
+?,HS,p4
+20,HS,?
+40,?,p9
+20,BS,p5
+30,HS,p3
+EOF
+cat >"$tmp/finance.csv" <<'EOF'
+pid,inc,nw
+p1,?,100K
+p2,100K,?
+p3,50K,500K
+p4,?,?
+p5,100K,500K
+EOF
+curl -fsS -X POST \
+	-F 'sql=from people join finance on pid=pid where age=20' \
+	-F "people=@$tmp/people.csv" -F "finance=@$tmp/finance.csv" \
+	"http://$addr/query?op=count" >"$tmp/sql.ndjson"
+grep -q '"kind":"count"' "$tmp/sql.ndjson" || { echo "serve-smoke: no count record from sql join query"; cat "$tmp/sql.ndjson"; exit 1; }
+grep -q '"join"' "$tmp/sql.ndjson" || { echo "serve-smoke: sql join query summary has no join plan"; cat "$tmp/sql.ndjson"; exit 1; }
+grep -q '"verdict"' "$tmp/sql.ndjson" || { echo "serve-smoke: join plan has no safety verdict"; cat "$tmp/sql.ndjson"; exit 1; }
+
 curl -fsS "http://$addr/stats" >"$tmp/stats.json"
-# 5 offered inference requests: derive, batch query, pre-query, observe,
-# re-query (dataset registration runs no inference and is not counted).
-grep -q '"requests":5' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the requests"; cat "$tmp/stats.json"; exit 1; }
+# 6 offered inference requests: derive, batch query, pre-query, observe,
+# re-query, sql join query (dataset registration runs no inference and
+# is not counted).
+grep -q '"requests":6' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the requests"; cat "$tmp/stats.json"; exit 1; }
 grep -q '"observations":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the observation"; cat "$tmp/stats.json"; exit 1; }
 grep -q '"datasets":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the dataset"; cat "$tmp/stats.json"; exit 1; }
 
