@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race bench-smoke serve-smoke bench-serve bench-planner bench-check bench-baseline bench-publish fuzz-smoke build
+.PHONY: ci vet test race bench-smoke serve-smoke chaos-smoke bench-serve bench-planner bench-check bench-baseline bench-publish fuzz-smoke build
 
-ci: vet race bench-smoke serve-smoke bench-serve bench-check
+ci: vet race bench-smoke serve-smoke chaos-smoke bench-serve bench-check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,17 @@ bench-smoke:
 # HTTP, and check the streamed NDJSON and the stats endpoint.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Fault-injection soak under the race detector: concurrent derive,
+# query, observe, and snapshot traffic on one engine while injected
+# faults force panics in every worker pool, cache eviction storms, and
+# scheduling delays. Asserts the process survives, every non-degraded
+# answer stays bit-identical to a fault-free oracle, and every degraded
+# [lo, hi] interval contains the oracle mass. -count=1 defeats the test
+# cache so the soak actually runs every time.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSoak' .
+	$(GO) test -race -count=1 -run 'TestPanicBecomesTypedError|TestPrefetchPanicKeepsStreamExact|TestSinkPanicBecomesEmitError' ./internal/derive
 
 # Publish the concurrent serving benchmark (1/4/16 overlapping streams on
 # one engine) as go-test JSON events, so serving throughput is tracked

@@ -1,0 +1,272 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// chaosOptions puts the engine in chain mode (content-seeded, so every
+// successful answer is reproducible bit for bit) with real pools.
+func chaosOptions() DeriveOptions {
+	return DeriveOptions{
+		Method:      BestAveraged(),
+		Workers:     4,
+		VoteWorkers: 4,
+		Gibbs:       GibbsOptions{Samples: 200, BurnIn: 20, Seed: 7, Method: BestAveraged()},
+	}
+}
+
+// chaosStream renders eng's derivation of rel as JSONL bytes — the
+// strongest equality check available (schema line, order, and every
+// probability digit).
+func chaosStream(t *testing.T, eng *Engine, rel *Relation) ([]byte, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf, rel.Schema)
+	if err := eng.DeriveToContext(context.Background(), rel, Pools{}, sink); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// consistentObservation picks, from a fault-free derivation, a
+// multi-missing tuple plus evidence its block already carries — an
+// observation the dataset must accept.
+func consistentObservation(t *testing.T, db *Database, rel *Relation) (index, attr, val int) {
+	t.Helper()
+	for i, tu := range rel.Tuples {
+		if tu.NumMissing() < 2 {
+			continue
+		}
+		for _, b := range db.Blocks {
+			if !b.Base.Equal(tu) {
+				continue
+			}
+			a := tu.MissingAttrs()[0]
+			return i, a, int(b.Alts[0].Tuple[a])
+		}
+	}
+	t.Fatal("no multi-missing block in fixture")
+	return 0, 0, 0
+}
+
+// TestChaosSoak is the fault-injection harness behind `make chaos-smoke`
+// (run under -race): concurrent derive, query, observe, and snapshot
+// traffic on one engine while injected faults force panics in every
+// worker pool, eviction storms, and scheduling delays. The contract it
+// enforces:
+//
+//   - the process never crashes — every injected panic surfaces as a
+//     typed *PanicError on exactly one request;
+//   - every non-degraded success is bit-identical to a fault-free
+//     oracle;
+//   - every degraded answer's [lo, hi] interval contains the oracle
+//     mass;
+//   - once disarmed, the same engine reproduces the oracle exactly.
+func TestChaosSoak(t *testing.T) {
+	model, rel := matchmakingModel(t)
+
+	// Fault-free oracle: the exact stream, the exact scalar answers, and a
+	// consistent observation, all from a fresh engine.
+	oracleEng, err := NewEngine(model, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleStream, err := chaosStream(t, oracleEng, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleDB, err := oracleEng.Derive(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countQ, err := CompileQuery(model.Schema, QuerySpec{Op: QueryCount, Where: "age=20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupQ, err := CompileQuery(model.Schema, QuerySpec{Op: QueryGroupBy, GroupBy: "edu", Where: "age!=30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := context.Background()
+	oracleCount, err := oracleEng.Query(bg, rel, countQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleGroups, err := oracleEng.Query(bg, rel, groupQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsIndex, obsAttr, obsVal := consistentObservation(t, oracleDB, rel)
+
+	// The engine under fire, with a registered dataset for the live path.
+	eng, err := NewEngine(model, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := eng.RegisterDataset(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultinject.Configure(
+		"derive.vote=panic/3,derive.chain=panic/5,derive.prefetch=panic/4," +
+			"gibbs.chain=panic/9,gibbs.sweep=sleep:300us/7,sink.write=sleep:100us/5," +
+			"cache.storm=fire/11,observe.replay=sleep:300us/2"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+
+	var mu sync.Mutex
+	var failures []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	// tolerate accepts an outcome of a request under fire: success, or a
+	// recovered panic typed onto exactly that request.
+	tolerate := func(what string, err error) bool {
+		if err == nil {
+			return true
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			fail("%s: non-panic error under chaos: %v", what, err)
+		}
+		return false
+	}
+
+	const iters = 10
+	var wg sync.WaitGroup
+
+	// Derivers: full streams; a success must be byte-identical.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				got, err := chaosStream(t, eng, rel)
+				if !tolerate(fmt.Sprintf("deriver %d/%d", w, i), err) {
+					continue
+				}
+				if !bytes.Equal(got, oracleStream) {
+					fail("deriver %d/%d: successful stream differs from oracle", w, i)
+				}
+			}
+		}(w)
+	}
+
+	// Queriers: exact answers without a deadline, sound bounds with one.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			res, err := eng.Query(bg, rel, countQ)
+			if tolerate(fmt.Sprintf("querier count/%d", i), err) {
+				if res.Degraded {
+					fail("querier count/%d: degraded without a deadline", i)
+				} else if res.Expected != oracleCount.Expected {
+					fail("querier count/%d: %v, want bit-identical %v", i, res.Expected, oracleCount.Expected)
+				}
+			}
+			res, err = eng.Query(bg, rel, groupQ)
+			if tolerate(fmt.Sprintf("querier groupby/%d", i), err) && !res.Degraded {
+				for g, og := range oracleGroups.Groups {
+					if res.Groups[g].Expected != og.Expected {
+						fail("querier groupby/%d: group %s = %v, want %v",
+							i, og.Label, res.Groups[g].Expected, og.Expected)
+					}
+				}
+			}
+		}
+	}()
+
+	// Deadline querier: budgets already spent — the answer must still
+	// come back, flagged degraded, with the oracle inside its bracket.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			ctx, cancel := context.WithDeadline(bg, time.Now().Add(-time.Millisecond))
+			res, err := eng.Query(ctx, rel, countQ)
+			cancel()
+			if !tolerate(fmt.Sprintf("deadline querier/%d", i), err) {
+				continue
+			}
+			if !res.Degraded || res.Bounds == nil {
+				fail("deadline querier/%d: expired budget not degraded (%+v)", i, res)
+				continue
+			}
+			if res.Bounds.Lo > oracleCount.Expected || res.Bounds.Hi < oracleCount.Expected {
+				fail("deadline querier/%d: oracle %v outside degraded [%v, %v]",
+					i, oracleCount.Expected, res.Bounds.Lo, res.Bounds.Hi)
+			}
+		}
+	}()
+
+	// Observer + snapshot reader: live-evidence traffic on the dataset.
+	// The first accepted delta conditions the tuple permanently, so the
+	// invariant here is serviceability, not equality with the plain
+	// relation: observes are accepted (or panic-typed), snapshots resolve,
+	// and snapshot queries answer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sig, unsub := ds.Subscribe()
+		defer unsub()
+		for i := 0; i < iters; i++ {
+			if _, err := ds.Observe(bg, obsIndex, obsAttr, obsVal); err != nil {
+				tolerate(fmt.Sprintf("observer/%d", i), err)
+			}
+			select {
+			case <-sig:
+			default:
+			}
+			snap, err := ds.Snapshot(bg)
+			if !tolerate(fmt.Sprintf("snapshot/%d", i), err) {
+				continue
+			}
+			if _, err := eng.QuerySnapshot(bg, snap, countQ, Pools{}, nil); err != nil {
+				tolerate(fmt.Sprintf("snapshot query/%d", i), err)
+			}
+		}
+	}()
+
+	wg.Wait()
+	faultinject.Disable()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range failures {
+		t.Error(f)
+	}
+
+	// The storm is over: the same engine, same caches, reproduces the
+	// oracle bit for bit, and its books are intact.
+	got, err := chaosStream(t, eng, rel)
+	if err != nil {
+		t.Fatalf("engine unserviceable after chaos: %v", err)
+	}
+	if !bytes.Equal(got, oracleStream) {
+		t.Error("post-chaos stream differs from oracle")
+	}
+	res, err := eng.Query(bg, rel, countQ)
+	if err != nil || res.Expected != oracleCount.Expected {
+		t.Errorf("post-chaos count = %+v (%v), want %v", res, err, oracleCount.Expected)
+	}
+	st := eng.Stats()
+	if st.PanicsRecovered == 0 {
+		t.Error("chaos soak recovered no panics — injection points never fired")
+	}
+	if st.Watchers != 0 {
+		t.Errorf("watchers gauge = %d after unsubscribe, want 0", st.Watchers)
+	}
+}

@@ -7,7 +7,24 @@
 // Usage:
 //
 //	mrslserve -model model.json [-addr :8080] [-workers 8] [-samples 800]
-//	          [-cache-entries 65536] [-max-inflight 0]
+//	          [-cache-entries 65536] [-max-inflight 0] [-default-timeout 0]
+//	          [-read-header-timeout 5s] [-idle-timeout 2m] [-drain-timeout 10s]
+//	          [-shed-after-misses 0]
+//
+// Fail-soft serving. With -default-timeout (or a per-request timeout_ms=
+// parameter on /derive and /query) every inference request runs under a
+// deadline budget: when it nears exhaustion, queries answer the remaining
+// expensive tuples from their sound dissociation intervals — records
+// flagged "degraded":true with [lo, hi] brackets — and derive streams end
+// with a terminal "truncated" record; the lines already emitted are
+// exact. SIGTERM/SIGINT drains gracefully: /healthz flips to 503
+// draining, new inference requests shed with 503 + Retry-After, watch
+// subscriptions receive their "end" record, and in-flight requests get
+// -drain-timeout to finish. With -shed-after-misses N, N consecutive
+// deadline misses also shed new requests until a request completes within
+// budget again. Handler panics are converted to error responses (counted
+// in /stats server_panics); engine-side pool panics become typed request
+// errors (engine PanicsRecovered) — either way the process keeps serving.
 //
 // The engine's memoization caches (vote blocks, multi-missing joints,
 // local CPDs) are bounded to -cache-entries entries each with CLOCK
@@ -108,6 +125,7 @@ package main
 
 import (
 	"cmp"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -116,9 +134,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -136,6 +157,14 @@ func main() {
 		maxAlts   = flag.Int("maxalts", 0, "cap block alternatives (0 keeps all)")
 		cacheEnts = flag.Int("cache-entries", 1<<16, "bound each engine cache to this many entries, CLOCK-evicted (0 = unbounded vote/joint caches, default-capped CPD memo); eviction never changes results in chains mode")
 		inflight  = flag.Int("max-inflight", 0, "maximum concurrent derivation/query requests; excess requests get 429 with Retry-After (0 = unlimited)")
+
+		defTimeout = flag.Duration("default-timeout", 0, "default deadline budget per /derive and /query request; requests degrade to sound bounds instead of failing when it runs out (0 = none; timeout_ms= overrides per request)")
+		readHdrTO  = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: slow-loris guard")
+		readTO     = flag.Duration("read-timeout", 0, "http.Server ReadTimeout (0 = none; watch streams need none)")
+		writeTO    = flag.Duration("write-timeout", 0, "http.Server WriteTimeout (0 = none; streaming responses need none)")
+		idleTO     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight requests to drain before exiting")
+		shedAfter  = flag.Int64("shed-after-misses", 0, "shed new inference requests with 503 after this many consecutive deadline misses (0 = never)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -169,16 +198,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
 		os.Exit(1)
 	}
+	srv.defaultTimeout = *defTimeout
+	srv.shedAfter = *shedAfter
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
+		fmt.Fprintf(os.Stderr, "mrslserve: cannot bind %s: %v\n", *addr, err)
 		os.Exit(1)
 	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: *readHdrTO,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+	}
+	// Graceful drain: SIGTERM/SIGINT stops accepting, flips /healthz to
+	// draining, lets watch subscribers receive their end record, and waits
+	// up to -drain-timeout for in-flight requests before exiting.
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		defer close(done)
+		got := <-sig
+		fmt.Printf("mrslserve: %s received, draining (up to %s)\n", got, *drainTO)
+		srv.beginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mrslserve: drain incomplete: %v\n", err)
+		}
+	}()
 	fmt.Printf("mrslserve: listening on %s\n", ln.Addr())
-	if err := http.Serve(ln, srv); err != nil {
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "mrslserve: %v\n", err)
 		os.Exit(1)
 	}
+	<-done
+	fmt.Println("mrslserve: drained, bye")
 }
 
 // server routes HTTP traffic onto one shared derivation engine.
@@ -192,10 +249,33 @@ type server struct {
 	// take a slot before running inference and returns it when done.
 	slots chan struct{}
 
-	requests atomic.Int64 // inference requests offered (= accepted + rejected)
+	// defaultTimeout is the deadline budget applied to /derive and /query
+	// when the request carries no timeout_ms= parameter (0 = none). A
+	// request whose budget runs out degrades — sound bounds, truncated
+	// streams — instead of failing.
+	defaultTimeout time.Duration
+	// shedAfter sheds new inference requests with 503 once this many
+	// consecutive requests missed their deadline budget (0 = never):
+	// sustained misses mean the engine cannot keep up, and shedding beats
+	// serving every caller a degraded answer late. One probe request per
+	// second is still admitted (half-open) so a recovered engine lifts the
+	// shed by completing it cleanly.
+	shedAfter  int64
+	missStreak atomic.Int64 // consecutive deadline-missing inference requests
+	lastProbe  atomic.Int64 // unix nanos of the last half-open probe admission
+
+	// drain is closed by beginDrain (SIGTERM): watch streams end, new
+	// inference requests shed with 503, /healthz reports draining.
+	drain     chan struct{}
+	drainOnce sync.Once
+	draining  atomic.Bool
+
+	requests atomic.Int64 // inference requests offered (= accepted + rejected + shed)
 	accepted atomic.Int64 // requests admitted past the semaphore
 	failed   atomic.Int64 // accepted requests that ended in an error
-	rejected atomic.Int64 // requests turned away at admission (429)
+	rejected atomic.Int64 // requests turned away at admission (429, saturated)
+	shed     atomic.Int64 // requests turned away with 503 (draining or sustained misses)
+	panics   atomic.Int64 // handler panics converted to error responses
 }
 
 func newServer(model *repro.Model, opt repro.DeriveOptions, maxInflight int) (*server, error) {
@@ -203,7 +283,10 @@ func newServer(model *repro.Model, opt repro.DeriveOptions, maxInflight int) (*s
 	if err != nil {
 		return nil, err
 	}
-	s := &server{model: model, eng: eng, mux: http.NewServeMux(), start: time.Now()}
+	s := &server{
+		model: model, eng: eng, mux: http.NewServeMux(), start: time.Now(),
+		drain: make(chan struct{}),
+	}
 	if maxInflight > 0 {
 		s.slots = make(chan struct{}, maxInflight)
 	}
@@ -217,17 +300,88 @@ func newServer(model *repro.Model, opt repro.DeriveOptions, maxInflight int) (*s
 	return s, nil
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// beginDrain flips the server into draining mode, once: /healthz turns
+// 503, new inference requests shed, and watch streams emit their end
+// record so http.Server.Shutdown can complete.
+func (s *server) beginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drain)
+	})
+}
 
-// admit wraps an inference handler with admission control: when the
-// engine is saturated the request is rejected immediately with 429 and a
-// Retry-After hint, never queued without bound.
+// ServeHTTP is the panic-isolation boundary for every handler: a
+// panicking request is converted into a 500 (or, mid-stream, a terminal
+// NDJSON error record) and counted, and the process — engine, caches,
+// datasets — keeps serving. http.ErrAbortHandler passes through: it is
+// the stdlib's own abort protocol, not a defect.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	tw := &trackWriter{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.panics.Add(1)
+		s.failed.Add(1)
+		if !tw.wrote {
+			http.Error(tw, fmt.Sprintf("internal error: recovered panic: %v", rec), http.StatusInternalServerError)
+			return
+		}
+		// The response is already under way (possibly an NDJSON stream):
+		// append a terminal error record instead of a status the client
+		// can no longer see.
+		json.NewEncoder(tw).Encode(map[string]string{
+			"kind": "error", "error": fmt.Sprintf("recovered panic: %v", rec),
+		})
+	}()
+	s.mux.ServeHTTP(tw, r)
+}
+
+// trackWriter records whether the response has started, so the panic
+// boundary knows whether a status code can still be sent. It forwards
+// Flush so streaming handlers keep flushing line by line.
+type trackWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(p)
+}
+
+func (t *trackWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// admit wraps an inference handler with admission control. When the
+// server is draining, or consecutive deadline misses show the engine
+// cannot keep up, the request is shed with 503; when the engine is
+// saturated it is rejected with 429. Both carry Retry-After and neither
+// queues without bound.
 func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// Count the request when it is offered, before the admission
-		// decision, so requests == accepted + rejected always holds — a
-		// rejected request is still offered load.
+		// decision, so requests == accepted + rejected + shed always holds
+		// — a turned-away request is still offered load.
 		s.requests.Add(1)
+		if reason := s.shedReason(); reason != "" {
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
 		if s.slots != nil {
 			select {
 			case s.slots <- struct{}{}:
@@ -244,16 +398,100 @@ func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// shedReason reports why a new inference request must be shed with 503,
+// or "" to admit it.
+func (s *server) shedReason() string {
+	if s.draining.Load() {
+		return "server draining: retry against another replica"
+	}
+	if s.shedAfter > 0 && s.missStreak.Load() >= s.shedAfter {
+		// Half-open circuit breaker: admit one probe request per second so
+		// the server can discover the engine caught up (a clean completion
+		// resets the streak) instead of shedding forever.
+		now := time.Now().UnixNano()
+		last := s.lastProbe.Load()
+		if now-last >= int64(time.Second) && s.lastProbe.CompareAndSwap(last, now) {
+			return ""
+		}
+		return "engine overloaded: sustained deadline misses"
+	}
+	return ""
+}
+
+// noteBudget tracks the consecutive-deadline-miss streak behind
+// shed-after-misses: degraded or truncated requests extend it, clean
+// ones reset it.
+func (s *server) noteBudget(missed bool) {
+	if missed {
+		s.missStreak.Add(1)
+	} else {
+		s.missStreak.Store(0)
+	}
+}
+
+// budget reads the request's deadline budget: timeout_ms= overrides the
+// server's -default-timeout, 0 disables. The budget bounds inference
+// wall-clock — when it runs out, queries degrade to sound bounds and
+// derive streams truncate with a terminal record instead of erroring.
+func (s *server) budget(r *http.Request) (time.Duration, error) {
+	d := s.defaultTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("query parameter timeout_ms must be a non-negative integer, got %q", v)
+		}
+		d = time.Duration(n) * time.Millisecond
+	}
+	return d, nil
+}
+
+// withBudget derives the evaluation context for one inference pass.
+func withBudget(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
 // handleDerive parses the posted CSV against the model schema and streams
 // the derived database back as NDJSON, one line per item as it is
 // inferred. The stream runs under the request context, so a client
-// disconnect cancels in-flight derivation work.
+// disconnect cancels in-flight derivation work; a deadline budget that
+// runs out ends the stream with a terminal "truncated" record — the
+// lines already emitted are exact and usable.
 func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 	pools, err := poolsFromQuery(r)
 	if err != nil {
 		s.failed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	d, err := s.budget(r)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := withBudget(r.Context(), d)
+	defer cancel()
+	// finishStream reports the stream's end: a spent budget becomes a
+	// truncated record (a soft, bounded outcome — not a failure), anything
+	// else an error record.
+	finishStream := func(err error) {
+		if err == nil {
+			s.noteBudget(false)
+			return
+		}
+		if d > 0 && errors.Is(err, context.DeadlineExceeded) {
+			s.noteBudget(true)
+			json.NewEncoder(w).Encode(map[string]any{
+				"kind": "truncated", "reason": "deadline budget exhausted",
+				"timeout_ms": d.Milliseconds(),
+			})
+			return
+		}
+		s.failed.Add(1)
+		json.NewEncoder(w).Encode(map[string]string{"kind": "error", "error": err.Error()})
 	}
 	if id := r.URL.Query().Get("dataset"); id != "" {
 		// Registered dataset: derive the conditioned snapshot instead of a
@@ -269,7 +507,7 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "dataset "+id+" is a join input (schema=own): bind it in an sql= query instead", http.StatusBadRequest)
 			return
 		}
-		snap, err := ds.Snapshot(r.Context())
+		snap, err := ds.Snapshot(ctx)
 		if err != nil {
 			s.failed.Add(1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -277,10 +515,7 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		sink := repro.NewJSONLSink(newFlushWriter(w), s.model.Schema)
-		if err := s.eng.DeriveSnapshot(r.Context(), snap, pools, sink); err != nil {
-			s.failed.Add(1)
-			json.NewEncoder(w).Encode(map[string]string{"kind": "error", "error": err.Error()})
-		}
+		finishStream(s.eng.DeriveSnapshot(ctx, snap, pools, sink))
 		return
 	}
 	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
@@ -291,21 +526,21 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	sink := repro.NewJSONLSink(newFlushWriter(w), s.model.Schema)
-	if err := s.eng.DeriveToContext(r.Context(), rel, pools, sink); err != nil {
-		s.failed.Add(1)
+	if err := s.eng.DeriveToContext(ctx, rel, pools, sink); err != nil {
 		var mismatch *repro.SchemaMismatchError
 		if errors.As(err, &mismatch) {
 			// ReadCSVInSchema makes this unreachable in practice, but the
 			// engine's own validation still deserves a 4xx, not a 5xx.
+			s.failed.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		// The NDJSON stream may already be under way; append a terminal
-		// error record instead of a status code the client can no longer
-		// see.
-		json.NewEncoder(w).Encode(map[string]string{"kind": "error", "error": err.Error()})
+		// record instead of a status code the client can no longer see.
+		finishStream(err)
 		return
 	}
+	s.noteBudget(false)
 }
 
 // handleQuery compiles the query expressed in the URL parameters,
@@ -324,6 +559,12 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 // buffer.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	pools, err := poolsFromQuery(r)
+	if err != nil {
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d, err := s.budget(r)
 	if err != nil {
 		s.failed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -349,7 +590,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if sqlText != "" {
-		s.handleSQLQuery(w, r, sqlText, pools)
+		s.handleSQLQuery(w, r, sqlText, pools, d)
 		return
 	}
 	q, err := queryFromRequest(s.model.Schema, r)
@@ -375,7 +616,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if r.URL.Query().Get("watch") == "1" {
-			s.watchQuery(w, r, ds, q, pools)
+			s.watchQuery(w, r, ds, q, pools, d)
 			return
 		}
 		snap, err := ds.Snapshot(r.Context())
@@ -385,7 +626,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		eval = func(progress repro.QueryProgressFunc) (*repro.QueryResult, error) {
-			return s.eng.QuerySnapshot(r.Context(), snap, q, pools, progress)
+			ctx, cancel := withBudget(r.Context(), d)
+			defer cancel()
+			return s.eng.QuerySnapshot(ctx, snap, q, pools, progress)
 		}
 	} else {
 		if r.URL.Query().Get("watch") == "1" {
@@ -400,7 +643,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		eval = func(progress repro.QueryProgressFunc) (*repro.QueryResult, error) {
-			return s.eng.QueryStream(r.Context(), rel, q, pools, progress)
+			ctx, cancel := withBudget(r.Context(), d)
+			defer cancel()
+			return s.eng.QueryStream(ctx, rel, q, pools, progress)
 		}
 	}
 	head := map[string]any{"kind": "query", "op": q.Op().String(), "query": q.String()}
@@ -421,6 +666,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.noteBudget(res.Degraded)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	ew := &errWriter{w: newFlushWriter(w)}
 	enc := json.NewEncoder(ew)
@@ -437,21 +683,34 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // writeScalar emits the single result record of a count or exists
 // evaluation. A dissociated exists answer (unsafe SPJ plan) carries the
 // flag and the sound [lo, hi] interval around the intensional mass;
-// extensional queries never set either.
+// extensional queries never set either. A degraded answer (deadline
+// budget ran out) is flagged degraded:true with the sound [lo, hi]
+// bracket around the exact value — the point answer is its lower side.
 func writeScalar(enc *json.Encoder, q *repro.CompiledQuery, res *repro.QueryResult) {
 	switch q.Op() {
 	case repro.QueryCount:
+		var rec map[string]any
 		if q.MinProb() > 0 {
-			enc.Encode(map[string]any{"kind": "count", "count": res.Count, "minprob": q.MinProb()})
+			rec = map[string]any{"kind": "count", "count": res.Count, "minprob": q.MinProb()}
 		} else {
-			enc.Encode(map[string]any{"kind": "count", "expected": res.Expected})
+			rec = map[string]any{"kind": "count", "expected": res.Expected}
 		}
+		if res.Degraded {
+			rec["degraded"] = true
+			if res.Bounds != nil {
+				rec["lo"], rec["hi"] = res.Bounds.Lo, res.Bounds.Hi
+			}
+		}
+		enc.Encode(rec)
 	case repro.QueryExists:
 		rec := map[string]any{
 			"kind": "exists", "exists": res.Exists, "p": res.Prob, "early_stop": res.EarlyStop,
 		}
 		if res.Dissociated {
 			rec["dissociated"] = true
+		}
+		if res.Degraded {
+			rec["degraded"] = true
 		}
 		if res.Bounds != nil {
 			rec["lo"], rec["hi"] = res.Bounds.Lo, res.Bounds.Hi
@@ -470,7 +729,7 @@ func writeScalar(enc *json.Encoder, q *repro.CompiledQuery, res *repro.QueryResu
 // the same record kinds; the summary carries the join order and safety
 // verdict, and unsafe exists answers are flagged dissociated with their
 // sound interval.
-func (s *server) handleSQLQuery(w http.ResponseWriter, r *http.Request, sqlText string, pools repro.Pools) {
+func (s *server) handleSQLQuery(w http.ResponseWriter, r *http.Request, sqlText string, pools repro.Pools, d time.Duration) {
 	if r.URL.Query().Get("watch") == "1" {
 		s.failed.Add(1)
 		http.Error(w, "watch=1 applies to single-relation dataset queries, not sql statements", http.StatusBadRequest)
@@ -530,7 +789,9 @@ func (s *server) handleSQLQuery(w http.ResponseWriter, r *http.Request, sqlText 
 		"sql": sqlText, "safe": spj.Safe(),
 	}
 	eval := func(progress repro.QueryProgressFunc) (*repro.QueryResult, error) {
-		return s.eng.QuerySPJStream(r.Context(), spj, pools, progress)
+		ctx, cancel := withBudget(r.Context(), d)
+		defer cancel()
+		return s.eng.QuerySPJStream(ctx, spj, pools, progress)
 	}
 	if q.Op() == repro.QueryTopK || q.Op() == repro.QueryGroupBy {
 		s.streamQuery(w, q, schema, head, eval)
@@ -542,6 +803,7 @@ func (s *server) handleSQLQuery(w http.ResponseWriter, r *http.Request, sqlText 
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.noteBudget(res.Degraded)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	ew := &errWriter{w: newFlushWriter(w)}
 	enc := json.NewEncoder(ew)
@@ -633,6 +895,7 @@ func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
 		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
 		return
 	}
+	s.noteBudget(res.Degraded)
 	switch q.Op() {
 	case repro.QueryTopK:
 		for rank, row := range res.Rows {
@@ -643,10 +906,15 @@ func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
 		}
 	case repro.QueryGroupBy:
 		for _, g := range res.Groups {
-			enc.Encode(map[string]any{
+			rec := map[string]any{
 				"kind": "group", "final": true, "value": g.Label,
 				"expected": g.Expected, "variance": g.Variance,
-			})
+			}
+			if res.Degraded {
+				// Degraded buckets bracket the exact expectation.
+				rec["degraded"], rec["lo"], rec["hi"] = true, g.Lo, g.Hi
+			}
+			enc.Encode(rec)
 		}
 	}
 	s.writeSummary(enc, res)
@@ -828,7 +1096,7 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 // (an "end" record). Observation signals are coalesced: a burst of
 // deltas may surface as one re-evaluation of the latest snapshot.
 func (s *server) watchQuery(w http.ResponseWriter, r *http.Request,
-	ds *repro.Dataset, q *repro.CompiledQuery, pools repro.Pools) {
+	ds *repro.Dataset, q *repro.CompiledQuery, pools repro.Pools, d time.Duration) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	ew := &errWriter{w: newFlushWriter(w)}
 	enc := json.NewEncoder(ew)
@@ -838,15 +1106,21 @@ func (s *server) watchQuery(w http.ResponseWriter, r *http.Request,
 	})
 
 	var st watchState
+	// The deadline budget applies per re-evaluation, not to the stream:
+	// a subscription lives until disconnect, drop, or drain, but each
+	// answer it pushes is bounded.
 	reval := func() error {
-		snap, err := ds.Snapshot(r.Context())
+		ctx, cancel := withBudget(r.Context(), d)
+		defer cancel()
+		snap, err := ds.Snapshot(ctx)
 		if err != nil {
 			return err
 		}
-		res, err := s.eng.QuerySnapshot(r.Context(), snap, q, pools, nil)
+		res, err := s.eng.QuerySnapshot(ctx, snap, q, pools, nil)
 		if err != nil {
 			return err
 		}
+		s.noteBudget(res.Degraded)
 		s.emitWatchDiff(enc, q, res, snap.Version, &st)
 		return ew.err
 	}
@@ -868,6 +1142,11 @@ func (s *server) watchQuery(w http.ResponseWriter, r *http.Request,
 		select {
 		case <-r.Context().Done():
 			return // client disconnected; nothing left to tell it
+		case <-s.drain:
+			// Server draining: end the subscription cleanly so Shutdown can
+			// finish. The last emitted results stand.
+			enc.Encode(map[string]any{"kind": "end", "reason": "server draining", "dataset": ds.ID()})
+			return
 		case <-ds.Done():
 			enc.Encode(map[string]any{"kind": "end", "reason": "dataset dropped", "dataset": ds.ID()})
 			return
@@ -976,6 +1255,10 @@ func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
 	}
 	if res.Dissociated {
 		summary["dissociated"] = true
+	}
+	if res.Degraded {
+		summary["degraded"] = true
+		summary["degraded_tuples"] = res.DegradedTuples
 	}
 	if res.Bounds != nil {
 		summary["bounds"] = map[string]float64{"lo": res.Bounds.Lo, "hi": res.Bounds.Hi}
@@ -1101,11 +1384,22 @@ type statsResponse struct {
 	InvalidatedEntries int64 `json:"invalidated_entries"`
 	Watchers           int64 `json:"watchers"`
 	Datasets           int64 `json:"datasets"`
-	// Requests counts offered inference requests: accepted + rejected.
-	Requests      int64   `json:"requests"`
-	Accepted      int64   `json:"accepted"`
-	Failed        int64   `json:"failed"`
-	Rejected      int64   `json:"rejected"`
+	// Requests counts offered inference requests: accepted + rejected +
+	// shed.
+	Requests int64 `json:"requests"`
+	Accepted int64 `json:"accepted"`
+	Failed   int64 `json:"failed"`
+	Rejected int64 `json:"rejected"`
+	// Shed counts requests turned away with 503: server draining, or
+	// sustained deadline misses past -shed-after-misses.
+	Shed int64 `json:"shed"`
+	// Draining reports that SIGTERM flipped the server into graceful
+	// drain: no new inference requests, watch streams ended.
+	Draining bool `json:"draining"`
+	// ServerPanics counts handler panics converted into error responses
+	// by the serving layer (the engine's own recoveries are
+	// Engine.PanicsRecovered).
+	ServerPanics  int64   `json:"server_panics"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -1130,12 +1424,22 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Accepted:           s.accepted.Load(),
 		Failed:             s.failed.Load(),
 		Rejected:           s.rejected.Load(),
+		Shed:               s.shed.Load(),
+		Draining:           s.draining.Load(),
+		ServerPanics:       s.panics.Load(),
 		UptimeSeconds:      time.Since(s.start).Seconds(),
 	})
 }
 
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503
+// once the server is draining so load balancers stop routing to it.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "{\"status\":\"draining\"}\n")
+		return
+	}
 	io.WriteString(w, "{\"status\":\"ok\"}\n")
 }
 

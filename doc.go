@@ -220,6 +220,43 @@
 // mutates, dataset=<id> selects the conditioned snapshot on /derive
 // and /query, and watch=1 subscribes.
 //
+// # Operations & failure modes
+//
+// Serving fails soft. A deadline on the request context (or, over HTTP,
+// mrslserve's -default-timeout / timeout_ms=) is a degradation budget,
+// not a failure line: a query whose budget runs out answers the
+// still-unresolved tuples from the planner's sound dissociation
+// intervals instead of sampling them — QueryResult.Degraded is set, the
+// [lo, hi] in QueryResult.Bounds is guaranteed to contain the exact
+// answer, and the point answer is the bracket's lower side — while a
+// derive stream ends with a truncated marker after only exact lines.
+// Non-degraded answers stay bit-identical to the unbudgeted run.
+// EngineStats counts Degraded and DeadlineMisses.
+//
+// Failures are isolated per request. A panic in any engine worker pool
+// (voting, Gibbs chains, prefetch) is recovered at the goroutine
+// boundary and returned as a typed *PanicError carrying the operation,
+// panic value, and stack; the poisoned cache slot is invalidated rather
+// than memoized, so the engine stays serviceable and the next identical
+// request reproduces the fault-free answer bit for bit
+// (EngineStats.PanicsRecovered). mrslserve adds HTTP-level recovery
+// (500 before the first byte, a terminal error record mid-stream),
+// admission control (-max-inflight: 429 + Retry-After), sustained-miss
+// shedding with a half-open probe (-shed-after-misses: 503 until a
+// probe request completes cleanly), and graceful drain on
+// SIGTERM/SIGINT (healthz flips to draining, watch subscribers get a
+// terminal end record, in-flight requests finish within
+// -drain-timeout).
+//
+// internal/faultinject is the env-gated switchboard behind the chaos
+// harness: MRSL_FAULTS='derive.vote=panic/3,gibbs.sweep=sleep:300us/7'
+// arms named fault points in the hot paths with panics, sleeps, or
+// cache eviction storms. "make chaos-smoke" (part of "make ci") soaks a
+// live engine under concurrent derive/query/observe traffic with every
+// point armed, under the race detector, asserting the process survives,
+// non-degraded answers stay bit-identical to a fault-free oracle, and
+// degraded intervals contain the oracle mass.
+//
 // The cmd/ directory ships six tools (mrslserve serves streaming
 // derivations and queries over HTTP from one long-lived engine;
 // mrslbench regenerates every table and figure of the paper plus engine

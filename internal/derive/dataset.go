@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/pdb"
 	"repro/internal/relation"
 )
@@ -320,6 +321,11 @@ func (d *Dataset) conditionedLocked(ctx context.Context, index int, log []Obs) (
 	if b, ok := d.eng.observedGet(key, epoch); ok {
 		return b, nil
 	}
+	// Chaos harness: widen the window between the tagged-cache miss and
+	// the recomputed posterior's install, so the soak exercises readers
+	// racing concurrent observes (the epoch tag is the correctness
+	// backstop either way).
+	faultinject.Fire("observe.replay")
 	b, _, err := d.eng.ResolveBlock(ctx, t)
 	if err != nil {
 		return nil, err
@@ -396,8 +402,17 @@ func (e *Engine) StreamSnapshot(ctx context.Context, snap *DatasetSnapshot, pool
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// Prefetch is an optimization: a panicking warm-up never
+				// fails the snapshot stream, the emitter resolves inline.
+				e.mu.Lock()
+				e.stats.PanicsRecovered++
+				e.mu.Unlock()
+			}
+			<-done // hold the goroutine's reference until the emitter finishes
+		}()
 		e.PrefetchBlocks(ctx, prefetch, pools)
-		<-done // hold the goroutine's reference until the emitter finishes
 	}()
 	var err error
 	for i, t := range snap.Rel.Tuples {

@@ -41,13 +41,16 @@ package derive
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/clockcache"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faultinject"
 	"repro/internal/gibbs"
 	"repro/internal/pdb"
 	"repro/internal/relation"
@@ -104,6 +107,26 @@ func (c Config) chains() bool { return c.GibbsWorkers > 0 }
 type Pools struct {
 	VoteWorkers  int
 	GibbsWorkers int
+}
+
+// PanicError is the typed per-request error a recovered panic becomes:
+// inference panics (a poisoned model, an injected fault) are confined to
+// the requests that hit them instead of crashing the process, and the
+// engine's shared caches stay serviceable — the panicking computation's
+// cache slot is invalidated, so a later identical request recomputes it
+// from scratch. Match with errors.As; Stats.PanicsRecovered counts them.
+type PanicError struct {
+	// Op names the goroutine boundary that recovered ("vote", "chain",
+	// "emit", "prefetch", "dag", "watch").
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("derive: recovered panic in %s: %v", e.Op, e.Value)
 }
 
 // SchemaMismatchError reports a relation whose schema is not
@@ -187,6 +210,21 @@ type Stats struct {
 	// actually enumerated; BoundHits counts envelope probes served from
 	// the shared CPD cache instead.
 	BoundsComputed, BoundHits int64
+
+	// Fail-soft counters.
+
+	// PanicsRecovered counts panics caught at goroutine boundaries (vote
+	// and Gibbs pools, prefetchers, sinks, watch fan-out) and converted
+	// into per-request errors instead of crashing the process.
+	PanicsRecovered int64
+	// DeadlineMisses counts requests whose deadline expired before exact
+	// evaluation finished — streams cut short and queries that had to
+	// degrade (every Degraded evaluation is also a deadline miss).
+	DeadlineMisses int64
+	// Degraded counts query evaluations that answered remaining tuples
+	// from their sound bound intervals instead of exact inference because
+	// the request's deadline budget ran out.
+	Degraded int64
 
 	// Live-evidence counters (see dataset.go).
 
@@ -408,6 +446,22 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) lookup(m *clockcache.Map[*entry], key []byte, computed, served, hits *int64) (en *entry, claimed bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if faultinject.Enabled() && faultinject.Fire("cache.storm") {
+		// Chaos harness: an eviction storm drops every completed entry of
+		// the probed cache. In-flight single-flight slots are spared so a
+		// claimer's pending write is never orphaned mid-computation; in
+		// chains mode the storm costs recomputation, never changes answers.
+		var doomed []string
+		m.Range(func(k string, v *entry) bool {
+			if entryDone(v) {
+				doomed = append(doomed, k)
+			}
+			return true
+		})
+		for _, k := range doomed {
+			m.Invalidate(k)
+		}
+	}
 	if served != nil {
 		*served++
 	}
@@ -438,6 +492,10 @@ type QueryRecord struct {
 	// Dissociated marks an evaluation whose answer dissociated an unsafe
 	// SPJ lineage (see Stats.QueriesDissociated).
 	Dissociated bool
+	// Degraded marks an evaluation that ran out of deadline budget and
+	// answered remaining tuples from sound bound intervals (see
+	// Stats.Degraded; it also counts as a deadline miss).
+	Degraded bool
 }
 
 // RecordQuery folds one query evaluation's pruning counters into the
@@ -453,6 +511,10 @@ func (e *Engine) RecordQuery(r QueryRecord) {
 	e.stats.QueryBoundWidth += r.BoundWidth
 	if r.Dissociated {
 		e.stats.QueriesDissociated++
+	}
+	if r.Degraded {
+		e.stats.Degraded++
+		e.stats.DeadlineMisses++
 	}
 	e.mu.Unlock()
 }
@@ -491,6 +553,7 @@ func (e *Engine) MarginalCPD(t relation.Tuple, attr int) (d dist.Dist, hit bool,
 // attribute under resampling, so whichever path sees the pattern first
 // spares the other the vote.
 func (e *Engine) voteJoint(t relation.Tuple) (*dist.Joint, error) {
+	faultinject.Fire("derive.vote")
 	attr := t.MissingAttrs()[0]
 	d, _, err := e.MarginalCPD(t, attr)
 	if err != nil {
@@ -507,6 +570,7 @@ func (e *Engine) voteJoint(t relation.Tuple) (*dist.Joint, error) {
 // chainJoint runs the content-seeded independent chain for one distinct
 // multi-missing tuple — the per-block unit of work in chain mode.
 func (e *Engine) chainJoint(t relation.Tuple) (*dist.Joint, error) {
+	faultinject.Fire("derive.chain")
 	j, points, err := gibbs.InferIndependent(e.model, e.cfg.Gibbs, t)
 	e.mu.Lock()
 	e.stats.PointsSampled += int64(points)
@@ -524,7 +588,7 @@ func (e *Engine) chainJoint(t relation.Tuple) (*dist.Joint, error) {
 func (e *Engine) resolveVote(ctx context.Context, t relation.Tuple, key []byte) (b *pdb.Block, hit bool, err error) {
 	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed, &e.stats.SingleTuples, nil)
 	if claimed {
-		e.fillVote(en, t)
+		e.fillVote(en, t, key)
 	} else if err := waitReady(ctx, en.ready); err != nil {
 		return nil, true, err
 	}
@@ -548,18 +612,40 @@ func waitReady(ctx context.Context, ready <-chan struct{}) error {
 func (e *Engine) prefetchVote(t relation.Tuple, key []byte) {
 	en, claimed := e.lookup(e.votes, key, &e.stats.VotesComputed, nil, nil)
 	if claimed {
-		e.fillVote(en, t)
+		e.fillVote(en, t, key)
 	}
 }
 
 // fillVote computes a claimed vote entry: the 1-attribute joint and its
-// expanded block.
-func (e *Engine) fillVote(en *entry, t relation.Tuple) {
+// expanded block. A panic during the computation is recovered into
+// en.err and the slot is invalidated; the deferred close always runs
+// (after the recovery, so waiters never observe a half-written entry).
+func (e *Engine) fillVote(en *entry, t relation.Tuple, key []byte) {
+	defer close(en.ready)
+	defer e.recoverEntry(en, e.votes, key, "vote")
 	en.joint, en.err = e.voteJoint(t)
 	if en.err == nil {
 		en.block, en.err = e.block(t, en.joint)
 	}
-	close(en.ready)
+}
+
+// recoverEntry is the deferred panic boundary of a single-flight
+// computation: it turns a panic into a typed PanicError on the entry
+// (visible to every waiter) and invalidates the cache slot so the
+// poisoned result is never memoized — the next identical request claims
+// a fresh slot and recomputes. Registered after the close defer, so it
+// runs first and the entry is complete when ready closes.
+func (e *Engine) recoverEntry(en *entry, m *clockcache.Map[*entry], key []byte, op string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	en.joint, en.block = nil, nil
+	en.err = &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+	e.mu.Lock()
+	e.stats.PanicsRecovered++
+	m.Invalidate(string(key))
+	e.mu.Unlock()
 }
 
 // resolveGibbs returns the memoized multi-missing joint for t in chain
@@ -570,7 +656,7 @@ func (e *Engine) fillVote(en *entry, t relation.Tuple) {
 func (e *Engine) resolveGibbs(ctx context.Context, t relation.Tuple, key []byte) (b *pdb.Block, hit bool, err error) {
 	en, claimed := e.lookup(e.gibbs, key, nil, &e.stats.MultiTuples, &e.stats.GibbsCacheHits)
 	if claimed {
-		e.fillGibbs(en, t)
+		e.fillGibbs(en, t, key)
 	} else if err := waitReady(ctx, en.ready); err != nil {
 		return nil, true, err
 	}
@@ -705,20 +791,21 @@ func (e *Engine) PrefetchBlocks(ctx context.Context, tuples []relation.Tuple, po
 func (e *Engine) prefetchGibbs(t relation.Tuple, key []byte) {
 	en, claimed := e.lookup(e.gibbs, key, nil, nil, nil)
 	if claimed {
-		e.fillGibbs(en, t)
+		e.fillGibbs(en, t, key)
 	}
 }
 
 // fillGibbs computes a claimed chain-mode entry: the sampled joint and its
 // expanded block. GibbsComputed is counted by chainJoint on success
 // instead of at claim time, so a tuple whose chain failed is not reported
-// as computed.
-func (e *Engine) fillGibbs(en *entry, t relation.Tuple) {
+// as computed. Panics recover into en.err like fillVote's.
+func (e *Engine) fillGibbs(en *entry, t relation.Tuple, key []byte) {
+	defer close(en.ready)
+	defer e.recoverEntry(en, e.gibbs, key, "chain")
 	en.joint, en.err = e.chainJoint(t)
 	if en.err == nil {
 		en.block, en.err = e.block(t, en.joint)
 	}
-	close(en.ready)
 }
 
 // inferMulti estimates joints for every distinct multi-missing tuple of
@@ -823,6 +910,9 @@ func (e *Engine) StreamContext(ctx context.Context, rel *relation.Relation, pool
 	err := e.stream(ctx, rel, pools, emit)
 	e.mu.Lock()
 	e.stats.Streams++
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.stats.DeadlineMisses++
+	}
 	e.mu.Unlock()
 	return err
 }
@@ -833,6 +923,22 @@ func (e *Engine) stream(ctx context.Context, rel *relation.Relation, pools Pools
 	}
 	if d := e.model.Schema.Diff(rel.Schema); d != "" {
 		return &SchemaMismatchError{Model: e.model.Schema, Data: rel.Schema, Diff: d}
+	}
+
+	// A panic inside the caller's emit/sink (a broken Sink implementation,
+	// an injected fault) becomes this request's error instead of crashing
+	// the process; the engine and its caches are unaffected.
+	rawEmit := emit
+	emit = func(it Item) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e.mu.Lock()
+				e.stats.PanicsRecovered++
+				e.mu.Unlock()
+				err = &PanicError{Op: "emit", Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return rawEmit(it)
 	}
 
 	// Classify the workload.
@@ -872,6 +978,14 @@ func (e *Engine) stream(ctx context.Context, rel *relation.Relation, pools Pools
 			multiDone = make(chan struct{})
 			go func() {
 				defer close(multiDone)
+				defer func() {
+					if r := recover(); r != nil {
+						multiErr = &PanicError{Op: "dag", Value: r, Stack: debug.Stack()}
+						e.mu.Lock()
+						e.stats.PanicsRecovered++
+						e.mu.Unlock()
+					}
+				}()
 				// The holistic batch deliberately outlives a canceled
 				// stream (see StreamContext), so it does not take ctx.
 				multiJoints, multiErr = e.inferMulti(context.Background(), multi)
@@ -966,7 +1080,7 @@ func (e *Engine) spawnPool(ctx context.Context, wg *sync.WaitGroup, quit chan st
 			var keyBuf []byte
 			for t := range work {
 				keyBuf = t.AppendKey(keyBuf[:0])
-				warm(t, keyBuf)
+				e.safeWarm(t, keyBuf, warm)
 			}
 		}()
 	}
@@ -984,6 +1098,25 @@ func (e *Engine) spawnPool(ctx context.Context, wg *sync.WaitGroup, quit chan st
 			}
 		}
 	}()
+}
+
+// safeWarm runs one prefetch item behind a panic boundary, so a worker
+// survives a panicking item and moves on to the next. Panics inside the
+// single-flight computation itself are already recovered into the claimed
+// entry by fillVote/fillGibbs; this boundary catches everything outside
+// it — including the derive.prefetch injection point, which fires before
+// the slot is claimed, leaving the tuple for the emitter to compute
+// inline (the stream stays bit-identical, the pool merely lost a warm-up).
+func (e *Engine) safeWarm(t relation.Tuple, key []byte, warm func(relation.Tuple, []byte)) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.mu.Lock()
+			e.stats.PanicsRecovered++
+			e.mu.Unlock()
+		}
+	}()
+	faultinject.Fire("derive.prefetch")
+	warm(t, key)
 }
 
 // poolSize resolves a per-request pool size: a positive request override

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/faultinject"
 	"repro/internal/pdb"
 	"repro/internal/relation"
 )
@@ -203,6 +204,7 @@ func (j *JSONLSink) labels(t relation.Tuple) []string {
 
 // Emit writes the item as one NDJSON line.
 func (j *JSONLSink) Emit(it Item) error {
+	faultinject.Fire("sink.write")
 	if err := j.open(); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faultinject"
 	"repro/internal/relation"
 	"repro/internal/vote"
 )
@@ -49,14 +50,28 @@ func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				j, pts, err := InferIndependent(s.model, s.cfg, distinct[i])
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				res.Dists[i] = j
-				points += pts
-				mu.Unlock()
+				// Per-item panic boundary: a panicking chain fails the batch
+				// with a typed error instead of crashing the process, and the
+				// worker keeps draining so the dispatcher never deadlocks.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("recovered panic in chain worker: %v", r)
+							}
+							mu.Unlock()
+						}
+					}()
+					j, pts, err := InferIndependent(s.model, s.cfg, distinct[i])
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					res.Dists[i] = j
+					points += pts
+					mu.Unlock()
+				}()
 			}
 		}()
 	}
@@ -84,6 +99,8 @@ func (s *Sampler) ParallelTupleAtATime(workload []relation.Tuple, workers int) (
 // call from any number of goroutines. The int result is the number of
 // points sampled, including burn-in.
 func InferIndependent(m *core.Model, cfg Config, t relation.Tuple) (*dist.Joint, int, error) {
+	faultinject.Fire("gibbs.chain") // forced panic: exercises chain-worker recovery
+	faultinject.Fire("gibbs.sweep") // delayed sweep: stretches chain wall-clock
 	if m == nil {
 		return nil, 0, fmt.Errorf("gibbs: nil model")
 	}

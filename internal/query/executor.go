@@ -29,10 +29,12 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"repro/internal/derive"
 	"repro/internal/dist"
@@ -115,7 +117,7 @@ func evalOverrides(ctx context.Context, eng *derive.Engine, rel *relation.Relati
 	if err != nil {
 		return nil, err
 	}
-	ex := &executor{q: q, eng: eng, rel: rel, plan: pl, pools: pools, progress: progress}
+	ex := newExecutor(ctx, q, eng, rel, pl, pools, progress)
 	res, err := ex.dispatch(ctx)
 	if err != nil {
 		return nil, err
@@ -144,12 +146,15 @@ func (ex *executor) dispatch(ctx context.Context) (*Result, error) {
 func (ex *executor) finish(res *Result, dissociated bool) *Result {
 	res.Plan = ex.plan.info
 	res.Dissociated = dissociated
+	res.Degraded = ex.degraded
+	res.DegradedTuples = ex.degTuples
 	c := &res.Counters
 	c.Scanned = int64(len(ex.rel.Tuples))
 	c.Pruned = c.Scanned - c.Bounded - c.Derived
 	ex.eng.RecordQuery(derive.QueryRecord{
 		Tuples: c.Scanned, Pruned: c.Pruned, Bounded: c.Bounded, Derived: c.Derived,
 		BoundRefutes: c.BoundRefutes, BoundWidth: c.BoundWidth, Dissociated: dissociated,
+		Degraded: ex.degraded,
 	})
 	return res
 }
@@ -177,7 +182,115 @@ type executor struct {
 	plan     *plan
 	pools    derive.Pools
 	progress ProgressFunc
+
+	// Deadline budget (fail-soft degradation). When the evaluation context
+	// carries a deadline, the executor watches the remaining budget and —
+	// once it dips under the safety margin — answers the remaining
+	// expensive tuples from their planned dissociation intervals instead
+	// of deriving them, so the request returns sound bounds instead of a
+	// context error. Without a deadline none of this engages and every
+	// answer stays bit-identical to the oracle.
+	deadline  time.Time
+	margin    time.Duration
+	hasDL     bool
+	exhausted bool // sticky: once the budget is spent, stay degraded
+	degraded  bool
+	degTuples int64
 }
+
+// newExecutor builds the executor for one evaluation, capturing the
+// context's deadline budget. The safety margin is an eighth of the
+// remaining budget clamped to [2ms, 500ms]: wide enough to fold the
+// remaining scan from intervals before the context actually expires.
+func newExecutor(ctx context.Context, q *Query, eng *derive.Engine, rel *relation.Relation,
+	pl *plan, pools derive.Pools, progress ProgressFunc) *executor {
+	ex := &executor{q: q, eng: eng, rel: rel, plan: pl, pools: pools, progress: progress}
+	if dl, ok := ctx.Deadline(); ok {
+		ex.hasDL = true
+		ex.deadline = dl
+		m := time.Until(dl) / 8
+		if m < 2*time.Millisecond {
+			m = 2 * time.Millisecond
+		}
+		if m > 500*time.Millisecond {
+			m = 500 * time.Millisecond
+		}
+		ex.margin = m
+	}
+	return ex
+}
+
+// budgetExhausted reports (stickily) that the deadline budget has dipped
+// under the safety margin, so expensive resolutions must stop.
+func (ex *executor) budgetExhausted() bool {
+	if !ex.hasDL || ex.exhausted {
+		return ex.exhausted
+	}
+	if time.Until(ex.deadline) <= ex.margin {
+		ex.exhausted = true
+	}
+	return ex.exhausted
+}
+
+// scanErr is the in-loop cancellation check: a plain cancellation aborts
+// the scan, but a spent deadline budget does not — the operators degrade
+// to bounds instead of failing.
+func (ex *executor) scanErr(ctx context.Context) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if ex.hasDL && errors.Is(err, context.DeadlineExceeded) {
+		ex.exhausted = true
+		return nil
+	}
+	return err
+}
+
+// degrade accounts one tuple answered from its interval because the
+// budget ran out. Degraded tuples count as Bounded — they were decided by
+// their bound, just not by choice — keeping Scanned = Pruned + Bounded +
+// Derived intact.
+func (ex *executor) degrade(c *Counters, iv derive.Interval) {
+	ex.degraded = true
+	ex.degTuples++
+	c.Bounded++
+	c.BoundWidth += iv.Width()
+}
+
+// expensiveTier reports a tier whose exact resolution runs block
+// derivation (and so can be refused or interrupted by the budget). The
+// cheap tiers — skip, certain, observed, vote — stay exact even after
+// exhaustion: they cost no context-bound inference.
+func expensiveTier(t tupleTier) bool { return t == tierBound || t == tierDerive }
+
+// probOrDegrade resolves planned tuple i exactly unless the deadline
+// budget is spent, in which case an expensive tuple is answered from its
+// planned interval: the bool result reports that degradation, and the
+// caller folds act.iv instead of a point mass. An in-flight derivation
+// killed by the deadline is converted the same way (its derive accounting
+// is undone first).
+func (ex *executor) probOrDegrade(ctx context.Context, i int, c *Counters) (float64, bool, error) {
+	act := ex.plan.acts[i]
+	if expensiveTier(act.tier) && ex.budgetExhausted() {
+		ex.degrade(c, act.iv)
+		return 0, true, nil
+	}
+	p, err := ex.exactProb(ctx, i, c)
+	if err != nil && expensiveTier(act.tier) && ex.hasDL && errors.Is(err, context.DeadlineExceeded) {
+		c.Derived--
+		c.BoundWidth -= act.iv.Width()
+		ex.exhausted = true
+		ex.degrade(c, act.iv)
+		return 0, true, nil
+	}
+	return p, false, err
+}
+
+// clamp1 caps an interval's upper side at 1: the dissociation envelopes
+// carry a float-margin ceiling just above 1, but no satisfaction
+// probability exceeds 1, so degraded folds tighten to min(Hi, 1).
+func clamp1(hi float64) float64 { return math.Min(hi, 1) }
 
 // emit reports progress to the streaming observer, if any.
 func (ex *executor) emit(res *Result) error {
@@ -350,8 +463,10 @@ func (ex *executor) evalCount(ctx context.Context) (*Result, error) {
 		}
 	}
 	ex.prefetch(ctx, work)
+	var degExtra float64   // expected mode: sum of min(Hi,1)-Lo over degraded tuples
+	var degUndecided int64 // thresholded mode: degraded tuples the interval leaves open
 	for i := range ex.rel.Tuples {
-		if err := ctx.Err(); err != nil {
+		if err := ex.scanErr(ctx); err != nil {
 			return nil, err
 		}
 		act := ex.plan.acts[i]
@@ -367,9 +482,27 @@ func (ex *executor) evalCount(ctx context.Context) (*Result, error) {
 				continue
 			}
 		}
-		p, err := ex.exactProb(ctx, i, &res.Counters)
+		p, deg, err := ex.probOrDegrade(ctx, i, &res.Counters)
 		if err != nil {
 			return nil, err
+		}
+		if deg {
+			// Fold the interval instead of the point mass: the expected
+			// count takes the lower side (Bounds carries the slack); a
+			// thresholded count leaves the tuple undecided.
+			if ex.q.minProb > 0 {
+				if decided, in := ex.boundDecides(act.iv); decided {
+					if in {
+						res.Count++
+					}
+				} else {
+					degUndecided++
+				}
+			} else {
+				res.Expected += act.iv.Lo
+				degExtra += clamp1(act.iv.Hi) - act.iv.Lo
+			}
+			continue
 		}
 		if ex.q.minProb > 0 {
 			if p >= ex.q.minProb {
@@ -377,6 +510,13 @@ func (ex *executor) evalCount(ctx context.Context) (*Result, error) {
 			}
 		} else {
 			res.Expected += p
+		}
+	}
+	if ex.degraded {
+		if ex.q.minProb > 0 {
+			res.Bounds = &derive.Interval{Lo: float64(res.Count), Hi: float64(res.Count + degUndecided)}
+		} else {
+			res.Bounds = &derive.Interval{Lo: res.Expected, Hi: res.Expected + degExtra}
 		}
 	}
 	return res, nil
@@ -437,7 +577,7 @@ func (ex *executor) evalExists(ctx context.Context) (*Result, error) {
 			if crossed {
 				break
 			}
-			if err := ctx.Err(); err != nil {
+			if err := ex.scanErr(ctx); err != nil {
 				return nil, err
 			}
 			if ex.plan.acts[i].tier != tierVote {
@@ -458,26 +598,44 @@ func (ex *executor) evalExists(ctx context.Context) (*Result, error) {
 			return res, nil
 		}
 		// Pass 2: the exact sequential scan (votes are already cached).
+		// Under a spent budget, degraded tuples fold both interval sides:
+		// miss keeps the 1-Lo factors (lower bound on the existence
+		// probability, so the early stop stays sound) and missLo keeps the
+		// 1-min(Hi,1) factors for the interval's upper side.
 		miss = 1.0
+		missLo := 1.0
 		for i := range ex.rel.Tuples {
-			if err := ctx.Err(); err != nil {
+			if err := ex.scanErr(ctx); err != nil {
 				return nil, err
 			}
 			if ex.plan.acts[i].tier == tierSkip {
 				continue // factor 1 - 0: multiplying by 1 is exact
 			}
-			p, err := ex.exactProb(ctx, i, &res.Counters)
+			p, deg, err := ex.probOrDegrade(ctx, i, &res.Counters)
 			if err != nil {
 				return nil, err
 			}
-			miss *= 1 - p
+			if deg {
+				iv := ex.plan.acts[i].iv
+				miss *= 1 - iv.Lo
+				missLo *= 1 - clamp1(iv.Hi)
+			} else {
+				miss *= 1 - p
+				missLo *= 1 - p
+			}
 			if 1-miss >= ex.q.minProb {
 				res.Prob, res.Exists, res.EarlyStop = 1-miss, true, true
+				if ex.degraded {
+					res.Bounds = &derive.Interval{Lo: res.Prob, Hi: 1}
+				}
 				return res, nil
 			}
 		}
 		res.Prob = 1 - miss
 		res.Exists = res.Prob >= ex.q.minProb
+		if ex.degraded {
+			res.Bounds = &derive.Interval{Lo: 1 - miss, Hi: 1 - missLo}
+		}
 		return res, nil
 	}
 	var work []int
@@ -488,21 +646,34 @@ func (ex *executor) evalExists(ctx context.Context) (*Result, error) {
 	}
 	ex.prefetch(ctx, work)
 	miss := 1.0
+	missLo := 1.0
 	for i := range ex.rel.Tuples {
-		if err := ctx.Err(); err != nil {
+		if err := ex.scanErr(ctx); err != nil {
 			return nil, err
 		}
 		if ex.plan.acts[i].tier == tierSkip {
 			continue
 		}
-		p, err := ex.exactProb(ctx, i, &res.Counters)
+		p, deg, err := ex.probOrDegrade(ctx, i, &res.Counters)
 		if err != nil {
 			return nil, err
 		}
-		miss *= 1 - p
+		if deg {
+			iv := ex.plan.acts[i].iv
+			miss *= 1 - iv.Lo
+			missLo *= 1 - clamp1(iv.Hi)
+		} else {
+			miss *= 1 - p
+			missLo *= 1 - p
+		}
 	}
 	res.Prob = 1 - miss
 	res.Exists = res.Prob > 0
+	if ex.degraded {
+		// The point answer keeps the conservative lower side; Bounds
+		// brackets the exact probability.
+		res.Bounds = &derive.Interval{Lo: 1 - miss, Hi: 1 - missLo}
+	}
 	return res, nil
 }
 
@@ -634,7 +805,7 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 	// tie-break, so the rest of the scan costs nothing — exactly the
 	// k-certain-rows early stop the pre-planner evaluator had.
 	for i := range ex.rel.Tuples {
-		if err := ctx.Err(); err != nil {
+		if err := ex.scanErr(ctx); err != nil {
 			return nil, err
 		}
 		if ex.q.k > 0 && len(res.Rows) == ex.q.k && res.Rows[ex.q.k-1].Prob >= 1 {
@@ -683,8 +854,9 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 		}
 		return 0
 	})
+	var degHi float64 // best upper bound among budget-skipped candidates
 	for _, i := range cands {
-		if err := ctx.Err(); err != nil {
+		if err := ex.scanErr(ctx); err != nil {
 			return nil, err
 		}
 		act := ex.plan.acts[i]
@@ -721,12 +893,32 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 			decideBound(&res.Counters, act.iv, false)
 			continue
 		}
-		if err := ex.insertResolved(ctx, res, i); err != nil {
+		if ex.budgetExhausted() {
+			// Budget spent: stop resolving candidates. The rows already
+			// held are exact; every unresolved candidate's completions are
+			// capped by its interval upper side, reported through Bounds.
+			ex.degrade(&res.Counters, act.iv)
+			degHi = math.Max(degHi, clamp1(act.iv.Hi))
+			continue
+		}
+		err := ex.insertResolved(ctx, res, i)
+		if err != nil {
+			if ex.hasDL && errors.Is(err, context.DeadlineExceeded) {
+				res.Counters.Derived--
+				res.Counters.BoundWidth -= act.iv.Width()
+				ex.exhausted = true
+				ex.degrade(&res.Counters, act.iv)
+				degHi = math.Max(degHi, clamp1(act.iv.Hi))
+				continue
+			}
 			return nil, err
 		}
 		if err := ex.emit(res); err != nil {
 			return nil, err
 		}
+	}
+	if ex.degraded {
+		res.Bounds = &derive.Interval{Lo: 0, Hi: degHi}
 	}
 	return res, nil
 }
@@ -736,7 +928,9 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 // group, every uncertain tuple contributes its per-value satisfying mass
 // (independent Bernoulli variance per block). The derivation worklist is
 // prefetched in parallel first. GroupBy needs every tuple's exact mass,
-// so bounds never apply and the scan is always full.
+// so bounds never decide tuples and the scan is always full — but under a
+// spent deadline budget the remaining derive-tier tuples fold their
+// dissociation intervals into per-group [Lo, Hi] brackets instead.
 func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 	var work []int
 	for i := range ex.rel.Tuples {
@@ -758,8 +952,29 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 			res.Groups[v].Variance += p * (1 - p)
 		}
 	}
+	// Per-group interval slack accumulated from degraded tuples: a tuple
+	// whose group value is known contributes [Lo, min(Hi,1)] to that
+	// group; one whose group attribute is itself missing could land its
+	// satisfying mass in any group, so every group's upper side widens.
+	var degHi []float64
+	degradeGroup := func(i int, t relation.Tuple) {
+		iv := ex.plan.acts[i].iv
+		ex.degrade(&res.Counters, iv)
+		if degHi == nil {
+			degHi = make([]float64, card)
+		}
+		if gv := t[g]; gv != relation.Missing {
+			// Expected holds the interval's lower side; degHi the slack.
+			res.Groups[gv].Expected += iv.Lo
+			degHi[gv] += clamp1(iv.Hi) - iv.Lo
+		} else {
+			for v := range degHi {
+				degHi[v] += clamp1(iv.Hi)
+			}
+		}
+	}
 	for i, t := range ex.rel.Tuples {
-		if err := ctx.Err(); err != nil {
+		if err := ex.scanErr(ctx); err != nil {
 			return nil, err
 		}
 		switch ex.plan.acts[i].tier {
@@ -797,10 +1012,21 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 			}
 			fold()
 		default: // tierDerive (groupby plans no bound tier)
+			if ex.budgetExhausted() {
+				degradeGroup(i, t)
+				break
+			}
 			res.Counters.Derived++
 			res.Counters.BoundWidth += ex.plan.acts[i].iv.Width()
 			b, _, err := ex.eng.ResolveBlock(ctx, t)
 			if err != nil {
+				if ex.hasDL && errors.Is(err, context.DeadlineExceeded) {
+					res.Counters.Derived--
+					res.Counters.BoundWidth -= ex.plan.acts[i].iv.Width()
+					ex.exhausted = true
+					degradeGroup(i, t)
+					break
+				}
 				return nil, err
 			}
 			clear(perValue)
@@ -813,6 +1039,12 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 		}
 		if err := ex.emit(res); err != nil {
 			return nil, err
+		}
+	}
+	if ex.degraded {
+		for v := range res.Groups {
+			res.Groups[v].Lo = res.Groups[v].Expected
+			res.Groups[v].Hi = res.Groups[v].Expected + degHi[v]
 		}
 	}
 	return res, nil

@@ -10,6 +10,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -186,6 +187,13 @@ func (q *Query) usesBounds() bool {
 func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.Relation, overrides map[int]*pdb.Block) (*plan, error) {
 	p := &plan{q: q, acts: make([]planned, len(rel.Tuples))}
 	info := &PlanInfo{BoundsUsed: q.usesBounds()}
+	// Under a deadline budget the executor may have to answer derive-tier
+	// tuples from bounds instead of chains, so the planner computes the
+	// dissociation envelopes even for operators that cannot use them to
+	// decide (expected counts, unthresholded exists, groupby). Those
+	// intervals ride along on the derive tier — never reclassified to the
+	// bound tier, whose threshold decisions would misfire at MinProb 0.
+	_, hasDL := ctx.Deadline()
 
 	// Order predicate evaluation by estimated selectivity: the compiled
 	// satisfying fraction, sharpened by the attribute's evidence-free
@@ -227,7 +235,7 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 
 	// sat in the [][]bool shape BoundCPD consumes, built once per plan.
 	var satBools [][]bool
-	if info.BoundsUsed {
+	if info.BoundsUsed || hasDL {
 		satBools = make([][]bool, q.schema.NumAttrs())
 		for _, a := range q.constrained {
 			satBools[a] = q.sat[a].ok
@@ -235,9 +243,17 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 	}
 
 	var buf []int
+	exhausted := false // deadline spent mid-plan: classify on, stop paying for envelopes
 	for i, t := range rel.Tuples {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			// A spent deadline budget degrades planning instead of failing
+			// it: the remaining tuples classify without envelope votes
+			// (vacuous intervals — still sound), and the executor degrades
+			// from there. Plain cancellation still aborts.
+			if !hasDL || !errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			exhausted = true
 		}
 		c, open := q.classify(t, buf)
 		if open != nil {
@@ -266,18 +282,20 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 			info.SingleMissing++
 		default:
 			iv := derive.VacuousInterval
-			if info.BoundsUsed && t.NumMissing() > 1 {
+			if (info.BoundsUsed || hasDL) && !exhausted && t.NumMissing() > 1 {
 				var err error
 				if iv, err = eng.BoundCPD(t, satBools); err != nil {
 					return nil, err
 				}
 			}
-			if iv.Vacuous() {
-				p.acts[i] = planned{tier: tierDerive, iv: derive.VacuousInterval}
-				info.Derive++
-			} else {
+			if info.BoundsUsed && !iv.Vacuous() {
 				p.acts[i] = planned{tier: tierBound, iv: iv}
 				info.Bounded++
+			} else {
+				// The interval stays attached even when the operator cannot
+				// decide from it: it is the executor's degradation fallback.
+				p.acts[i] = planned{tier: tierDerive, iv: iv}
+				info.Derive++
 			}
 		}
 	}

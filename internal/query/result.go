@@ -29,6 +29,12 @@ type Group struct {
 	Label    string
 	Expected float64
 	Variance float64
+	// Lo and Hi bound the group's true expected count when the evaluation
+	// degraded under a deadline budget (Result.Degraded): unresolved
+	// tuples contribute their dissociation-interval sides instead of exact
+	// mass. Zero (and omitted from JSON) for exact evaluations.
+	Lo float64 `json:"Lo,omitempty"`
+	Hi float64 `json:"Hi,omitempty"`
 }
 
 // Counters partition the tuples one evaluation scanned by how much
@@ -110,6 +116,20 @@ type Result struct {
 	// lower bound, hi folds every row's interval upper side. When the
 	// interval alone decided the threshold (EarlyStop with no derivation),
 	// Prob is the deciding side. Nil for safe plans and non-exists
-	// operators.
+	// operators. Degraded evaluations reuse it: it then brackets the
+	// operator's scalar answer (expected count, threshold count, or
+	// existence probability) around the unresolved tuples' intervals.
 	Bounds *derive.Interval
+
+	// Degraded reports that the evaluation ran out of deadline budget and
+	// answered the remaining expensive tuples from their sound
+	// dissociation intervals instead of deriving them. The point answer
+	// fields then hold the conservative (lower-bound) side and Bounds —
+	// or, for GroupBy, the per-group Lo/Hi — bracket the exact answer.
+	// Never set when the context carries no deadline: evaluations without
+	// a budget stay bit-identical to the derive-everything oracle.
+	Degraded bool `json:"Degraded,omitempty"`
+	// DegradedTuples counts the tuples answered from bounds because the
+	// budget ran out (a subset of Counters.Bounded).
+	DegradedTuples int64 `json:"DegradedTuples,omitempty"`
 }

@@ -564,7 +564,7 @@ func EvalSPJ(ctx context.Context, eng *derive.Engine, spj *SPJ, pools derive.Poo
 		return nil, err
 	}
 	pl.info.Join = spj.JoinInfo()
-	ex := &executor{q: q, eng: eng, rel: spj.rel, plan: pl, pools: pools, progress: progress}
+	ex := newExecutor(ctx, q, eng, spj.rel, pl, pools, progress)
 	var res *Result
 	switch {
 	case len(spj.project) > 0:

@@ -236,6 +236,13 @@ type DeriveItem = derive.Item
 // detected up front, before any inference runs; match it with errors.As.
 type SchemaMismatchError = derive.SchemaMismatchError
 
+// PanicError is the typed error a request receives when a panic inside
+// the engine's worker pools (voting, Gibbs chains, prefetch, sinks) was
+// recovered at the goroutine boundary: the request fails, the engine and
+// its shared caches stay serviceable, and EngineStats.PanicsRecovered
+// counts the event. Match it with errors.As.
+type PanicError = derive.PanicError
+
 // Sink receives a derivation stream: Emit once per item in input order,
 // then Close to flush. See NewCollector, NewCSVSink, NewJSONLSink, and
 // NewTextSink.

@@ -4,8 +4,9 @@
 # server on a kernel-assigned port, POSTs one derivation and one query,
 # drives the live-evidence loop — register a dataset, query it, observe
 # a delta, re-query — runs one intensional join query (multipart sql=
-# statement over two CSV fragments), and checks the stream and stats
-# endpoints answer. Exits non-zero on any failure.
+# statement over two CSV fragments), checks the stream and stats
+# endpoints answer, and finally SIGTERMs the server expecting a clean
+# graceful drain. Exits non-zero on any failure.
 set -eu
 
 tmp=$(mktemp -d)
@@ -22,16 +23,31 @@ go run ./cmd/mrsllearn -in testdata/matchmaking.csv -support 0.01 -out "$tmp/mod
 "$tmp/mrslserve" -model "$tmp/model.json" -addr 127.0.0.1:0 -samples 200 -workers 4 >"$tmp/log" 2>&1 &
 pid=$!
 
+# boot_failed prints a diagnosis of a server that never came up. The
+# common cause is a bind failure (port in use, permissions), which the
+# server reports as "mrslserve: cannot bind ..." — call it out explicitly
+# instead of leaving the reader to spot it in the log dump.
+boot_failed() {
+	if grep -q '^mrslserve: cannot bind ' "$tmp/log"; then
+		echo "serve-smoke: server could not bind its address (is something else on the port?):"
+		grep '^mrslserve: cannot bind ' "$tmp/log"
+	else
+		echo "serve-smoke: $1; full server log:"
+	fi
+	cat "$tmp/log"
+	exit 1
+}
+
 addr=""
 i=0
 while [ $i -lt 100 ]; do
 	addr=$(sed -n 's/^mrslserve: listening on //p' "$tmp/log" | head -n 1)
 	[ -n "$addr" ] && break
-	kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died:"; cat "$tmp/log"; exit 1; }
+	kill -0 "$pid" 2>/dev/null || boot_failed "server died before announcing an address"
 	sleep 0.1
 	i=$((i + 1))
 done
-[ -n "$addr" ] || { echo "serve-smoke: server never announced an address"; cat "$tmp/log"; exit 1; }
+[ -n "$addr" ] || boot_failed "server never announced an address within 10s"
 
 curl -fsS "http://$addr/healthz" >/dev/null
 curl -fsS -X POST --data-binary @testdata/matchmaking.csv "http://$addr/derive" >"$tmp/out.ndjson"
@@ -108,4 +124,13 @@ grep -q '"requests":6' "$tmp/stats.json" || { echo "serve-smoke: stats did not c
 grep -q '"observations":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the observation"; cat "$tmp/stats.json"; exit 1; }
 grep -q '"datasets":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the dataset"; cat "$tmp/stats.json"; exit 1; }
 
-echo "serve-smoke: ok ($lines lines from $addr, dataset $sid observed inc=$obsval)"
+# Graceful drain: SIGTERM must end the process cleanly (exit 0, drain
+# farewell in the log) — the signal path the in-process tests can't reach.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "serve-smoke: server exited $status on SIGTERM, want clean drain"; cat "$tmp/log"; exit 1; }
+grep -q '^mrslserve: drained, bye$' "$tmp/log" || { echo "serve-smoke: no drain farewell after SIGTERM:"; cat "$tmp/log"; exit 1; }
+
+echo "serve-smoke: ok ($lines lines from $addr, dataset $sid observed inc=$obsval, drained clean)"
