@@ -7,9 +7,15 @@
 
 GO ?= go
 
-.PHONY: ci vet test race bench-smoke serve-smoke chaos-smoke bench-serve bench-planner bench-check bench-baseline bench-publish fuzz-smoke build
+.PHONY: ci vet test race metrics-lint bench-smoke serve-smoke chaos-smoke bench-serve bench-planner bench-watch bench-check bench-baseline bench-publish fuzz-smoke build
 
-ci: vet race bench-smoke serve-smoke chaos-smoke bench-serve bench-check
+ci: vet race metrics-lint bench-smoke serve-smoke chaos-smoke bench-serve bench-check
+
+# Assert every EngineStats counter is exported on GET /metrics and named
+# in README.md's metric table, so the docs and the exposition surface
+# cannot drift from the struct.
+metrics-lint:
+	sh scripts/metrics-lint.sh
 
 build:
 	$(GO) build ./...
@@ -72,12 +78,19 @@ bench-baseline: bench-serve bench-planner
 	cp BENCH_engine.json BENCH_baseline.json
 	cp BENCH_planner.json BENCH_planner_baseline.json
 
+# Publish the subscription-delivery load generator: many watchers on one
+# live dataset while observation deltas stream in, the workload behind
+# the mrsl_watch_notify_seconds histogram.
+bench-watch:
+	$(GO) test -run=NONE -bench=BenchmarkWatchFanout -benchmem -benchtime=100x -json . > BENCH_watch.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_watch.json | head -3
+
 # Publish the wider perf trajectory — derivation, lattice matching,
 # Gibbs, and selective-query benchmarks with allocation counts —
 # alongside the serving figures, so BENCH_derive.json tracks the hot
 # paths across PRs (BenchmarkQuerySelective pits Engine.Query's pruning
 # against derive-then-filter on the same workload).
-bench-publish: bench-serve
+bench-publish: bench-serve bench-watch
 	$(GO) test -run=NONE -bench 'Derive|Match|Gibbs|Query' -benchmem -benchtime=100x -json . ./internal/core ./internal/gibbs > BENCH_derive.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_derive.json | head -14
 

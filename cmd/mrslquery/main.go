@@ -40,7 +40,11 @@
 // bounds were in play. Multi-missing tuples whose sound [lo, hi] bound
 // interval already decides the threshold (or cannot reach topk's rank
 // k) are answered without any sampling; the trailing stats line reports
-// how many tuples each tier resolved.
+// how many tuples each tier resolved. -explain-analyze extends the plan
+// with measured timings from the actual evaluation: planning cost, wall
+// time, and per-tier resolution durations (prefetch / vote / derive /
+// observed). Timing only observes — the answer is bit-identical with or
+// without it.
 //
 // Conditions support =, !=, <, <=, >, >= over domain labels; ordered
 // comparisons compare domain positions (meaningful for discretized
@@ -76,6 +80,7 @@ func main() {
 		k         = flag.Int("k", 10, "result size for -op topk (must be positive)")
 		minProb   = flag.Float64("minprob", 0, "probability threshold in [0,1]: count tuples reaching it, decide exists against it, drop topk rows below it")
 		explain   = flag.Bool("explain", false, "print the chosen evaluation plan (predicate order, resolution tiers, join safety, bound usage)")
+		analyze   = flag.Bool("explain-analyze", false, "like -explain, plus measured per-tier timings from the actual evaluation (planning, prefetch, vote, derive, wall)")
 		samples   = flag.Int("samples", 1000, "Gibbs samples per distinct multi-missing tuple")
 		burnin    = flag.Int("burnin", 100, "Gibbs burn-in sweeps")
 		seed      = flag.Int64("seed", 1, "sampler seed")
@@ -91,7 +96,7 @@ func main() {
 		SQL: *sql, Rels: *rels, KeepKeys: *keepKeys,
 		Where: *where, GroupBy: *groupBy, Op: *op, K: *k, MinProb: *minProb,
 		Samples: *samples, BurnIn: *burnin, Seed: *seed, Workers: *workers,
-		Explain: *explain,
+		Explain: *explain, Analyze: *analyze,
 	}
 	if err := run(os.Stdout, *modelPath, *in, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "mrslquery: %v\n", err)
@@ -114,6 +119,7 @@ type options struct {
 	Seed     int64
 	Workers  int
 	Explain  bool
+	Analyze  bool
 }
 
 // parseRels reads the -rels name=path list into named relations, each
@@ -175,6 +181,7 @@ func run(w io.Writer, modelPath, in string, o options) error {
 		Where:   o.Where,
 		GroupBy: o.GroupBy,
 		MinProb: o.MinProb,
+		Analyze: o.Analyze,
 	}
 	if opCode == repro.QueryTopK {
 		spec.K = o.K
@@ -251,7 +258,7 @@ func run(w io.Writer, modelPath, in string, o options) error {
 // the pruning stats. schema formats topk rows — the answer schema for
 // projected queries, the model schema otherwise.
 func render(w io.Writer, opCode repro.QueryOp, o options, res *repro.QueryResult, schema *repro.Schema, nTuples int) {
-	if o.Explain && res.Plan != nil {
+	if (o.Explain || o.Analyze) && res.Plan != nil {
 		fmt.Fprint(w, res.Plan.String())
 	}
 	switch opCode {

@@ -116,8 +116,28 @@
 //	GET  /stats    engine cache counters, hit rates, query pruning and
 //	               bound totals, live-evidence counters (observations,
 //	               invalidated entries, watchers, datasets), admission
-//	               counters (requests = accepted + rejected), uptime.
+//	               counters (requests = accepted + rejected), uptime,
+//	               build revision.
+//	GET  /metrics  Prometheus text exposition: every engine stats counter
+//	               (mrsl_engine_*), per-endpoint request latency
+//	               histograms (mrsl_http_request_seconds{path=...}),
+//	               engine stage histograms (vote, Gibbs chains, bounds,
+//	               prefetch waits, sink emission), query plan/exec
+//	               histograms, server admission counters and in-flight/
+//	               draining gauges, and a mrsl_build_info gauge. Scraping
+//	               runs no inference and bypasses admission control.
 //	GET  /healthz  liveness probe.
+//
+// Observability. Every response carries an X-Request-ID header (honored
+// from the request when present, generated otherwise), and each request
+// is logged as one structured log/slog line with method, path, status,
+// duration, and request id. On /query, explain=analyze enables
+// explain-analyze: the summary's plan block gains a timing section with
+// measured planning, wall, and per-tier resolution durations (tuples +
+// duration_ms per tier); trace=1 additionally appends a {"kind":"trace"}
+// NDJSON record carrying the request's engine/executor spans. Neither
+// changes answers. -pprof addr mounts net/http/pprof on a separate
+// listener; -version prints the build revision and exits.
 //
 // With -addr host:0 the kernel picks a free port; the chosen address is
 // printed as "mrslserve: listening on <addr>" so scripts can scrape it.
@@ -131,8 +151,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -143,6 +165,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -165,8 +188,15 @@ func main() {
 		idleTO     = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight requests to drain before exiting")
 		shedAfter  = flag.Int64("shed-after-misses", 0, "shed new inference requests with 503 after this many consecutive deadline misses (0 = never)")
+
+		pprofAddr = flag.String("pprof", "", "mount net/http/pprof on this separate listener address (e.g. 127.0.0.1:6060; empty = off)")
+		version   = flag.Bool("version", false, "print the build revision and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("mrslserve %s %s\n", obs.BuildRevision(), obs.GoVersion())
+		return
+	}
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "mrslserve: -model is required")
 		flag.Usage()
@@ -200,6 +230,26 @@ func main() {
 	}
 	srv.defaultTimeout = *defTimeout
 	srv.shedAfter = *shedAfter
+	srv.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv.log.Info("mrslserve starting",
+		"revision", obs.BuildRevision(), "go", obs.GoVersion(), "model", *modelPath)
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener so the profiling
+		// surface never shares a port (or a route table) with serving.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", netpprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrslserve: cannot bind pprof %s: %v\n", *pprofAddr, err)
+			os.Exit(1)
+		}
+		srv.log.Info("pprof listening", "addr", pln.Addr().String())
+		go http.Serve(pln, pm)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrslserve: cannot bind %s: %v\n", *addr, err)
@@ -245,6 +295,18 @@ type server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// log emits one structured line per request (method, path, status,
+	// duration, request id) plus lifecycle events. Defaults to discard so
+	// embedded/test servers stay quiet; main wires it to stderr.
+	log    *slog.Logger
+	reqSeq atomic.Int64 // generated request-id sequence
+
+	// Registry-backed serving gauges (exported on /metrics alongside the
+	// stage histograms the engine packages register at init). The counter
+	// gauges are refreshed from the atomics at scrape time.
+	mInflight, mDraining                                    *obs.Gauge
+	mRequests, mAccepted, mFailed, mRejected, mShed, mPanic *obs.Gauge
+
 	// slots is the admission semaphore (nil = unlimited): a request must
 	// take a slot before running inference and returns it when done.
 	slots chan struct{}
@@ -286,18 +348,54 @@ func newServer(model *repro.Model, opt repro.DeriveOptions, maxInflight int) (*s
 	s := &server{
 		model: model, eng: eng, mux: http.NewServeMux(), start: time.Now(),
 		drain: make(chan struct{}),
+		log:   slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	if maxInflight > 0 {
 		s.slots = make(chan struct{}, maxInflight)
 	}
-	s.mux.HandleFunc("POST /derive", s.admit(s.handleDerive))
-	s.mux.HandleFunc("POST /query", s.admit(s.handleQuery))
-	s.mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
-	s.mux.HandleFunc("DELETE /datasets/{id}", s.handleDropDataset)
-	s.mux.HandleFunc("POST /observe", s.admit(s.handleObserve))
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mInflight = obs.Default.Gauge("mrsl_http_inflight", "", "Inference requests currently in flight.")
+	s.mDraining = obs.Default.Gauge("mrsl_server_draining", "", "1 while the server is draining after SIGTERM.")
+	s.mRequests = obs.Default.Gauge("mrsl_server_requests", "", "Inference requests offered (accepted + rejected + shed).")
+	s.mAccepted = obs.Default.Gauge("mrsl_server_accepted", "", "Inference requests admitted past the semaphore.")
+	s.mFailed = obs.Default.Gauge("mrsl_server_failed", "", "Accepted requests that ended in an error.")
+	s.mRejected = obs.Default.Gauge("mrsl_server_rejected", "", "Requests rejected 429 at admission (engine saturated).")
+	s.mShed = obs.Default.Gauge("mrsl_server_shed", "", "Requests shed 503 (draining or sustained deadline misses).")
+	s.mPanic = obs.Default.Gauge("mrsl_server_panics", "", "Handler panics converted to error responses.")
+	s.route("POST", "/derive", s.admit(s.handleDerive))
+	s.route("POST", "/query", s.admit(s.handleQuery))
+	s.route("POST", "/datasets", s.handleRegisterDataset)
+	s.route("DELETE", "/datasets/{id}", s.handleDropDataset)
+	s.route("POST", "/observe", s.admit(s.handleObserve))
+	s.route("GET", "/stats", s.handleStats)
+	s.route("GET", "/healthz", s.handleHealthz)
+	// /metrics bypasses admission control: scraping must work while the
+	// engine is saturated or draining, and never counts as offered load.
+	s.route("GET", "/metrics", s.handleMetrics)
 	return s, nil
+}
+
+// route registers pattern on the mux wrapped with per-endpoint
+// observability: a latency histogram labeled by path and one structured
+// log line per request. The deferred record runs even when the handler
+// panics (the panic still propagates to the ServeHTTP boundary).
+func (s *server) route(method, path string, h http.HandlerFunc) {
+	hist := obs.Default.Histogram("mrsl_http_request_seconds",
+		`path="`+path+`"`, "HTTP request latency by endpoint.")
+	s.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			hist.Observe(d)
+			status := http.StatusOK
+			if tw, ok := w.(*trackWriter); ok && tw.status != 0 {
+				status = tw.status
+			}
+			s.log.Info("request", "method", r.Method, "path", path, "status", status,
+				"duration_ms", float64(d.Nanoseconds())/1e6,
+				"request_id", obs.RequestIDFrom(r.Context()))
+		}()
+		h(w, r)
+	})
 }
 
 // beginDrain flips the server into draining mode, once: /healthz turns
@@ -306,6 +404,7 @@ func newServer(model *repro.Model, opt repro.DeriveOptions, maxInflight int) (*s
 func (s *server) beginDrain() {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
+		s.mDraining.Set(1)
 		close(s.drain)
 	})
 }
@@ -316,6 +415,15 @@ func (s *server) beginDrain() {
 // datasets — keeps serving. http.ErrAbortHandler passes through: it is
 // the stdlib's own abort protocol, not a defect.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Request identity: honor an inbound X-Request-ID, generate one
+	// otherwise; echo it on the response and carry it in the context so
+	// log lines and error/summary records correlate with client traces.
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = fmt.Sprintf("%x-%x", s.start.UnixNano(), s.reqSeq.Add(1))
+	}
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
 	tw := &trackWriter{ResponseWriter: w}
 	defer func() {
 		rec := recover()
@@ -335,27 +443,35 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// append a terminal error record instead of a status the client
 		// can no longer see.
 		json.NewEncoder(tw).Encode(map[string]string{
-			"kind": "error", "error": fmt.Sprintf("recovered panic: %v", rec),
+			"kind": "error", "error": fmt.Sprintf("recovered panic: %v", rec), "request_id": id,
 		})
 	}()
 	s.mux.ServeHTTP(tw, r)
 }
 
-// trackWriter records whether the response has started, so the panic
-// boundary knows whether a status code can still be sent. It forwards
+// trackWriter records whether the response has started (and with which
+// status), so the panic boundary knows whether a status code can still
+// be sent and the request log can report what was served. It forwards
 // Flush so streaming handlers keep flushing line by line.
 type trackWriter struct {
 	http.ResponseWriter
-	wrote bool
+	wrote  bool
+	status int
 }
 
 func (t *trackWriter) WriteHeader(code int) {
 	t.wrote = true
+	if t.status == 0 {
+		t.status = code
+	}
 	t.ResponseWriter.WriteHeader(code)
 }
 
 func (t *trackWriter) Write(p []byte) (int, error) {
 	t.wrote = true
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
 	return t.ResponseWriter.Write(p)
 }
 
@@ -394,8 +510,29 @@ func (s *server) admit(h http.HandlerFunc) http.HandlerFunc {
 			}
 		}
 		s.accepted.Add(1)
+		s.mInflight.Inc()
+		defer s.mInflight.Dec()
 		h(w, r)
 	}
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format: the registry's stage histograms and serving gauges (counter
+// gauges refreshed from the atomics at scrape time), every EngineStats
+// counter as an mrsl_engine_* gauge, and the build-info gauge.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mRequests.Set(s.requests.Load())
+	s.mAccepted.Set(s.accepted.Load())
+	s.mFailed.Set(s.failed.Load())
+	s.mRejected.Set(s.rejected.Load())
+	s.mShed.Set(s.shed.Load())
+	s.mPanic.Set(s.panics.Load())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	repro.WriteMetrics(w)
+	repro.WriteEngineStatsMetrics(w, "mrsl_engine_", s.eng.Stats())
+	obs.WriteGauge(w, "mrsl_build_info",
+		`goversion="`+obs.GoVersion()+`",revision="`+obs.BuildRevision()+`"`,
+		"Build identity of the running binary (value is always 1).", 1)
 }
 
 // shedReason reports why a new inference request must be shed with 503,
@@ -472,6 +609,11 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// trace=1: record engine stage spans and append a {"kind":"trace"}
+	// record after the stream.
+	if r.URL.Query().Get("trace") == "1" {
+		r = r.WithContext(repro.WithTrace(r.Context(), repro.NewTrace()))
+	}
 	ctx, cancel := withBudget(r.Context(), d)
 	defer cancel()
 	// finishStream reports the stream's end: a spent budget becomes a
@@ -491,7 +633,7 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.failed.Add(1)
-		json.NewEncoder(w).Encode(map[string]string{"kind": "error", "error": err.Error()})
+		json.NewEncoder(w).Encode(errRecord(r, err))
 	}
 	if id := r.URL.Query().Get("dataset"); id != "" {
 		// Registered dataset: derive the conditioned snapshot instead of a
@@ -516,6 +658,7 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		sink := repro.NewJSONLSink(newFlushWriter(w), s.model.Schema)
 		finishStream(s.eng.DeriveSnapshot(ctx, snap, pools, sink))
+		s.writeTrace(w, r)
 		return
 	}
 	rel, err := repro.ReadCSVInSchema(r.Body, s.model.Schema)
@@ -538,9 +681,24 @@ func (s *server) handleDerive(w http.ResponseWriter, r *http.Request) {
 		// The NDJSON stream may already be under way; append a terminal
 		// record instead of a status code the client can no longer see.
 		finishStream(err)
+		s.writeTrace(w, r)
 		return
 	}
 	s.noteBudget(false)
+	s.writeTrace(w, r)
+}
+
+// writeTrace appends the request's {"kind":"trace"} record when trace=1
+// attached a span recorder (streams without a summary record, like
+// /derive, end with it).
+func (s *server) writeTrace(w io.Writer, r *http.Request) {
+	tr := repro.TraceFrom(r.Context())
+	if tr == nil {
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"kind": "trace", "request_id": obs.RequestIDFrom(r.Context()), "spans": tr.Spans(),
+	})
 }
 
 // handleQuery compiles the query expressed in the URL parameters,
@@ -569,6 +727,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	// trace=1 attaches a span recorder: engine and executor stages
+	// observe into it, and the summary is followed by a {"kind":"trace"}
+	// record. Tracing also enables per-tier timing, like explain=analyze.
+	if r.URL.Query().Get("trace") == "1" {
+		r = r.WithContext(repro.WithTrace(r.Context(), repro.NewTrace()))
 	}
 	// Intensional SQL statements (sql= URL parameter, or an sql field of
 	// a multipart body) take a different front half — multi-relation
@@ -650,7 +814,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	head := map[string]any{"kind": "query", "op": q.Op().String(), "query": q.String()}
 	if q.Op() == repro.QueryTopK || q.Op() == repro.QueryGroupBy {
-		s.streamQuery(w, q, s.model.Schema, head, eval)
+		s.streamQuery(w, r, q, s.model.Schema, head, eval)
 		return
 	}
 	res, err := eval(nil)
@@ -672,7 +836,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(ew)
 	enc.Encode(head)
 	writeScalar(enc, q, res)
-	s.writeSummary(enc, res)
+	s.writeSummary(enc, r, res)
 	if ew.err != nil {
 		// The client went away mid-stream: the response is truncated, so
 		// the request did not succeed.
@@ -794,7 +958,7 @@ func (s *server) handleSQLQuery(w http.ResponseWriter, r *http.Request, sqlText 
 		return s.eng.QuerySPJStream(ctx, spj, pools, progress)
 	}
 	if q.Op() == repro.QueryTopK || q.Op() == repro.QueryGroupBy {
-		s.streamQuery(w, q, schema, head, eval)
+		s.streamQuery(w, r, q, schema, head, eval)
 		return
 	}
 	res, err := eval(nil)
@@ -809,7 +973,7 @@ func (s *server) handleSQLQuery(w http.ResponseWriter, r *http.Request, sqlText 
 	enc := json.NewEncoder(ew)
 	enc.Encode(head)
 	writeScalar(enc, q, res)
-	s.writeSummary(enc, res)
+	s.writeSummary(enc, r, res)
 	if ew.err != nil {
 		s.failed.Add(1)
 	}
@@ -850,7 +1014,7 @@ func (s *server) resolveSQLInput(r *http.Request, name string) (*repro.Relation,
 // when inference runs, so evaluation errors append a terminal error
 // record instead of a status code; a disconnected client aborts the
 // evaluation through the progress callback.
-func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
+func (s *server) streamQuery(w http.ResponseWriter, r *http.Request, q *repro.CompiledQuery,
 	schema *repro.Schema, head map[string]any,
 	eval func(repro.QueryProgressFunc) (*repro.QueryResult, error)) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -892,7 +1056,7 @@ func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
 	res, err := eval(progress)
 	if err != nil {
 		s.failed.Add(1)
-		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+		enc.Encode(errRecord(r, err))
 		return
 	}
 	s.noteBudget(res.Degraded)
@@ -917,9 +1081,17 @@ func (s *server) streamQuery(w http.ResponseWriter, q *repro.CompiledQuery,
 			enc.Encode(rec)
 		}
 	}
-	s.writeSummary(enc, res)
+	s.writeSummary(enc, r, res)
 	if ew.err != nil {
 		s.failed.Add(1)
+	}
+}
+
+// errRecord is the terminal NDJSON error record, stamped with the
+// request id so mid-stream failures correlate with the request log.
+func errRecord(r *http.Request, err error) map[string]string {
+	return map[string]string{
+		"kind": "error", "error": err.Error(), "request_id": obs.RequestIDFrom(r.Context()),
 	}
 }
 
@@ -1126,7 +1298,7 @@ func (s *server) watchQuery(w http.ResponseWriter, r *http.Request,
 	}
 	if err := reval(); err != nil {
 		s.failed.Add(1)
-		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+		enc.Encode(errRecord(r, err))
 		return
 	}
 	ch, cancel := ds.Subscribe()
@@ -1135,7 +1307,7 @@ func (s *server) watchQuery(w http.ResponseWriter, r *http.Request,
 	// be missed; re-check once now that the signal channel is live.
 	if err := reval(); err != nil {
 		s.failed.Add(1)
-		enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+		enc.Encode(errRecord(r, err))
 		return
 	}
 	for {
@@ -1153,7 +1325,7 @@ func (s *server) watchQuery(w http.ResponseWriter, r *http.Request,
 		case <-ch:
 			if err := reval(); err != nil {
 				s.failed.Add(1)
-				enc.Encode(map[string]string{"kind": "error", "error": err.Error()})
+				enc.Encode(errRecord(r, err))
 				return
 			}
 		}
@@ -1245,13 +1417,17 @@ func (s *server) emitWatchDiff(enc *json.Encoder, q *repro.CompiledQuery,
 // writeSummary emits the terminal summary record: pruning counters,
 // bound usage, and the chosen plan. SPJ evaluations add the join order,
 // conditions, and safety verdict, plus the dissociation flag and bounds
-// when the answer was computed over a dissociated lineage.
-func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
+// when the answer was computed over a dissociated lineage. With
+// explain=analyze (or trace=1) the plan block carries the measured
+// timing section, and a trace on the request context is flushed as a
+// {"kind":"trace"} record after the summary.
+func (s *server) writeSummary(enc *json.Encoder, r *http.Request, res *repro.QueryResult) {
 	c := res.Counters
 	summary := map[string]any{
 		"kind": "summary", "scanned": c.Scanned, "pruned": c.Pruned,
 		"bounded": c.Bounded, "derived": c.Derived,
 		"bound_refuted": c.BoundRefutes, "bound_width": c.BoundWidth,
+		"request_id": obs.RequestIDFrom(r.Context()),
 	}
 	if res.Dissociated {
 		summary["dissociated"] = true
@@ -1273,6 +1449,11 @@ func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
 			},
 			"bounds_used": p.BoundsUsed,
 		}
+		if p.Timing != nil {
+			// Explain-analyze: measured plan/wall durations and per-tier
+			// resolution times (tuples + duration_ms each).
+			plan["timing"] = p.Timing
+		}
 		if j := p.Join; j != nil {
 			join := map[string]any{
 				"relations": j.Relations, "conditions": j.Conditions,
@@ -1286,6 +1467,11 @@ func (s *server) writeSummary(enc *json.Encoder, res *repro.QueryResult) {
 		summary["plan"] = plan
 	}
 	enc.Encode(summary)
+	if tr := repro.TraceFrom(r.Context()); tr != nil {
+		enc.Encode(map[string]any{
+			"kind": "trace", "request_id": obs.RequestIDFrom(r.Context()), "spans": tr.Spans(),
+		})
+	}
 }
 
 // errWriter records the first write error and drops everything after it,
@@ -1350,6 +1536,10 @@ func specFromRequest(r *http.Request) (repro.QuerySpec, error) {
 		}
 		spec.MinProb = p
 	}
+	// explain=analyze turns on explain-analyze: the evaluation measures
+	// its per-tier resolution durations and the summary's plan block
+	// carries them. Observation only — answers never change.
+	spec.Analyze = vals.Get("explain") == "analyze"
 	return spec, nil
 }
 
@@ -1401,6 +1591,10 @@ type statsResponse struct {
 	// Engine.PanicsRecovered).
 	ServerPanics  int64   `json:"server_panics"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Revision is the VCS revision baked into the binary ("unknown"
+	// outside a VCS build); GoVersion the toolchain that built it.
+	Revision  string `json:"revision"`
+	GoVersion string `json:"go_version"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -1428,6 +1622,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Draining:           s.draining.Load(),
 		ServerPanics:       s.panics.Load(),
 		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Revision:           obs.BuildRevision(),
+		GoVersion:          obs.GoVersion(),
 	})
 }
 

@@ -1,0 +1,392 @@
+package main
+
+// Serving-side observability tests: the /metrics exposition surface
+// (structural Prometheus-text invariants, also scraped concurrently with
+// in-flight streams under `make race`), explain-analyze and trace
+// records on /query, and request-ID propagation.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// promFamily is one parsed metric family from the text exposition.
+type promFamily struct {
+	buckets []float64 // cumulative bucket counts in le order (+Inf last)
+	sum     float64
+	count   float64
+	hasSum  bool
+	value   float64 // last plain sample (gauges)
+	samples int
+}
+
+// parsePromText parses Prometheus text exposition output, keyed by metric
+// name + label set, failing the test on malformed lines.
+func parsePromText(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := map[string]*promFamily{}
+	get := func(key string) *promFamily {
+		f, ok := fams[key]
+		if !ok {
+			f = &promFamily{}
+			fams[key] = f
+		}
+		return f
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("metrics line without value: %q", line)
+		}
+		name, valStr := line[:i], line[i+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: bad value: %v", line, err)
+		}
+		base, labels := name, ""
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			base, labels = name[:j], strings.TrimSuffix(name[j+1:], "}")
+		}
+		// Re-key the series on its identifying labels, le excluded, so
+		// one histogram's buckets stay together per label set.
+		var rest []string
+		for _, pair := range strings.Split(labels, ",") {
+			if pair != "" && !strings.HasPrefix(pair, "le=") {
+				rest = append(rest, pair)
+			}
+		}
+		key := func(b string) string {
+			if len(rest) == 0 {
+				return b
+			}
+			return b + "{" + strings.Join(rest, ",") + "}"
+		}
+		switch {
+		case strings.HasSuffix(base, "_bucket"):
+			f := get(key(strings.TrimSuffix(base, "_bucket")))
+			f.buckets = append(f.buckets, val)
+		case strings.HasSuffix(base, "_sum"):
+			f := get(key(strings.TrimSuffix(base, "_sum")))
+			f.sum, f.hasSum = val, true
+		case strings.HasSuffix(base, "_count"):
+			get(key(strings.TrimSuffix(base, "_count"))).count = val
+		default:
+			f := get(name) // full name with labels: gauges are label-distinct
+			f.value = val
+			f.samples++
+		}
+	}
+	return fams
+}
+
+// checkPromInvariants asserts the structural histogram contract on every
+// parsed family: buckets are cumulative (monotone non-decreasing), the
+// +Inf bucket equals _count, and a non-empty histogram has a
+// non-negative _sum.
+func checkPromInvariants(t *testing.T, fams map[string]*promFamily) {
+	t.Helper()
+	for name, f := range fams {
+		if len(f.buckets) == 0 {
+			continue // plain gauge
+		}
+		for i := 1; i < len(f.buckets); i++ {
+			if f.buckets[i] < f.buckets[i-1] {
+				t.Errorf("%s: bucket %d (%v) < bucket %d (%v): not cumulative",
+					name, i, f.buckets[i], i-1, f.buckets[i-1])
+			}
+		}
+		if inf := f.buckets[len(f.buckets)-1]; inf != f.count {
+			t.Errorf("%s: +Inf bucket %v != _count %v", name, inf, f.count)
+		}
+		if !f.hasSum {
+			t.Errorf("%s: histogram without _sum", name)
+		}
+		if f.count > 0 && f.sum < 0 {
+			t.Errorf("%s: _sum %v < 0 with %v observations", name, f.sum, f.count)
+		}
+	}
+}
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) (string, map[string]*promFamily) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("GET /metrics Content-Type = %q, want text/plain", ct)
+	}
+	fams := parsePromText(t, string(body))
+	checkPromInvariants(t, fams)
+	return string(body), fams
+}
+
+// TestServeMetricsEndpoint drives one derivation and one traced
+// explain-analyze query through the server, then scrapes /metrics and
+// checks the exposition: the per-endpoint request histograms counted the
+// traffic, every EngineStats counter is exported as an mrsl_engine_*
+// gauge, the admission counters and build info are present, and the
+// whole output satisfies the Prometheus histogram invariants.
+func TestServeMetricsEndpoint(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	postDerive(t, ts, csvBody, "")
+	attr := model.Schema.Attrs[0]
+	params := "op=count&where=" + url.QueryEscape(attr.Name+"="+attr.Domain[0])
+	resp, err := http.Post(ts.URL+"/query?"+params, "text/csv", bytes.NewReader(csvBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	text, fams := scrapeMetrics(t, ts)
+
+	for _, path := range []string{"/derive", "/query"} {
+		key := fmt.Sprintf(`mrsl_http_request_seconds{path="%s"}`, path)
+		f := fams[key]
+		if f == nil || f.count < 1 {
+			t.Errorf("request histogram for %s not counted (%v)", path, f)
+		}
+	}
+	for _, name := range repro.EngineStatsMetricNames("mrsl_engine_") {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("EngineStats counter %s missing from /metrics", name)
+		}
+	}
+	// A derivation definitely resolved blocks: the stage histograms must
+	// have observations, not just registrations.
+	for _, name := range []string{"mrsl_derive_vote_seconds", "mrsl_query_exec_seconds"} {
+		if f := fams[name]; f == nil || f.count < 1 {
+			t.Errorf("stage histogram %s has no observations (%v)", name, f)
+		}
+	}
+	for _, name := range []string{
+		"mrsl_server_requests", "mrsl_server_accepted", "mrsl_server_failed",
+		"mrsl_server_rejected", "mrsl_server_shed", "mrsl_server_panics",
+		"mrsl_http_inflight", "mrsl_server_draining",
+	} {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("server gauge %s missing from /metrics", name)
+		}
+	}
+	if fams["mrsl_server_requests"].value < 2 {
+		t.Errorf("mrsl_server_requests = %v, want >= 2", fams["mrsl_server_requests"].value)
+	}
+	var buildInfo bool
+	for key, f := range fams {
+		if strings.HasPrefix(key, "mrsl_build_info{") && f.value == 1 {
+			buildInfo = true
+		}
+	}
+	if !buildInfo {
+		t.Error("mrsl_build_info gauge missing or not 1")
+	}
+}
+
+// TestServeMetricsConcurrentScrape scrapes /metrics repeatedly while
+// derive streams are in flight: every scrape must parse and satisfy the
+// histogram invariants even as racing writers observe into the shared
+// buckets (`make race` runs this under the race detector).
+func TestServeMetricsConcurrentScrape(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	const streams, iters = 3, 4
+	var wg sync.WaitGroup
+	for w := 0; w < streams; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Post(ts.URL+"/derive?trace=1", "text/csv", bytes.NewReader(csvBody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		scrapeMetrics(t, ts)
+		select {
+		case <-done:
+			scrapeMetrics(t, ts) // one quiescent scrape after the load
+			return
+		default:
+		}
+	}
+}
+
+// TestServeExplainAnalyzeAndTrace posts the same query three ways and
+// checks the observability contract: explain=analyze attaches the
+// measured timing section to the summary's plan, trace=1 appends a
+// {"kind":"trace"} record with spans, and a plain query carries neither
+// — while the answer stays bit-identical across all three.
+func TestServeExplainAnalyzeAndTrace(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	attr := model.Schema.Attrs[0]
+	base := "op=count&where=" + url.QueryEscape(attr.Name+"="+attr.Domain[0])
+
+	post := func(params string) []map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query?"+params, "text/csv", bytes.NewReader(csvBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /query?%s: status %d: %s", params, resp.StatusCode, out)
+		}
+		var recs []map[string]any
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			var r map[string]any
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+			recs = append(recs, r)
+		}
+		return recs
+	}
+	find := func(recs []map[string]any, kind string) map[string]any {
+		for _, r := range recs {
+			if r["kind"] == kind {
+				return r
+			}
+		}
+		return nil
+	}
+
+	plain := post(base)
+	analyzed := post(base + "&explain=analyze")
+	traced := post(base + "&trace=1")
+
+	// Bit-identical answers regardless of observability options.
+	want := find(plain, "count")["expected"].(float64)
+	for name, recs := range map[string][]map[string]any{"analyze": analyzed, "trace": traced} {
+		if got := find(recs, "count")["expected"].(float64); got != want {
+			t.Errorf("%s: expected count %v, want bit-identical %v", name, got, want)
+		}
+	}
+
+	// Plain: no timing, no trace record.
+	if pl := find(plain, "summary")["plan"].(map[string]any); pl["timing"] != nil {
+		t.Errorf("plain query summary carries timing: %v", pl)
+	}
+	if find(plain, "trace") != nil {
+		t.Error("plain query emitted a trace record")
+	}
+
+	// explain=analyze: summary plan gains the measured timing block.
+	timing, ok := find(analyzed, "summary")["plan"].(map[string]any)["timing"].(map[string]any)
+	if !ok {
+		t.Fatal("explain=analyze summary has no plan.timing")
+	}
+	if wall := timing["wall_ms"].(float64); wall <= 0 {
+		t.Errorf("timing.wall_ms = %v, want > 0", wall)
+	}
+	if tiers := timing["tiers"].([]any); len(tiers) == 0 {
+		t.Error("timing.tiers empty on an inference workload")
+	}
+
+	// trace=1: timing plus a trailing trace record with named spans.
+	tr := find(traced, "trace")
+	if tr == nil {
+		t.Fatal("trace=1 emitted no trace record")
+	}
+	if tr["request_id"] == "" {
+		t.Error("trace record without request_id")
+	}
+	names := map[string]bool{}
+	for _, s := range tr["spans"].([]any) {
+		names[s.(map[string]any)["name"].(string)] = true
+	}
+	for _, want := range []string{"query.plan", "query.wall"} {
+		if !names[want] {
+			t.Errorf("trace spans missing %q: %v", want, names)
+		}
+	}
+}
+
+// TestServeRequestID checks request identity: an inbound X-Request-ID is
+// echoed on the response and stamped into the summary record, and a
+// request without one gets a generated ID.
+func TestServeRequestID(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	attr := model.Schema.Attrs[0]
+	target := ts.URL + "/query?op=count&where=" + url.QueryEscape(attr.Name+"="+attr.Domain[0])
+
+	req, err := http.NewRequest("POST", target, bytes.NewReader(csvBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set("X-Request-ID", "req-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "req-abc-123" {
+		t.Errorf("X-Request-ID echo = %q, want req-abc-123", got)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	var summary map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary["request_id"] != "req-abc-123" {
+		t.Errorf("summary request_id = %v, want req-abc-123", summary["request_id"])
+	}
+
+	// No inbound ID: one is generated and echoed.
+	resp2, err := http.Post(target, "text/csv", bytes.NewReader(csvBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID generated for an anonymous request")
+	}
+}

@@ -257,6 +257,36 @@
 // non-degraded answers stay bit-identical to a fault-free oracle, and
 // degraded intervals contain the oracle mass.
 //
+// # Observability
+//
+// The stack is instrumented end to end, and observation never changes
+// answers. A process-wide registry (surfaced as WriteMetrics) holds
+// lock-free fixed-bucket log-scale latency histograms on atomics — one
+// atomic add per observation, zero allocations, pinned by benchmark —
+// recording vote resolutions, Gibbs batches, bound computations,
+// prefetch waits, stream and sink emission, watch fan-out, and query
+// plan/exec times at block/stage granularity, never per tuple.
+// WriteEngineStatsMetrics renders an EngineStats snapshot as one
+// Prometheus gauge per counter (mrsl_engine_ + snake_case(field);
+// EngineStatsMetricNames lists them, and "make metrics-lint" keeps the
+// exposition and README's metric table in lockstep).
+//
+// Per-request timing is opt-in: QuerySpec.Analyze (mrslquery
+// -explain-analyze, or explain=analyze on POST /query) attaches
+// measured planning, wall, and per-tier resolution durations to
+// QueryResult.Plan.Timing — the predicted tier counts next to what they
+// actually cost. A Trace attached to the evaluation context (NewTrace,
+// WithTrace) records named spans through the same probes and also
+// enables the timing block; a nil *Trace is a valid no-op recorder, so
+// instrumented code observes unconditionally and pays only a nil check
+// when tracing is off. Neither path changes answers — evaluations with
+// timing or tracing enabled return bit-identical results
+// (property-tested). mrslserve exposes the registry on GET /metrics
+// (plus build identity via BuildRevision), honors or generates
+// X-Request-ID, logs one structured slog line per request, streams
+// {"kind":"trace"} records under trace=1, and mounts net/http/pprof on
+// a separate listener with -pprof.
+//
 // The cmd/ directory ships six tools (mrslserve serves streaming
 // derivations and queries over HTTP from one long-lived engine;
 // mrslbench regenerates every table and figure of the paper plus engine

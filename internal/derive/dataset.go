@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/pdb"
@@ -297,12 +298,17 @@ func (d *Dataset) Observe(ctx context.Context, index, attr, val int) (ObserveRes
 	res.Alternatives = len(nb.Alts)
 	res.Epoch = epoch
 	res.Version = d.version
+	// Subscription delivery is observed once per applied delta (the whole
+	// fan-out, not per subscriber): the sends are non-blocking, so the
+	// histogram tracks signal latency under many watchers.
+	notifyStart := time.Now()
 	for _, ch := range d.subs {
 		select {
 		case ch <- struct{}{}:
 		default: // watcher already has a pending signal
 		}
 	}
+	watchNotifySeconds.Since(notifyStart)
 	return res, nil
 }
 

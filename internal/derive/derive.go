@@ -47,11 +47,14 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"time"
+
 	"repro/internal/clockcache"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/faultinject"
 	"repro/internal/gibbs"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/relation"
 	"repro/internal/vote"
@@ -598,7 +601,17 @@ func (e *Engine) resolveVote(ctx context.Context, t relation.Tuple, key []byte) 
 // waitReady blocks until ready closes or ctx is canceled. A canceled wait
 // never abandons a claimed computation — the claimer always finishes and
 // closes the entry, so the cache is never poisoned by cancellation.
+// The fast path (entry already computed — the steady-state cache-hit
+// serving path) is a single non-blocking probe; only genuine waits on
+// another goroutine's in-flight computation read the clock.
 func waitReady(ctx context.Context, ready <-chan struct{}) error {
+	select {
+	case <-ready:
+		return nil
+	default:
+	}
+	start := time.Now()
+	defer prefetchWaitSeconds.Since(start)
 	select {
 	case <-ready:
 		return nil
@@ -623,6 +636,7 @@ func (e *Engine) prefetchVote(t relation.Tuple, key []byte) {
 func (e *Engine) fillVote(en *entry, t relation.Tuple, key []byte) {
 	defer close(en.ready)
 	defer e.recoverEntry(en, e.votes, key, "vote")
+	defer voteSeconds.Since(time.Now())
 	en.joint, en.err = e.voteJoint(t)
 	if en.err == nil {
 		en.block, en.err = e.block(t, en.joint)
@@ -802,6 +816,7 @@ func (e *Engine) prefetchGibbs(t relation.Tuple, key []byte) {
 func (e *Engine) fillGibbs(en *entry, t relation.Tuple, key []byte) {
 	defer close(en.ready)
 	defer e.recoverEntry(en, e.gibbs, key, "chain")
+	defer chainSeconds.Since(time.Now())
 	en.joint, en.err = e.chainJoint(t)
 	if en.err == nil {
 		en.block, en.err = e.block(t, en.joint)
@@ -907,7 +922,10 @@ func (e *Engine) StreamPools(rel *relation.Relation, pools Pools, emit EmitFunc)
 // returns. Overlapping calls from multiple goroutines are safe and share
 // the engine's caches.
 func (e *Engine) StreamContext(ctx context.Context, rel *relation.Relation, pools Pools, emit EmitFunc) error {
+	start := time.Now()
 	err := e.stream(ctx, rel, pools, emit)
+	streamSeconds.Since(start)
+	obs.TraceFrom(ctx).Since("derive.stream", start)
 	e.mu.Lock()
 	e.stats.Streams++
 	if errors.Is(err, context.DeadlineExceeded) {

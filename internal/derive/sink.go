@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/pdb"
@@ -26,24 +27,21 @@ type Sink interface {
 // without calling Close, so a partial output is never flushed as if it
 // were complete.
 func (e *Engine) StreamTo(rel *relation.Relation, sink Sink) error {
-	if err := e.Stream(rel, sink.Emit); err != nil {
-		return err
-	}
-	return sink.Close()
+	return e.StreamToContext(context.Background(), rel, Pools{}, sink)
 }
 
 // StreamPoolsTo is StreamTo with per-request pool sizes.
 func (e *Engine) StreamPoolsTo(rel *relation.Relation, pools Pools, sink Sink) error {
-	if err := e.StreamPools(rel, pools, sink.Emit); err != nil {
-		return err
-	}
-	return sink.Close()
+	return e.StreamToContext(context.Background(), rel, pools, sink)
 }
 
 // StreamToContext is StreamTo with a cancellation context and per-request
 // pool sizes: canceling ctx stops the stream (see StreamContext) and the
 // sink is not closed, so a partial output is never flushed as complete.
+// The sink-bound stream is observed as one stage (emission included) —
+// per-item timing would put a clock read on the per-tuple hot path.
 func (e *Engine) StreamToContext(ctx context.Context, rel *relation.Relation, pools Pools, sink Sink) error {
+	defer sinkStreamSeconds.Since(time.Now())
 	if err := e.StreamContext(ctx, rel, pools, sink.Emit); err != nil {
 		return err
 	}

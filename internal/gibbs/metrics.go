@@ -1,0 +1,13 @@
+package gibbs
+
+import "repro/internal/obs"
+
+// Batch-grained sampler histograms: one observation per scheduled batch
+// (a parallel chain pool run or a holistic DAG batch), never per sweep —
+// sweeps are the sampler's innermost loop.
+var (
+	batchSeconds = obs.Default.Histogram("mrsl_gibbs_batch_seconds", "",
+		"One parallel chain-pool batch over a workload's distinct tuples.")
+	dagBatchSeconds = obs.Default.Histogram("mrsl_gibbs_dag_batch_seconds", "",
+		"One holistic tuple-DAG sampling batch (Algorithm 3).")
+)

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildRevision returns the VCS revision this binary was built from
+// (shortened, with a -dirty suffix for modified trees), or "unknown"
+// when the build carries no VCS stamp (e.g. test binaries).
+func BuildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the runtime's Go version, for the build-info gauge
+// labels.
+func GoVersion() string { return runtime.Version() }

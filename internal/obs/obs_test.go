@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserveZeroAlloc pins the hot-path contract: one Observe is
+// alloc-free. The engine calls it on block/stage boundaries inside the
+// serving hot path, so any allocation here would show up as per-block
+// GC pressure.
+func TestObserveZeroAlloc(t *testing.T) {
+	h := NewRegistry().Histogram("x_seconds", "", "test")
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(1234 * time.Nanosecond)
+	}); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v times per call, want 0", n)
+	}
+	g := NewRegistry().Gauge("x_gauge", "", "test")
+	if n := testing.AllocsPerRun(1000, func() {
+		g.Add(1)
+	}); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v times per call, want 0", n)
+	}
+	tr := (*Trace)(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Observe("noop", time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("nil Trace.Observe allocates %v times per call, want 0", n)
+	}
+}
+
+// TestHistogramRacingWriters is the concurrent-correctness property
+// test: under racing writers the bucket sum equals the number of
+// observations, and the sum of durations matches exactly (both are
+// settled totals once writers join).
+func TestHistogramRacingWriters(t *testing.T) {
+	h := NewRegistry().Histogram("race_seconds", "", "test")
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	var wantSum int64
+	var mu sync.Mutex
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var local int64
+			for i := 0; i < perWriter; i++ {
+				d := time.Duration(rng.Int63n(int64(time.Second)))
+				local += d.Nanoseconds()
+				h.Observe(d)
+			}
+			mu.Lock()
+			wantSum += local
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	buckets, count, sumNS := h.Snapshot()
+	if count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", count, writers*perWriter)
+	}
+	var bucketSum int64
+	for _, c := range buckets {
+		if c < 0 {
+			t.Fatalf("negative bucket count %d", c)
+		}
+		bucketSum += c
+	}
+	if bucketSum != count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, count)
+	}
+	if sumNS != wantSum {
+		t.Fatalf("sum = %dns, want %dns", sumNS, wantSum)
+	}
+}
+
+// TestPrometheusOutputUnderRacingWriters scrapes the registry while
+// writers are mid-flight and asserts the exposition parses: cumulative
+// buckets are monotone, every le value increases, the +Inf bucket
+// equals _count, and _sum is a finite non-negative number.
+func TestPrometheusOutputUnderRacingWriters(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mid_seconds", `path="/x"`, "test histogram")
+	r.Gauge("mid_gauge", "", "test gauge").Set(7)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+				}
+			}
+		}(int64(w + 1))
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		checkExposition(t, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// checkExposition validates Prometheus text output: per-series bucket
+// monotonicity, increasing le values, +Inf == _count, parseable sample
+// lines.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	type state struct {
+		lastCum int64
+		lastLE  float64
+		infSeen bool
+		inf     int64
+	}
+	states := make(map[string]*state)
+	counts := make(map[string]int64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		name, value := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("line %q: bad value: %v", line, err)
+		}
+		switch {
+		case strings.Contains(name, "_bucket{"):
+			base := name[:strings.Index(name, "_bucket{")]
+			labels := name[strings.Index(name, "{")+1 : len(name)-1]
+			le := ""
+			rest := []string{}
+			for _, pair := range strings.Split(labels, ",") {
+				if strings.HasPrefix(pair, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(pair, `le="`), `"`)
+				} else {
+					rest = append(rest, pair)
+				}
+			}
+			key := base + "{" + strings.Join(rest, ",") + "}"
+			st := states[key]
+			if st == nil {
+				st = &state{lastLE: -1}
+				states[key] = st
+			}
+			cum, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if cum < st.lastCum {
+				t.Fatalf("series %s: cumulative bucket decreased %d -> %d", key, st.lastCum, cum)
+			}
+			st.lastCum = cum
+			if le == "+Inf" {
+				st.infSeen = true
+				st.inf = cum
+			} else {
+				f, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("bucket line %q: bad le: %v", line, err)
+				}
+				if st.infSeen {
+					t.Fatalf("series %s: finite le after +Inf", key)
+				}
+				if f <= st.lastLE {
+					t.Fatalf("series %s: le not increasing (%g after %g)", key, f, st.lastLE)
+				}
+				st.lastLE = f
+			}
+		case strings.Contains(name, "_count"):
+			c, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+			counts[strings.Replace(name, "_count", "", 1)] = c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for key, st := range states {
+		if !st.infSeen {
+			t.Fatalf("series %s: no +Inf bucket", key)
+		}
+		base := key[:strings.Index(key, "{")]
+		labels := strings.Trim(key[strings.Index(key, "{"):], "{}")
+		countKey := base + "{" + labels + "}"
+		if labels == "" {
+			countKey = base
+		}
+		if c, ok := counts[countKey]; ok && c != st.inf {
+			t.Fatalf("series %s: +Inf bucket %d != _count %d", key, st.inf, c)
+		}
+	}
+}
+
+func TestBucketBoundsCoverDurations(t *testing.T) {
+	h := new(Histogram)
+	for _, d := range []time.Duration{0, 1, 999, time.Microsecond, time.Millisecond, time.Second, time.Hour, 1<<62 - 1} {
+		h.Observe(d)
+	}
+	h.Observe(-time.Second) // clamps to zero, must not panic
+	if got := h.Count(); got != 9 {
+		t.Fatalf("count = %d, want 9", got)
+	}
+}
+
+func TestRegistryIdempotentAndStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h", `path="/a"`, "help")
+	b := r.Histogram("h", `path="/a"`, "help")
+	if a != b {
+		t.Fatal("same name+labels returned distinct histograms")
+	}
+	if c := r.Histogram("h", `path="/b"`, "help"); c == a {
+		t.Fatal("distinct labels shared an instrument")
+	}
+	g := r.Gauge("g", "", "help")
+	g.Inc()
+	g.Add(4)
+	g.Dec()
+	if got := r.Gauge("g", "", "help").Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE h histogram") || !strings.Contains(out, "# TYPE g gauge") {
+		t.Fatalf("missing TYPE lines in:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE h histogram") != 1 {
+		t.Fatalf("TYPE line repeated per label set:\n%s", out)
+	}
+	if !strings.Contains(out, `h_bucket{path="/a",le="+Inf"}`) {
+		t.Fatalf("missing labeled +Inf bucket in:\n%s", out)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"VotesComputed":      "votes_computed",
+		"CPDHits":            "cpd_hits",
+		"CPDEvictions":       "cpd_evictions",
+		"GibbsCacheHits":     "gibbs_cache_hits",
+		"QueryBoundWidth":    "query_bound_width",
+		"QueriesDissociated": "queries_dissociated",
+		"Streams":            "streams",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStructMetricNames(t *testing.T) {
+	type stats struct {
+		VotesComputed int64
+		CPDHits       int64
+		BoundWidth    float64
+		hidden        int64
+		Name          string
+	}
+	_ = stats{hidden: 0}
+	got := StructMetricNames("mrsl_engine_", stats{})
+	want := []string{"mrsl_engine_votes_computed", "mrsl_engine_cpd_hits", "mrsl_engine_bound_width"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	var buf bytes.Buffer
+	WriteStructGauges(&buf, "mrsl_engine_", stats{VotesComputed: 3, BoundWidth: 0.5})
+	out := buf.String()
+	if !strings.Contains(out, "mrsl_engine_votes_computed 3\n") || !strings.Contains(out, "mrsl_engine_bound_width 0.5\n") {
+		t.Fatalf("bad struct gauge output:\n%s", out)
+	}
+	if strings.Contains(out, "hidden") || strings.Contains(out, "name") {
+		t.Fatalf("non-metric fields leaked:\n%s", out)
+	}
+}
+
+func TestSortedLabelPairs(t *testing.T) {
+	got := SortedLabelPairs(map[string]string{"b": "2", "a": "1"})
+	if got != `a="1",b="2"` {
+		t.Fatalf("got %q", got)
+	}
+}

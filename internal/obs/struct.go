@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+)
+
+// StructMetricNames returns the metric name each exported numeric field
+// of v (a struct or pointer to struct) maps to: prefix + snake-cased
+// field name. This is the single source of truth for stats-struct
+// exposition — WriteStructGauges uses the same mapping, and
+// scripts/metrics-lint.sh replays it to detect README drift.
+func StructMetricNames(prefix string, v any) []string {
+	rv := reflect.Indirect(reflect.ValueOf(v))
+	if rv.Kind() != reflect.Struct {
+		return nil
+	}
+	var names []string
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() || !numericKind(f.Type.Kind()) {
+			continue
+		}
+		names = append(names, prefix+snakeCase(f.Name))
+	}
+	return names
+}
+
+// WriteStructGauges writes one gauge per exported numeric field of v in
+// Prometheus text format, named prefix + snake-cased field name. Every
+// counter the struct gains in the future is exported automatically.
+func WriteStructGauges(w io.Writer, prefix string, v any) {
+	rv := reflect.Indirect(reflect.ValueOf(v))
+	if rv.Kind() != reflect.Struct {
+		return
+	}
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() || !numericKind(f.Type.Kind()) {
+			continue
+		}
+		var val float64
+		switch f.Type.Kind() {
+		case reflect.Float32, reflect.Float64:
+			val = rv.Field(i).Float()
+		default:
+			val = float64(rv.Field(i).Int())
+		}
+		name := prefix + snakeCase(f.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(val))
+	}
+}
+
+func numericKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+// snakeCase converts a Go field name to snake case, keeping acronym
+// runs together: VotesComputed -> votes_computed, CPDHits -> cpd_hits.
+func snakeCase(s string) string {
+	out := make([]byte, 0, len(s)+4)
+	rs := []rune(s)
+	for i, r := range rs {
+		if r >= 'A' && r <= 'Z' {
+			prevUpper := i > 0 && rs[i-1] >= 'A' && rs[i-1] <= 'Z'
+			nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+			if i > 0 && (!prevUpper || nextLower) {
+				out = append(out, '_')
+			}
+			r += 'a' - 'A'
+		}
+		out = append(out, byte(r))
+	}
+	return string(out)
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one recorded stage of a traced request: a name and how long
+// the stage took. The JSON field names are the wire schema of the
+// {"kind":"trace"} NDJSON record.
+type Span struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Trace records named spans for one request. A nil *Trace is a valid
+// no-op recorder: every method nil-checks first, so instrumented code
+// calls TraceFrom(ctx).Observe(...) unconditionally and pays only a
+// nil test when tracing is disabled. Tracing never changes answers —
+// it only appends to this side recorder.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an enabled span recorder.
+func NewTrace() *Trace { return &Trace{} }
+
+// Observe appends one span. No-op on a nil receiver.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, DurationMS: float64(d.Nanoseconds()) / 1e6})
+	t.mu.Unlock()
+}
+
+// Since is shorthand for Observe(name, time.Since(start)). No-op on a
+// nil receiver.
+func (t *Trace) Since(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.Observe(name, time.Since(start))
+}
+
+// Spans returns a copy of the recorded spans in record order. Nil on a
+// nil receiver.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a span recorder to the context. Attaching nil is
+// allowed and keeps tracing disabled.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's span recorder, or nil (the no-op
+// recorder) when the request is not traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+type requestIDKey struct{}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

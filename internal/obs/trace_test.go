@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Observe("a", time.Second) // must not panic
+	tr.Since("b", time.Now())
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe("plan", 1500*time.Microsecond)
+	tr.Observe("derive", 2*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "plan" || spans[0].DurationMS != 1.5 {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Name != "derive" || spans[1].DurationMS != 2 {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Observe("s", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("empty context carried a trace")
+	}
+	if WithTrace(ctx, nil) != ctx {
+		t.Fatal("attaching nil trace should be identity")
+	}
+	tr := NewTrace()
+	ctx = WithTrace(ctx, tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace did not round-trip")
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RequestIDFrom(ctx) != "" {
+		t.Fatal("empty context carried a request ID")
+	}
+	if WithRequestID(ctx, "") != ctx {
+		t.Fatal("attaching empty ID should be identity")
+	}
+	ctx = WithRequestID(ctx, "req-1")
+	if RequestIDFrom(ctx) != "req-1" {
+		t.Fatal("request ID did not round-trip")
+	}
+}
+
+func TestBuildRevisionNeverEmpty(t *testing.T) {
+	if BuildRevision() == "" {
+		t.Fatal("BuildRevision returned empty string")
+	}
+	if GoVersion() == "" {
+		t.Fatal("GoVersion returned empty string")
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/derive"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/relation"
 )
@@ -110,6 +111,7 @@ func EvalSnapshot(ctx context.Context, eng *derive.Engine, snap *derive.DatasetS
 
 func evalOverrides(ctx context.Context, eng *derive.Engine, rel *relation.Relation, overrides map[int]*pdb.Block,
 	q *Query, pools derive.Pools, progress ProgressFunc) (*Result, error) {
+	wallStart := time.Now()
 	if err := validate(eng, rel, q); err != nil {
 		return nil, err
 	}
@@ -117,7 +119,11 @@ func evalOverrides(ctx context.Context, eng *derive.Engine, rel *relation.Relati
 	if err != nil {
 		return nil, err
 	}
+	planDur := time.Since(wallStart)
+	planSeconds.Observe(planDur)
 	ex := newExecutor(ctx, q, eng, rel, pl, pools, progress)
+	ex.tm.start = wallStart
+	ex.tm.planNS = planDur.Nanoseconds()
 	res, err := ex.dispatch(ctx)
 	if err != nil {
 		return nil, err
@@ -142,8 +148,16 @@ func (ex *executor) dispatch(ctx context.Context) (*Result, error) {
 }
 
 // finish attaches the plan summary, closes the counter partition, and
-// folds the evaluation into the engine's stats.
+// folds the evaluation into the engine's stats. When the evaluation
+// requested timing, the measured per-tier durations land on
+// Plan.Timing and mirror into the request's trace.
 func (ex *executor) finish(res *Result, dissociated bool) *Result {
+	wall := time.Since(ex.tm.start)
+	execSeconds.Observe(wall)
+	if t := ex.tm.build(wall); t != nil {
+		ex.plan.info.Timing = t
+		t.trace(ex.tr)
+	}
 	res.Plan = ex.plan.info
 	res.Dissociated = dissociated
 	res.Degraded = ex.degraded
@@ -196,6 +210,11 @@ type executor struct {
 	exhausted bool // sticky: once the budget is spent, stay degraded
 	degraded  bool
 	degTuples int64
+
+	// Explain-analyze timing accumulator and the request's span recorder
+	// (nil when untraced). See timing.go.
+	tm execTiming
+	tr *obs.Trace
 }
 
 // newExecutor builds the executor for one evaluation, capturing the
@@ -205,6 +224,8 @@ type executor struct {
 func newExecutor(ctx context.Context, q *Query, eng *derive.Engine, rel *relation.Relation,
 	pl *plan, pools derive.Pools, progress ProgressFunc) *executor {
 	ex := &executor{q: q, eng: eng, rel: rel, plan: pl, pools: pools, progress: progress}
+	ex.tr = obs.TraceFrom(ctx)
+	ex.tm.enabled = q.analyze || ex.tr != nil
 	if dl, ok := ctx.Deadline(); ok {
 		ex.hasDL = true
 		ex.deadline = dl
@@ -392,19 +413,25 @@ func (ex *executor) exactProb(ctx context.Context, i int, c *Counters) (float64,
 	case tierVote:
 		c.Bounded++
 		attr := t.MissingAttrs()[0]
+		start := ex.tm.tick()
 		d, _, err := ex.eng.MarginalCPD(t, attr)
 		if err != nil {
 			return 0, err
 		}
-		return ex.distProb(attr, d), nil
+		p := ex.distProb(attr, d)
+		ex.tm.tock(start, &ex.tm.voteNS, &ex.tm.voteN)
+		return p, nil
 	default: // tierBound (undecided), tierDerive
 		c.Derived++
 		c.BoundWidth += act.iv.Width()
+		start := ex.tm.tick()
 		b, _, err := ex.eng.ResolveBlock(ctx, t)
 		if err != nil {
 			return 0, err
 		}
-		return ex.altsProb(b.Alts), nil
+		p := ex.altsProb(b.Alts)
+		ex.tm.tock(start, &ex.tm.deriveNS, &ex.tm.deriveN)
+		return p, nil
 	}
 }
 
@@ -441,7 +468,12 @@ func (ex *executor) prefetch(ctx context.Context, idx []int) {
 	for i, j := range idx {
 		work[i] = ex.rel.Tuples[j]
 	}
+	start := ex.tm.tick()
 	ex.eng.PrefetchBlocks(ctx, work, ex.pools)
+	if ex.tm.enabled {
+		ex.tm.prefetchNS += time.Since(start).Nanoseconds()
+		ex.tm.prefetchN += int64(len(idx))
+	}
 }
 
 // evalCount folds per-tuple satisfaction probabilities in input order:
@@ -718,14 +750,17 @@ func (ex *executor) insertResolved(ctx context.Context, res *Result, i int) erro
 	t := ex.rel.Tuples[i]
 	switch act := ex.plan.acts[i]; act.tier {
 	case tierObserved:
+		start := ex.tm.tick()
 		for _, a := range act.blk.Alts {
 			if ex.plan.satisfies(a.Tuple) {
 				ex.insert(res, Row{Index: i, Tuple: a.Tuple, Prob: a.Prob})
 			}
 		}
+		ex.tm.tock(start, &ex.tm.observedNS, &ex.tm.observedN)
 	case tierVote:
 		res.Counters.Bounded++
 		attr := t.MissingAttrs()[0]
+		start := ex.tm.tick()
 		d, _, err := ex.eng.MarginalCPD(t, attr)
 		if err != nil {
 			return err
@@ -735,9 +770,11 @@ func (ex *executor) insertResolved(ctx context.Context, res *Result, i int) erro
 				ex.insert(res, Row{Index: i, Tuple: a.Tuple, Prob: a.Prob})
 			}
 		}
+		ex.tm.tock(start, &ex.tm.voteNS, &ex.tm.voteN)
 	default: // tierBound, tierDerive
 		res.Counters.Derived++
 		res.Counters.BoundWidth += act.iv.Width()
+		start := ex.tm.tick()
 		b, _, err := ex.eng.ResolveBlock(ctx, t)
 		if err != nil {
 			return err
@@ -747,6 +784,7 @@ func (ex *executor) insertResolved(ctx context.Context, res *Result, i int) erro
 				ex.insert(res, Row{Index: i, Tuple: a.Tuple, Prob: a.Prob})
 			}
 		}
+		ex.tm.tock(start, &ex.tm.deriveNS, &ex.tm.deriveN)
 	}
 	return nil
 }
@@ -984,6 +1022,7 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 			res.Groups[t[g]].Expected++
 			continue
 		case tierObserved:
+			start := ex.tm.tick()
 			clear(perValue)
 			for _, a := range ex.plan.acts[i].blk.Alts {
 				if ex.plan.satisfies(a.Tuple) {
@@ -991,9 +1030,11 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 				}
 			}
 			fold()
+			ex.tm.tock(start, &ex.tm.observedNS, &ex.tm.observedN)
 		case tierVote:
 			res.Counters.Bounded++
 			attr := t.MissingAttrs()[0]
+			start := ex.tm.tick()
 			d, _, err := ex.eng.MarginalCPD(t, attr)
 			if err != nil {
 				return nil, err
@@ -1011,6 +1052,7 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 				perValue[gv] += vm.p
 			}
 			fold()
+			ex.tm.tock(start, &ex.tm.voteNS, &ex.tm.voteN)
 		default: // tierDerive (groupby plans no bound tier)
 			if ex.budgetExhausted() {
 				degradeGroup(i, t)
@@ -1018,6 +1060,7 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 			}
 			res.Counters.Derived++
 			res.Counters.BoundWidth += ex.plan.acts[i].iv.Width()
+			start := ex.tm.tick()
 			b, _, err := ex.eng.ResolveBlock(ctx, t)
 			if err != nil {
 				if ex.hasDL && errors.Is(err, context.DeadlineExceeded) {
@@ -1036,6 +1079,7 @@ func (ex *executor) evalGroupBy(ctx context.Context) (*Result, error) {
 				}
 			}
 			fold()
+			ex.tm.tock(start, &ex.tm.deriveNS, &ex.tm.deriveN)
 		}
 		if err := ex.emit(res); err != nil {
 			return nil, err

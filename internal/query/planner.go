@@ -83,6 +83,11 @@ type PlanInfo struct {
 	// over a compiled join: the join order, conditions, projection, and
 	// the safety verdict. Nil for plain single-relation queries.
 	Join *JoinPlanInfo
+	// Timing holds the measured explain-analyze block — actual per-tier
+	// resolution durations next to the predicted tier counts above. Nil
+	// unless the evaluation requested timing (Spec.Analyze or a request
+	// trace) and actually executed (Plan alone never runs the executor).
+	Timing *PlanTiming
 }
 
 // JoinPlanInfo is the SPJ portion of a plan summary: how the joined
@@ -139,6 +144,12 @@ func (p *PlanInfo) String() string {
 			fmt.Fprintf(&b, "  projection: %s (distinct answers)\n", strings.Join(j.Projection, ", "))
 		}
 		fmt.Fprintf(&b, "  safety: %s\n", j.Verdict)
+	}
+	if t := p.Timing; t != nil {
+		fmt.Fprintf(&b, "  timing: plan %.3fms, wall %.3fms\n", t.PlanMS, t.WallMS)
+		for _, tt := range t.Tiers {
+			fmt.Fprintf(&b, "    %s: %d tuples, %.3fms\n", tt.Tier, tt.Tuples, tt.DurationMS)
+		}
 	}
 	return b.String()
 }

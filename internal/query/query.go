@@ -197,6 +197,11 @@ type Spec struct {
 	// counts tuples reaching it, Exists answers whether the existence
 	// probability reaches it, TopK drops rows below it. 0 disables it.
 	MinProb float64
+	// Analyze enables explain-analyze timing: the executor measures
+	// per-tier resolution durations and attaches them to
+	// Result.Plan.Timing. Timing never changes answers; it only adds
+	// clock reads around resolution units.
+	Analyze bool
 }
 
 // valueSet is the compiled satisfying set of one constrained attribute:
@@ -232,6 +237,8 @@ type Query struct {
 	// non-refuted row needs its exact per-completion masses, so intervals
 	// would be computed and then ignored.
 	boundsOff bool
+	// analyze requests explain-analyze timing (Spec.Analyze).
+	analyze bool
 }
 
 // Compile validates spec against the schema and compiles it. Count,
@@ -249,6 +256,7 @@ func Compile(s *relation.Schema, spec Spec) (*Query, error) {
 		groupAttr: -1,
 		k:         spec.K,
 		minProb:   spec.MinProb,
+		analyze:   spec.Analyze,
 	}
 	switch spec.Op {
 	case Count, Exists, TopK:

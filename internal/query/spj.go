@@ -50,6 +50,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/derive"
 	"repro/internal/pdb"
@@ -555,6 +556,7 @@ func EvalSPJ(ctx context.Context, eng *derive.Engine, spj *SPJ, pools derive.Poo
 	if spj == nil {
 		return nil, fmt.Errorf("query: nil spj")
 	}
+	wallStart := time.Now()
 	q := spj.q
 	if err := validate(eng, spj.rel, q); err != nil {
 		return nil, err
@@ -563,8 +565,12 @@ func EvalSPJ(ctx context.Context, eng *derive.Engine, spj *SPJ, pools derive.Poo
 	if err != nil {
 		return nil, err
 	}
+	planDur := time.Since(wallStart)
+	planSeconds.Observe(planDur)
 	pl.info.Join = spj.JoinInfo()
 	ex := newExecutor(ctx, q, eng, spj.rel, pl, pools, progress)
+	ex.tm.start = wallStart
+	ex.tm.planNS = planDur.Nanoseconds()
 	var res *Result
 	switch {
 	case len(spj.project) > 0:

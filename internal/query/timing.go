@@ -1,0 +1,111 @@
+// Explain-analyze timing: the executor accumulates per-tier resolution
+// durations and counts while it evaluates, and finish() attaches them to
+// PlanInfo.Timing — actual timings next to the planner's predicted tier
+// counts. Accumulation is opt-in (Spec.Analyze, or a Trace on the
+// context): the clock reads wrap whole resolution units, and when
+// disabled every probe is a single bool test, so the always-on cost is
+// two clock reads per evaluation (the wall/plan stage histograms).
+// Timing never changes answers — it only observes.
+package query
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Stage-level evaluation histograms, always on (two clock reads per
+// evaluation, never per tuple).
+var (
+	planSeconds = obs.Default.Histogram("mrsl_query_plan_seconds", "",
+		"Query planning (tier classification + bound envelopes) per evaluation.")
+	execSeconds = obs.Default.Histogram("mrsl_query_exec_seconds", "",
+		"End-to-end query evaluation wall time, planning included.")
+)
+
+// TierTiming is one resolution tier's measured share of an evaluation:
+// how many tuples the executor resolved through it and how long those
+// resolutions took in total. The prefetch entry counts tuples handed to
+// the warm-up pools and the wall time spent waiting for them.
+type TierTiming struct {
+	Tier       string  `json:"tier"`
+	Tuples     int64   `json:"tuples"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// PlanTiming is the explain-analyze block attached to PlanInfo.Timing:
+// actual measured durations for one evaluation. PlanMS covers
+// validation, tier classification, and bound-envelope enumeration;
+// WallMS is the whole evaluation including planning; Tiers holds the
+// per-tier resolution times. PlanMS plus the tier durations account for
+// the evaluation's inference work — on inference-heavy workloads they
+// sum to approximately WallMS, and the remainder is scan/fold overhead.
+type PlanTiming struct {
+	PlanMS float64      `json:"plan_ms"`
+	WallMS float64      `json:"wall_ms"`
+	Tiers  []TierTiming `json:"tiers"`
+}
+
+// execTiming is the executor's timing accumulator. The executor is
+// single-goroutine (pools are timed from the outside, as the prefetch
+// stage), so plain int64 fields suffice.
+type execTiming struct {
+	enabled bool
+	start   time.Time // evaluation wall start (set even when disabled)
+	planNS  int64
+
+	prefetchNS, prefetchN int64
+	voteNS, voteN         int64
+	deriveNS, deriveN     int64
+	observedNS, observedN int64
+}
+
+// tick reads the clock when timing is enabled; the zero time otherwise.
+func (tm *execTiming) tick() time.Time {
+	if !tm.enabled {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// tock accumulates one timed resolution.
+func (tm *execTiming) tock(start time.Time, ns, n *int64) {
+	if !tm.enabled {
+		return
+	}
+	*ns += time.Since(start).Nanoseconds()
+	*n++
+}
+
+func nsToMS(ns int64) float64 { return float64(ns) / 1e6 }
+
+// build renders the accumulated stages, or nil when timing was off.
+func (tm *execTiming) build(wall time.Duration) *PlanTiming {
+	if !tm.enabled {
+		return nil
+	}
+	pt := &PlanTiming{PlanMS: nsToMS(tm.planNS), WallMS: float64(wall.Nanoseconds()) / 1e6}
+	add := func(tier string, n, ns int64) {
+		if n > 0 {
+			pt.Tiers = append(pt.Tiers, TierTiming{Tier: tier, Tuples: n, DurationMS: nsToMS(ns)})
+		}
+	}
+	add("prefetch", tm.prefetchN, tm.prefetchNS)
+	add("vote", tm.voteN, tm.voteNS)
+	add("derive", tm.deriveN, tm.deriveNS)
+	add("observed", tm.observedN, tm.observedNS)
+	return pt
+}
+
+// trace mirrors the timing block into the request's span recorder (a
+// no-op on a nil trace).
+func (pt *PlanTiming) trace(tr *obs.Trace) {
+	if pt == nil || tr == nil {
+		return
+	}
+	tr.Observe("query.plan", time.Duration(pt.PlanMS*1e6))
+	for _, t := range pt.Tiers {
+		tr.Observe("query."+t.Tier, time.Duration(t.DurationMS*1e6))
+	}
+	tr.Observe("query.wall", time.Duration(pt.WallMS*1e6))
+}

@@ -47,6 +47,14 @@ type (
 	// selectivity-ordered predicates, per-tier tuple counts, and whether
 	// dissociation bounds were in play. Attached to QueryResult.Plan.
 	QueryPlanInfo = query.PlanInfo
+	// QueryPlanTiming is the explain-analyze block on QueryPlanInfo.Timing:
+	// measured planning, wall, and per-tier resolution durations for one
+	// evaluation. Attached only when QuerySpec.Analyze was set (or the
+	// evaluation context carried a Trace); timing never changes answers.
+	QueryPlanTiming = query.PlanTiming
+	// QueryTierTiming is one measured tier of a QueryPlanTiming: how many
+	// tuples resolved through it and the total duration they took.
+	QueryTierTiming = query.TierTiming
 	// QueryProgressFunc observes a TopK or GroupBy evaluation in flight;
 	// see Engine.QueryStream.
 	QueryProgressFunc = query.ProgressFunc

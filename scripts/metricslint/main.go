@@ -1,0 +1,35 @@
+// Command metricslint is the helper behind scripts/metrics-lint.sh: it
+// verifies that every EngineStats counter round-trips through the
+// Prometheus exporter mrslserve's GET /metrics uses (the reflection
+// walk in WriteEngineStatsMetrics, so a renamed or added field can
+// never silently drop out of the exposition), then prints the exported
+// metric names one per line for the shell side to check against
+// README.md's metric table.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var buf bytes.Buffer
+	repro.WriteEngineStatsMetrics(&buf, "mrsl_engine_", repro.EngineStats{})
+	exported := buf.String()
+	ok := true
+	for _, name := range repro.EngineStatsMetricNames("mrsl_engine_") {
+		if !strings.Contains(exported, name+" ") {
+			fmt.Fprintf(os.Stderr, "metricslint: %s not in WriteEngineStatsMetrics output\n", name)
+			ok = false
+			continue
+		}
+		fmt.Println(name)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

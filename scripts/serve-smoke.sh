@@ -58,10 +58,15 @@ lines=$(wc -l <"$tmp/out.ndjson")
 grep -q '"kind":"block"' "$tmp/out.ndjson" || { echo "serve-smoke: no blocks in stream"; exit 1; }
 
 curl -fsS -X POST --data-binary @testdata/matchmaking.csv \
-	"http://$addr/query?op=count&where=age%3D20" >"$tmp/query.ndjson"
+	"http://$addr/query?op=count&where=age%3D20&explain=analyze&trace=1" >"$tmp/query.ndjson"
 grep -q '"kind":"query"' "$tmp/query.ndjson" || { echo "serve-smoke: no query header record"; cat "$tmp/query.ndjson"; exit 1; }
 grep -q '"kind":"count"' "$tmp/query.ndjson" || { echo "serve-smoke: no count record"; cat "$tmp/query.ndjson"; exit 1; }
 grep -q '"kind":"summary"' "$tmp/query.ndjson" || { echo "serve-smoke: no summary record"; cat "$tmp/query.ndjson"; exit 1; }
+# explain=analyze attaches measured timings to the summary's plan, and
+# trace=1 appends the request's span record after it.
+grep -q '"timing":{' "$tmp/query.ndjson" || { echo "serve-smoke: explain=analyze summary has no timing block"; cat "$tmp/query.ndjson"; exit 1; }
+grep -q '"wall_ms":' "$tmp/query.ndjson" || { echo "serve-smoke: timing block has no wall_ms"; cat "$tmp/query.ndjson"; exit 1; }
+grep -q '"kind":"trace"' "$tmp/query.ndjson" || { echo "serve-smoke: trace=1 produced no trace record"; cat "$tmp/query.ndjson"; exit 1; }
 
 # Live evidence round trip: register the relation as a dataset, query
 # it, apply one observation, and re-query — the re-query's plan must
@@ -123,6 +128,16 @@ curl -fsS "http://$addr/stats" >"$tmp/stats.json"
 grep -q '"requests":6' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the requests"; cat "$tmp/stats.json"; exit 1; }
 grep -q '"observations":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the observation"; cat "$tmp/stats.json"; exit 1; }
 grep -q '"datasets":1' "$tmp/stats.json" || { echo "serve-smoke: stats did not count the dataset"; cat "$tmp/stats.json"; exit 1; }
+
+# Prometheus exposition: the per-endpoint request histogram must have
+# counted the /query traffic above, the EngineStats counters must be
+# exported as gauges, and build identity must be present. (/metrics is
+# not admitted, so scraping never perturbs the "requests" count.)
+curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
+qcount=$(sed -n 's/^mrsl_http_request_seconds_count{path="\/query"} //p' "$tmp/metrics.txt")
+[ -n "$qcount" ] && [ "$qcount" -ge 1 ] || { echo "serve-smoke: /metrics did not count the /query requests (got '$qcount')"; cat "$tmp/metrics.txt"; exit 1; }
+grep -q '^mrsl_engine_queries ' "$tmp/metrics.txt" || { echo "serve-smoke: no EngineStats gauges on /metrics"; cat "$tmp/metrics.txt"; exit 1; }
+grep -q '^mrsl_build_info{' "$tmp/metrics.txt" || { echo "serve-smoke: no build info on /metrics"; cat "$tmp/metrics.txt"; exit 1; }
 
 # Graceful drain: SIGTERM must end the process cleanly (exit 0, drain
 # farewell in the log) — the signal path the in-process tests can't reach.
