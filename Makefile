@@ -61,10 +61,13 @@ bench-serve:
 # Publish the query benchmarks — planning (classification, selectivity
 # ordering, memoized dissociation intervals) plus the per-statement SPJ
 # paths (safe hierarchical join, dissociated exists) — so query serving
-# latency is tracked run over run.
+# latency is tracked run over run. The adaptive pair runs full
+# evaluations (chains included) on the adversarial workloads, so it gets
+# a smaller iteration count appended to the same log.
 bench-planner:
 	$(GO) test -run=NONE -bench='BenchmarkQueryPlanner|BenchmarkQuerySafeJoin|BenchmarkQueryDissociated' -benchtime=1000x -json . > BENCH_planner.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_planner.json | head -4
+	$(GO) test -run=NONE -bench='BenchmarkQueryAdaptive|BenchmarkQueryAdversarial' -benchtime=100x -json . >> BENCH_planner.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_planner.json | head -8
 
 # Fail ci when serving throughput or planning latency regresses >30%
 # against the committed baselines (BENCH_baseline.json /

@@ -95,6 +95,12 @@ func TestChaosSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A thresholded exists the collective refute answers without deriving:
+	// this arms the query.replan fault point on the adaptive path.
+	refuteQ, err := CompileQuery(model.Schema, QuerySpec{Op: QueryExists, Where: "edu=MS,inc=50K", MinProb: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	bg := context.Background()
 	oracleCount, err := oracleEng.Query(bg, rel, countQ)
 	if err != nil {
@@ -103,6 +109,13 @@ func TestChaosSoak(t *testing.T) {
 	oracleGroups, err := oracleEng.Query(bg, rel, groupQ)
 	if err != nil {
 		t.Fatal(err)
+	}
+	oracleRefute, err := oracleEng.Query(bg, rel, refuteQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleRefute.Plan.Adaptive == nil || oracleRefute.Plan.Adaptive.Replans == 0 {
+		t.Fatalf("refute query did not re-plan: %+v", oracleRefute.Plan.Adaptive)
 	}
 	obsIndex, obsAttr, obsVal := consistentObservation(t, oracleDB, rel)
 
@@ -119,7 +132,7 @@ func TestChaosSoak(t *testing.T) {
 	if err := faultinject.Configure(
 		"derive.vote=panic/3,derive.chain=panic/5,derive.prefetch=panic/4," +
 			"gibbs.chain=panic/9,gibbs.sweep=sleep:300us/7,sink.write=sleep:100us/5," +
-			"cache.storm=fire/11,observe.replay=sleep:300us/2"); err != nil {
+			"cache.storm=fire/11,observe.replay=sleep:300us/2,query.replan=sleep:200us/3"); err != nil {
 		t.Fatal(err)
 	}
 	defer faultinject.Disable()
@@ -184,6 +197,12 @@ func TestChaosSoak(t *testing.T) {
 						fail("querier groupby/%d: group %s = %v, want %v",
 							i, og.Label, res.Groups[g].Expected, og.Expected)
 					}
+				}
+			}
+			res, err = eng.Query(bg, rel, refuteQ)
+			if tolerate(fmt.Sprintf("querier refute/%d", i), err) && !res.Degraded {
+				if res.Exists != oracleRefute.Exists {
+					fail("querier refute/%d: exists %v, want %v", i, res.Exists, oracleRefute.Exists)
 				}
 			}
 		}

@@ -1449,6 +1449,19 @@ func (s *server) writeSummary(enc *json.Encoder, r *http.Request, res *repro.Que
 			},
 			"bounds_used": p.BoundsUsed,
 		}
+		if a := p.Adaptive; a != nil {
+			adaptive := map[string]any{
+				"cost_model":        a.CostModel,
+				"envelope_hits":     a.EnvelopeHits,
+				"envelope_misses":   a.EnvelopeMisses,
+				"envelopes_skipped": a.EnvelopesSkipped,
+				"replans":           a.Replans,
+			}
+			if len(a.ReplanCut) > 0 {
+				adaptive["replan_cut"] = a.ReplanCut
+			}
+			plan["adaptive"] = adaptive
+		}
 		if p.Timing != nil {
 			// Explain-analyze: measured plan/wall durations and per-tier
 			// resolution times (tuples + duration_ms each).
@@ -1556,14 +1569,19 @@ func queryFromRequest(schema *repro.Schema, r *http.Request) (*repro.CompiledQue
 // statsResponse is the /stats payload: the engine's cache counters plus
 // serving-level bookkeeping.
 type statsResponse struct {
-	Engine         repro.EngineStats `json:"engine"`
-	VoteHitRate    float64           `json:"vote_hit_rate"`
-	GibbsHitRate   float64           `json:"gibbs_hit_rate"`
-	CPDHitRate     float64           `json:"cpd_hit_rate"`
-	BoundHitRate   float64           `json:"bound_hit_rate"`
-	Evictions      int64             `json:"evictions"`
-	BoundTightness float64           `json:"query_bound_tightness"`
-	BoundRefutes   int64             `json:"bound_refutes"`
+	Engine       repro.EngineStats `json:"engine"`
+	VoteHitRate  float64           `json:"vote_hit_rate"`
+	GibbsHitRate float64           `json:"gibbs_hit_rate"`
+	CPDHitRate   float64           `json:"cpd_hit_rate"`
+	BoundHitRate float64           `json:"bound_hit_rate"`
+	// EnvelopeHitRate is the hit rate of the shared combined-envelope
+	// interval cache adaptive planning probes; Replans counts executor
+	// re-plan rounds that cut remaining candidates mid-query.
+	EnvelopeHitRate float64 `json:"envelope_hit_rate"`
+	Replans         int64   `json:"replans"`
+	Evictions       int64   `json:"evictions"`
+	BoundTightness  float64 `json:"query_bound_tightness"`
+	BoundRefutes    int64   `json:"bound_refutes"`
 	// QueriesDissociated counts completed queries answered over a
 	// dissociated lineage (unsafe SPJ plans, exists or projection).
 	QueriesDissociated int64 `json:"queries_dissociated"`
@@ -1606,6 +1624,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		GibbsHitRate:       st.GibbsHitRate(),
 		CPDHitRate:         st.CPDHitRate(),
 		BoundHitRate:       st.BoundHitRate(),
+		EnvelopeHitRate:    st.EnvelopeHitRate(),
+		Replans:            st.Replans,
 		Evictions:          st.Evictions + st.CPDEvictions,
 		BoundTightness:     st.QueryBoundTightness(),
 		BoundRefutes:       st.BoundRefutes,

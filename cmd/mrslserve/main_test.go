@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro"
@@ -818,5 +819,100 @@ func TestServeSQLRejectsBadStatements(t *testing.T) {
 		if code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%v)", tc.name, code, recs)
 		}
+	}
+}
+
+// TestServeConcurrentQueriesShareEnvelopes pins the cross-query envelope
+// sharing acceptance: after one bounded query warms the shared interval
+// cache, two concurrent overlapping queries both serve their
+// multi-missing envelopes from it — each summary reports >0 envelope
+// hits and 0 misses — and /stats surfaces the aggregate hit rate.
+func TestServeConcurrentQueriesShareEnvelopes(t *testing.T) {
+	model, _, csvBody := matchmakingFixture(t)
+	ts := startServer(t, model)
+
+	adaptiveOf := func(out []byte) map[string]any {
+		t.Helper()
+		lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+		var summary map[string]any
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &summary); err != nil {
+			t.Fatalf("bad summary line %q: %v", lines[len(lines)-1], err)
+		}
+		plan, _ := summary["plan"].(map[string]any)
+		if plan == nil {
+			t.Fatalf("summary has no plan: %v", summary)
+		}
+		adaptive, _ := plan["adaptive"].(map[string]any)
+		if adaptive == nil {
+			t.Fatalf("bounded plan has no adaptive block: %v", plan)
+		}
+		return adaptive
+	}
+	post := func(params string) []byte {
+		resp, err := http.Post(ts.URL+"/query?"+params, "text/csv", bytes.NewReader(csvBody))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("POST /query?%s: status %d: %s", params, resp.StatusCode, out)
+			return nil
+		}
+		return out
+	}
+
+	// Warm: a bounded count whose predicate constrains an attribute the
+	// multi-missing tuples are missing, so envelopes are computed (cold
+	// misses) and stored in the shared cache.
+	warm := adaptiveOf(post("op=count&minprob=0.5&where=" + url.QueryEscape("inc=50K")))
+	if warm["envelope_misses"].(float64) == 0 {
+		t.Fatalf("warm query paid no envelope misses: %v", warm)
+	}
+
+	// Two concurrent overlapping queries: same predicate footprint,
+	// different operators. Both must be served from the shared cache.
+	var wg sync.WaitGroup
+	outs := make([][]byte, 2)
+	for i, params := range []string{
+		"op=count&minprob=0.5&where=" + url.QueryEscape("inc=50K"),
+		"op=topk&k=3&where=" + url.QueryEscape("inc=50K"),
+	} {
+		wg.Add(1)
+		go func(i int, params string) {
+			defer wg.Done()
+			outs[i] = post(params)
+		}(i, params)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out == nil {
+			t.Fatal("concurrent query failed")
+		}
+		a := adaptiveOf(out)
+		if a["envelope_hits"].(float64) == 0 || a["envelope_misses"].(float64) != 0 {
+			t.Errorf("concurrent query %d not served from the shared envelope cache: %v", i, a)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.EnvelopeHitRate <= 0 || st.EnvelopeHitRate >= 1 {
+		t.Errorf("/stats envelope_hit_rate = %v, want in (0, 1)", st.EnvelopeHitRate)
+	}
+	if st.Engine.EnvelopeHits == 0 || st.Engine.EnvelopeMisses == 0 {
+		t.Errorf("/stats engine envelope counters not populated: %+v", st.Engine)
 	}
 }

@@ -40,7 +40,7 @@ var (
 // deriveBenchSetup builds the shared fixture: a BN9 model and a 600-tuple
 // relation with ~20% complete tuples, 32 distinct single-missing damage
 // patterns and 8 distinct multi-missing ones, heavily duplicated.
-func deriveBenchSetup(b *testing.B) *deriveBenchEnv {
+func deriveBenchSetup(b testing.TB) *deriveBenchEnv {
 	b.Helper()
 	deriveBenchOnce.Do(func() {
 		rng := rand.New(rand.NewSource(77))

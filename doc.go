@@ -140,6 +140,26 @@
 // incrementally with partial/final markers for topk and groupby — and a
 // summary with the plan and the pruning counters).
 //
+// # Adaptive execution
+//
+// The plan is a starting point, not a contract. The executor re-plans
+// mid-query: topk resolves candidates in waves and, before each wave,
+// cuts every remaining candidate whose upper bound can no longer beat
+// the held rank k (cut candidates are never prefetched, so their
+// chains never run); a thresholded exists whose lower-bound pass falls
+// short folds the derivation-free upper bound into a collective refute
+// that can answer no without deriving anything. The combined per-tuple
+// envelope intervals bounded plans compute are content-keyed and
+// shared across queries through the engine's CPD cache
+// (EngineStats.EnvelopeHits/EnvelopeMisses), and a cost model
+// calibrated from live vote/chain latencies and the engine's observed
+// bound-decide rate skips envelope enumerations that cannot pay for
+// themselves. All of it is scheduling only: answers are bit-identical
+// to the static pipeline, which QuerySpec.Static preserves as the
+// experiment control. Re-plan rounds and envelope-cache traffic
+// surface on the plan's Adaptive block (QueryAdaptiveInfo), in
+// mrslquery -explain, the /query summary, /stats, and /metrics.
+//
 // # Intensional SPJ queries
 //
 // Queries also run over joins of several relations. ParseSPJ parses a

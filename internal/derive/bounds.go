@@ -1,8 +1,10 @@
 package derive
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/dist"
@@ -58,6 +60,11 @@ func (iv Interval) Vacuous() bool { return iv.Lo <= 0 && iv.Hi >= 1 }
 // costs one CPD-cache probe (and a vote on a cold miss), so the cap also
 // bounds the planner's worst-case planning cost per tuple.
 const maxBoundStates = 4096
+
+// MaxBoundStates is maxBoundStates, exported so the query planner's
+// cost model can mirror the enumeration guard and predict an envelope's
+// probe count without running it.
+const MaxBoundStates = maxBoundStates
 
 // boundSlack is the concentration margin added to each side of a bound
 // interval: sqrt(12.5/n) for n recorded sweeps, which sits beyond five
@@ -269,3 +276,102 @@ func (e *Engine) BoundCPD(t relation.Tuple, sat [][]bool) (Interval, error) {
 const probCeiling = 1 + 1e-9
 
 func clamp01(x float64) float64 { return math.Min(1, math.Max(0, x)) }
+
+// appendIntervalKey builds the CPD-cache key of one memoized combined
+// interval: the 0xFE marker (disjoint from both ordinary CPD entries
+// and 0xFF per-attribute envelopes), the tuple's canonical evidence
+// key, then — for each constrained missing attribute, in attribute
+// order — the attribute index and its satisfying set packed as a
+// bitmask. Attributes whose set is nil or covers the whole domain are
+// omitted, exactly mirroring which attributes BoundCPD folds, so
+// queries that constrain the same attributes the same way share one
+// entry even when their untouched predicates differ. The encoding is
+// unambiguous: the evidence key is self-delimiting, mask lengths are
+// fixed by each attribute's cardinality, and attribute indices are
+// single varints between masks.
+func appendIntervalKey(dst []byte, t relation.Tuple, sat [][]bool) []byte {
+	dst = append(dst, 0xFE)
+	dst = t.AppendKey(dst)
+	for a, v := range t {
+		if v != relation.Missing {
+			continue
+		}
+		set := sat[a]
+		if set == nil {
+			continue
+		}
+		full := true
+		for _, ok := range set {
+			full = full && ok
+		}
+		if full {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(a))
+		var b byte
+		for v, ok := range set {
+			if ok {
+				b |= 1 << (uint(v) % 8)
+			}
+			if uint(v)%8 == 7 {
+				dst = append(dst, b)
+				b = 0
+			}
+		}
+		if len(set)%8 != 0 {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// intervalKeyPool recycles interval-cache key buffers across
+// BoundCPDShared calls, so the steady-state plan path probes the shared
+// cache without allocating.
+var intervalKeyPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// BoundCPDShared serves BoundCPD through a content-keyed shared
+// interval cache: the finished per-tuple [lo, hi] is memoized in the
+// engine's sharded CLOCK CPD cache (under a 0xFE-marked key), so
+// concurrent queries whose predicates induce the same satisfying sets
+// on the same evidence pattern reuse one combination instead of
+// re-enumerating — the cross-query analog of the per-attribute envelope
+// memo. hit reports a cache hit. compute=false turns a miss into a
+// declined probe: the caller (the query cost model) judged enumeration
+// not worth its price for this tuple, so the vacuous interval comes
+// back and nothing is computed or stored. Cached intervals are pure
+// functions of (model, config, tuple, satisfying sets), so a hit is
+// bit-identical to recomputation; eviction only costs re-enumeration.
+// Stats.EnvelopeHits / Stats.EnvelopeMisses count the probes.
+func (e *Engine) BoundCPDShared(t relation.Tuple, sat [][]bool, compute bool) (iv Interval, hit bool, err error) {
+	if t.NumMissing() < 2 {
+		return VacuousInterval, false, fmt.Errorf("derive: BoundCPD needs a multi-missing tuple, got %v", t)
+	}
+	if !e.cfg.chains() || e.cfg.MaxAlternatives > 0 || boundSlack(e.cfg.Gibbs.Samples) >= 1 {
+		// Bounding is structurally disabled: every interval is vacuous, so
+		// there is nothing worth caching or counting.
+		return VacuousInterval, false, nil
+	}
+	buf := intervalKeyPool.Get().(*[]byte)
+	key := appendIntervalKey((*buf)[:0], t, sat)
+	*buf = key
+	defer intervalKeyPool.Put(buf)
+	if v, ok := e.cpd.Get(key); ok && len(v) == 2 {
+		e.mu.Lock()
+		e.stats.EnvelopeHits++
+		e.mu.Unlock()
+		return Interval{Lo: v[0], Hi: v[1]}, true, nil
+	}
+	e.mu.Lock()
+	e.stats.EnvelopeMisses++
+	e.mu.Unlock()
+	if !compute {
+		return VacuousInterval, false, nil
+	}
+	iv, err = e.BoundCPD(t, sat)
+	if err != nil {
+		return iv, false, err
+	}
+	e.cpd.Put(key, dist.Dist{iv.Lo, iv.Hi})
+	return iv, false, nil
+}

@@ -214,6 +214,20 @@ type Stats struct {
 	// the shared CPD cache instead.
 	BoundsComputed, BoundHits int64
 
+	// EnvelopeHits and EnvelopeMisses instrument the shared combined-
+	// envelope interval cache (BoundCPDShared): probes of a finished
+	// per-tuple [lo, hi] interval served from the sharded CLOCK cache,
+	// and probes that missed — whether the miss was then enumerated or
+	// declined by the query cost model. Overlapping concurrent queries
+	// show up here as the second query's hits.
+	EnvelopeHits, EnvelopeMisses int64
+
+	// Replans counts executor re-plan rounds — points where a query
+	// evaluation re-weighed its remaining candidates against the
+	// now-tighter aggregate interval and decided at least one of them
+	// without inference (a topk wave cut, an exists collective refute).
+	Replans int64
+
 	// Fail-soft counters.
 
 	// PanicsRecovered counts panics caught at goroutine boundaries (vote
@@ -301,6 +315,16 @@ func (s Stats) BoundHitRate() float64 {
 		return 0
 	}
 	return float64(s.BoundHits) / float64(total)
+}
+
+// EnvelopeHitRate returns the fraction of shared interval-cache probes
+// (BoundCPDShared) served from the cache rather than missed.
+func (s Stats) EnvelopeHitRate() float64 {
+	total := s.EnvelopeHits + s.EnvelopeMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EnvelopeHits) / float64(total)
 }
 
 // CPDHitRate returns the fraction of local-CPD probes served from the
@@ -499,10 +523,22 @@ type QueryRecord struct {
 	// answered remaining tuples from sound bound intervals (see
 	// Stats.Degraded; it also counts as a deadline miss).
 	Degraded bool
+	// Replans counts the evaluation's re-plan rounds (see Stats.Replans).
+	Replans int64
 }
 
 // RecordQuery folds one query evaluation's pruning counters into the
 // engine stats. internal/query calls it once per completed evaluation.
+// QueryDecideCounts returns the engine's lifetime QueryBounded /
+// QueryDerived counters — the query cost model's observed-selectivity
+// input — without paying for a full Stats snapshot (one lock, two
+// loads, no cache-shard sweeps).
+func (e *Engine) QueryDecideCounts() (bounded, derived int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats.QueryBounded, e.stats.QueryDerived
+}
+
 func (e *Engine) RecordQuery(r QueryRecord) {
 	e.mu.Lock()
 	e.stats.Queries++
@@ -512,6 +548,7 @@ func (e *Engine) RecordQuery(r QueryRecord) {
 	e.stats.QueryDerived += r.Derived
 	e.stats.BoundRefutes += r.BoundRefutes
 	e.stats.QueryBoundWidth += r.BoundWidth
+	e.stats.Replans += r.Replans
 	if r.Dissociated {
 		e.stats.QueriesDissociated++
 	}

@@ -12,7 +12,7 @@
 //
 // where point names an injection site (derive.vote, derive.chain,
 // derive.prefetch, gibbs.chain, gibbs.sweep, sink.write, cache.storm,
-// observe.replay), kind is one of
+// observe.replay, query.replan), kind is one of
 //
 //	panic  — panic with a faultinject.Panic value at the site
 //	sleep  — block the site for duration (e.g. sleep:2ms)

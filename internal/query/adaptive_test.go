@@ -1,0 +1,359 @@
+package query
+
+// Tests for the adaptive execution layer: bit-identity of adaptive
+// evaluation against the static planner and the derive-everything
+// oracle, envelope sharing across queries (including on an
+// always-evicting engine), the exists collective-refute re-plan round,
+// and the pooled plan path's allocation budget.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/derive"
+	"repro/internal/relation"
+)
+
+// compileBoth compiles spec twice: adaptive (as given) and static.
+func compileBoth(t *testing.T, s *relation.Schema, spec Spec) (adaptive, static *Query) {
+	t.Helper()
+	q, err := Compile(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Static = true
+	qs, err := Compile(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, qs
+}
+
+// requireSameAnswer demands the adaptive and static evaluations agree on
+// the operator's answer. Scalar answers and rows are bit-identical; the
+// one sanctioned divergence is a thresholded exists that early-stopped
+// in either mode, whose reported probability is a sound lower bound
+// rather than the exact mass (checkOracle pins the soundness side).
+func requireSameAnswer(t *testing.T, label string, q *Query, got, want *Result) {
+	t.Helper()
+	switch q.op {
+	case Count:
+		if got.Expected != want.Expected || got.Count != want.Count {
+			t.Fatalf("%s: adaptive count (%v, %d) != static (%v, %d)",
+				label, got.Expected, got.Count, want.Expected, want.Count)
+		}
+	case Exists:
+		if got.Exists != want.Exists {
+			t.Fatalf("%s: adaptive exists %v != static %v", label, got.Exists, want.Exists)
+		}
+		if !got.EarlyStop && !want.EarlyStop && got.Prob != want.Prob {
+			t.Fatalf("%s: adaptive P %v != static %v", label, got.Prob, want.Prob)
+		}
+	case TopK:
+		requireRowsEqual(t, label, got.Rows, want.Rows)
+	case GroupBy:
+		requireGroupsEqual(t, label, got.Groups, want.Groups)
+	}
+}
+
+// TestAdaptiveMatchesStaticAndOracle is the adaptive layer's core
+// property: across every operator, randomized thresholds, and worker
+// counts {1, 2, 8}, evaluation with re-planning, the cost model, and
+// shared envelopes enabled is bit-identical to the static planner and
+// to the naive full-derivation oracle — including on an always-evicting
+// CacheEntries=1 engine, where every shared-envelope entry is under
+// eviction pressure.
+func TestAdaptiveMatchesStaticAndOracle(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{17, 18} {
+		model, rel := fixture(t, seed)
+		items := deriveAll(t, model, rel, engineConfig(4, 4))
+
+		type engPair struct {
+			label             string
+			adaptive, static_ *derive.Engine
+		}
+		var engines []engPair
+		for _, w := range [][2]int{{1, 1}, {2, 2}, {8, 8}} {
+			a, err := derive.New(model, engineConfig(w[0], w[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := derive.New(model, engineConfig(w[0], w[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines = append(engines, engPair{label: "workers", adaptive: a, static_: s})
+		}
+		thrashCfg := engineConfig(2, 2)
+		thrashCfg.CacheEntries = 1
+		a, err := derive.New(model, thrashCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := derive.New(model, thrashCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engPair{label: "thrash", adaptive: a, static_: s})
+
+		rng := rand.New(rand.NewSource(seed * 131))
+		for _, op := range []Op{Count, Exists, TopK, GroupBy} {
+			for round := 0; round < 3; round++ {
+				spec := randomSpec(rng, model.Schema, op)
+				q, qs := compileBoth(t, model.Schema, spec)
+				for _, pair := range engines {
+					res, err := Eval(ctx, pair.adaptive, rel, q)
+					if err != nil {
+						t.Fatalf("%s adaptive %v: %v", pair.label, op, err)
+					}
+					want, err := Eval(ctx, pair.static_, rel, qs)
+					if err != nil {
+						t.Fatalf("%s static %v: %v", pair.label, op, err)
+					}
+					if want.Plan.Adaptive != nil {
+						t.Fatalf("%s: static plan carries an adaptive block", pair.label)
+					}
+					checkOracle(t, "adaptive "+q.String(), q, res, items, model.Schema)
+					checkOracle(t, "static "+q.String(), qs, want, items, model.Schema)
+					requireSameAnswer(t, pair.label+" "+q.String(), q, res, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveDegradedStaysSound exercises the adaptive layer under a
+// spent deadline budget: both modes answer without error, and whatever
+// the adaptive machinery decides — degrade to an interval, or decide
+// early from bounds before the budget matters — stays sound against
+// the oracle.
+func TestAdaptiveDegradedStaysSound(t *testing.T) {
+	model, rel := fixture(t, 23)
+	items := deriveAll(t, model, rel, engineConfig(4, 4))
+
+	for _, spec := range []Spec{
+		{Op: Count, Preds: []Pred{{Attr: 0, Cmp: Le, Value: 1}}},
+		{Op: Count, Preds: []Pred{{Attr: 0, Cmp: Le, Value: 1}}, MinProb: 0.5},
+		{Op: Exists, Preds: []Pred{{Attr: 1, Cmp: Eq, Value: 0}}, MinProb: 0.97},
+	} {
+		q, qs := compileBoth(t, model.Schema, spec)
+		for _, query := range []*Query{q, qs} {
+			eng, err := derive.New(model, engineConfig(2, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Eval(expiredCtx(t), eng, rel, query)
+			if err != nil {
+				t.Fatalf("degraded %s: %v", query.String(), err)
+			}
+			if !res.Degraded {
+				// The adaptive exists refute may decide before the budget is
+				// consulted; then the answer must be exactly oracle-correct.
+				checkOracle(t, "budget-free "+query.String(), query, res, items, model.Schema)
+				continue
+			}
+			if res.Bounds == nil {
+				t.Fatalf("degraded %s without bounds", query.String())
+			}
+			switch spec.Op {
+			case Count:
+				expected, n := oracleCount(query.preds, items, spec.MinProb)
+				if spec.MinProb > 0 {
+					expected = float64(n)
+				}
+				if expected < res.Bounds.Lo-degradeEps || expected > res.Bounds.Hi+degradeEps {
+					t.Fatalf("degraded %s: oracle %v outside bounds [%v, %v]",
+						query.String(), expected, res.Bounds.Lo, res.Bounds.Hi)
+				}
+			case Exists:
+				prob := oracleExists(query.preds, items)
+				if prob < res.Bounds.Lo-degradeEps || prob > res.Bounds.Hi+degradeEps {
+					t.Fatalf("degraded %s: oracle %v outside bounds [%v, %v]",
+						query.String(), prob, res.Bounds.Lo, res.Bounds.Hi)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeSharingAcrossQueries pins the cross-query envelope cache:
+// the first bounded evaluation misses and populates the shared interval
+// cache, the second — same predicates, fresh compiled query — serves its
+// multi-missing envelopes from it, visible on PlanInfo.Adaptive and in
+// the engine's EnvelopeHits/EnvelopeMisses stats.
+func TestEnvelopeSharingAcrossQueries(t *testing.T) {
+	ctx := context.Background()
+	model, rel := fixture(t, 29)
+	eng, err := derive.New(model, engineConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Op: Count, Preds: []Pred{{Attr: 0, Cmp: Le, Value: 1}}, MinProb: 0.5}
+	q, err := Compile(model.Schema, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Eval(ctx, eng, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := first.Plan.Adaptive
+	if a == nil {
+		t.Fatal("bounded adaptive evaluation has no adaptive block")
+	}
+	// The cache is content-keyed, so duplicate evidence patterns hit even
+	// within the first plan; but a cold cache must have paid misses.
+	if a.EnvelopeMisses == 0 {
+		t.Fatalf("first evaluation: %d hits / %d misses, want cold misses", a.EnvelopeHits, a.EnvelopeMisses)
+	}
+	q2, err := Compile(model.Schema, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Eval(ctx, eng, rel, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := second.Plan.Adaptive
+	if b == nil || b.EnvelopeHits == 0 || b.EnvelopeMisses != 0 {
+		t.Fatalf("second evaluation: %+v, want all envelope probes served from the shared cache", b)
+	}
+	st := eng.Stats()
+	if st.EnvelopeHits != int64(a.EnvelopeHits+b.EnvelopeHits) || st.EnvelopeMisses != int64(a.EnvelopeMisses+b.EnvelopeMisses) {
+		t.Fatalf("engine stats (%d hits / %d misses) disagree with plans (%+v, %+v)",
+			st.EnvelopeHits, st.EnvelopeMisses, a, b)
+	}
+	if r := st.EnvelopeHitRate(); r <= 0 || r >= 1 {
+		t.Fatalf("envelope hit rate %v outside (0, 1)", r)
+	}
+	// Static evaluations bypass the shared cache entirely.
+	before := st.EnvelopeHits + st.EnvelopeMisses
+	_, qs := compileBoth(t, model.Schema, spec)
+	if _, err := Eval(ctx, eng, rel, qs); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.EnvelopeHits+st.EnvelopeMisses != before {
+		t.Fatal("static evaluation probed the shared envelope cache")
+	}
+}
+
+// TestExistsCollectiveRefute pins the exists re-plan round: a threshold
+// the derivation-free upper bound already rules out is answered without
+// deriving a single block, recorded as a re-plan, and agrees with the
+// static full scan. The micro-relation is assembled from fixture tuples
+// so the envelopes are real: multi-missing tuples whose predicate
+// attribute is missing (informative upper bounds), plus refuted
+// complete tuples.
+func TestExistsCollectiveRefute(t *testing.T) {
+	ctx := context.Background()
+	model, rel := fixture(t, 37)
+	s := model.Schema
+
+	// Find a predicate attribute with enough multi-missing tuples missing
+	// it, and build the micro-relation.
+	for attr := 0; attr < s.NumAttrs(); attr++ {
+		var open []relation.Tuple
+		for _, tu := range rel.Tuples {
+			if tu.NumMissing() > 1 && tu[attr] == relation.Missing {
+				open = append(open, tu)
+			}
+		}
+		if len(open) < 3 {
+			continue
+		}
+		for v := 0; v < s.Attrs[attr].Card(); v++ {
+			micro := relation.NewRelation(s)
+			for _, tu := range open[:3] {
+				if err := micro.Append(tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, tu := range rel.Tuples {
+				if tu.IsComplete() && tu[attr] != v {
+					if err := micro.Append(tu); err != nil {
+						t.Fatal(err)
+					}
+					break
+				}
+			}
+			spec := Spec{Op: Exists, Preds: []Pred{{Attr: attr, Cmp: Eq, Value: v}}, MinProb: 0.999}
+			q, qs := compileBoth(t, s, spec)
+			eng, err := derive.New(model, engineConfig(2, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Eval(ctx, eng, micro, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := res.Plan.Adaptive
+			if a == nil || a.Replans == 0 {
+				continue // this value's bounds leave the threshold open; try the next
+			}
+			// The refute fired: no derivation, decided no, early.
+			if res.Exists || !res.EarlyStop {
+				t.Fatalf("refuted exists: Exists=%v EarlyStop=%v", res.Exists, res.EarlyStop)
+			}
+			if res.Counters.Derived != 0 {
+				t.Fatalf("refute derived %d blocks", res.Counters.Derived)
+			}
+			if len(a.ReplanCut) != 1 || a.ReplanCut[0] == 0 {
+				t.Fatalf("replan cut %v, want one non-empty round", a.ReplanCut)
+			}
+			// Same decision as the static exact scan, and the reported
+			// probability is a sound lower bound on its exact mass.
+			engS, err := derive.New(model, engineConfig(2, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Eval(ctx, engS, micro, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Exists != res.Exists {
+				t.Fatalf("adaptive refute %v, static scan %v", res.Exists, want.Exists)
+			}
+			if !want.EarlyStop && res.Prob > want.Prob {
+				t.Fatalf("refute bound %v exceeds exact %v", res.Prob, want.Prob)
+			}
+			if eng.Stats().Replans == 0 {
+				t.Fatal("engine stats did not record the re-plan")
+			}
+			return
+		}
+	}
+	t.Fatal("no (attribute, value) produced a collective refute on this fixture")
+}
+
+// TestPlanPathAllocations pins the pooled plan path: steady-state plan
+// compilation on a warm engine stays within a fixed allocation budget
+// (pre-pooling it sat in the hundreds).
+func TestPlanPathAllocations(t *testing.T) {
+	ctx := context.Background()
+	model, rel := fixture(t, 43)
+	eng, err := derive.New(model, engineConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(model.Schema, Spec{
+		Op: Count, Preds: []Pred{{Attr: 0, Cmp: Le, Value: 1}}, MinProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Plan(ctx, eng, rel, q); err != nil { // warm envelopes + caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Plan(ctx, eng, rel, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 40
+	if allocs > budget {
+		t.Fatalf("plan path allocates %.1f per run, budget %d", allocs, budget)
+	}
+}

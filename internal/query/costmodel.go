@@ -1,0 +1,115 @@
+// Cost model: the calibrated chooser that replaces the planner's fixed
+// "always enumerate envelopes" rule for multi-missing tuples. The
+// static planner pays the dissociation-envelope enumeration for every
+// multi-missing tuple a thresholded operator scans, betting that the
+// interval will decide the tuple and spare a Gibbs chain. That bet has
+// a measurable price (one CPD probe — a vote, on a cold cache — per
+// assignment of the tuple's other missing attributes) and a measurable
+// payoff (the chain latency, discounted by how often intervals actually
+// decide), and both sides are already instrumented: the
+// mrsl_derive_vote_seconds / mrsl_derive_chain_seconds histograms give
+// live per-tier latencies, and the engine's QueryBounded/QueryDerived
+// counters give the observed decide rate. The chooser declines the
+// enumeration when its expected cost clearly exceeds the expected
+// saving, routing the tuple straight to the derive tier — a scheduling
+// decision only, never a value change, so every answer stays
+// bit-identical to the static plan and the derive-everything oracle.
+// While either histogram is cold the chooser is inactive and the
+// planner keeps the static order.
+package query
+
+import (
+	"repro/internal/derive"
+	"repro/internal/relation"
+)
+
+// costModelSlack biases the chooser toward enumerating: envelopes are
+// memoized in the shared caches and amortize across overlapping and
+// future queries, while a skipped enumeration's saving is once-off — so
+// enumeration must look this many times more expensive than the
+// expected chain saving before the planner declines it.
+const costModelSlack = 4.0
+
+// costModelMinDecisions is the minimum recorded bound-vs-derive history
+// before the engine's observed decide rate replaces the neutral prior.
+const costModelMinDecisions = 32
+
+// costModel is one plan's snapshot of the chooser's inputs. The zero
+// value is the inactive (cold or static) model, which approves every
+// enumeration — the static tier order.
+type costModel struct {
+	active          bool
+	voteNS, chainNS float64
+	decideRate      float64
+}
+
+// newCostModel captures the live calibration inputs: the per-tier mean
+// latencies (derive.TierLatencies, cold-gated) and the engine's
+// lifetime interval-decide rate, floored at 5% so a bad streak cannot
+// talk the planner out of bounding entirely.
+func newCostModel(eng *derive.Engine) costModel {
+	voteNS, chainNS, calibrated := derive.TierLatencies()
+	if !calibrated || voteNS <= 0 || chainNS <= 0 {
+		return costModel{}
+	}
+	rate := 0.5
+	bounded, derived := eng.QueryDecideCounts()
+	if n := bounded + derived; n >= costModelMinDecisions {
+		rate = float64(bounded) / float64(n)
+		if rate < 0.05 {
+			rate = 0.05
+		}
+	}
+	return costModel{active: true, voteNS: voteNS, chainNS: chainNS, decideRate: rate}
+}
+
+// envelopeWorthIt weighs one tuple's envelope enumeration (probes CPD
+// lookups, each a vote when cold) against the chain it might spare
+// (chain latency times the observed decide rate, scaled by the sharing
+// slack). Inactive models approve everything.
+func (cm costModel) envelopeWorthIt(probes int) bool {
+	if !cm.active {
+		return true
+	}
+	return float64(probes)*cm.voteNS <= costModelSlack*cm.chainNS*cm.decideRate
+}
+
+// envelopeProbes mirrors boundEnvelope's enumeration guard to predict,
+// without running it, how many CPD probes the dissociation envelopes of
+// t would cost: for each constrained, non-full missing attribute, one
+// probe per assignment of the tuple's other missing attributes.
+// vacuous reports that some constrained attribute would overflow
+// derive.MaxBoundStates — BoundCPD would enumerate part of the work and
+// still return the vacuous interval, so skipping such a tuple outright
+// is pure profit regardless of calibration.
+func envelopeProbes(schema *relation.Schema, t relation.Tuple, sat [][]bool) (probes int, vacuous bool) {
+	for attr, v := range t {
+		if v != relation.Missing {
+			continue
+		}
+		set := sat[attr]
+		if set == nil {
+			continue
+		}
+		full := true
+		for _, ok := range set {
+			full = full && ok
+		}
+		if full {
+			continue
+		}
+		states := 1
+		for a, w := range t {
+			if a == attr || w != relation.Missing {
+				continue
+			}
+			c := schema.Attrs[a].Card()
+			if states > derive.MaxBoundStates/c {
+				return 0, true
+			}
+			states *= c
+		}
+		probes += states
+	}
+	return probes, false
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/derive"
 	"repro/internal/dist"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/pdb"
 	"repro/internal/relation"
@@ -126,9 +127,12 @@ func evalOverrides(ctx context.Context, eng *derive.Engine, rel *relation.Relati
 	ex.tm.planNS = planDur.Nanoseconds()
 	res, err := ex.dispatch(ctx)
 	if err != nil {
+		pl.release()
 		return nil, err
 	}
-	return ex.finish(res, false), nil
+	res = ex.finish(res, false)
+	pl.release()
+	return res, nil
 }
 
 // dispatch runs the operator's evaluator over the compiled plan.
@@ -165,10 +169,14 @@ func (ex *executor) finish(res *Result, dissociated bool) *Result {
 	c := &res.Counters
 	c.Scanned = int64(len(ex.rel.Tuples))
 	c.Pruned = c.Scanned - c.Bounded - c.Derived
+	var replans int64
+	if a := ex.plan.info.Adaptive; a != nil {
+		replans = int64(a.Replans)
+	}
 	ex.eng.RecordQuery(derive.QueryRecord{
 		Tuples: c.Scanned, Pruned: c.Pruned, Bounded: c.Bounded, Derived: c.Derived,
 		BoundRefutes: c.BoundRefutes, BoundWidth: c.BoundWidth, Dissociated: dissociated,
-		Degraded: ex.degraded,
+		Degraded: ex.degraded, Replans: replans,
 	})
 	return res
 }
@@ -629,6 +637,58 @@ func (ex *executor) evalExists(ctx context.Context) (*Result, error) {
 			res.Prob, res.Exists, res.EarlyStop = 1-miss, true, true
 			return res, nil
 		}
+		// Re-plan round (adaptive only): pass 1 already paid for every vote
+		// and the plan carries every interval, so the derivation-free UPPER
+		// bound on the existence probability is now free — exact masses for
+		// the cheap tiers, the clamped interval upper side for bound- and
+		// derive-tier tuples, folded in input order. If even that cannot
+		// reach the threshold, pass 2 would derive every open tuple only to
+		// confirm a no: answer it here, deriving nothing. The collective
+		// refute is one-sided (Hi >= exact per factor, so the product bounds
+		// the exact miss mass from below and 1-missHi bounds the existence
+		// probability from above); the reported probability stays the
+		// pass-1 lower bound, which never exceeds the exact mass — the
+		// early-stop contract. A vacuous derive-tier tuple zeroes its
+		// factor, so the round declines automatically when derivation could
+		// still flip the decision.
+		if ex.plan.info.Adaptive != nil {
+			missHi := 1.0
+			cut := 0
+			var rc Counters
+			for i := range ex.rel.Tuples {
+				switch act := ex.plan.acts[i]; act.tier {
+				case tierSkip:
+				case tierObserved:
+					missHi *= 1 - act.iv.Lo
+				case tierVote:
+					p, err := ex.exactProb(ctx, i, &rc)
+					if err != nil {
+						return nil, err
+					}
+					missHi *= 1 - p
+				default: // tierBound, tierDerive
+					missHi *= 1 - clamp1(act.iv.Hi)
+					cut++
+					rc.Bounded++
+					rc.BoundWidth += act.iv.Width()
+				}
+				if missHi == 0 {
+					break
+				}
+			}
+			// The round only counts when it cut candidates pass 2 would have
+			// derived; with no open bound-tier factor pass 2 is already cheap
+			// and the exact scan keeps the reported probability exact.
+			if cut > 0 && missHi > 0 && 1-missHi < ex.q.minProb {
+				faultinject.Fire("query.replan")
+				a := ex.plan.info.Adaptive
+				a.Replans++
+				a.ReplanCut = append(a.ReplanCut, cut)
+				res.Counters = rc
+				res.Prob, res.Exists, res.EarlyStop = 1-miss, false, true
+				return res, nil
+			}
+		}
 		// Pass 2: the exact sequential scan (votes are already cached).
 		// Under a spent budget, degraded tuples fold both interval sides:
 		// miss keeps the 1-Lo factors (lower bound on the existence
@@ -789,6 +849,59 @@ func (ex *executor) insertResolved(ctx context.Context, res *Result, i int) erro
 	return nil
 }
 
+// cutDecides reports whether the held rank-k row already decides
+// candidate i out of a TopK evaluation — the exact predicate the
+// candidate loop commits (see the comment there for the tie semantics).
+// The predicate is monotone in the held rows: resolutions only raise the
+// rank-k probability, and at equal probability only lower its input
+// index, so a cut observed by an early re-plan sweep still holds when
+// the per-candidate loop accounts it.
+func (ex *executor) cutDecides(res *Result, i int) bool {
+	if ex.q.k <= 0 || len(res.Rows) < ex.q.k {
+		return false
+	}
+	act := ex.plan.acts[i]
+	kth := res.Rows[ex.q.k-1]
+	hi := math.Min(act.iv.Hi, 1)
+	strictHi := act.tier == tierBound && act.iv.Hi < 1
+	return kth.Prob > hi || (kth.Prob >= hi && (strictHi || i > kth.Index))
+}
+
+// replanWave is one TopK re-plan round: before the executor prefetches
+// and resolves the next wave of candidates, it re-applies the rank-k cut
+// and the probability threshold under everything resolved so far, so
+// candidates the tighter state already decides are never prefetched —
+// the chains the static schedule would have warmed for them simply never
+// run. Decisions are not committed here: the per-candidate loop
+// re-checks and accounts each one identically, which is sound because
+// the cut predicate is monotone (see cutDecides) — a round changes
+// scheduling only, never answers. A round that cut candidates after
+// fresh resolutions counts as a re-plan on PlanInfo.Adaptive.
+func (ex *executor) replanWave(ctx context.Context, res *Result, wave []int, resolved int) {
+	var live []int
+	cut := 0
+	for _, i := range wave {
+		act := ex.plan.acts[i]
+		switch {
+		case ex.cutDecides(res, i):
+			cut++
+		case ex.q.minProb > 0 && act.iv.Hi < ex.q.minProb:
+			// Threshold-refuted: decided at plan time, nothing to warm.
+		default:
+			live = append(live, i)
+		}
+	}
+	if cut > 0 && resolved > 0 {
+		faultinject.Fire("query.replan")
+		a := ex.plan.info.Adaptive
+		a.Replans++
+		a.ReplanCut = append(a.ReplanCut, cut)
+	}
+	if !ex.budgetExhausted() {
+		ex.prefetch(ctx, live)
+	}
+}
+
 // evalTopK folds the satisfying completions into the k most probable
 // rows, holding at most k rows at any time; the result is exactly the
 // stable descending sort of the full selection cut to k. The cheap tiers
@@ -809,6 +922,9 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 			certains++
 		}
 	}
+	// Adaptive rank-cut evaluations replace the blanket candidate
+	// prefetch with per-wave re-planned prefetch below.
+	adaptive := ex.plan.info.Adaptive != nil && ex.q.k > 0
 	var cands []int // bound + derive candidates, resolved upper-bound-first
 	var work []int  // prefetched derivation worklist
 	prefetch := ex.q.k <= 0 || certains < ex.q.k
@@ -831,7 +947,7 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 			}
 		case tierDerive:
 			cands = append(cands, i)
-			if prefetch {
+			if prefetch && !adaptive {
 				work = append(work, i)
 			}
 		}
@@ -842,6 +958,7 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 	// every later cheap-tier row ties at best and loses the input-order
 	// tie-break, so the rest of the scan costs nothing — exactly the
 	// k-certain-rows early stop the pre-planner evaluator had.
+	resolved := 0 // exact resolutions since the last re-plan sweep
 	for i := range ex.rel.Tuples {
 		if err := ex.scanErr(ctx); err != nil {
 			return nil, err
@@ -857,6 +974,7 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 			if err := ex.insertResolved(ctx, res, i); err != nil {
 				return nil, err
 			}
+			resolved++
 			if err := ex.emit(res); err != nil {
 				return nil, err
 			}
@@ -868,8 +986,9 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 	// their chains are prefetched across the pools now (a full cut keeps
 	// them lazy instead: resolving upper-bound-first raises rank k and
 	// spares the tail, and prefetching would run the very chains the
-	// bounds exist to skip).
-	if ex.q.k > 0 && len(res.Rows) < ex.q.k {
+	// bounds exist to skip). Adaptive evaluations prefetch per wave
+	// instead, after each re-plan sweep has filtered the wave.
+	if !adaptive && ex.q.k > 0 && len(res.Rows) < ex.q.k {
 		var late []int
 		for _, i := range cands {
 			if act := ex.plan.acts[i]; act.tier == tierBound &&
@@ -892,67 +1011,86 @@ func (ex *executor) evalTopK(ctx context.Context) (*Result, error) {
 		}
 		return 0
 	})
-	var degHi float64 // best upper bound among budget-skipped candidates
-	for _, i := range cands {
-		if err := ex.scanErr(ctx); err != nil {
-			return nil, err
+	// Wave size: static evaluations take all candidates in one wave (the
+	// blanket prefetch above already warmed them); adaptive ones sweep a
+	// re-plan round before each wave, so the wave is sized to resolve a
+	// couple of rank-k turnovers between sweeps.
+	wave := len(cands)
+	if adaptive {
+		wave = 2 * ex.q.k
+		if wave < 8 {
+			wave = 8
 		}
-		act := ex.plan.acts[i]
-		if ex.q.k > 0 && len(res.Rows) == ex.q.k {
-			// A candidate is skipped only when no completion of its block
-			// can displace the held rank k. Every alternative's
-			// probability is capped by the tuple's upper bound AND by 1
-			// (a normalized block entry never exceeds 1 even in floats,
-			// so an interval clamped just above 1 still cannot be beaten
-			// past it), so a beaten bound — or a tied one the
-			// (probability, input index) tie-break rejects — decides the
-			// tuple out. A tie decides a bound-tier candidate with an
-			// unclamped upper bound unconditionally: the interval margins
-			// keep such a Hi strictly unattainable. Any other tie decides
-			// the tuple only when it enters after the rank-k row, because
-			// probability exactly 1 IS attainable there — a capped block
-			// renormalizes to a single probability-1 alternative, and a
-			// joint over cardinality-1 attributes smooths to one — and a
-			// probability-1 row from an earlier input index wins the
-			// tie-break and belongs in the cut.
-			kth := res.Rows[ex.q.k-1]
-			hi := math.Min(act.iv.Hi, 1)
-			strictHi := act.tier == tierBound && act.iv.Hi < 1
-			if kth.Prob > hi ||
-				(kth.Prob >= hi && (strictHi || i > kth.Index)) {
-				if act.tier == tierBound {
-					decideBound(&res.Counters, act.iv, false)
+	}
+	var degHi float64 // best upper bound among budget-skipped candidates
+	for w := 0; w < len(cands); w += wave {
+		end := w + wave
+		if end > len(cands) {
+			end = len(cands)
+		}
+		if adaptive {
+			ex.replanWave(ctx, res, cands[w:end], resolved)
+			resolved = 0
+		}
+		for _, i := range cands[w:end] {
+			if err := ex.scanErr(ctx); err != nil {
+				return nil, err
+			}
+			act := ex.plan.acts[i]
+			if ex.q.k > 0 && len(res.Rows) == ex.q.k {
+				// A candidate is skipped only when no completion of its block
+				// can displace the held rank k. Every alternative's
+				// probability is capped by the tuple's upper bound AND by 1
+				// (a normalized block entry never exceeds 1 even in floats,
+				// so an interval clamped just above 1 still cannot be beaten
+				// past it), so a beaten bound — or a tied one the
+				// (probability, input index) tie-break rejects — decides the
+				// tuple out. A tie decides a bound-tier candidate with an
+				// unclamped upper bound unconditionally: the interval margins
+				// keep such a Hi strictly unattainable. Any other tie decides
+				// the tuple only when it enters after the rank-k row, because
+				// probability exactly 1 IS attainable there — a capped block
+				// renormalizes to a single probability-1 alternative, and a
+				// joint over cardinality-1 attributes smooths to one — and a
+				// probability-1 row from an earlier input index wins the
+				// tie-break and belongs in the cut. cutDecides applies
+				// exactly this predicate.
+				if ex.cutDecides(res, i) {
+					if act.tier == tierBound {
+						decideBound(&res.Counters, act.iv, false)
+					}
+					res.EarlyStop = true
+					continue
 				}
-				res.EarlyStop = true
+			}
+			if ex.q.minProb > 0 && act.iv.Hi < ex.q.minProb {
+				decideBound(&res.Counters, act.iv, false)
 				continue
 			}
-		}
-		if ex.q.minProb > 0 && act.iv.Hi < ex.q.minProb {
-			decideBound(&res.Counters, act.iv, false)
-			continue
-		}
-		if ex.budgetExhausted() {
-			// Budget spent: stop resolving candidates. The rows already
-			// held are exact; every unresolved candidate's completions are
-			// capped by its interval upper side, reported through Bounds.
-			ex.degrade(&res.Counters, act.iv)
-			degHi = math.Max(degHi, clamp1(act.iv.Hi))
-			continue
-		}
-		err := ex.insertResolved(ctx, res, i)
-		if err != nil {
-			if ex.hasDL && errors.Is(err, context.DeadlineExceeded) {
-				res.Counters.Derived--
-				res.Counters.BoundWidth -= act.iv.Width()
-				ex.exhausted = true
+			if ex.budgetExhausted() {
+				// Budget spent: stop resolving candidates. The rows already
+				// held are exact; every unresolved candidate's completions are
+				// capped by its interval upper side, reported through Bounds.
 				ex.degrade(&res.Counters, act.iv)
 				degHi = math.Max(degHi, clamp1(act.iv.Hi))
 				continue
 			}
-			return nil, err
-		}
-		if err := ex.emit(res); err != nil {
-			return nil, err
+			err := ex.insertResolved(ctx, res, i)
+			if err != nil {
+				if ex.hasDL && errors.Is(err, context.DeadlineExceeded) {
+					res.Counters.Derived--
+					res.Counters.BoundWidth -= act.iv.Width()
+					ex.exhausted = true
+					ex.degrade(&res.Counters, act.iv)
+					degHi = math.Max(degHi, clamp1(act.iv.Hi))
+					continue
+				}
+				return nil, err
+			}
+			resolved++
+			if err := ex.emit(res); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if ex.degraded {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/derive"
 	"repro/internal/pdb"
@@ -88,6 +89,40 @@ type PlanInfo struct {
 	// unless the evaluation requested timing (Spec.Analyze or a request
 	// trace) and actually executed (Plan alone never runs the executor).
 	Timing *PlanTiming
+	// Adaptive summarizes the adaptive execution layer: traffic on the
+	// shared envelope-interval cache, the cost model's enumeration
+	// decisions, and — after execution — the executor's re-plan rounds.
+	// Nil when the evaluation ran with Spec.Static, or never consulted
+	// bounds and carried no deadline.
+	Adaptive *AdaptiveInfo
+}
+
+// AdaptiveInfo is the adaptive-execution block of one plan summary.
+// Everything in it describes scheduling, never answers: the same
+// evaluation with Spec.Static produces a bit-identical Result apart
+// from this block.
+type AdaptiveInfo struct {
+	// CostModel reports that the calibrated chooser was active — both
+	// tier-latency histograms warm — rather than falling back to the
+	// static enumeration order.
+	CostModel bool
+	// VoteNS and ChainNS are the calibrated mean stage latencies, in
+	// nanoseconds, the chooser weighed (zero when CostModel is false).
+	VoteNS, ChainNS float64
+	// EnvelopeHits and EnvelopeMisses count this plan's probes of the
+	// engine's shared envelope-interval cache. Misses include probes the
+	// cost model declined to compute.
+	EnvelopeHits, EnvelopeMisses int
+	// EnvelopesSkipped counts multi-missing tuples whose envelope
+	// enumeration the cost model declined (or pre-judged vacuous), routing
+	// them straight to the derive tier.
+	EnvelopesSkipped int
+	// Replans counts executor re-plan rounds that cut at least one
+	// remaining candidate after fresh resolutions tightened the state.
+	Replans int
+	// ReplanCut lists, per re-plan round, how many candidates the round
+	// cut.
+	ReplanCut []int
 }
 
 // JoinPlanInfo is the SPJ portion of a plan summary: how the joined
@@ -145,6 +180,17 @@ func (p *PlanInfo) String() string {
 		}
 		fmt.Fprintf(&b, "  safety: %s\n", j.Verdict)
 	}
+	// The adaptive block prints only run-independent figures: cache
+	// traffic and skip counts are deterministic for a fixed query
+	// sequence, while the calibrated latencies vary run to run and stay
+	// off the explain transcript (they are on AdaptiveInfo and /metrics).
+	if a := p.Adaptive; a != nil {
+		fmt.Fprintf(&b, "  adaptive: envelope cache %d hit / %d miss, %d cost-model skips\n",
+			a.EnvelopeHits, a.EnvelopeMisses, a.EnvelopesSkipped)
+		if a.Replans > 0 {
+			fmt.Fprintf(&b, "  replans: %d rounds, cut %v\n", a.Replans, a.ReplanCut)
+		}
+	}
 	if t := p.Timing; t != nil {
 		fmt.Fprintf(&b, "  timing: plan %.3fms, wall %.3fms\n", t.PlanMS, t.WallMS)
 		for _, tt := range t.Tiers {
@@ -165,6 +211,46 @@ type plan struct {
 	// estimates allow.
 	order []int
 	info  *PlanInfo
+	// scratch is the pooled backing of acts/order, returned by release().
+	scratch *planScratch
+}
+
+// planScratch is the pooled allocation scratch of one plan: the
+// per-tuple tier slice and the small per-plan buffers. newPlan takes one
+// from planPool and release() returns it once the evaluation no longer
+// touches acts/order. PlanInfo is excluded on purpose — it is freshly
+// allocated per plan and escapes on Result.Plan.
+type planScratch struct {
+	acts       []planned
+	order      []int
+	sel        []float64
+	satBools   [][]bool
+	buf        []int
+	allMissing relation.Tuple
+}
+
+var planPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+// grow returns s resized to n, reallocating only when capacity is short.
+// Reused elements keep stale contents; callers overwrite every index.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// release returns the plan's pooled scratch. Callers must be done with
+// acts and order; info stays valid forever. Safe to call more than once.
+func (p *plan) release() {
+	s := p.scratch
+	if s == nil {
+		return
+	}
+	p.scratch, p.acts, p.order = nil, nil, nil
+	clear(s.acts)     // drop observed-block pointers so the pool doesn't pin them
+	clear(s.satBools) // likewise the compiled queries' satisfying sets
+	planPool.Put(s)
 }
 
 // usesBounds reports whether the operator can turn a [lo, hi] interval
@@ -196,7 +282,9 @@ func (q *Query) usesBounds() bool {
 // dissociation envelopes can cost real votes on a cold cache, so the
 // planner is as cancellable as the executor.
 func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.Relation, overrides map[int]*pdb.Block) (*plan, error) {
-	p := &plan{q: q, acts: make([]planned, len(rel.Tuples))}
+	s := planPool.Get().(*planScratch)
+	s.acts = grow(s.acts, len(rel.Tuples))
+	p := &plan{q: q, acts: s.acts, scratch: s}
 	info := &PlanInfo{BoundsUsed: q.usesBounds()}
 	// Under a deadline budget the executor may have to answer derive-tier
 	// tuples from bounds instead of chains, so the planner computes the
@@ -213,14 +301,19 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 	// plan after the first is served from the same slot. Ordering
 	// changes evaluation cost only, never answers — satisfies is a
 	// conjunction.
-	p.order = append([]int(nil), q.constrained...)
+	s.order = grow(s.order, len(q.constrained))
+	copy(s.order, q.constrained)
+	p.order = s.order
 	if len(p.order) > 0 {
-		sel := make(map[int]float64, len(p.order))
-		allMissing := relation.NewTuple(q.schema.NumAttrs())
+		s.sel = grow(s.sel, q.schema.NumAttrs())
+		sel := s.sel
+		if len(s.allMissing) != q.schema.NumAttrs() {
+			s.allMissing = relation.NewTuple(q.schema.NumAttrs())
+		}
 		for _, a := range p.order {
 			set := q.sat[a]
 			frac := float64(set.n) / float64(len(set.ok))
-			if d, _, err := eng.MarginalCPD(allMissing, a); err == nil && len(d) == len(set.ok) {
+			if d, _, err := eng.MarginalCPD(s.allMissing, a); err == nil && len(d) == len(set.ok) {
 				var mass float64
 				for v, in := range set.ok {
 					if in {
@@ -245,15 +338,28 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 	useVote := eng.MaxAlternatives() <= 0
 
 	// sat in the [][]bool shape BoundCPD consumes, built once per plan.
+	wantIV := info.BoundsUsed || hasDL
 	var satBools [][]bool
-	if info.BoundsUsed || hasDL {
-		satBools = make([][]bool, q.schema.NumAttrs())
+	if wantIV {
+		s.satBools = grow(s.satBools, q.schema.NumAttrs())
+		satBools = s.satBools
+		clear(satBools)
 		for _, a := range q.constrained {
 			satBools[a] = q.sat[a].ok
 		}
 	}
 
-	var buf []int
+	// The adaptive layer: when the query allows it, multi-missing
+	// envelopes go through the engine's shared interval cache, gated by
+	// the calibrated cost model. Static queries keep the fixed order and
+	// the un-shared BoundCPD path.
+	var cm costModel
+	if wantIV && !q.static {
+		cm = newCostModel(eng)
+		info.Adaptive = &AdaptiveInfo{CostModel: cm.active, VoteNS: cm.voteNS, ChainNS: cm.chainNS}
+	}
+
+	buf := s.buf
 	exhausted := false // deadline spent mid-plan: classify on, stop paying for envelopes
 	for i, t := range rel.Tuples {
 		if err := ctx.Err(); err != nil {
@@ -262,6 +368,8 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 			// (vacuous intervals — still sound), and the executor degrades
 			// from there. Plain cancellation still aborts.
 			if !hasDL || !errors.Is(err, context.DeadlineExceeded) {
+				s.buf = buf
+				p.release()
 				return nil, err
 			}
 			exhausted = true
@@ -293,9 +401,39 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 			info.SingleMissing++
 		default:
 			iv := derive.VacuousInterval
-			if (info.BoundsUsed || hasDL) && !exhausted && t.NumMissing() > 1 {
+			if wantIV && !exhausted && t.NumMissing() > 1 {
 				var err error
-				if iv, err = eng.BoundCPD(t, satBools); err != nil {
+				if a := info.Adaptive; a != nil {
+					// Adaptive path: predict the enumeration's probe count,
+					// let the cost model veto it, and serve what survives
+					// through the shared interval cache. A vetoed or vacuous
+					// tuple keeps the vacuous interval — same classification
+					// BoundCPD's own overflow guard produces, so tier
+					// decisions stay value-identical.
+					probes, vac := envelopeProbes(q.schema, t, satBools)
+					if vac {
+						a.EnvelopesSkipped++
+					} else {
+						compute := cm.envelopeWorthIt(probes)
+						var hit bool
+						iv, hit, err = eng.BoundCPDShared(t, satBools, compute)
+						switch {
+						case err != nil:
+						case hit:
+							a.EnvelopeHits++
+						default:
+							a.EnvelopeMisses++
+							if !compute {
+								a.EnvelopesSkipped++
+							}
+						}
+					}
+				} else {
+					iv, err = eng.BoundCPD(t, satBools)
+				}
+				if err != nil {
+					s.buf = buf
+					p.release()
 					return nil, err
 				}
 			}
@@ -310,6 +448,7 @@ func (q *Query) newPlan(ctx context.Context, eng *derive.Engine, rel *relation.R
 			}
 		}
 	}
+	s.buf = buf
 	p.info = info
 	return p, nil
 }
@@ -328,6 +467,7 @@ func Plan(ctx context.Context, eng *derive.Engine, rel *relation.Relation, q *Qu
 	if err != nil {
 		return nil, err
 	}
+	pl.release()
 	return pl.info, nil
 }
 
@@ -345,6 +485,7 @@ func PlanSnapshot(ctx context.Context, eng *derive.Engine, snap *derive.DatasetS
 	if err != nil {
 		return nil, err
 	}
+	pl.release()
 	return pl.info, nil
 }
 

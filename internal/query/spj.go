@@ -581,10 +581,13 @@ func EvalSPJ(ctx context.Context, eng *derive.Engine, spj *SPJ, pools derive.Poo
 		res, err = ex.dispatch(ctx)
 	}
 	if err != nil {
+		pl.release()
 		return nil, err
 	}
 	dissociated := !spj.safe && (q.op == Exists || len(spj.project) > 0)
-	return ex.finish(res, dissociated), nil
+	res = ex.finish(res, dissociated)
+	pl.release()
+	return res, nil
 }
 
 // PlanSPJ compiles the evaluation plan of an SPJ query without executing

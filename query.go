@@ -55,6 +55,11 @@ type (
 	// QueryTierTiming is one measured tier of a QueryPlanTiming: how many
 	// tuples resolved through it and the total duration they took.
 	QueryTierTiming = query.TierTiming
+	// QueryAdaptiveInfo is the adaptive-execution block on
+	// QueryPlanInfo.Adaptive: shared envelope-cache traffic, the cost
+	// model's enumeration decisions, and the executor's re-plan rounds.
+	// Nil when the evaluation ran with QuerySpec.Static.
+	QueryAdaptiveInfo = query.AdaptiveInfo
 	// QueryProgressFunc observes a TopK or GroupBy evaluation in flight;
 	// see Engine.QueryStream.
 	QueryProgressFunc = query.ProgressFunc

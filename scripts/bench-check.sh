@@ -22,8 +22,9 @@ if [ ! -f "$cur" ]; then
 fi
 
 # Pull "streams=N <tuples/s>" pairs out of a go-test -json benchmark log.
-# go test emits the benchmark name and its measurements as separate output
-# events, so pair each name with the next tuples/s line.
+# go test usually emits the benchmark name and its measurements as
+# separate output events (pair each name with the next tuples/s line),
+# but sometimes merges them into one line — handle both forms.
 extract() {
 	grep -o '"Output":"[^"]*"' "$1" | sed 's/^"Output":"//; s/"$//' |
 		awk '
@@ -31,6 +32,11 @@ extract() {
 				name = $1
 				sub(/^BenchmarkEngineConcurrent\//, "", name)
 				sub(/-[0-9]+$/, "", name)
+				if (/tuples\/s/) {
+					for (i = 2; i <= NF; i++)
+						if ($i ~ /^tuples\/s/) print name, $(i - 1)
+					name = ""
+				}
 				next
 			}
 			name != "" && /tuples\/s/ {

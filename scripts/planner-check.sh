@@ -14,7 +14,9 @@ base=${1:?usage: planner-check.sh baseline.json current.json [tolerance-pct]}
 cur=${2:?usage: planner-check.sh baseline.json current.json [tolerance-pct]}
 tol=${3:-30}
 
-BENCHES="BenchmarkQueryPlanner BenchmarkQuerySafeJoin BenchmarkQueryDissociated"
+BENCHES="BenchmarkQueryPlanner BenchmarkQuerySafeJoin BenchmarkQueryDissociated
+BenchmarkQueryAdaptive/adaptive BenchmarkQueryAdaptive/static
+BenchmarkQueryAdversarial/adaptive BenchmarkQueryAdversarial/static"
 
 if [ ! -f "$base" ]; then
 	echo "planner-check: no baseline at $base; skipping"
